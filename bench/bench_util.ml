@@ -1,0 +1,46 @@
+(* Shared helpers for the experiment harness. *)
+
+open Bechamel
+
+(* Estimated nanoseconds per run for every element of a Bechamel test,
+   via OLS over monotonic-clock samples. *)
+let ns_per_run ?(quota = 0.25) (test : Test.t) : (string * float) list =
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second quota) ~stabilize:false ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results =
+    Hashtbl.fold
+      (fun name b acc ->
+        let est =
+          match Analyze.OLS.estimates (Analyze.one ols instance b) with
+          | Some (e :: _) -> e
+          | _ -> nan
+        in
+        (name, est) :: acc)
+      raw []
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) results
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (Unix.gettimeofday () -. t0, v)
+
+(* Median-of-3 wall-clock seconds, for operations too slow for
+   Bechamel's sampling. *)
+let seconds f =
+  let run () = fst (time_once f) in
+  let samples = List.sort compare [ run (); run (); run () ] in
+  List.nth samples 1
+
+let section id title =
+  Format.printf "@.==== %s — %s ====@." id title
+
+let note fmt = Format.printf "  paper: " ; Format.printf (fmt ^^ "@.")
+
+let row fmt = Format.printf ("  " ^^ fmt ^^ "@.")

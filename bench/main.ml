@@ -1,0 +1,685 @@
+(* The experiment harness: regenerates every figure- and table-shaped
+   artifact of the thesis (see DESIGN.md for the index and
+   EXPERIMENTS.md for paper-vs-measured).  Run with
+
+     dune exec bench/main.exe            -- all sections
+     dune exec bench/main.exe -- E6 E11  -- selected sections
+*)
+
+open Rsg_geom
+open Rsg_layout
+open Rsg_core
+open Bench_util
+
+(* ------------------------------------------------------------------ *)
+(* E2 (Figure 2.5): coordinate mapping of the four basic rotations.    *)
+
+let e2 () =
+  section "E2" "Figure 2.5: coordinate mapping for the 4 basic rotations";
+  row "%-12s %-14s %-14s" "orientation" "x image" "y image";
+  let show (v : Vec.t) =
+    let part c name =
+      if c = 0 then ""
+      else if c = 1 then name
+      else if c = -1 then "-" ^ name
+      else assert false
+    in
+    let s = part v.Vec.x "x" ^ part v.Vec.y "y" in
+    if s = "" then "0" else s
+  in
+  List.iter
+    (fun o ->
+      let ix = Orient.apply o (Vec.make 1 0) in
+      let iy = Orient.apply o (Vec.make 0 1) in
+      (* columns of the matrix: where x and y map to *)
+      row "%-12s %-14s %-14s" (Orient.name o)
+        (show (Vec.make ix.Vec.x iy.Vec.x) ^ " -> x")
+        (show (Vec.make ix.Vec.y iy.Vec.y) ^ " -> y"))
+    Orient.rotations;
+  note "North (x,y); South (-x,-y); East (y,-x); West (-y,x)"
+
+(* ------------------------------------------------------------------ *)
+(* E3 (section 2.6): compact orientation representation vs matrices.   *)
+
+let e3 () =
+  section "E3" "section 2.6: (rot, refl) representation vs 2x2 matrices";
+  let orients = Array.of_list Orient.all in
+  let mats = Array.map Matrix_orient.of_orient orients in
+  let vecs = Array.init 64 (fun i -> Vec.make (i - 32) (31 - i)) in
+  let open Bechamel in
+  let test =
+    Test.make_grouped ~name:"orient"
+      [ Test.make ~name:"compact-compose"
+          (Staged.stage (fun () ->
+               let acc = ref Orient.identity in
+               for i = 0 to 63 do
+                 acc := Orient.compose orients.(i land 7) !acc
+               done;
+               !acc));
+        Test.make ~name:"matrix-compose"
+          (Staged.stage (fun () ->
+               let acc = ref Matrix_orient.identity in
+               for i = 0 to 63 do
+                 acc := Matrix_orient.compose mats.(i land 7) !acc
+               done;
+               !acc));
+        Test.make ~name:"compact-apply"
+          (Staged.stage (fun () ->
+               let acc = ref 0 in
+               for i = 0 to 63 do
+                 acc := !acc + (Orient.apply orients.(i land 7) vecs.(i)).Vec.x
+               done;
+               !acc));
+        Test.make ~name:"matrix-apply"
+          (Staged.stage (fun () ->
+               let acc = ref 0 in
+               for i = 0 to 63 do
+                 acc := !acc + (Matrix_orient.apply mats.(i land 7) vecs.(i)).Vec.x
+               done;
+               !acc));
+        Test.make ~name:"compact-invert"
+          (Staged.stage (fun () ->
+               let acc = ref 0 in
+               for i = 0 to 63 do
+                 acc := !acc + Orient.to_index (Orient.invert orients.(i land 7))
+               done;
+               !acc));
+        Test.make ~name:"matrix-invert"
+          (Staged.stage (fun () ->
+               let acc = ref 0 in
+               for i = 0 to 63 do
+                 acc := !acc + (Matrix_orient.invert mats.(i land 7)).Matrix_orient.a
+               done;
+               !acc)) ]
+  in
+  row "%-32s %12s" "operation (64x per run)" "ns/run";
+  List.iter (fun (name, ns) -> row "%-32s %12.1f" name ns) (ns_per_run test);
+  note "matrices 'require storage and manipulation of much more information'";
+  row "storage: compact = 2 words, matrix = 4 words"
+
+(* ------------------------------------------------------------------ *)
+(* E15 (Figures 2.3/2.4): interface families and inheritance.          *)
+
+let e15 () =
+  section "E15" "Figures 2.3/2.4: interface families and inheritance";
+  let leaf name =
+    let c = Cell.create name in
+    Cell.add_box c Layer.Metal (Box.of_size ~origin:Vec.zero ~width:10 ~height:10);
+    c
+  in
+  let a = leaf "A" and b = leaf "B" in
+  let tbl = Interface_table.create () in
+  (* the Figure 2.3 family: two different legal interfaces for (A, B) *)
+  Interface_table.declare tbl ~from:"A" ~into:"B" ~index:1
+    (Interface.make (Vec.make 12 0) Orient.west);
+  Interface_table.declare tbl ~from:"A" ~into:"B" ~index:2
+    (Interface.make (Vec.make 0 12) Orient.south);
+  row "family of interfaces between A and B: indices %s"
+    (String.concat ", "
+       (List.map string_of_int (Interface_table.indices tbl ~from:"A" ~into:"B")));
+  (* Figure 2.4: macrocells C and D inherit an interface from their
+     subcells without any new layout *)
+  let na = Graph.mk_instance a and nb = Graph.mk_instance b in
+  let c_cell = Expand.mk_cell tbl "C" na in
+  let d_cell = Expand.mk_cell tbl "D" nb in
+  let inner = Interface_table.find_exn tbl ~from:"A" ~into:"B" ~index:1 in
+  let inherited =
+    Interface.inherit_interface ~inner
+      ~a_in_c:(Option.get na.Graph.placement)
+      ~b_in_d:(Option.get nb.Graph.placement)
+  in
+  Interface_table.declare tbl ~from:"C" ~into:"D" ~index:1 inherited;
+  let nc = Graph.mk_instance c_cell and nd = Graph.mk_instance d_cell in
+  Graph.connect nc nd 1;
+  let top = Expand.mk_cell tbl "top" nc in
+  let ok =
+    match Cell.instances top with
+    | [ _; id_ ] ->
+      Transform.equal (Cell.transform_of_instance id_)
+        (Interface.place ~a:Transform.identity inner)
+    | _ -> false
+  in
+  row "inherited Icd = %a" Interface.pp inherited;
+  row "macrocell placement equals subcell-level placement: %b" ok;
+  note "new interfaces computed 'with no need for additional layout'"
+
+(* ------------------------------------------------------------------ *)
+(* E4 (Figures 3.2/3.3): spanning-tree sufficiency.                    *)
+
+let e4 () =
+  section "E4" "Figure 3.3: interfaces in the sample vs adjacencies in the layout";
+  row "%-10s %14s %16s %18s" "array" "tree edges" "adjacent pairs"
+    "sample interfaces";
+  List.iter
+    (fun k ->
+      let tree = (k * k) - 1 in
+      let adjacent = 2 * k * (k - 1) in
+      row "%-10s %14d %16d %18d"
+        (Printf.sprintf "%dx%d" k k)
+        tree adjacent 2)
+    [ 2; 4; 8; 16; 32 ];
+  note "the connectivity graph need only be a spanning tree; interfaces";
+  note "not on tree edges 'need not be present in the sample layout'"
+
+(* ------------------------------------------------------------------ *)
+(* E16 (Figures 3.5-3.7): same-celltype ambiguity, directed edges.     *)
+
+let e16 () =
+  section "E16" "Figures 3.5-3.7: directed edges disambiguate self-interfaces";
+  let tbl = Interface_table.create () in
+  Interface_table.declare tbl ~from:"A" ~into:"A" ~index:1
+    (Interface.make (Vec.make 10 3) Orient.east);
+  (match
+     Expand.both_readings tbl ~placed:Transform.identity ~from:"A" ~into:"A"
+       ~index:1
+   with
+  | Some (fwd, rev) ->
+    row "I'aa reading:      neighbour at %a" Transform.pp fwd;
+    row "(I'aa)^-1 reading: neighbour at %a" Transform.pp rev;
+    row "readings differ: %b -> undirected edges are ambiguous"
+      (not (Transform.equal fwd rev))
+  | None -> row "missing interface?!");
+  note "'the final layout depend[ed] on how the graph was traversed' until";
+  note "edges between same-celltype nodes were given a direction"
+
+(* ------------------------------------------------------------------ *)
+(* E5 (section 1.2.2): RSG minimal sample vs HPLA assembled sample.    *)
+
+let e5 () =
+  section "E5" "section 1.2.2: sample economics vs HPLA";
+  let c = Rsg_pla.Hpla.compare_samples () in
+  row "%-26s %12s %12s" "" "HPLA 2x2x2" "RSG minimal";
+  row "%-26s %12d %12d" "sample instances" c.Rsg_pla.Hpla.hpla_instances
+    c.Rsg_pla.Hpla.rsg_instances;
+  row "%-26s %12d %12d" "interface examples"
+    c.Rsg_pla.Hpla.hpla_declarations c.Rsg_pla.Hpla.rsg_declarations;
+  row "%-26s %12d %12d" "redundant examples" c.Rsg_pla.Hpla.hpla_duplicates
+    c.Rsg_pla.Hpla.rsg_duplicates;
+  row "identical generated PLA from either sample: %b"
+    (Rsg_pla.Hpla.generates_same_pla
+       (Rsg_pla.Truth_table.of_strings [ ("10", "10"); ("01", "01") ]));
+  note "HPLA's sample 'contained 2 (identical) instances of the and-sq";
+  note "connect-ao interface when only one was required'"
+
+(* ------------------------------------------------------------------ *)
+(* E6 (Figures 5.1/5.2): pipelining sweep, simulation-verified.        *)
+
+let e6 () =
+  section "E6" "Figure 5.2: degree of pipelining (m = n = 8, verified by simulation)";
+  row "%-14s %9s %8s %11s %8s %7s %9s" "pipelining" "registers" "latency"
+    "input-skew" "deskew" "depth" "verified";
+  let verify t =
+    List.for_all
+      (fun (a, b) -> Rsg_mult.Multiplier.multiply t a b = a * b)
+      [ (127, 127); (-128, -128); (127, -128); (-1, 1); (99, -55) ]
+  in
+  List.iter
+    (fun beta ->
+      let t = Rsg_mult.Multiplier.build ?beta ~m:8 ~n:8 () in
+      let s = Rsg_mult.Multiplier.stats t in
+      let name =
+        match beta with
+        | None -> "combinational"
+        | Some 1 -> "bit-systolic"
+        | Some b -> Printf.sprintf "beta=%d" b
+      in
+      row "%-14s %9d %8d %11d %8d %7d %9b" name s.Rsg_mult.Multiplier.registers
+        s.Rsg_mult.Multiplier.latency_cycles s.Rsg_mult.Multiplier.input_skew
+        s.Rsg_mult.Multiplier.output_deskew
+        s.Rsg_mult.Multiplier.max_comb_depth (verify t))
+    [ None; Some 4; Some 2; Some 1 ];
+  note "fig 5.2a: bit-systolic = 'at most one full adder combinational delay";
+  note "between any two registers'; fig 5.2b: at most two"
+
+(* ------------------------------------------------------------------ *)
+(* E7 (section 4.5): generation time and the three-phase split.        *)
+
+let e7 () =
+  section "E7" "section 4.5: generation time vs multiplier size";
+  row "%-8s %10s %10s %10s %10s %10s" "size" "sample(s)" "execute(s)"
+    "write(s)" "total(s)" "CIF bytes";
+  List.iter
+    (fun size ->
+      let phases, _ = Rsg_mult.Design_file.timed_generate ~xsize:size ~ysize:size in
+      let open Rsg_mult.Design_file in
+      let total = phases.t_read_sample +. phases.t_execute +. phases.t_write in
+      row "%-8s %10.4f %10.4f %10.4f %10.4f %10d"
+        (Printf.sprintf "%dx%d" size size)
+        phases.t_read_sample phases.t_execute phases.t_write total
+        phases.cif_bytes)
+    [ 4; 8; 16; 32 ];
+  note "'a 32x32 Baugh-Wooley multiplier is generated in 5 seconds on a";
+  note "DEC-2060'; execution time 'divided into roughly three equal parts'"
+
+(* ------------------------------------------------------------------ *)
+(* E8 (section 4.5): hash tables for interface/environment lookup.     *)
+
+let e8 () =
+  section "E8" "section 4.5: hash-table lookup vs association lists";
+  (* an interface table the size of the multiplier sample's *)
+  let tbl = Interface_table.create () in
+  let names = Array.init 24 (fun i -> Printf.sprintf "cell%d" i) in
+  Array.iteri
+    (fun i a ->
+      Interface_table.declare tbl ~from:a ~into:names.((i + 1) mod 24) ~index:1
+        (Interface.make (Vec.make i 0) Orient.north))
+    names;
+  let assoc =
+    Interface_table.fold
+      (fun ~from ~into ~index i acc -> ((from, into, index), i) :: acc)
+      tbl []
+  in
+  let open Bechamel in
+  let test =
+    Test.make_grouped ~name:"lookup"
+      [ Test.make ~name:"interface-hash"
+          (Staged.stage (fun () ->
+               for i = 0 to 23 do
+                 ignore
+                   (Interface_table.find tbl ~from:names.(i)
+                      ~into:names.((i + 1) mod 24) ~index:1)
+               done));
+        Test.make ~name:"interface-assoc"
+          (Staged.stage (fun () ->
+               for i = 0 to 23 do
+                 ignore
+                   (List.assoc_opt (names.(i), names.((i + 1) mod 24), 1) assoc)
+               done)) ]
+  in
+  row "%-32s %12s" "operation (24 lookups per run)" "ns/run";
+  List.iter (fun (name, ns) -> row "%-32s %12.1f" name ns) (ns_per_run test);
+  note "'the interface table, the cell definition table and even the";
+  note "interpreter environment frames are all implemented with hash tables'"
+
+(* ------------------------------------------------------------------ *)
+(* E17 (Appendices B/C): interpreted design file vs native generator.  *)
+
+let e17 () =
+  section "E17" "Appendix B/C: the design file reproduces the native generator";
+  List.iter
+    (fun size ->
+      let native = Rsg_mult.Layout_gen.generate ~xsize:size ~ysize:size () in
+      let _, interp = Rsg_mult.Design_file.generate ~xsize:size ~ysize:size () in
+      let sn = Flatten.stats native.Rsg_mult.Layout_gen.whole in
+      let si = Flatten.stats interp in
+      row "%dx%d: %d instances each, geometry identical: %b" size size
+        sn.Flatten.n_instances
+        (sn.Flatten.n_instances = si.Flatten.n_instances
+        && Cif.roundtrip_equal native.Rsg_mult.Layout_gen.whole interp))
+    [ 4; 8 ];
+  note "fig 5.4/5.5: the design file + sample layout define the multiplier"
+
+(* ------------------------------------------------------------------ *)
+(* E1 (Figure 1.2): generality vs efficiency.                          *)
+
+let e1 () =
+  section "E1" "Figure 1.2: canonical architecture vs RSG vs specialised generator";
+  row "%-8s %-22s %12s %10s %8s %14s" "size" "generator" "area" "area-ratio"
+    "cyc/mul" "silicon-time";
+  List.iter
+    (fun size ->
+      let c = Rsg_baseline.Canonical.generate ~m:size ~n:size in
+      let g = Rsg_mult.Layout_gen.generate ~xsize:size ~ysize:size () in
+      let s = Rsg_baseline.Specialized.generate ~xsize:size ~ysize:size in
+      let rsg_area =
+        match Cell.bbox g.Rsg_mult.Layout_gen.array_cell with
+        | Some b -> Box.area b
+        | None -> 0
+      in
+      let print name area cyc =
+        row "%-8s %-22s %12d %9.1fx %8d %14d"
+          (Printf.sprintf "%dx%d" size size)
+          name area
+          (float_of_int area /. float_of_int s.Rsg_baseline.Specialized.area)
+          cyc (area * cyc)
+      in
+      print "canonical (Macpitts)" c.Rsg_baseline.Canonical.area
+        c.Rsg_baseline.Canonical.cycles_per_multiply;
+      print "RSG array" rsg_area 1;
+      print "specialised" s.Rsg_baseline.Specialized.area 1)
+    [ 8; 16 ];
+  note "'Early versions of Macpitts required about 5 times the area than";
+  note "would be the case for layouts generated by hand' — and pay a";
+  note "further n+1 cycles per multiply in silicon-time"
+
+(* ------------------------------------------------------------------ *)
+(* E9 (Figures 6.1/6.2): pitch tradeoffs under different weights.      *)
+
+let e9 () =
+  section "E9" "Figures 6.1/6.2: pitch tradeoff under replication-weighted costs";
+  let cell () =
+    let c = Cell.create "tradeoff" in
+    Cell.add_box c Layer.Metal (Box.make ~xmin:8 ~ymin:6 ~xmax:12 ~ymax:8);
+    Cell.add_box c Layer.Metal (Box.make ~xmin:0 ~ymin:0 ~xmax:4 ~ymax:2);
+    c
+  in
+  row "%-22s %12s %12s" "cost weights (n, m)" "pitch 1" "pitch 2";
+  List.iter
+    (fun (w1, w2) ->
+      let specs =
+        [ { Rsg_compact.Leaf.p_index = 1; p_dx = 16; p_dy = 0; p_weight = w1 };
+          { Rsg_compact.Leaf.p_index = 2; p_dx = 14; p_dy = 6; p_weight = w2 } ]
+      in
+      let r = Rsg_compact.Leaf.compact Rsg_compact.Rules.default (cell ()) ~pitches:specs in
+      match r.Rsg_compact.Leaf.lp_pitches with
+      | Some ps ->
+        row "%-22s %12.1f %12.1f"
+          (Printf.sprintf "w1=%d w2=%d" w1 w2)
+          (List.assoc 1 ps) (List.assoc 2 ps)
+      | None -> row "w1=%d w2=%d: LP failed" w1 w2)
+    [ (1, 1); (1, 100); (100, 1); (10, 10) ];
+  note "'lambda_a can be minimized to a greater extent at the cost of";
+  note "increasing lambda_b and vice versa' — weights follow replication"
+
+(* ------------------------------------------------------------------ *)
+(* E10 (section 6.1): leaf-cell vs flat compaction cost.               *)
+
+let e10 () =
+  section "E10" "section 6.1: leaf-cell vs flat compaction cost";
+  let cell () =
+    let c = Cell.create "bit" in
+    Cell.add_box c Layer.Metal (Box.make ~xmin:0 ~ymin:0 ~xmax:40 ~ymax:4);
+    Cell.add_box c Layer.Metal (Box.make ~xmin:0 ~ymin:28 ~xmax:40 ~ymax:32);
+    Cell.add_box c Layer.Diffusion (Box.make ~xmin:6 ~ymin:8 ~xmax:16 ~ymax:24);
+    Cell.add_box c Layer.Poly (Box.make ~xmin:2 ~ymin:14 ~xmax:20 ~ymax:17);
+    Cell.add_box c Layer.Diffusion (Box.make ~xmin:26 ~ymin:8 ~xmax:34 ~ymax:24);
+    c
+  in
+  let spec = { Rsg_compact.Leaf.p_index = 1; p_dx = 44; p_dy = 0; p_weight = 100 } in
+  let leaf_time =
+    seconds (fun () ->
+        Rsg_compact.Leaf.compact ~use_simplex:false Rsg_compact.Rules.default
+          (cell ()) ~pitches:[ spec ])
+  in
+  let leaf =
+    Rsg_compact.Leaf.compact ~use_simplex:false Rsg_compact.Rules.default
+      (cell ()) ~pitches:[ spec ]
+  in
+  row "%-18s %14s %12s" "problem" "constraints" "seconds";
+  row "%-18s %14d %12.5f" "leaf cell (once)" leaf.Rsg_compact.Leaf.n_constraints
+    leaf_time;
+  let items = Rsg_compact.Scanline.items_of_cell (cell ()) in
+  List.iter
+    (fun n ->
+      let flat =
+        Array.concat
+          (List.init n (fun k ->
+               Array.map
+                 (fun (it : Rsg_compact.Scanline.item) ->
+                   { it with
+                     Rsg_compact.Scanline.box =
+                       Box.translate (Vec.make (44 * k) 0)
+                         it.Rsg_compact.Scanline.box })
+                 items))
+      in
+      let t =
+        seconds (fun () ->
+            Rsg_compact.Compactor.compact Rsg_compact.Rules.default flat)
+      in
+      let r = Rsg_compact.Compactor.compact Rsg_compact.Rules.default flat in
+      row "%-18s %14d %12.5f"
+        (Printf.sprintf "flat, %d copies" n)
+        r.Rsg_compact.Compactor.n_constraints t)
+    [ 4; 16; 64 ];
+  note "'the compaction effort is not duplicated over the various";
+  note "replication factors ... orders of magnitude improvements'"
+
+(* ------------------------------------------------------------------ *)
+(* E11 (section 6.4.2): Bellman-Ford edge ordering.                    *)
+
+let e11 () =
+  section "E11" "section 6.4.2: Bellman-Ford relaxation vs edge order";
+  let build n =
+    let g = Rsg_compact.Cgraph.create () in
+    let v =
+      Array.init n (fun i -> Rsg_compact.Cgraph.fresh_var g ~init:(10 * i) ())
+    in
+    Array.iter
+      (fun vi -> Rsg_compact.Cgraph.add_ge g ~from:Rsg_compact.Cgraph.origin ~to_:vi ~gap:0)
+      v;
+    for i = 0 to n - 2 do
+      Rsg_compact.Cgraph.add_ge g ~from:v.(i) ~to_:v.(i + 1) ~gap:4
+    done;
+    g
+  in
+  row "%-10s %-18s %8s %12s" "chain" "edge order" "passes" "relaxations";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (name, order) ->
+          let r = Rsg_compact.Bellman.solve ~order (build n) in
+          row "%-10d %-18s %8d %12d" n name r.Rsg_compact.Bellman.passes
+            r.Rsg_compact.Bellman.relaxations)
+        [ ("sorted", Rsg_compact.Bellman.Sorted_by_abscissa);
+          ("insertion", Rsg_compact.Bellman.Insertion);
+          ("reverse-sorted", Rsg_compact.Bellman.Reverse_sorted) ])
+    [ 50; 200 ];
+  note "'exactly one relaxation step is required instead of the |E| ...";
+  note "required in the worst case' when edges are traversed sorted"
+
+(* ------------------------------------------------------------------ *)
+(* E12 (Figure 6.8): jogs under leftmost packing vs slack spread.      *)
+
+let e12 () =
+  section "E12" "Figure 6.8: leftmost packing worsens jogs; slack spread repairs";
+  let wire () =
+    [| { Rsg_compact.Scanline.layer = Layer.Metal;
+         box = Box.make ~xmin:0 ~ymin:0 ~xmax:4 ~ymax:2 };
+       { Rsg_compact.Scanline.layer = Layer.Metal;
+         box = Box.make ~xmin:10 ~ymin:0 ~xmax:13 ~ymax:2 };
+       { Rsg_compact.Scanline.layer = Layer.Metal;
+         box = Box.make ~xmin:10 ~ymin:2 ~xmax:13 ~ymax:4 };
+       { Rsg_compact.Scanline.layer = Layer.Metal;
+         box = Box.make ~xmin:10 ~ymin:4 ~xmax:13 ~ymax:6 } |]
+  in
+  let packed = Rsg_compact.Compactor.compact Rsg_compact.Rules.default (wire ()) in
+  let eased =
+    Rsg_compact.Compactor.compact ~distribute_slack:true
+      Rsg_compact.Rules.default (wire ())
+  in
+  row "%-22s %8s %8s" "placement" "width" "jogs";
+  row "%-22s %8d %8d" "input" 13 (Rsg_compact.Compactor.jog_metric (wire ()));
+  row "%-22s %8d %8d" "leftmost (magnet)"
+    packed.Rsg_compact.Compactor.width_after
+    (Rsg_compact.Compactor.jog_metric packed.Rsg_compact.Compactor.items);
+  row "%-22s %8d %8d" "slack (rubber band)"
+    eased.Rsg_compact.Compactor.width_after
+    (Rsg_compact.Compactor.jog_metric eased.Rsg_compact.Compactor.items);
+  note "'although the algorithm minimizes the longest path it can actually";
+  note "increase the length of other paths' — the fig 6.8 jog"
+
+(* ------------------------------------------------------------------ *)
+(* E13 (Figure 6.9): contact expansion.                                *)
+
+let e13 () =
+  section "E13" "Figure 6.9: synthetic contact layer expanded to cuts";
+  row "%-14s %8s" "contact size" "cuts";
+  List.iter
+    (fun (w, h) ->
+      let cuts =
+        Rsg_compact.Expand_contact.cuts_for Rsg_compact.Rules.default
+          (Box.of_size ~origin:Vec.zero ~width:w ~height:h)
+      in
+      row "%-14s %8d" (Printf.sprintf "%dx%d" w h) (List.length cuts))
+    [ (4, 4); (8, 4); (12, 4); (8, 8); (12, 8); (16, 16) ];
+  note "'the contact layer is converted into actual lithographic mask";
+  note "layers which may contain one or several contact cuts'"
+
+(* ------------------------------------------------------------------ *)
+(* E14 (Figures 6.4-6.7): constraint generation quality.               *)
+
+let e14 () =
+  section "E14" "Figures 6.4-6.7: naive vs visibility constraint generation";
+  row "%-12s %16s %16s %14s %14s" "fragments" "naive width"
+    "visibility width" "naive cons" "vis cons";
+  List.iter
+    (fun n ->
+      let fragments =
+        Array.init n (fun i ->
+            { Rsg_compact.Scanline.layer = Layer.Diffusion;
+              box = Box.of_size ~origin:(Vec.make (4 * i) 0) ~width:4 ~height:3 })
+      in
+      let naive =
+        Rsg_compact.Compactor.compact ~method_:Rsg_compact.Scanline.Naive
+          Rsg_compact.Rules.default fragments
+      in
+      let vis = Rsg_compact.Compactor.compact Rsg_compact.Rules.default fragments in
+      row "%-12d %16d %16d %14d %14d" n
+        naive.Rsg_compact.Compactor.width_after
+        vis.Rsg_compact.Compactor.width_after
+        naive.Rsg_compact.Compactor.n_constraints
+        vis.Rsg_compact.Compactor.n_constraints)
+    [ 2; 4; 8; 16 ];
+  note "'indiscriminately generating constraints ... would force the x size";
+  note "of the final layout [to] be at least n*lambda' (fig 6.5)"
+
+(* ------------------------------------------------------------------ *)
+(* E18 (section 1.2.3): folded PLAs — the "more complex PLAs" claim.   *)
+
+let e18 () =
+  section "E18" "section 1.2.3: folded PLAs (columns shared by disjoint inputs)";
+  row "%-26s %8s %8s %10s %8s" "personality" "inputs" "slots" "width"
+    "verified";
+  let cases =
+    [ ("fully foldable (4 in)",
+       Rsg_pla.Truth_table.of_strings
+         [ ("10--", "10"); ("01--", "01"); ("--11", "11"); ("--01", "10") ]);
+      ("interleaved (2 in)",
+       Rsg_pla.Truth_table.of_strings
+         [ ("1-", "1"); ("-1", "1"); ("0-", "1"); ("-0", "1") ]);
+      ("unfoldable (3 in)",
+       Rsg_pla.Truth_table.of_strings [ ("111", "1"); ("000", "1") ]) ]
+  in
+  List.iter
+    (fun (name, tt) ->
+      let folded = Rsg_pla.Folding.generate tt in
+      let straight = Rsg_pla.Gen.generate tt in
+      let width c =
+        match (Flatten.stats c).Flatten.bbox with
+        | Some b -> Box.width b
+        | None -> 0
+      in
+      row "%-26s %8d %8d %5d->%-4d %8b" name tt.Rsg_pla.Truth_table.n_inputs
+        (Rsg_pla.Folding.n_slots folded.Rsg_pla.Folding.fold)
+        (width straight.Rsg_pla.Gen.cell)
+        (width folded.Rsg_pla.Folding.cell)
+        (Rsg_pla.Folding.verify folded))
+    cases;
+  note "the RSG 'can also generate more complex PLAs such as PLAs with";
+  note "folded rows or columns', beyond HPLA's fixed architecture"
+
+(* ------------------------------------------------------------------ *)
+(* E19 (reference [18]): retiming, the transformation behind Ch. 5.    *)
+
+let e19 () =
+  section "E19" "reference [18]: Leiserson-Saxe retiming (3-tap correlator)";
+  let g =
+    { Rsg_mult.Retime.n = 8;
+      delay = [| 0; 3; 3; 3; 3; 7; 7; 7 |];
+      edges =
+        [ (0, 1, 1); (1, 2, 1); (2, 3, 1); (3, 4, 1); (1, 5, 0); (2, 6, 0);
+          (3, 7, 0); (4, 7, 0); (7, 6, 0); (6, 5, 0); (5, 0, 0) ] }
+  in
+  let c0 = Rsg_mult.Retime.clock_period g in
+  let _c, r = Rsg_mult.Retime.min_period g in
+  let g' = Rsg_mult.Retime.apply g r in
+  row "%-28s %10s %12s" "" "period" "registers";
+  row "%-28s %10d %12d" "unretimed correlator" c0
+    (Rsg_mult.Retime.total_registers g);
+  row "%-28s %10d %12d" "optimally retimed" (Rsg_mult.Retime.clock_period g')
+    (Rsg_mult.Retime.total_registers g');
+  row "retiming lags: %s"
+    (String.concat " " (Array.to_list (Array.map string_of_int r)));
+  note "'Using retiming transformations [18], the multiplier can be";
+  note "pipelined to any degree' — canonical result: 24 -> 13"
+
+(* ------------------------------------------------------------------ *)
+(* E20 (introduction): the full regular-structure quartet.             *)
+
+let e20 () =
+  section "E20" "introduction: RAMs, ROMs, PLAs and multipliers, one framework";
+  row "%-22s %12s %10s %10s" "structure" "instances" "area" "verified";
+  let census cell verified =
+    let s = Flatten.stats cell in
+    let area = match s.Flatten.bbox with Some b -> Box.area b | None -> 0 in
+    row "%-22s %12d %10d %10b" cell.Cell.cname s.Flatten.n_instances area
+      verified
+  in
+  let mult = Rsg_mult.Layout_gen.generate ~xsize:4 ~ysize:4 () in
+  let mult_ok =
+    let t = Rsg_mult.Multiplier.build ~m:4 ~n:4 () in
+    Rsg_mult.Multiplier.multiply t 7 (-8) = -56
+  in
+  census mult.Rsg_mult.Layout_gen.whole mult_ok;
+  let pla =
+    Rsg_pla.Gen.generate
+      (Rsg_pla.Truth_table.of_strings [ ("10-", "10"); ("0-1", "01") ])
+  in
+  census pla.Rsg_pla.Gen.cell (Rsg_pla.Gen.verify pla);
+  let rom = Rsg_pla.Rom.generate ~word_bits:4 [| 1; 2; 4; 8; 3; 5; 9; 15 |] in
+  census rom.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell (Rsg_pla.Rom.verify rom);
+  let ram = Rsg_ram.Ram_gen.generate ~words:8 ~bits:4 () in
+  let ram_ok =
+    Rsg_ram.Ram_gen.docking_aligned ram
+    &&
+    let m = Rsg_ram.Ram_gen.Model.create ram in
+    Rsg_ram.Ram_gen.Model.write m ~addr:5 11;
+    Rsg_ram.Ram_gen.Model.read m ~addr:5 = 11
+  in
+  census ram.Rsg_ram.Ram_gen.cell ram_ok;
+  note "'Familiar examples of regular circuit structures are RAMs, ROMs,";
+  note "PLAs, and array multipliers' — all four from the same core"
+
+(* ------------------------------------------------------------------ *)
+(* E21 (section 6.1): technology transport of the multiplier cell.     *)
+
+let e21 () =
+  section "E21" "section 6.1: leaf-cell compaction makes the RSG transportable";
+  let sample, _ = Rsg_mult.Sample_lib.build () in
+  let basic =
+    Db.find_exn sample.Sample.db Rsg_mult.Sample_lib.basic_cell
+  in
+  let specs =
+    [ { Rsg_compact.Leaf.p_index = 1; p_dx = Rsg_mult.Sample_lib.cell_width;
+        p_dy = 0; p_weight = 100 } ]
+  in
+  row "%-18s %12s %12s %10s" "rules" "pitch" "strip legal" "array area";
+  let array_area pitch =
+    (* a 16-column, 17-row tiling at the given pitch *)
+    ((15 * pitch) + 48) * (17 * 64)
+  in
+  row "%-18s %12d %12s %10d" "as drawn" Rsg_mult.Sample_lib.cell_width "-"
+    (array_area Rsg_mult.Sample_lib.cell_width);
+  List.iter
+    (fun (name, rules) ->
+      let r = Rsg_compact.Leaf.compact rules basic ~pitches:specs in
+      let pitch = List.assoc 1 r.Rsg_compact.Leaf.pitches in
+      row "%-18s %12d %12b %10d" name pitch
+        (Rsg_compact.Leaf.verify rules r ~pitches:specs)
+        (array_area pitch))
+    [ ("same process", Rsg_compact.Rules.default);
+      ("tighter process", Rsg_compact.Rules.tight) ];
+  note "'The problem of making the RSG technology transportable ... could";
+  note "be achieved by using a special kind of compactor' — the pitch, not";
+  note "the cell extremity, is what a large array pays for (section 6.2)"
+
+let sections =
+  [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21) ]
+
+let () =
+  let wanted =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  Format.printf "RSG experiment harness — see DESIGN.md for the index@.";
+  List.iter
+    (fun id ->
+      match List.assoc_opt id sections with
+      | Some f -> f ()
+      | None -> Format.printf "unknown section %s@." id)
+    wanted;
+  Format.printf "@.done.@."

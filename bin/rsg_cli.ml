@@ -1,0 +1,343 @@
+(* The rsg command line: layout generation from design + parameter +
+   sample files (the Figure 1.1 flow), plus built-in generators and
+   layout utilities.
+
+     rsg generate -d mult.def -p mult.par -s sample.cif -o out.cif
+     rsg multiplier --size 8 -o mult.cif
+     rsg pla -t table.txt -o pla.cif
+     rsg decoder -n 4 -o dec.cif
+     rsg stats layout.cif
+     rsg compact layout.cif -o smaller.cif --slack
+*)
+
+open Cmdliner
+open Rsg_layout
+open Rsg_core
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A sample CIF holds leaf cells plus labelled assembly cells; every
+   symbol that contains both instances and labels is extracted. *)
+let sample_of_cif path =
+  let r = Cif.read_file path in
+  fst (Sample.of_db r.Cif.db)
+
+let write_layout out cell =
+  (* format by extension: .def gets the native text format, anything
+     else CIF *)
+  if Filename.check_suffix out ".def" then Def.write_file out cell
+  else Cif.write_file out cell;
+  Format.printf "wrote %s@." out
+
+let print_stats cell =
+  Format.printf "%a" Report.pp (Report.of_cell cell);
+  let s = Flatten.stats cell in
+  Format.printf "  flattened census:@.";
+  List.iter (fun (n, k) -> Format.printf "    %-14s %6d@." n k) s.Flatten.by_cell
+
+(* ---- generate ------------------------------------------------------ *)
+
+let generate design params sample_path out stats =
+  let sample = sample_of_cif sample_path in
+  let st = Rsg_lang.Interp.of_sample sample in
+  Rsg_lang.Interp.load_params st (Rsg_lang.Param.parse (read_file params));
+  (try ignore (Rsg_lang.Interp.run_string st (read_file design)) with
+  | Rsg_lang.Interp.Runtime_error msg ->
+    Format.eprintf "runtime error: %s@." msg;
+    exit 1
+  | Rsg_lang.Parser.Syntax_error msg ->
+    Format.eprintf "syntax error: %s@." msg;
+    exit 1);
+  match Rsg_lang.Interp.last_created st with
+  | None ->
+    Format.eprintf "design file created no cell@.";
+    exit 1
+  | Some cell ->
+    if stats then print_stats cell;
+    write_layout out cell
+
+let design_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "d"; "design" ] ~docv:"FILE" ~doc:"Design file (procedural).")
+
+let params_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "p"; "params" ] ~docv:"FILE" ~doc:"Parameter file.")
+
+let sample_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "s"; "sample" ] ~docv:"FILE"
+        ~doc:"Sample layout (CIF with labelled assemblies).")
+
+let out_arg default =
+  Arg.(value & opt string default & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CIF.")
+
+let stats_flag =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print layout statistics.")
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a layout from design/parameter/sample files")
+    Term.(
+      const generate $ design_arg $ params_arg $ sample_arg $ out_arg "out.cif"
+      $ stats_flag)
+
+(* ---- multiplier ---------------------------------------------------- *)
+
+let multiplier size out stats =
+  let g = Rsg_mult.Layout_gen.generate ~xsize:size ~ysize:size () in
+  if stats then print_stats g.Rsg_mult.Layout_gen.whole;
+  write_layout out g.Rsg_mult.Layout_gen.whole
+
+let size_arg =
+  Arg.(value & opt int 8 & info [ "size" ] ~docv:"N" ~doc:"Multiplier bits.")
+
+let multiplier_cmd =
+  Cmd.v
+    (Cmd.info "multiplier" ~doc:"Generate a pipelined array multiplier")
+    Term.(const multiplier $ size_arg $ out_arg "mult.cif" $ stats_flag)
+
+(* ---- pla ----------------------------------------------------------- *)
+
+let pla table out stats fold =
+  let rows =
+    read_file table |> String.split_on_char '\n'
+    |> List.filter_map (fun line ->
+           match String.split_on_char ' ' (String.trim line) with
+           | [ i; o ] when i <> "" -> Some (i, o)
+           | _ -> None)
+  in
+  match Rsg_pla.Truth_table.of_strings rows with
+  | exception Rsg_pla.Truth_table.Malformed msg ->
+    Format.eprintf "bad truth table: %s@." msg;
+    exit 1
+  | tt ->
+    let cell =
+      if fold then begin
+        let g = Rsg_pla.Folding.generate tt in
+        if not (Rsg_pla.Folding.verify g) then begin
+          Format.eprintf "internal error: folded extraction mismatch@.";
+          exit 1
+        end;
+        Format.printf "folded %d inputs into %d slots@."
+          tt.Rsg_pla.Truth_table.n_inputs
+          (Rsg_pla.Folding.n_slots g.Rsg_pla.Folding.fold);
+        g.Rsg_pla.Folding.cell
+      end
+      else begin
+        let g = Rsg_pla.Gen.generate tt in
+        if not (Rsg_pla.Gen.verify g) then begin
+          Format.eprintf "internal error: extraction mismatch@.";
+          exit 1
+        end;
+        g.Rsg_pla.Gen.cell
+      end
+    in
+    if stats then print_stats cell;
+    write_layout out cell
+
+let table_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "t"; "table" ] ~docv:"FILE"
+        ~doc:"Truth table: one 'inputs outputs' row per line (1/0/-).")
+
+let fold_flag =
+  Arg.(value & flag & info [ "fold" ] ~doc:"Fold disjoint input columns.")
+
+let pla_cmd =
+  Cmd.v
+    (Cmd.info "pla" ~doc:"Generate a PLA from a truth table")
+    Term.(const pla $ table_arg $ out_arg "pla.cif" $ stats_flag $ fold_flag)
+
+(* ---- rom ----------------------------------------------------------- *)
+
+let rom data_path word_bits out stats =
+  let words =
+    read_file data_path |> String.split_on_char '\n'
+    |> List.filter_map (fun line ->
+           let s = String.trim line in
+           if s = "" then None
+           else
+             match int_of_string_opt s with
+             | Some v -> Some v
+             | None ->
+               Format.eprintf "bad word %S@." s;
+               exit 1)
+    |> Array.of_list
+  in
+  match Rsg_pla.Rom.generate ~word_bits words with
+  | exception Invalid_argument msg ->
+    Format.eprintf "%s@." msg;
+    exit 1
+  | r ->
+    if not (Rsg_pla.Rom.verify r) then begin
+      Format.eprintf "internal error: ROM readback mismatch@.";
+      exit 1
+    end;
+    if stats then print_stats r.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell;
+    write_layout out r.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell
+
+let rom_cmd =
+  Cmd.v
+    (Cmd.info "rom" ~doc:"Generate a ROM from a list of words")
+    Term.(
+      const rom
+      $ Arg.(
+          required
+          & opt (some file) None
+          & info [ "data" ] ~docv:"FILE"
+              ~doc:"One integer word per line; power-of-two count.")
+      $ Arg.(value & opt int 8 & info [ "word-bits" ] ~docv:"N" ~doc:"Word width.")
+      $ out_arg "rom.cif" $ stats_flag)
+
+(* ---- decoder ------------------------------------------------------- *)
+
+let decoder n out stats =
+  let g = Rsg_pla.Gen.generate_decoder n in
+  if stats then print_stats g.Rsg_pla.Gen.cell;
+  write_layout out g.Rsg_pla.Gen.cell
+
+let n_arg =
+  Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Decoder input bits.")
+
+let decoder_cmd =
+  Cmd.v
+    (Cmd.info "decoder" ~doc:"Generate an n-to-2^n decoder")
+    Term.(const decoder $ n_arg $ out_arg "decoder.cif" $ stats_flag)
+
+(* ---- sim ----------------------------------------------------------- *)
+
+let sim size beta a b =
+  let t =
+    Rsg_mult.Multiplier.build
+      ?beta:(if beta = 0 then None else Some beta)
+      ~m:size ~n:size ()
+  in
+  match Rsg_mult.Multiplier.multiply t a b with
+  | exception Invalid_argument msg ->
+    Format.eprintf "%s@." msg;
+    exit 1
+  | p ->
+    let s = Rsg_mult.Multiplier.stats t in
+    Format.printf "%d * %d = %d@." a b p;
+    Format.printf
+      "(%dx%d %s multiplier: %d adder cells, %d registers, latency %d)@."
+      size size
+      (if beta = 0 then "combinational" else Printf.sprintf "beta=%d" beta)
+      s.Rsg_mult.Multiplier.adder_cells s.Rsg_mult.Multiplier.registers
+      s.Rsg_mult.Multiplier.latency_cycles;
+    if p <> a * b then begin
+      Format.eprintf "MISMATCH: expected %d@." (a * b);
+      exit 1
+    end
+
+let sim_cmd =
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Multiply through the cycle-accurate array model")
+    Term.(
+      const sim $ size_arg
+      $ Arg.(
+          value & opt int 0
+          & info [ "beta" ] ~docv:"B"
+              ~doc:"Pipelining degree (0 = combinational).")
+      $ Arg.(required & pos 0 (some int) None & info [] ~docv:"A")
+      $ Arg.(required & pos 1 (some int) None & info [] ~docv:"B"))
+
+(* ---- stats --------------------------------------------------------- *)
+
+let top_cell_of_cif path =
+  let r = Cif.read_file path in
+  (* the top is either the explicit top-level call or the symbol no
+     other symbol instantiates *)
+  match r.Cif.top with
+  | Some top -> (
+    match Cell.instances top with
+    | [ i ] -> i.Cell.def
+    | _ -> top)
+  | None -> (
+    let called = Hashtbl.create 16 in
+    List.iter
+      (fun c ->
+        List.iter
+          (fun (i : Cell.instance) ->
+            Hashtbl.replace called i.Cell.def.Cell.cname ())
+          (Cell.instances c))
+      (Db.cells r.Cif.db);
+    match
+      List.filter (fun c -> not (Hashtbl.mem called c.Cell.cname)) (Db.cells r.Cif.db)
+    with
+    | [ c ] -> c
+    | _ -> failwith "cannot determine the top cell")
+
+let stats_cmd =
+  let run path = print_stats (top_cell_of_cif path) in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print statistics for a CIF layout")
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"))
+
+(* ---- masks --------------------------------------------------------- *)
+
+let masks path out =
+  let cell = top_cell_of_cif path in
+  let expanded =
+    Rsg_compact.Expand_contact.expand_cell Rsg_compact.Rules.default cell
+  in
+  Format.printf "expanded synthetic contacts: %d boxes -> %d boxes@."
+    (Flatten.stats cell).Flatten.n_boxes
+    (List.length (Cell.boxes expanded));
+  write_layout out expanded
+
+let masks_cmd =
+  Cmd.v
+    (Cmd.info "masks"
+       ~doc:"Expand synthetic contact layers to lithographic masks")
+    Term.(
+      const masks
+      $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+      $ out_arg "masks.cif")
+
+(* ---- compact ------------------------------------------------------- *)
+
+let compact path out slack =
+  let cell = top_cell_of_cif path in
+  let compacted, r =
+    Rsg_compact.Compactor.compact_cell ~distribute_slack:slack
+      Rsg_compact.Rules.default cell
+  in
+  Format.printf "width %d -> %d (%d constraints, %d passes)@."
+    r.Rsg_compact.Compactor.width_before r.Rsg_compact.Compactor.width_after
+    r.Rsg_compact.Compactor.n_constraints r.Rsg_compact.Compactor.passes;
+  write_layout out compacted
+
+let slack_flag =
+  Arg.(value & flag & info [ "slack" ] ~doc:"Distribute slack after packing.")
+
+let compact_cmd =
+  Cmd.v
+    (Cmd.info "compact" ~doc:"One-dimensional compaction of a CIF layout")
+    Term.(
+      const compact
+      $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+      $ out_arg "compacted.cif" $ slack_flag)
+
+let () =
+  let info = Cmd.info "rsg" ~version:"1.0" ~doc:"Regular Structure Generator" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; multiplier_cmd; pla_cmd; rom_cmd; decoder_cmd;
+            sim_cmd; stats_cmd; compact_cmd; masks_cmd ]))

@@ -1,0 +1,92 @@
+(* Leaf-cell compaction and technology transport (Chapter 6).
+
+   Compacts a small library cell *in context* — the unknowns include
+   the cell-to-cell pitches, so every instance of the cell stays
+   identical — first under the design rules it was drawn for and then
+   into a tighter target technology.  Also shows the flat-compaction
+   facilities: naive vs visibility constraints, leftmost packing vs
+   slack distribution, and synthetic contact expansion.
+
+   Run with: dune exec examples/compaction.exe *)
+
+open Rsg_geom
+open Rsg_layout
+open Rsg_compact
+
+let draw_cell () =
+  let c = Cell.create "bitcell" in
+  let box x y w h = Box.of_size ~origin:(Vec.make x y) ~width:w ~height:h in
+  (* deliberately loose: a register bit drawn with slack everywhere *)
+  Cell.add_box c Layer.Metal (box 0 0 40 4);
+  Cell.add_box c Layer.Metal (box 0 28 40 4);
+  Cell.add_box c Layer.Diffusion (box 6 8 10 16);
+  Cell.add_box c Layer.Poly (box 2 14 18 3);
+  Cell.add_box c Layer.Diffusion (box 26 8 8 16);
+  Cell.add_box c Layer.Poly (box 24 20 14 3);
+  Cell.add_box c Layer.Contact (box 8 9 4 4);
+  c
+
+let () =
+  let cell = draw_cell () in
+  Format.printf "=== leaf-cell compaction ===@.";
+  let spec = { Leaf.p_index = 1; p_dx = 44; p_dy = 0; p_weight = 100 } in
+  let r = Leaf.compact Rules.default cell ~pitches:[ spec ] in
+  Format.printf "  pitch:      %d -> %d lambda@."
+    (List.assoc 1 r.Leaf.pitch_before)
+    (List.assoc 1 r.Leaf.pitches);
+  Format.printf "  cell width: %d -> %d lambda@." r.Leaf.width_before
+    r.Leaf.width_after;
+  Format.printf "  %d constraints, %d descent iterations@."
+    r.Leaf.n_constraints r.Leaf.iterations;
+  (match r.Leaf.lp_pitches with
+  | Some [ (1, lp) ] -> Format.printf "  simplex cross-check: pitch %.1f@." lp
+  | _ -> ());
+  Format.printf "  3-instance strip legal: %b@."
+    (Leaf.verify Rules.default r ~pitches:[ spec ]);
+
+  (* --- technology transport --------------------------------------- *)
+  Format.printf "@.=== transport to the tighter process ===@.";
+  let r' = Leaf.compact Rules.tight cell ~pitches:[ spec ] in
+  Format.printf "  pitch under tight rules: %d lambda (was %d)@."
+    (List.assoc 1 r'.Leaf.pitches)
+    (List.assoc 1 r.Leaf.pitches);
+  Format.printf "  strip legal under tight rules: %b@."
+    (Leaf.verify Rules.tight r' ~pitches:[ spec ]);
+
+  (* --- flat compaction: constraint generation --------------------- *)
+  Format.printf "@.=== naive vs visibility constraints (fig 6.5) ===@.";
+  let fragments =
+    Array.init 6 (fun i ->
+        { Scanline.layer = Layer.Diffusion;
+          box = Box.of_size ~origin:(Vec.make (4 * i) 0) ~width:4 ~height:3 })
+  in
+  let naive = Compactor.compact ~method_:Scanline.Naive Rules.default fragments in
+  let vis = Compactor.compact Rules.default fragments in
+  Format.printf "  6-fragment bus, width 24: naive -> %d, visibility -> %d@."
+    naive.Compactor.width_after vis.Compactor.width_after;
+
+  (* --- slack distribution ----------------------------------------- *)
+  Format.printf "@.=== leftmost packing vs slack distribution (fig 6.8) ===@.";
+  let wire =
+    [| { Scanline.layer = Layer.Metal; box = Box.make ~xmin:0 ~ymin:0 ~xmax:4 ~ymax:2 };
+       { Scanline.layer = Layer.Metal; box = Box.make ~xmin:10 ~ymin:0 ~xmax:13 ~ymax:2 };
+       { Scanline.layer = Layer.Metal; box = Box.make ~xmin:10 ~ymin:2 ~xmax:13 ~ymax:4 };
+       { Scanline.layer = Layer.Metal; box = Box.make ~xmin:10 ~ymin:4 ~xmax:13 ~ymax:6 } |]
+  in
+  let packed = Compactor.compact Rules.default wire in
+  let eased = Compactor.compact ~distribute_slack:true Rules.default wire in
+  Format.printf "  jogs: input %d, leftmost %d, slack-distributed %d@."
+    (Compactor.jog_metric wire)
+    (Compactor.jog_metric packed.Compactor.items)
+    (Compactor.jog_metric eased.Compactor.items);
+
+  (* --- contact expansion ------------------------------------------ *)
+  Format.printf "@.=== synthetic contact expansion (fig 6.9) ===@.";
+  List.iter
+    (fun w ->
+      let cuts =
+        Expand_contact.cuts_for Rules.default
+          (Box.of_size ~origin:Vec.zero ~width:w ~height:4)
+      in
+      Format.printf "  %2dx4 contact -> %d cuts@." w (List.length cuts))
+    [ 4; 8; 12; 16 ]

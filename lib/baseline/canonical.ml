@@ -1,0 +1,83 @@
+open Rsg_geom
+open Rsg_layout
+open Rsg_core
+
+type t = {
+  datapath : Cell.t;
+  control : Cell.t;
+  slices : int;
+  area : int;
+  cycles_per_multiply : int;
+}
+
+let slice_width = 60
+
+let slice_height = 180
+
+let box x y w h = Box.of_size ~origin:(Vec.make x y) ~width:w ~height:h
+
+(* A general-purpose datapath slice: register, ALU bit, shifter tap
+   and three bus tracks — present whether the function needs them or
+   not, which is exactly the canonical architecture's overhead. *)
+let make_slice () =
+  let c = Cell.create "dp-slice" in
+  (* bus tracks *)
+  Cell.add_box c Layer.Metal (box 0 0 slice_width 6);
+  Cell.add_box c Layer.Metal (box 0 60 slice_width 6);
+  Cell.add_box c Layer.Metal (box 0 120 slice_width 6);
+  Cell.add_box c Layer.Metal (box 0 (slice_height - 6) slice_width 6);
+  (* register *)
+  Cell.add_box c Layer.Diffusion (box 6 10 20 40);
+  Cell.add_box c Layer.Poly (box 4 24 24 4);
+  Cell.add_box c Layer.Contact (box 10 14 4 4);
+  (* ALU bit *)
+  Cell.add_box c Layer.Diffusion (box 32 10 22 44);
+  Cell.add_box c Layer.Poly (box 30 20 26 4);
+  Cell.add_box c Layer.Poly (box 30 36 26 4);
+  (* shifter *)
+  Cell.add_box c Layer.Diffusion (box 6 70 48 40);
+  Cell.add_box c Layer.Poly (box 4 84 52 4);
+  (* routing column *)
+  Cell.add_box c Layer.Metal (box 26 6 4 (slice_height - 12));
+  Cell.add_box c Layer.Poly (box 44 126 4 44);
+  c
+
+(* Each word of the computation needs a slice column; the canonical
+   datapath allocates full (m+n)-bit words for the accumulator, the
+   multiplicand and the multiplier. *)
+let n_slices ~m ~n = 3 * (m + n)
+
+let generate ~m ~n =
+  let sample = Sample.create () in
+  let slice = make_slice () in
+  (* slice-to-slice interface declared by example *)
+  let asm = Cell.create "dp-asm" in
+  let i1 = Cell.add_instance asm ~at:Vec.zero slice in
+  let i2 = Cell.add_instance asm ~at:(Vec.make slice_width 0) slice in
+  ignore (Sample.declare_by_example sample ~index:1 i1 i2);
+  let k = n_slices ~m ~n in
+  let nodes = Array.init k (fun _ -> Graph.mk_instance slice) in
+  for i = 1 to k - 1 do
+    Graph.connect nodes.(i - 1) nodes.(i) 1
+  done;
+  let datapath =
+    Expand.mk_cell ~db:sample.Sample.db sample.Sample.table "datapath"
+      nodes.(0)
+  in
+  (* Macpitts used "a control path implemented with a Weinberger
+     array": compile the shift-add controller to NOR gates and lay it
+     out as one. *)
+  let control_tt = Shift_add.control_table ~n in
+  let control_prog, _ = Rsg_pla.Weinberger.of_truth_table control_tt in
+  let control =
+    (Rsg_pla.Weinberger.generate ~name:"control" control_prog)
+      .Rsg_pla.Weinberger.cell
+  in
+  let area_of c =
+    match Cell.bbox c with Some b -> Box.area b | None -> 0
+  in
+  { datapath;
+    control;
+    slices = k;
+    area = area_of datapath + area_of control;
+    cycles_per_multiply = Shift_add.cycles_per_multiply ~n }

@@ -1,0 +1,86 @@
+open Rsg_pla
+
+type trace = { product : int; cycles : int }
+
+let state_bits n =
+  let rec go w = if 1 lsl w > n then w else go (w + 1) in
+  go 1
+
+(* Controller personality.  Inputs: state bits (LSB first), then the
+   multiplier LSB.  Outputs: add, sub, shift, done, next-state bits. *)
+let control_table ~n =
+  if n < 2 then invalid_arg "Shift_add.control_table";
+  let w = state_bits n in
+  let lit v bit = if v land (1 lsl bit) <> 0 then Truth_table.T else Truth_table.F in
+  let term ~state ~lsb ~add ~sub ~shift ~done_ ~next =
+    { Truth_table.lits =
+        Array.init (w + 1) (fun i ->
+            if i < w then lit state i
+            else
+              match lsb with
+              | Some true -> Truth_table.T
+              | Some false -> Truth_table.F
+              | None -> Truth_table.X);
+      outs =
+        Array.init (w + 4) (fun i ->
+            match i with
+            | 0 -> add
+            | 1 -> sub
+            | 2 -> shift
+            | 3 -> done_
+            | _ -> next land (1 lsl (i - 4)) <> 0) }
+  in
+  let steps =
+    List.concat_map
+      (fun s ->
+        let last = s = n - 1 in
+        [ term ~state:s ~lsb:(Some true) ~add:(not last) ~sub:last
+            ~shift:true ~done_:false ~next:(s + 1);
+          term ~state:s ~lsb:(Some false) ~add:false ~sub:false ~shift:true
+            ~done_:false ~next:(s + 1) ])
+      (List.init n Fun.id)
+  in
+  let final =
+    term ~state:n ~lsb:None ~add:false ~sub:false ~shift:false ~done_:true
+      ~next:n
+  in
+  Truth_table.make ~n_inputs:(w + 1) ~n_outputs:(w + 4) (steps @ [ final ])
+
+let cycles_per_multiply ~n = n + 1
+
+let multiply ~m ~n a b =
+  if not (Rsg_mult.Multiplier.in_range ~width:m a) then
+    invalid_arg "Shift_add.multiply: a";
+  if not (Rsg_mult.Multiplier.in_range ~width:n b) then
+    invalid_arg "Shift_add.multiply: b";
+  let tt = control_table ~n in
+  let w = state_bits n in
+  let mask = (1 lsl (m + n)) - 1 in
+  let acc = ref 0 in
+  let breg = ref (b land ((1 lsl n) - 1)) in
+  let state = ref 0 in
+  let cycles = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    incr cycles;
+    if !cycles > 4 * n then failwith "Shift_add: controller ran away";
+    let inputs = !state lor (if !breg land 1 = 1 then 1 lsl w else 0) in
+    let outs = Truth_table.eval_int tt inputs in
+    let add = outs land 1 <> 0
+    and sub = outs land 2 <> 0
+    and shift = outs land 4 <> 0
+    and done_ = outs land 8 <> 0 in
+    let next = outs lsr 4 in
+    if done_ then finished := true
+    else begin
+      if add then acc := (!acc + (a lsl !state)) land mask;
+      if sub then acc := (!acc - (a lsl !state)) land mask;
+      if shift then breg := !breg lsr 1;
+      state := next
+    end
+  done;
+  let v = !acc in
+  let product =
+    if v land (1 lsl (m + n - 1)) <> 0 then v - (1 lsl (m + n)) else v
+  in
+  { product; cycles = !cycles }

@@ -1,0 +1,26 @@
+(** Shift-add multiplication on a canonical datapath.
+
+    The sequential multiply a Macpitts-style compiler maps onto its
+    register/adder/shifter datapath: one partial-product add per
+    multiplier bit, sequenced by a control PLA.  The control is a real
+    {!Rsg_pla.Truth_table} (state counter + multiplier LSB in,
+    add/shift/done + next state out), so the baseline's controller is
+    generated and verified by the same machinery as everything else. *)
+
+type trace = {
+  product : int;   (** signed (m+n)-bit result *)
+  cycles : int;    (** control steps consumed *)
+}
+
+val control_table : n:int -> Rsg_pla.Truth_table.t
+(** The controller personality for an n-step multiply.  Inputs:
+    state bits (LSB first) then the multiplier LSB; outputs:
+    [add]; [shift]; [done]; next-state bits. *)
+
+val multiply : m:int -> n:int -> int -> int -> trace
+(** Run the datapath under {!control_table} until [done].  Two's
+    complement, m-bit by n-bit.  Raises [Invalid_argument] out of
+    range. *)
+
+val cycles_per_multiply : n:int -> int
+(** [n + 1] — n shift/add steps plus the done state. *)

@@ -1,0 +1,101 @@
+open Rsg_geom
+open Rsg_layout
+open Rsg_core
+
+type t = { cell : Cell.t; area : int; cell_width : int; cell_height : int }
+
+let cell_width = 42
+
+let cell_height = 56
+
+let box x y w h = Box.of_size ~origin:(Vec.make x y) ~width:w ~height:h
+
+(* One fused cell per personality: the adder core plus the type and
+   clock geometry baked in. *)
+let make_variant name ~type2 ~phi2 =
+  let c = Cell.create name in
+  Cell.add_box c Layer.Metal (box 0 0 cell_width 3);
+  Cell.add_box c Layer.Metal (box 0 (cell_height - 3) cell_width 3);
+  Cell.add_box c Layer.Diffusion (box 4 6 30 20);
+  Cell.add_box c Layer.Poly (box 2 12 36 3);
+  Cell.add_box c Layer.Poly (box 2 20 36 3);
+  Cell.add_box c Layer.Metal (box 18 3 3 (cell_height - 6));
+  Cell.add_box c Layer.Diffusion (box 6 32 30 14);
+  if type2 then Cell.add_box c Layer.Buried (box 6 26 8 8)
+  else Cell.add_box c Layer.Implant (box 6 26 8 8);
+  if phi2 then Cell.add_box c Layer.Poly (box 28 48 8 4)
+  else Cell.add_box c Layer.Metal (box 28 48 8 4);
+  c
+
+let variant_name ~type2 ~phi2 =
+  Printf.sprintf "mul-%s-%s"
+    (if type2 then "t2" else "t1")
+    (if phi2 then "p2" else "p1")
+
+let generate ~xsize ~ysize =
+  if xsize < 2 || ysize < 2 then invalid_arg "Specialized.generate";
+  let sample = Sample.create () in
+  let variants =
+    List.concat_map
+      (fun type2 ->
+        List.map
+          (fun phi2 ->
+            ((type2, phi2), make_variant (variant_name ~type2 ~phi2) ~type2 ~phi2))
+          [ false; true ])
+      [ false; true ]
+  in
+  let cell_for type2 phi2 = List.assoc (type2, phi2) variants in
+  (* Interfaces: every ordered variant pair abuts on the same pitch.
+     "b to the right of a" and "a to the right of b" are different
+     interfaces, so the reversed orientation gets its own index
+     (3 horizontal, 4 vertical) to avoid clashing with the bilateral
+     image of the forward one. *)
+  let h_idx a b = if String.compare a.Cell.cname b.Cell.cname <= 0 then 1 else 3 in
+  let v_idx a b = if String.compare a.Cell.cname b.Cell.cname <= 0 then 2 else 4 in
+  List.iter
+    (fun (_, a) ->
+      List.iter
+        (fun (_, b) ->
+          let asm = Cell.create (Db.fresh_name sample.Sample.db "sp-asm") in
+          let ia = Cell.add_instance asm ~at:Vec.zero a in
+          let ib = Cell.add_instance asm ~at:(Vec.make cell_width 0) b in
+          ignore (Sample.declare_by_example sample ~index:(h_idx a b) ia ib);
+          let asm2 = Cell.create (Db.fresh_name sample.Sample.db "sp-asm") in
+          let ia2 = Cell.add_instance asm2 ~at:Vec.zero a in
+          let ib2 = Cell.add_instance asm2 ~at:(Vec.make 0 cell_height) b in
+          ignore (Sample.declare_by_example sample ~index:(v_idx a b) ia2 ib2))
+        variants)
+    variants;
+  let grid = Array.make_matrix (xsize + 1) (ysize + 2) None in
+  for yloc = 1 to ysize + 1 do
+    for xloc = 1 to xsize do
+      let type2 =
+        yloc <> ysize + 1 && (xloc = xsize) <> (yloc = ysize)
+      in
+      let phi2 = xloc mod 2 <> 0 in
+      grid.(xloc).(yloc) <- Some (Graph.mk_instance (cell_for type2 phi2))
+    done
+  done;
+  let at x y = Option.get grid.(x).(y) in
+  let h_of u v = h_idx u.Graph.def v.Graph.def
+  and v_of u v = v_idx u.Graph.def v.Graph.def in
+  for yloc = 2 to ysize + 1 do
+    let u = at 1 (yloc - 1) and v = at 1 yloc in
+    Graph.connect u v (v_of u v)
+  done;
+  for yloc = 1 to ysize + 1 do
+    for xloc = 2 to xsize do
+      let u = at (xloc - 1) yloc and v = at xloc yloc in
+      Graph.connect u v (h_of u v)
+    done
+  done;
+  let cell =
+    Expand.mk_cell ~db:sample.Sample.db sample.Sample.table "specialized-mult"
+      (at 1 1)
+  in
+  let area = match Cell.bbox cell with Some b -> Box.area b | None -> 0 in
+  { cell; area; cell_width; cell_height }
+
+let variants ~xsize ~ysize =
+  let t = generate ~xsize ~ysize in
+  (Flatten.stats t.cell).Flatten.by_cell

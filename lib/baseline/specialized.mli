@@ -1,0 +1,31 @@
+(** A specialised multiplier module generator (Figure 1.2's right
+    column).
+
+    Like the dedicated multiplier generators the thesis cites, it
+    implements exactly one architecture (the same Baugh-Wooley array)
+    with pre-personalised, hand-tightened cells: instead of a basic
+    cell plus overlay masks, there is one fused cell per personality
+    (type x clock), drawn on a tighter pitch.  More efficient on its
+    single function; zero generality. *)
+
+open Rsg_layout
+
+type t = {
+  cell : Cell.t;
+  area : int;       (** bounding-box area *)
+  cell_width : int;
+  cell_height : int;
+}
+
+val cell_width : int
+(** the specialised (tight) horizontal pitch *)
+
+val cell_height : int
+
+val generate : xsize:int -> ysize:int -> t
+(** The same (xsize)-by-(ysize+1) array as {!Rsg_mult.Layout_gen},
+    with fused cells on the specialised pitch. *)
+
+val variants : xsize:int -> ysize:int -> (string * int) list
+(** Fused-cell census of the generated array (type1/type2 x
+    phi1/phi2), sorted. *)

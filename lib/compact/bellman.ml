@@ -1,0 +1,50 @@
+type order = Insertion | Sorted_by_abscissa | Reverse_sorted
+
+type result = { values : int array; passes : int; relaxations : int }
+
+exception Infeasible
+
+exception Unbounded of int
+
+let solve ?(order = Sorted_by_abscissa) g =
+  let n = Cgraph.n_vars g in
+  let edges = Array.of_list (Cgraph.constraints g) in
+  (match order with
+  | Insertion -> ()
+  | Sorted_by_abscissa ->
+    Array.sort
+      (fun (a : Cgraph.constr) b ->
+        Int.compare
+          (Cgraph.init_value g a.Cgraph.c_from)
+          (Cgraph.init_value g b.Cgraph.c_from))
+      edges
+  | Reverse_sorted ->
+    Array.sort
+      (fun (a : Cgraph.constr) b ->
+        Int.compare
+          (Cgraph.init_value g b.Cgraph.c_from)
+          (Cgraph.init_value g a.Cgraph.c_from))
+      edges);
+  let x = Array.make n min_int in
+  x.(Cgraph.origin) <- 0;
+  let passes = ref 0 and relaxations = ref 0 in
+  let changed = ref true in
+  while !changed do
+    if !passes > n + 1 then raise Infeasible;
+    changed := false;
+    incr passes;
+    Array.iter
+      (fun (c : Cgraph.constr) ->
+        let xf = x.(c.Cgraph.c_from) in
+        if xf > min_int then begin
+          let bound = xf + c.Cgraph.c_gap in
+          if bound > x.(c.Cgraph.c_to) then begin
+            x.(c.Cgraph.c_to) <- bound;
+            incr relaxations;
+            changed := true
+          end
+        end)
+      edges
+  done;
+  Array.iteri (fun v xv -> if xv = min_int then raise (Unbounded v)) x;
+  { values = x; passes = !passes; relaxations = !relaxations }

@@ -1,0 +1,34 @@
+(** Bellman-Ford longest-path solver for difference constraints
+    (section 6.4.2).
+
+    Computes the least solution of [x_to - x_from >= gap] with
+    [x_origin = 0]: every variable is pushed as far left as the
+    constraints allow ("all the objects pushed as much to the left as
+    they can go").
+
+    The thesis notes that traversing edges sorted by their initial
+    abscissa makes the initial ordering a good estimate of the final
+    one, often reducing the relaxation to a single pass (plus one to
+    detect quiescence) instead of the worst-case [|V|]; the [order]
+    parameter reproduces that experiment. *)
+
+type order =
+  | Insertion          (** as the generator emitted them *)
+  | Sorted_by_abscissa (** by the source variable's initial position *)
+  | Reverse_sorted     (** adversarial ordering *)
+
+type result = {
+  values : int array;
+  passes : int;       (** sweeps over the edge list, incl. the final
+                          no-change sweep *)
+  relaxations : int;  (** total value updates *)
+}
+
+exception Infeasible
+(** A positive cycle: the constraints admit no solution. *)
+
+exception Unbounded of int
+(** A variable with no lower bound (not reachable from the origin);
+    carries the variable. *)
+
+val solve : ?order:order -> Cgraph.t -> result

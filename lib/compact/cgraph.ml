@@ -1,0 +1,63 @@
+type constr = { c_from : int; c_to : int; c_gap : int }
+
+type t = {
+  mutable inits : int array;
+  mutable names : string array;
+  mutable nv : int;
+  mutable cs : constr list;  (* reverse order *)
+  mutable nc : int;
+}
+
+let origin = 0
+
+let create () =
+  { inits = Array.make 16 0;
+    names = Array.make 16 "origin";
+    nv = 1;
+    cs = [];
+    nc = 0 }
+
+let fresh_var t ?(name = "") ~init () =
+  if t.nv = Array.length t.inits then begin
+    let inits = Array.make (2 * t.nv) 0
+    and names = Array.make (2 * t.nv) "" in
+    Array.blit t.inits 0 inits 0 t.nv;
+    Array.blit t.names 0 names 0 t.nv;
+    t.inits <- inits;
+    t.names <- names
+  end;
+  let v = t.nv in
+  t.inits.(v) <- init;
+  t.names.(v) <- (if name = "" then Printf.sprintf "v%d" v else name);
+  t.nv <- t.nv + 1;
+  v
+
+let n_vars t = t.nv
+
+let init_value t v = t.inits.(v)
+
+let name t v = t.names.(v)
+
+let check_var t v =
+  if v < 0 || v >= t.nv then invalid_arg "Cgraph: unknown variable"
+
+let add_ge t ~from ~to_ ~gap =
+  check_var t from;
+  check_var t to_;
+  t.cs <- { c_from = from; c_to = to_; c_gap = gap } :: t.cs;
+  t.nc <- t.nc + 1
+
+let add_eq t ~from ~to_ ~gap =
+  add_ge t ~from ~to_ ~gap;
+  add_ge t ~from:to_ ~to_:from ~gap:(-gap)
+
+let constraints t = List.rev t.cs
+
+let n_constraints t = t.nc
+
+let satisfied t values =
+  Array.length values = t.nv
+  && values.(origin) = 0
+  && List.for_all
+       (fun c -> values.(c.c_to) - values.(c.c_from) >= c.c_gap)
+       t.cs

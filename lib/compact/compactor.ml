@@ -1,0 +1,119 @@
+open Rsg_geom
+
+type result = {
+  items : Scanline.item array;
+  width_before : int;
+  width_after : int;
+  n_constraints : int;
+  passes : int;
+  relaxations : int;
+}
+
+(* Greatest solution with x <= width: substitute y = width - x, which
+   reverses every constraint, solve leftmost for y, map back.  The
+   original origin (x = 0) maps to an anchor pinned at y = width. *)
+let rightmost g ~width =
+  let rev = Cgraph.create () in
+  let n = Cgraph.n_vars g in
+  let map = Array.make n Cgraph.origin in
+  map.(Cgraph.origin) <- Cgraph.fresh_var rev ~name:"anchor" ~init:width ();
+  Cgraph.add_eq rev ~from:Cgraph.origin ~to_:map.(Cgraph.origin) ~gap:width;
+  for v = 1 to n - 1 do
+    map.(v) <- Cgraph.fresh_var rev ~init:(width - Cgraph.init_value g v) ()
+  done;
+  List.iter
+    (fun (c : Cgraph.constr) ->
+      (* x_to - x_from >= gap  =>  y_from - y_to >= gap *)
+      Cgraph.add_ge rev ~from:map.(c.Cgraph.c_to) ~to_:map.(c.Cgraph.c_from)
+        ~gap:c.Cgraph.c_gap)
+    (Cgraph.constraints g);
+  (* x <= width  =>  y >= 0 *)
+  for v = 1 to n - 1 do
+    Cgraph.add_ge rev ~from:Cgraph.origin ~to_:map.(v) ~gap:0
+  done;
+  let r = Bellman.solve rev in
+  Array.init n (fun v ->
+      if v = Cgraph.origin then 0 else width - r.Bellman.values.(map.(v)))
+
+let compact ?(method_ = Scanline.Visibility) ?(distribute_slack = false)
+    ?(order = Bellman.Sorted_by_abscissa) ?stretchable rules items =
+  let gen = Scanline.generate ?stretchable rules method_ items in
+  let sol = Bellman.solve ~order gen.Scanline.graph in
+  let values = sol.Bellman.values in
+  let values =
+    if not distribute_slack then values
+    else begin
+      let w = Array.fold_left max 0 values in
+      let hi = rightmost gen.Scanline.graph ~width:w in
+      (* midpoint placement keeps every difference constraint: if
+         a - b >= g holds for both the least and greatest solutions it
+         holds for their average (rounded consistently). *)
+      Array.init (Array.length values) (fun v -> (values.(v) + hi.(v)) asr 1)
+    end
+  in
+  let out = Scanline.apply gen values in
+  { items = out;
+    width_before = Scanline.width items;
+    width_after = Scanline.width out;
+    n_constraints = Cgraph.n_constraints gen.Scanline.graph;
+    passes = sol.Bellman.passes;
+    relaxations = sol.Bellman.relaxations }
+
+let compact_cell ?method_ ?distribute_slack rules cell =
+  let items = Scanline.items_of_cell cell in
+  let r = compact ?method_ ?distribute_slack rules items in
+  let out = Rsg_layout.Cell.create (cell.Rsg_layout.Cell.cname ^ "-compacted") in
+  Array.iter
+    (fun (it : Scanline.item) ->
+      Rsg_layout.Cell.add_box out it.Scanline.layer it.Scanline.box)
+    r.items;
+  (out, r)
+
+type result2 = {
+  items2 : Scanline.item array;
+  area_before : int;
+  area_after : int;
+  xy_passes : int;
+}
+
+let bbox_area items = Scanline.width items * Scanline.height items
+
+let compact_xy ?(max_rounds = 8) ?distribute_slack rules items =
+  let area_before = bbox_area items in
+  let current = ref items in
+  let rounds = ref 0 in
+  let improved = ref true in
+  while !improved && !rounds < max_rounds do
+    incr rounds;
+    let before = bbox_area !current in
+    let rx = compact ?distribute_slack rules !current in
+    let ry =
+      compact ?distribute_slack rules (Scanline.transpose rx.items)
+    in
+    current := Scanline.transpose ry.items;
+    improved := bbox_area !current < before
+  done;
+  { items2 = !current;
+    area_before;
+    area_after = bbox_area !current;
+    xy_passes = !rounds }
+
+let jog_metric items =
+  let n = Array.length items in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let a = items.(i) and b = items.(j) in
+        (* b sits directly on top of a, same layer: a vertical wire *)
+        if
+          Layer.equal a.Scanline.layer b.Scanline.layer
+          && a.Scanline.box.Box.ymax = b.Scanline.box.Box.ymin
+          && a.Scanline.box.Box.xmin < b.Scanline.box.Box.xmax
+          && b.Scanline.box.Box.xmin < a.Scanline.box.Box.xmax
+        then
+          total := !total + abs (a.Scanline.box.Box.xmin - b.Scanline.box.Box.xmin)
+      end
+    done
+  done;
+  !total

@@ -1,0 +1,62 @@
+(** One-dimensional flat-layout compaction (sections 6.4.2, Figure 6.8).
+
+    Pipeline: generate constraints ({!Scanline}), solve the leftmost
+    packing (Bellman-Ford longest path), and optionally redistribute
+    slack.  The thesis observes that pure leftmost packing — "a large
+    magnet on the left" — minimises the bounding box but worsens jogs
+    (Figure 6.8); the slack-distribution pass re-solves for the
+    rightmost packing within the achieved width and places every
+    non-critical edge midway, the "rubber band" behaviour the thesis
+    asks for. *)
+
+type result = {
+  items : Scanline.item array;   (** compacted geometry *)
+  width_before : int;
+  width_after : int;
+  n_constraints : int;
+  passes : int;                  (** Bellman-Ford sweeps *)
+  relaxations : int;
+}
+
+val compact :
+  ?method_:Scanline.method_ ->
+  ?distribute_slack:bool ->
+  ?order:Bellman.order ->
+  ?stretchable:(int -> bool) ->
+  Rules.t -> Scanline.item array -> result
+(** Defaults: visibility constraints, no slack distribution, sorted
+    edge order.  Raises {!Bellman.Infeasible} on contradictory
+    constraints. *)
+
+val compact_cell :
+  ?method_:Scanline.method_ ->
+  ?distribute_slack:bool ->
+  Rules.t -> Rsg_layout.Cell.t -> Rsg_layout.Cell.t * result
+(** Flatten, compact, and rebuild a (flat) cell of the same name with
+    "-compacted" appended. *)
+
+type result2 = {
+  items2 : Scanline.item array;
+  area_before : int;   (** bounding-box width x height *)
+  area_after : int;
+  xy_passes : int;     (** alternating x/y rounds actually run *)
+}
+
+val compact_xy :
+  ?max_rounds:int ->
+  ?distribute_slack:bool ->
+  Rules.t -> Scanline.item array -> result2
+(** Alternate x and y compaction (each a 1-D pass on the transposed
+    layout) until a round stops shrinking the bounding box.  The
+    thesis notes 1-D-at-a-time is greedy and can miss 2-D optima
+    (section 6.1); this is that greedy scheme, honestly. *)
+
+val jog_metric : Scanline.item array -> int
+(** Sum over same-layer, vertically-adjacent touching box pairs of the
+    lateral misalignment of their left edges — the jog measure of
+    Figure 6.8 (0 = perfectly aligned wires). *)
+
+val rightmost :
+  Cgraph.t -> width:int -> int array
+(** The greatest solution with every variable at most [width]; used by
+    slack distribution and exposed for tests. *)

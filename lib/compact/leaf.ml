@@ -1,0 +1,232 @@
+open Rsg_geom
+open Rsg_layout
+
+type pitch_spec = { p_index : int; p_dx : int; p_dy : int; p_weight : int }
+
+type result = {
+  cell : Cell.t;
+  pitches : (int * int) list;
+  width_before : int;
+  width_after : int;
+  pitch_before : (int * int) list;
+  iterations : int;
+  n_constraints : int;
+  lp_pitches : (int * float) list option;
+}
+
+exception No_fixpoint
+
+(* x_u - x_v >= gap + coef * lambda_k,  coef in {-1, +1} *)
+type lam_con = { u : int; v : int; gap : int; k : int; coef : int }
+
+let shift_item dy dx (it : Scanline.item) =
+  { it with Scanline.box = Box.translate (Vec.make dx dy) it.Scanline.box }
+
+(* Inter-cell constraints between the cell and its own copy offset by
+   (pitch_k, dy).  Emitted against the cell's own edge variables with
+   the pitch folded into the weight (fig 6.3). *)
+let inter_constraints rules (gen : Scanline.gen) ~k ~dx ~dy =
+  let items = gen.Scanline.items in
+  let n = Array.length items in
+  let out = ref [] in
+  let add u v gap coef = out := { u; v; gap; k; coef } :: !out in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let a = items.(i) in
+      let b = shift_item dy dx items.(j) in
+      (* b is box j of the neighbouring instance *)
+      if
+        a.Scanline.box.Box.ymin < b.Scanline.box.Box.ymax
+        && b.Scanline.box.Box.ymin < a.Scanline.box.Box.ymax
+      then begin
+        let la = gen.Scanline.left.(i)
+        and ra = gen.Scanline.right.(i)
+        and lb = gen.Scanline.left.(j)
+        and rb = gen.Scanline.right.(j) in
+        let connects = Rules.connects rules a.Scanline.layer b.Scanline.layer in
+        let spacing = Rules.spacing rules a.Scanline.layer b.Scanline.layer in
+        let a_left = a.Scanline.box.Box.xmin <= b.Scanline.box.Box.xmin in
+        let touch =
+          a.Scanline.box.Box.xmax >= b.Scanline.box.Box.xmin
+          && b.Scanline.box.Box.xmax >= a.Scanline.box.Box.xmin
+        in
+        let proper_overlap =
+          a.Scanline.box.Box.xmax > b.Scanline.box.Box.xmin
+          && b.Scanline.box.Box.xmax > a.Scanline.box.Box.xmin
+        in
+        if connects && touch then
+          if a_left then
+            (* overlap must survive: x_ra >= x_lb + lambda *)
+            add ra lb 0 1
+          else (* x_rb + lambda >= x_la *)
+            add rb la 0 (-1)
+        else if (not connects) && proper_overlap then begin
+          (* device across the pitch boundary: freeze the offset
+             relative to the pitch *)
+          let d = b.Scanline.box.Box.xmin - a.Scanline.box.Box.xmin - dx in
+          add lb la d (-1);
+          add la lb (-d) 1
+        end
+        else
+          match spacing with
+          | None -> ()
+          | Some s ->
+            if a_left then (* x_lb + lambda - x_ra >= s *)
+              add lb ra s (-1)
+            else (* x_la - (x_rb + lambda) >= s *)
+              add la rb s 1
+      end
+    done
+  done;
+  !out
+
+let instantiate base_graph lam_cons lambdas =
+  (* Rebuild a concrete constraint graph with the pitches fixed. *)
+  let g = Cgraph.create () in
+  let n = Cgraph.n_vars base_graph in
+  for v = 1 to n - 1 do
+    ignore
+      (Cgraph.fresh_var g
+         ~name:(Cgraph.name base_graph v)
+         ~init:(Cgraph.init_value base_graph v)
+         ())
+  done;
+  List.iter
+    (fun (c : Cgraph.constr) ->
+      Cgraph.add_ge g ~from:c.Cgraph.c_from ~to_:c.Cgraph.c_to ~gap:c.Cgraph.c_gap)
+    (Cgraph.constraints base_graph);
+  List.iter
+    (fun lc ->
+      Cgraph.add_ge g ~from:lc.v ~to_:lc.u ~gap:(lc.gap + (lc.coef * lambdas.(lc.k))))
+    lam_cons;
+  g
+
+let min_lambdas lam_cons nk x =
+  (* Given edge positions, the least pitches satisfying every lambda
+     constraint (lower bounds from coef = -1 rows, checked against the
+     upper bounds from coef = +1 rows). *)
+  let lo = Array.make nk 0 and hi = Array.make nk max_int in
+  List.iter
+    (fun lc ->
+      let d = x.(lc.u) - x.(lc.v) in
+      (* d >= gap + coef*lambda *)
+      if lc.coef = 1 then hi.(lc.k) <- min hi.(lc.k) (d - lc.gap)
+      else lo.(lc.k) <- max lo.(lc.k) (lc.gap - d))
+    lam_cons;
+  Array.init nk (fun k ->
+      if lo.(k) > hi.(k) then raise Bellman.Infeasible else lo.(k))
+
+let compact ?(use_simplex = true) ?(max_iterations = 50) rules cell ~pitches =
+  let items = Scanline.items_of_cell cell in
+  let gen = Scanline.generate rules Scanline.Visibility items in
+  let nk = List.length pitches in
+  let specs = Array.of_list pitches in
+  let lam_cons =
+    List.concat
+      (List.mapi
+         (fun k (p : pitch_spec) ->
+           inter_constraints rules gen ~k ~dx:p.p_dx ~dy:p.p_dy)
+         pitches)
+  in
+  let lambdas = Array.map (fun p -> p.p_dx) specs in
+  let iterations = ref 0 in
+  let x = ref [||] in
+  let stable = ref false in
+  while not !stable do
+    incr iterations;
+    if !iterations > max_iterations then raise No_fixpoint;
+    let g = instantiate gen.Scanline.graph lam_cons lambdas in
+    let sol = Bellman.solve g in
+    x := sol.Bellman.values;
+    let lam' = min_lambdas lam_cons nk !x in
+    if lam' = lambdas && !iterations > 1 then stable := true
+    else Array.blit lam' 0 lambdas 0 nk
+  done;
+  (* LP cross-check *)
+  let lp_pitches =
+    if not use_simplex then None
+    else begin
+      let nx = Cgraph.n_vars gen.Scanline.graph in
+      let nvars = nx + nk in
+      let row () = Array.make nvars 0.0 in
+      let cons = ref [] in
+      let add r b = cons := (r, b) :: !cons in
+      (* pin the origin *)
+      let r0 = row () in
+      r0.(Cgraph.origin) <- 1.0;
+      add r0 0.0;
+      let r0' = row () in
+      r0'.(Cgraph.origin) <- -1.0;
+      add r0' 0.0;
+      List.iter
+        (fun (c : Cgraph.constr) ->
+          let r = row () in
+          r.(c.Cgraph.c_to) <- r.(c.Cgraph.c_to) +. 1.0;
+          r.(c.Cgraph.c_from) <- r.(c.Cgraph.c_from) -. 1.0;
+          add r (float_of_int c.Cgraph.c_gap))
+        (Cgraph.constraints gen.Scanline.graph);
+      List.iter
+        (fun lc ->
+          let r = row () in
+          r.(lc.u) <- r.(lc.u) +. 1.0;
+          r.(lc.v) <- r.(lc.v) -. 1.0;
+          r.(nx + lc.k) <- float_of_int (-lc.coef);
+          add r (float_of_int lc.gap))
+        lam_cons;
+      for k = 0 to nk - 1 do
+        let r = row () in
+        r.(nx + k) <- 1.0;
+        add r 0.0
+      done;
+      let objective = Array.make nvars 0.0 in
+      Array.iteri
+        (fun k (p : pitch_spec) ->
+          objective.(nx + k) <- float_of_int p.p_weight)
+        specs;
+      (* a unit pull on every edge position keeps the LP bounded and
+         models the section 6.2 cost: cell extremities matter, but far
+         less than pitches once replication weights are large *)
+      for v = 1 to nx - 1 do
+        objective.(v) <- 1.0
+      done;
+      match
+        Simplex.solve
+          { Simplex.n_vars = nvars; objective; constraints = List.rev !cons }
+      with
+      | Simplex.Optimal { z; _ } ->
+        Some
+          (Array.to_list
+             (Array.mapi (fun k (p : pitch_spec) -> (p.p_index, z.(nx + k))) specs))
+      | Simplex.Infeasible | Simplex.Unbounded -> None
+    end
+  in
+  let out = Cell.create (cell.Cell.cname ^ "-leafcompacted") in
+  let compacted = Scanline.apply gen !x in
+  Array.iter
+    (fun (it : Scanline.item) -> Cell.add_box out it.Scanline.layer it.Scanline.box)
+    compacted;
+  { cell = out;
+    pitches =
+      Array.to_list
+        (Array.mapi (fun k (p : pitch_spec) -> (p.p_index, lambdas.(k))) specs);
+    width_before = Scanline.width items;
+    width_after = Scanline.width compacted;
+    pitch_before = List.map (fun p -> (p.p_index, p.p_dx)) pitches;
+    iterations = !iterations;
+    n_constraints =
+      Cgraph.n_constraints gen.Scanline.graph + List.length lam_cons;
+    lp_pitches }
+
+let verify rules r ~pitches =
+  List.for_all
+    (fun (p : pitch_spec) ->
+      let pitch = List.assoc p.p_index r.pitches in
+      let items = Scanline.items_of_cell r.cell in
+      let strip =
+        Array.concat
+          [ items;
+            Array.map (shift_item p.p_dy pitch) items;
+            Array.map (shift_item (2 * p.p_dy) (2 * pitch)) items ]
+      in
+      Scanline.check rules strip = [])
+    pitches

@@ -1,0 +1,60 @@
+(** Leaf-cell compaction (sections 6.1-6.3).
+
+    Compacts a library cell {e in context}: the unknowns are the
+    abscissas of the cell's own box edges {e and} the x pitches of its
+    self-interfaces, so that every instance of the cell in any
+    assembled structure keeps identical geometry (Figure 6.3).  An
+    inter-cell constraint between box p of one instance and box q of
+    the neighbouring instance at pitch lambda folds back onto the
+    cell's own variables with a lambda term in the weight:
+
+    {v x_q - x_p >= gap - lambda v}
+
+    Such systems cannot be solved by Bellman-Ford alone; the thesis
+    proposes linear programming.  Two solvers are provided:
+
+    - an iterative pitch-descent (fix lambda, Bellman-Ford the edges,
+      re-minimise lambda, repeat to a fixpoint), and
+    - the {!Simplex} LP with cost [sum w_k lambda_k], the
+      replication-weighted cost function of section 6.2 (pitches
+      dominate cell extremities when replication factors are large).
+
+    The cost weights expose the Figure 6.1/6.2 tradeoff: different
+    (n, m) replication estimates produce different pitch mixes. *)
+
+open Rsg_layout
+
+type pitch_spec = {
+  p_index : int;   (** self-interface index *)
+  p_dx : int;      (** sample pitch (initial value) *)
+  p_dy : int;      (** fixed y offset of the interface *)
+  p_weight : int;  (** replication weight in the cost function *)
+}
+
+type result = {
+  cell : Cell.t;                (** compacted cell (flat boxes) *)
+  pitches : (int * int) list;   (** interface index -> compacted x pitch *)
+  width_before : int;
+  width_after : int;
+  pitch_before : (int * int) list;
+  iterations : int;
+  n_constraints : int;          (** intra + inter *)
+  lp_pitches : (int * float) list option;
+      (** simplex solution when requested *)
+}
+
+exception No_fixpoint
+
+val compact :
+  ?use_simplex:bool ->
+  ?max_iterations:int ->
+  Rules.t -> Cell.t -> pitches:pitch_spec list -> result
+(** Raises {!No_fixpoint} if pitch-descent fails to stabilise, and
+    {!Bellman.Infeasible} if the constraints are contradictory.
+    [use_simplex] (default true) additionally solves the LP and
+    records its pitches for cross-checking. *)
+
+val verify : Rules.t -> result -> pitches:pitch_spec list -> bool
+(** Re-tile the compacted cell at the compacted pitches and run the
+    independent spacing check over a 3-instance strip for every
+    pitch. *)

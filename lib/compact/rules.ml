@@ -1,0 +1,73 @@
+open Rsg_geom
+
+type t = {
+  widths : (Layer.t * int) list;
+  spacings : ((Layer.t * Layer.t) * int) list;  (* keys normalised *)
+  cut_size : int;
+  cut_spacing : int;
+  cut_overlap : int;
+}
+
+let norm_pair a b = if Layer.compare a b <= 0 then (a, b) else (b, a)
+
+let make ~widths ~spacings ~cut_size ~cut_spacing ~cut_overlap =
+  { widths;
+    spacings = List.map (fun ((a, b), s) -> (norm_pair a b, s)) spacings;
+    cut_size;
+    cut_spacing;
+    cut_overlap }
+
+let default =
+  make
+    ~widths:
+      [ (Layer.Metal, 3); (Layer.Poly, 2); (Layer.Diffusion, 2);
+        (Layer.Contact_cut, 2); (Layer.Contact, 4); (Layer.Implant, 2);
+        (Layer.Buried, 2) ]
+    ~spacings:
+      [ ((Layer.Metal, Layer.Metal), 3);
+        ((Layer.Poly, Layer.Poly), 2);
+        ((Layer.Diffusion, Layer.Diffusion), 3);
+        ((Layer.Poly, Layer.Diffusion), 1);
+        ((Layer.Contact_cut, Layer.Contact_cut), 2);
+        ((Layer.Contact, Layer.Contact), 2);
+        ((Layer.Buried, Layer.Buried), 2);
+        ((Layer.Implant, Layer.Implant), 2) ]
+    ~cut_size:2 ~cut_spacing:2 ~cut_overlap:1
+
+let tight =
+  make
+    ~widths:
+      [ (Layer.Metal, 2); (Layer.Poly, 1); (Layer.Diffusion, 1);
+        (Layer.Contact_cut, 1); (Layer.Contact, 3); (Layer.Implant, 1);
+        (Layer.Buried, 1) ]
+    ~spacings:
+      [ ((Layer.Metal, Layer.Metal), 2);
+        ((Layer.Poly, Layer.Poly), 1);
+        ((Layer.Diffusion, Layer.Diffusion), 2);
+        ((Layer.Poly, Layer.Diffusion), 1);
+        ((Layer.Contact_cut, Layer.Contact_cut), 1);
+        ((Layer.Contact, Layer.Contact), 1);
+        ((Layer.Buried, Layer.Buried), 1);
+        ((Layer.Implant, Layer.Implant), 1) ]
+    ~cut_size:1 ~cut_spacing:1 ~cut_overlap:1
+
+let min_width t layer =
+  match List.assoc_opt layer t.widths with Some w -> w | None -> 1
+
+let spacing t a b = List.assoc_opt (norm_pair a b) t.spacings
+
+let connects _ a b =
+  Layer.equal a b
+  || (match (a, b) with
+     | Layer.Contact, (Layer.Metal | Layer.Poly | Layer.Diffusion)
+     | (Layer.Metal | Layer.Poly | Layer.Diffusion), Layer.Contact
+     | Layer.Contact_cut, (Layer.Metal | Layer.Poly | Layer.Diffusion)
+     | (Layer.Metal | Layer.Poly | Layer.Diffusion), Layer.Contact_cut ->
+       true
+     | _ -> false)
+
+let cut_size t = t.cut_size
+
+let cut_spacing t = t.cut_spacing
+
+let cut_overlap t = t.cut_overlap

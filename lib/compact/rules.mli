@@ -1,0 +1,45 @@
+(** Design rule tables (Chapter 6).
+
+    Minimum widths and same/inter-layer spacings in lambda, plus the
+    contact-expansion parameters of section 6.4.3.  The defaults are
+    Mead-Conway NMOS-flavoured; alternative tables model a "new
+    process technology with smaller geometries" for the
+    technology-transport experiments. *)
+
+open Rsg_geom
+
+type t
+
+val default : t
+(** Mead-Conway-like: metal width 3 / spacing 3, poly 2/2, diffusion
+    2/3, poly-diff spacing 1, cut 2x2 with spacing 2 and overlap 1. *)
+
+val tight : t
+(** A scaled-down target technology (smaller geometries) for leaf-cell
+    technology transport. *)
+
+val min_width : t -> Layer.t -> int
+
+val spacing : t -> Layer.t -> Layer.t -> int option
+(** [None] when the two layers do not interact (no spacing rule). *)
+
+val connects : t -> Layer.t -> Layer.t -> bool
+(** True when overlapping geometry on the two layers is electrical
+    connection rather than a violation (same layer, or contact over
+    metal/poly/diffusion). *)
+
+(** Contact-expansion parameters (fig 6.9). *)
+
+val cut_size : t -> int
+
+val cut_spacing : t -> int
+
+val cut_overlap : t -> int
+(** Metal/poly overlap required around the cut field. *)
+
+val make :
+  widths:(Layer.t * int) list ->
+  spacings:((Layer.t * Layer.t) * int) list ->
+  cut_size:int -> cut_spacing:int -> cut_overlap:int -> t
+(** Spacings are symmetric; unlisted pairs do not interact.  Unlisted
+    widths default to 1. *)

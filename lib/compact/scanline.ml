@@ -1,0 +1,256 @@
+open Rsg_geom
+
+type item = { layer : Layer.t; box : Box.t }
+
+type method_ = Naive | Visibility
+
+type gen = {
+  graph : Cgraph.t;
+  left : int array;
+  right : int array;
+  items : item array;
+}
+
+let y_overlap a b = a.box.Box.ymin < b.box.Box.ymax && b.box.Box.ymin < a.box.Box.ymax
+
+let interacting rules a b =
+  Rules.connects rules a.layer b.layer
+  || Option.is_some (Rules.spacing rules a.layer b.layer)
+
+let is_contact = function
+  | Layer.Contact | Layer.Contact_cut -> true
+  | _ -> false
+
+(* Electrical nets: union-find over touching geometry on connecting
+   layers.  Two boxes join a net when their layers connect (same
+   layer, or contact over a conductor) and their closed extents meet
+   in both axes.  Nets are the sound realisation of the merging that
+   section 6.4.1 wants but cannot perform on the boxes themselves
+   (device and bus sizing need box identities): no spacing is ever
+   required {e within} a net, and spacing is always required {e
+   across} nets — independent of which edges happen to hide which,
+   so the constraint set stays valid however compaction reorders
+   edges. *)
+let nets_of rules items =
+  let n = Array.length items in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  let meet a b =
+    a.box.Box.xmax >= b.box.Box.xmin
+    && b.box.Box.xmax >= a.box.Box.xmin
+    && a.box.Box.ymax >= b.box.Box.ymin
+    && b.box.Box.ymax >= a.box.Box.ymin
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rules.connects rules items.(i).layer items.(j).layer
+         && meet items.(i) items.(j)
+      then union i j
+    done
+  done;
+  Array.init n find
+
+(* Emit the constraints between box [a] (to the left) and box [b].
+   When the boxes only share a y edge (no strict y overlap), the sole
+   relevant relation is electrical connection between touching
+   same-net boxes — a wire turning a corner — which must keep its
+   x overlap; spacing and device rules need strict y overlap. *)
+let pair_constraints rules g ~left ~right ~(items : item array) ~same_net ia ib
+    =
+  let a = items.(ia) and b = items.(ib) in
+  let y_strict = y_overlap a b in
+  let touch = a.box.Box.xmax >= b.box.Box.xmin in
+  let connectivity () =
+    (* electrically one piece here: the mutual overlap must survive
+       (in both directions, or the wire could tear apart) *)
+    let ov =
+      min a.box.Box.xmax b.box.Box.xmax - max a.box.Box.xmin b.box.Box.xmin
+    in
+    if ov >= 0 then begin
+      let req = min ov 1 in
+      Cgraph.add_ge g ~from:left.(ib) ~to_:right.(ia) ~gap:req;
+      Cgraph.add_ge g ~from:left.(ia) ~to_:right.(ib) ~gap:req
+    end
+  in
+  if not y_strict then begin
+    if same_net && Rules.connects rules a.layer b.layer && touch then
+      connectivity ()
+  end
+  else
+    let spacing () =
+      match Rules.spacing rules a.layer b.layer with
+      | Some s -> Cgraph.add_ge g ~from:right.(ia) ~to_:left.(ib) ~gap:s
+      | None -> ()
+    in
+    if same_net then begin
+      if Rules.connects rules a.layer b.layer && touch then
+        if is_contact b.layer && not (is_contact a.layer)
+           && a.box.Box.xmin <= b.box.Box.xmin
+           && b.box.Box.xmax <= a.box.Box.xmax
+        then begin
+          (* keep the contact enclosed in its conductor *)
+          let m = Rules.cut_overlap rules in
+          Cgraph.add_ge g ~from:left.(ia) ~to_:left.(ib)
+            ~gap:(min m (b.box.Box.xmin - a.box.Box.xmin));
+          Cgraph.add_ge g ~from:right.(ib) ~to_:right.(ia)
+            ~gap:(min m (a.box.Box.xmax - b.box.Box.xmax))
+        end
+        else connectivity ()
+      else if (not (Rules.connects rules a.layer b.layer))
+              && a.box.Box.xmax > b.box.Box.xmin
+      then
+        (* a device within the net's cell (e.g. a buried contact's
+           layers): freeze the relative geometry *)
+        Cgraph.add_eq g ~from:left.(ia) ~to_:left.(ib)
+          ~gap:(b.box.Box.xmin - a.box.Box.xmin)
+      (* same net, same axis, not touching: no constraint — a net may
+         approach itself (the fig 6.5 fragmented bus) *)
+    end
+    else if a.box.Box.xmax > b.box.Box.xmin
+            && not (Rules.connects rules a.layer b.layer)
+    then
+      (* proper overlap on non-connecting layers is a device (poly
+         crossing diffusion): freeze the relative x geometry.  Mere
+         edge contact is not a device and falls through to spacing. *)
+      Cgraph.add_eq g ~from:left.(ia) ~to_:left.(ib)
+        ~gap:(b.box.Box.xmin - a.box.Box.xmin)
+    else spacing ()
+
+(* The naive generator applies the spacing rule between every pair of
+   opposing edges, hidden or not, connected or not (section 6.4.1's
+   first attempt). *)
+let naive_pair rules g ~left ~right ~(items : item array) ia ib =
+  let a = items.(ia) and b = items.(ib) in
+  let overlap = a.box.Box.xmax > b.box.Box.xmin in
+  if (not (Rules.connects rules a.layer b.layer)) && overlap then
+    Cgraph.add_eq g ~from:left.(ia) ~to_:left.(ib)
+      ~gap:(b.box.Box.xmin - a.box.Box.xmin)
+  else
+    match Rules.spacing rules a.layer b.layer with
+    | Some s -> Cgraph.add_ge g ~from:right.(ia) ~to_:left.(ib) ~gap:s
+    | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* ------------------------------------------------------------------ *)
+
+let items_of_cell cell =
+  let f = Rsg_layout.Flatten.flatten cell in
+  Array.of_list
+    (List.map (fun (layer, box) -> { layer; box }) f.Rsg_layout.Flatten.flat_boxes)
+
+let generate ?(stretchable = fun _ -> false) rules method_ items =
+  let n = Array.length items in
+  let g = Cgraph.create () in
+  let left = Array.make n 0 and right = Array.make n 0 in
+  Array.iteri
+    (fun i it ->
+      left.(i) <-
+        Cgraph.fresh_var g ~name:(Printf.sprintf "b%d.l" i)
+          ~init:it.box.Box.xmin ();
+      right.(i) <-
+        Cgraph.fresh_var g ~name:(Printf.sprintf "b%d.r" i)
+          ~init:it.box.Box.xmax ();
+      Cgraph.add_ge g ~from:Cgraph.origin ~to_:left.(i) ~gap:0;
+      let w = Box.width it.box in
+      if stretchable i then
+        Cgraph.add_ge g ~from:left.(i) ~to_:right.(i)
+          ~gap:(max (Rules.min_width rules it.layer) 1)
+      else Cgraph.add_eq g ~from:left.(i) ~to_:right.(i) ~gap:w)
+    items;
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      let c = Int.compare items.(i).box.Box.xmin items.(j).box.Box.xmin in
+      if c <> 0 then c else Int.compare i j)
+    order;
+  (match method_ with
+  | Naive ->
+    for oi = 0 to n - 1 do
+      for oj = oi + 1 to n - 1 do
+        let ia = order.(oi) and ib = order.(oj) in
+        if y_overlap items.(ia) items.(ib) && interacting rules items.(ia) items.(ib)
+        then naive_pair rules g ~left ~right ~items ia ib
+      done
+    done
+  | Visibility ->
+    let nets = nets_of rules items in
+    for oi = 0 to n - 1 do
+      for oj = oi + 1 to n - 1 do
+        let ia = order.(oi) and ib = order.(oj) in
+        if interacting rules items.(ia) items.(ib) then
+          pair_constraints rules g ~left ~right ~items
+            ~same_net:(nets.(ia) = nets.(ib))
+            ia ib
+      done
+    done);
+  { graph = g; left; right; items }
+
+let apply gen values =
+  Array.mapi
+    (fun i it ->
+      { it with
+        box =
+          Box.make ~xmin:values.(gen.left.(i)) ~xmax:values.(gen.right.(i))
+            ~ymin:it.box.Box.ymin ~ymax:it.box.Box.ymax })
+    gen.items
+
+let width items =
+  if Array.length items = 0 then 0
+  else
+    let xmin = ref max_int and xmax = ref min_int in
+    Array.iter
+      (fun it ->
+        xmin := min !xmin it.box.Box.xmin;
+        xmax := max !xmax it.box.Box.xmax)
+      items;
+    !xmax - !xmin
+
+let height items =
+  if Array.length items = 0 then 0
+  else
+    let ymin = ref max_int and ymax = ref min_int in
+    Array.iter
+      (fun it ->
+        ymin := min !ymin it.box.Box.ymin;
+        ymax := max !ymax it.box.Box.ymax)
+      items;
+    !ymax - !ymin
+
+let transpose items =
+  Array.map
+    (fun it ->
+      { it with
+        box =
+          Box.make ~xmin:it.box.Box.ymin ~ymin:it.box.Box.xmin
+            ~xmax:it.box.Box.ymax ~ymax:it.box.Box.xmax })
+    items
+
+type violation = { v_a : int; v_b : int; v_required : int; v_actual : int }
+
+let check rules items =
+  (* Spacing applies across nets; within a net, proximity is a
+     quality concern, not legality (the thesis's compactor likewise
+     admits "legal but electrically poor" output needing hand
+     checks). *)
+  let nets = nets_of rules items in
+  let n = Array.length items in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = items.(i) and b = items.(j) in
+      if y_overlap a b && nets.(i) <> nets.(j) then begin
+        let gap =
+          max (b.box.Box.xmin - a.box.Box.xmax) (a.box.Box.xmin - b.box.Box.xmax)
+        in
+        match Rules.spacing rules a.layer b.layer with
+        | Some s when gap >= 0 && gap < s ->
+          out := { v_a = i; v_b = j; v_required = s; v_actual = gap } :: !out
+        | _ -> ()
+      end
+    done
+  done;
+  List.rev !out

@@ -1,0 +1,172 @@
+type problem = {
+  n_vars : int;
+  objective : float array;
+  constraints : (float array * float) list;
+}
+
+type outcome =
+  | Optimal of { z : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-7
+
+(* Standard-form tableau.  Columns: for each free variable z_i, two
+   non-negative columns (z_i = p_i - q_i); one surplus column per
+   constraint; one artificial column per constraint; then the right
+   hand side.  Rows: one per constraint, plus the objective row.
+   Two phases: minimise the artificial sum, then the real
+   objective. *)
+let solve (p : problem) =
+  let cons = Array.of_list p.constraints in
+  let m = Array.length cons in
+  let nv = 2 * p.n_vars in
+  let ns = m in
+  let na = m in
+  let cols = nv + ns + na in
+  let t = Array.make_matrix (m + 1) (cols + 1) 0.0 in
+  (* fill constraint rows, normalising to rhs >= 0 *)
+  for r = 0 to m - 1 do
+    let row, b = cons.(r) in
+    if Array.length row <> p.n_vars then invalid_arg "Simplex.solve: row size";
+    let flip = b < 0.0 in
+    let s = if flip then -1.0 else 1.0 in
+    for i = 0 to p.n_vars - 1 do
+      t.(r).(2 * i) <- s *. row.(i);
+      t.(r).((2 * i) + 1) <- -.s *. row.(i)
+    done;
+    (* surplus: row.z - s_r = b  (>= becomes equality) *)
+    t.(r).(nv + r) <- -.s;
+    t.(r).(nv + ns + r) <- 1.0;
+    t.(r).(cols) <- s *. b
+  done;
+  let basis = Array.init m (fun r -> nv + ns + r) in
+  let pivot ~row ~col =
+    let piv = t.(row).(col) in
+    for c = 0 to cols do
+      t.(row).(c) <- t.(row).(c) /. piv
+    done;
+    for r = 0 to m do
+      if r <> row && abs_float t.(r).(col) > 0.0 then begin
+        let f = t.(r).(col) in
+        for c = 0 to cols do
+          t.(r).(c) <- t.(r).(c) -. (f *. t.(row).(c))
+        done
+      end
+    done;
+    if row < m then basis.(row) <- col
+  in
+  (* run simplex on the current objective row t.(m); allowed columns
+     limited by [max_col].  Bland's rule prevents cycling. *)
+  let rec iterate max_col budget =
+    if budget = 0 then `Stalled
+    else begin
+      (* entering: smallest-index column with negative reduced cost *)
+      let enter = ref (-1) in
+      (try
+         for c = 0 to max_col - 1 do
+           if t.(m).(c) < -.eps then begin
+             enter := c;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !enter < 0 then `Optimal
+      else begin
+        let col = !enter in
+        (* leaving: min ratio, ties by smallest basis index *)
+        let best = ref (-1) in
+        let best_ratio = ref infinity in
+        for r = 0 to m - 1 do
+          if t.(r).(col) > eps then begin
+            let ratio = t.(r).(cols) /. t.(r).(col) in
+            if
+              ratio < !best_ratio -. eps
+              || (abs_float (ratio -. !best_ratio) <= eps
+                 && (!best < 0 || basis.(r) < basis.(!best)))
+            then begin
+              best := r;
+              best_ratio := ratio
+            end
+          end
+        done;
+        if !best < 0 then `Unbounded
+        else begin
+          pivot ~row:!best ~col;
+          iterate max_col (budget - 1)
+        end
+      end
+    end
+  in
+  let budget = 50_000 in
+  (* phase 1: minimise the sum of artificials *)
+  for c = 0 to cols do
+    t.(m).(c) <- 0.0
+  done;
+  for a = 0 to na - 1 do
+    t.(m).(nv + ns + a) <- 1.0
+  done;
+  (* price out the artificial basis *)
+  for r = 0 to m - 1 do
+    for c = 0 to cols do
+      t.(m).(c) <- t.(m).(c) -. t.(r).(c)
+    done
+  done;
+  match iterate cols budget with
+  | `Unbounded | `Stalled -> Infeasible
+  | `Optimal ->
+    (* feasible iff every artificial still in the basis is ~zero *)
+    let art_sum = ref 0.0 in
+    for r = 0 to m - 1 do
+      if basis.(r) >= nv + ns then art_sum := !art_sum +. abs_float t.(r).(cols)
+    done;
+    if !art_sum > 1e-5 then Infeasible
+    else begin
+      (* drive remaining artificials out of the basis when possible *)
+      for r = 0 to m - 1 do
+        if basis.(r) >= nv + ns then begin
+          let c = ref 0 in
+          let found = ref false in
+          while (not !found) && !c < nv + ns do
+            if abs_float t.(r).(!c) > eps then found := true else incr c
+          done;
+          if !found then pivot ~row:r ~col:!c
+        end
+      done;
+      (* phase 2 objective *)
+      for c = 0 to cols do
+        t.(m).(c) <- 0.0
+      done;
+      for i = 0 to p.n_vars - 1 do
+        t.(m).(2 * i) <- p.objective.(i);
+        t.(m).((2 * i) + 1) <- -.p.objective.(i)
+      done;
+      (* forbid artificials re-entering by pricing over nv+ns only *)
+      for r = 0 to m - 1 do
+        if basis.(r) < nv + ns then begin
+          let f = t.(m).(basis.(r)) in
+          if abs_float f > 0.0 then
+            for c = 0 to cols do
+              t.(m).(c) <- t.(m).(c) -. (f *. t.(r).(c))
+            done
+        end
+      done;
+      match iterate (nv + ns) budget with
+      | `Unbounded -> Unbounded
+      | `Stalled -> Infeasible
+      | `Optimal ->
+        let z = Array.make p.n_vars 0.0 in
+        for r = 0 to m - 1 do
+          let b = basis.(r) in
+          if b < nv then begin
+            let i = b / 2 in
+            let v = t.(r).(cols) in
+            if b land 1 = 0 then z.(i) <- z.(i) +. v else z.(i) <- z.(i) -. v
+          end
+        done;
+        let objective =
+          Array.to_list (Array.mapi (fun i c -> c *. z.(i)) p.objective)
+          |> List.fold_left ( +. ) 0.0
+        in
+        Optimal { z; objective }
+    end

@@ -1,0 +1,26 @@
+(** A small dense-tableau simplex solver.
+
+    Section 6.3 observes that leaf-cell constraint systems — where
+    some edge weights contain unknown pitches — cannot be solved by
+    shortest-path algorithms and suggests linear programming
+    ("a linear programming algorithm like Simplex").  This is that
+    solver: two-phase primal simplex with Bland's rule, over
+
+    {v minimise c.z   subject to   A z >= b v}
+
+    with free variables (each is split into a difference of two
+    non-negative ones internally).  Sized for leaf-cell problems
+    (tens of variables, hundreds of constraints). *)
+
+type problem = {
+  n_vars : int;
+  objective : float array;              (** length n_vars *)
+  constraints : (float array * float) list;  (** (row, bound): row.z >= bound *)
+}
+
+type outcome =
+  | Optimal of { z : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+val solve : problem -> outcome

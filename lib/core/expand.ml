@@ -1,0 +1,94 @@
+open Rsg_geom
+open Rsg_layout
+
+exception Missing_interface of { from : string; into : string; index : int }
+
+exception Inconsistent_cycle of {
+  cell : string;
+  expected : Transform.t;
+  actual : Transform.t;
+}
+
+exception Already_placed of string
+
+let interface_for tbl ~(placed : Graph.node) ~(edge : Graph.edge) =
+  let a = placed.Graph.def.Cell.cname
+  and b = edge.Graph.peer.Graph.def.Cell.cname in
+  if not (String.equal a b) then
+    Interface_table.find tbl ~from:a ~into:b ~index:edge.Graph.index
+  else
+    (* Same celltype: the table holds the canonical I°aa whose
+       reference instance is the edge's source.  Walking along the
+       edge direction uses it as-is; walking against it inverts. *)
+    let fwd = Interface_table.find tbl ~from:a ~into:b ~index:edge.Graph.index in
+    match edge.Graph.dir with
+    | Graph.Emanating -> fwd
+    | Graph.Terminating -> Option.map Interface.invert fwd
+
+let place_component ?(root_placement = Transform.identity)
+    ?(check_cycles = true) tbl root =
+  let nodes = Graph.reachable root in
+  List.iter
+    (fun (n : Graph.node) ->
+      match n.Graph.placement with
+      | Some _ -> raise (Already_placed n.Graph.def.Cell.cname)
+      | None -> ())
+    nodes;
+  root.Graph.placement <- Some root_placement;
+  let queue = Queue.create () in
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    let tn =
+      match n.Graph.placement with
+      | Some t -> t
+      | None -> assert false
+    in
+    List.iter
+      (fun (e : Graph.edge) ->
+        let iface =
+          match interface_for tbl ~placed:n ~edge:e with
+          | Some i -> i
+          | None ->
+            raise
+              (Missing_interface
+                 { from = n.Graph.def.Cell.cname;
+                   into = e.Graph.peer.Graph.def.Cell.cname;
+                   index = e.Graph.index })
+        in
+        let implied = Interface.place ~a:tn iface in
+        match e.Graph.peer.Graph.placement with
+        | None ->
+          e.Graph.peer.Graph.placement <- Some implied;
+          Queue.add e.Graph.peer queue
+        | Some actual ->
+          if check_cycles && not (Transform.equal implied actual) then
+            raise
+              (Inconsistent_cycle
+                 { cell = e.Graph.peer.Graph.def.Cell.cname;
+                   expected = implied;
+                   actual }))
+      (Graph.edges n)
+  done;
+  nodes
+
+let mk_cell ?db ?check_cycles tbl name root =
+  let nodes = place_component ?check_cycles tbl root in
+  let cell = Cell.create name in
+  List.iter
+    (fun (n : Graph.node) ->
+      match n.Graph.placement with
+      | Some t ->
+        Cell.add_instance_obj cell
+          (Cell.instance ~orient:t.Transform.orient ~at:t.Transform.offset
+             n.Graph.def)
+      | None -> assert false)
+    nodes;
+  Option.iter (fun db -> Db.add db cell) db;
+  cell
+
+let both_readings tbl ~placed ~from ~into ~index =
+  match Interface_table.find tbl ~from ~into ~index with
+  | None -> None
+  | Some i ->
+    Some (Interface.place ~a:placed i, Interface.place ~a:placed (Interface.invert i))

@@ -1,0 +1,65 @@
+(** Expanding a connectivity graph into a layout — the [mk_cell]
+    operator (sections 3.1 and 4.4.3).
+
+    A root node is selected and arbitrarily placed (origin, north);
+    the graph is then traversed breadth-first and each partial
+    instance's calling parameters are computed from an already-placed
+    neighbour with
+
+    {v Ob = Oa o Oab        Lb = Oa Vab + La v}
+
+    selecting [Iab] or its inverse according to the edge direction when
+    both endpoints have the same celltype (section 3.4).
+
+    The same connectivity graph expands, for a given interface table,
+    to a unique layout modulo one global isometry (section 3.4): the
+    root choice merely picks the representative of the equivalence
+    class. *)
+
+open Rsg_geom
+open Rsg_layout
+
+exception Missing_interface of { from : string; into : string; index : int }
+
+exception Inconsistent_cycle of {
+  cell : string;            (** celltype of the doubly-constrained node *)
+  expected : Transform.t;   (** placement implied by the extra edge *)
+  actual : Transform.t;     (** placement from the tree traversal *)
+}
+
+exception Already_placed of string
+
+val interface_for :
+  Interface_table.t ->
+  placed:Graph.node -> edge:Graph.edge -> Interface.t option
+(** The interface that derives [edge.peer]'s placement from [placed]'s,
+    honouring edge direction for same-celltype pairs. *)
+
+val place_component :
+  ?root_placement:Transform.t ->
+  ?check_cycles:bool ->
+  Interface_table.t -> Graph.node -> Graph.node list
+(** Fill in the [placement] of every node reachable from the root
+    (returned in traversal order).  [root_placement] defaults to the
+    identity; [check_cycles] (default true) verifies that redundant
+    (non-tree) edges agree with the tree placement and raises
+    {!Inconsistent_cycle} otherwise.  Raises {!Missing_interface} when
+    the table lacks a required entry and {!Already_placed} if any
+    reachable node was previously expanded. *)
+
+val mk_cell :
+  ?db:Db.t ->
+  ?check_cycles:bool ->
+  Interface_table.t -> string -> Graph.node -> Cell.t
+(** [mk_cell tbl name root] runs {!place_component} and builds a new
+    cell containing one completed instance per node; registers it in
+    [db] when provided. *)
+
+val both_readings :
+  Interface_table.t ->
+  placed:Transform.t -> from:string -> into:string -> index:int ->
+  (Transform.t * Transform.t) option
+(** For a same-celltype interface, the two placements an {e undirected}
+    edge would permit — [(using I°aa, using (I°aa)^-1)].  This is the
+    ambiguity of Figures 3.5/3.6 that directed edges resolve; exposed
+    for experiment E16.  [None] if the interface is absent. *)

@@ -1,0 +1,59 @@
+open Rsg_geom
+open Rsg_layout
+
+type node = {
+  id : int;
+  def : Cell.t;
+  mutable placement : Transform.t option;
+  mutable edges : edge list;
+}
+
+and edge = { dir : direction; index : int; peer : node }
+
+and direction = Emanating | Terminating
+
+let counter = ref 0
+
+let mk_instance def =
+  incr counter;
+  { id = !counter; def; placement = None; edges = [] }
+
+let connect a b index =
+  a.edges <- { dir = Emanating; index; peer = b } :: a.edges;
+  b.edges <- { dir = Terminating; index; peer = a } :: b.edges
+
+let edges n = List.rev n.edges
+
+let reachable root =
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let order = ref [] in
+  Hashtbl.add seen root.id ();
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    order := n :: !order;
+    List.iter
+      (fun e ->
+        if not (Hashtbl.mem seen e.peer.id) then begin
+          Hashtbl.add seen e.peer.id ();
+          Queue.add e.peer queue
+        end)
+      (edges n)
+  done;
+  List.rev !order
+
+let edge_count root =
+  (* Each edge is stored twice (once per endpoint); count emanating
+     entries only. *)
+  List.fold_left
+    (fun acc n ->
+      acc
+      + List.length (List.filter (fun e -> e.dir = Emanating) n.edges))
+    0 (reachable root)
+
+let is_spanning_tree root =
+  let nodes = reachable root in
+  edge_count root = List.length nodes - 1
+
+let degree n = List.length n.edges

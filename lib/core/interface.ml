@@ -1,0 +1,44 @@
+open Rsg_geom
+open Rsg_layout
+
+type t = { vec : Vec.t; orient : Orient.t }
+
+let make vec orient = { vec; orient }
+
+let equal a b = Vec.equal a.vec b.vec && Orient.equal a.orient b.orient
+
+let pp ppf i = Format.fprintf ppf "(%a, %a)" Vec.pp i.vec Orient.pp i.orient
+
+let of_placements ~(a : Transform.t) ~(b : Transform.t) =
+  let oa_inv = Orient.invert a.Transform.orient in
+  { orient = Orient.compose oa_inv b.Transform.orient;
+    vec = Orient.apply oa_inv (Vec.sub b.Transform.offset a.Transform.offset) }
+
+let of_instances ia ib =
+  of_placements
+    ~a:(Cell.transform_of_instance ia)
+    ~b:(Cell.transform_of_instance ib)
+
+let invert i =
+  let oi = Orient.invert i.orient in
+  { vec = Vec.neg (Orient.apply oi i.vec); orient = oi }
+
+let place ~(a : Transform.t) i =
+  let orient = Orient.compose a.Transform.orient i.orient in
+  let offset =
+    Vec.add (Orient.apply a.Transform.orient i.vec) a.Transform.offset
+  in
+  Transform.{ orient; offset }
+
+let inherit_interface ~inner ~(a_in_c : Transform.t) ~(b_in_d : Transform.t) =
+  let oca = a_in_c.Transform.orient
+  and lca = a_in_c.Transform.offset
+  and odb = b_in_d.Transform.orient
+  and ldb = b_in_d.Transform.offset in
+  let ocd = Orient.compose (Orient.compose oca inner.orient) (Orient.invert odb) in
+  let vcd =
+    Vec.add
+      (Vec.sub (Orient.apply oca inner.vec) (Orient.apply ocd ldb))
+      lca
+  in
+  { vec = vcd; orient = ocd }

@@ -1,0 +1,54 @@
+(** Interfaces between cells (Chapter 2).
+
+    If instances of cells A and B are called within the same coordinate
+    system, the interface between them is the ordered pair
+
+    {v Iab = (Vab, Oab) v}
+
+    where [Vab] is the interface vector and [Oab] the interface
+    orientation: the placement B {e would} have if the calling cell
+    were re-oriented so that the instance of A sat at the origin with
+    orientation north (equations 2.1 and 2.2):
+
+    {v Oab = Oa^-1 o Ob          Vab = Oa^-1 (Lb - La) v}
+
+    Interfaces capture relative placement independently of bounding
+    boxes, so cells may overlap, encode one another, or sit at any
+    offset — the key "design by example" mechanism. *)
+
+open Rsg_geom
+open Rsg_layout
+
+type t = { vec : Vec.t; orient : Orient.t }
+
+val make : Vec.t -> Orient.t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val of_placements : a:Transform.t -> b:Transform.t -> t
+(** Interface computed from the placements of an A instance and a B
+    instance in a common coordinate system (eqs 2.1, 2.2). *)
+
+val of_instances : Cell.instance -> Cell.instance -> t
+(** Same, reading placements off two instances called in the same
+    cell. *)
+
+val invert : t -> t
+(** [invert Iab = Iba = (-Oab^-1 Vab, Oab^-1)] (eqs 2.3, 2.4). *)
+
+val place : a:Transform.t -> t -> Transform.t
+(** [place ~a iab] is the placement of the B instance given the
+    placement of the A instance (eqs 3.1, 3.2):
+    [Ob = Oa o Oab], [Lb = Oa Vab + La]. *)
+
+val inherit_interface :
+  inner:t -> a_in_c:Transform.t -> b_in_d:Transform.t -> t
+(** Interface inheritance (section 2.5).  Given an existing interface
+    [inner = Iab] between subcells A and B, the calling parameters of A
+    within macrocell C and of B within macrocell D, returns the
+    interface Icd that C and D inherit (eqs 2.11, 2.12):
+
+    {v Ocd = Oca o Oab o Odb^-1
+       Vcd = Oca Vab - Ocd Ldb + Lca v} *)

@@ -1,0 +1,44 @@
+type key = string * string * int
+
+type t = (key, Interface.t) Hashtbl.t
+
+let create ?(size = 256) () = Hashtbl.create size
+
+let add_one tbl key iface =
+  match Hashtbl.find_opt tbl key with
+  | None -> Hashtbl.add tbl key iface
+  | Some existing ->
+    if not (Interface.equal existing iface) then
+      let a, b, k = key in
+      failwith
+        (Printf.sprintf
+           "Interface_table: conflicting declaration for (%s, %s, %d)" a b k)
+
+let declare tbl ~from ~into ~index iface =
+  add_one tbl (from, into, index) iface;
+  if not (String.equal from into) then
+    add_one tbl (into, from, index) (Interface.invert iface)
+
+let find tbl ~from ~into ~index = Hashtbl.find_opt tbl (from, into, index)
+
+let find_exn tbl ~from ~into ~index = Hashtbl.find tbl (from, into, index)
+
+let mem tbl ~from ~into ~index = Hashtbl.mem tbl (from, into, index)
+
+let indices tbl ~from ~into =
+  Hashtbl.fold
+    (fun (a, b, k) _ acc ->
+      if String.equal a from && String.equal b into then k :: acc else acc)
+    tbl []
+  |> List.sort_uniq Int.compare
+
+let length tbl = Hashtbl.length tbl
+
+let fold f tbl init =
+  Hashtbl.fold (fun (from, into, index) iface acc -> f ~from ~into ~index iface acc)
+    tbl init
+
+let next_index tbl ~from ~into =
+  let used = indices tbl ~from ~into in
+  let rec go i = if List.mem i used then go (i + 1) else i in
+  go 1

@@ -1,0 +1,52 @@
+(** The interface table (section 2.4).
+
+    A mapping from triplets (cellname1, cellname2, interface index) to
+    interfaces, implemented with a hash table as in the thesis
+    ("interface lookup must be fast", section 4.5).
+
+    The table is {e bilateral}: when [Iab] is declared, the
+    corresponding [Iba] is loaded too, because during graph expansion
+    it is not known in advance which of the two instances has a known
+    placement (section 2.4).
+
+    When the two cells are the same ([A = A]), the forward and inverse
+    interfaces live under the same key, so a single canonical
+    interface I°aa is stored — the one whose {e reference instance}
+    the user graphically identified in the sample (section 3.4).
+    Directed connectivity-graph edges then select I°aa or its inverse
+    at expansion time. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+
+val declare :
+  t -> from:string -> into:string -> index:int -> Interface.t -> unit
+(** [declare tbl ~from:a ~into:b ~index iab] loads [Iab] under
+    [(a, b, index)] and [invert Iab] under [(b, a, index)] (unless
+    [a = b], where only the forward entry exists).  Re-declaring the
+    identical interface is a no-op; declaring a {e different} interface
+    for an existing key raises [Failure] — interface indices must be
+    unambiguous. *)
+
+val find : t -> from:string -> into:string -> index:int -> Interface.t option
+(** Interface for deriving the placement of [into] from the placement
+    of [from]. *)
+
+val find_exn : t -> from:string -> into:string -> index:int -> Interface.t
+
+val mem : t -> from:string -> into:string -> index:int -> bool
+
+val indices : t -> from:string -> into:string -> int list
+(** Sorted interface index numbers available between two cells (the
+    "family of legal interfaces", Figure 2.3). *)
+
+val length : t -> int
+(** Number of stored entries (bilateral pairs count twice). *)
+
+val fold :
+  (from:string -> into:string -> index:int -> Interface.t -> 'a -> 'a) ->
+  t -> 'a -> 'a
+
+val next_index : t -> from:string -> into:string -> int
+(** Smallest positive index not yet used between the two cells. *)

@@ -1,0 +1,90 @@
+open Rsg_geom
+open Rsg_layout
+
+type t = { db : Db.t; table : Interface_table.t }
+
+type declaration = {
+  d_from : string;
+  d_into : string;
+  d_index : int;
+  d_duplicate : bool;
+}
+
+exception Bad_label of string
+
+let create () = { db = Db.create (); table = Interface_table.create () }
+
+let load_cell s cell = Db.add s.db cell
+
+let declare_by_example s ?index ref_inst other_inst =
+  let from = ref_inst.Cell.def.Cell.cname
+  and into = other_inst.Cell.def.Cell.cname in
+  if not (Db.mem s.db from) then Db.add s.db ref_inst.Cell.def;
+  if not (Db.mem s.db into) then Db.add s.db other_inst.Cell.def;
+  let index =
+    match index with
+    | Some i -> i
+    | None -> Interface_table.next_index s.table ~from ~into
+  in
+  let iface = Interface.of_instances ref_inst other_inst in
+  Interface_table.declare s.table ~from ~into ~index iface;
+  index
+
+let extract s assembly =
+  let insts = Cell.instances assembly in
+  List.iter (fun (i : Cell.instance) ->
+      if not (Db.mem s.db i.Cell.def.Cell.cname) then Db.add s.db i.Cell.def)
+    insts;
+  let containing at =
+    List.filter
+      (fun (i : Cell.instance) ->
+        match Cell.instance_bbox i with
+        | Some b -> Box.contains b at
+        | None -> false)
+      insts
+  in
+  List.filter_map
+    (fun (l : Cell.label) ->
+      match int_of_string_opt l.Cell.text with
+      | None -> None (* non-numeric labels are just annotations *)
+      | Some index -> (
+        match containing l.Cell.at with
+        | [ first; second ] ->
+          let from = first.Cell.def.Cell.cname
+          and into = second.Cell.def.Cell.cname in
+          let iface = Interface.of_instances first second in
+          let dup =
+            match Interface_table.find s.table ~from ~into ~index with
+            | Some existing -> Interface.equal existing iface
+            | None -> false
+          in
+          Interface_table.declare s.table ~from ~into ~index iface;
+          Some { d_from = from; d_into = into; d_index = index; d_duplicate = dup }
+        | others ->
+          raise
+            (Bad_label
+               (Printf.sprintf
+                  "label %s at %s covers %d instances in cell %s (need 2)"
+                  l.Cell.text (Vec.to_string l.Cell.at) (List.length others)
+                  assembly.Cell.cname))))
+    (Cell.labels assembly)
+
+let of_assemblies assemblies =
+  let s = create () in
+  let decls = List.concat_map (extract s) assemblies in
+  (s, decls)
+
+let of_db db =
+  let s = create () in
+  List.iter
+    (fun cell -> if Cell.instances cell = [] then load_cell s cell)
+    (Db.cells db);
+  let decls =
+    List.concat_map
+      (fun cell ->
+        if Cell.instances cell <> [] && Cell.labels cell <> [] then
+          extract s cell
+        else [])
+      (Db.cells db)
+  in
+  (s, decls)

@@ -1,0 +1,59 @@
+(** Sample layouts: defining cells and interfaces by example
+    (sections 2.3, 5 and Figure 5.5).
+
+    A sample layout is a set of cell definitions plus assembly cells in
+    which pairs of instances are placed with the desired relative
+    placement; a numeric label dropped in the overlap of the two
+    instances' bounding boxes names the interface index.  Extraction
+    turns each such label into an interface-table entry.
+
+    For same-celltype interfaces the {e reference instance} (the one
+    deskewed to north, at whose point of call the interface vector
+    begins — section 3.4) is the instance appearing {e earlier} in the
+    assembly cell's object order.  This plays the role of the thesis's
+    "graphical discrimination" of the reference instance. *)
+
+open Rsg_layout
+
+type t = {
+  db : Db.t;                    (** primitive cell definitions *)
+  table : Interface_table.t;    (** extracted interfaces *)
+}
+
+type declaration = {
+  d_from : string;
+  d_into : string;
+  d_index : int;
+  d_duplicate : bool;  (** an identical entry was already in the table *)
+}
+
+exception Bad_label of string
+(** Raised when a numeric label does not sit in the bounding-box
+    overlap of exactly two instances. *)
+
+val create : unit -> t
+
+val load_cell : t -> Cell.t -> unit
+(** Register a primitive cell definition. *)
+
+val declare_by_example :
+  t -> ?index:int -> Cell.instance -> Cell.instance -> int
+(** Compute the interface between two instances placed in a common
+    coordinate system (first argument is the reference instance) and
+    load it.  [index] defaults to the next free index for the pair.
+    Returns the index used.  Registers both cell definitions. *)
+
+val extract : t -> Cell.t -> declaration list
+(** Scan an assembly cell: register the definitions of all its
+    instances and declare one interface per integer-valued label.
+    Returns the declarations in label order. *)
+
+val of_assemblies : Cell.t list -> t * declaration list
+(** Build a sample from assembly cells (extracting each in turn). *)
+
+val of_db : Db.t -> t * declaration list
+(** Build a sample from a whole cell table (e.g. one read from a
+    sample CIF/DEF file): instance-free cells register as leaf
+    definitions; every cell containing both instances and labels is
+    extracted as an assembly.  This is the file half of the
+    Figure 1.1 flow. *)

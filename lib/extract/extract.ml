@@ -1,0 +1,123 @@
+open Rsg_geom
+open Rsg_layout
+
+type device = {
+  gate : Box.t;
+  poly_item : int;
+  diff_item : int;
+  gate_net : int;
+}
+
+type netlist = {
+  items : Rsg_compact.Scanline.item array;
+  nets : int array;
+  n_nets : int;
+  devices : device list;
+  terminals : (string * int) list;
+}
+
+let proper_overlap (a : Box.t) (b : Box.t) =
+  a.Box.xmin < b.Box.xmax && b.Box.xmin < a.Box.xmax && a.Box.ymin < b.Box.ymax
+  && b.Box.ymin < a.Box.ymax
+
+let is_conductor = function
+  | Layer.Metal | Layer.Poly | Layer.Diffusion | Layer.Contact
+  | Layer.Contact_cut ->
+    true
+  | Layer.Implant | Layer.Buried | Layer.Overglass -> false
+
+let of_items ?(rules = Rsg_compact.Rules.default) items labels =
+  let nets = Rsg_compact.Scanline.nets_of rules items in
+  let n = Array.length items in
+  (* count distinct nets over conductor items only *)
+  let reps = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    if is_conductor items.(i).Rsg_compact.Scanline.layer then
+      Hashtbl.replace reps nets.(i) ()
+  done;
+  (* devices: one per maximal poly-over-diffusion overlap region.
+     Overlapping gate rectangles from fragmented poly or diffusion are
+     merged so a transistor drawn in pieces counts once. *)
+  let raw_gates = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let a = items.(i) and b = items.(j) in
+      if
+        a.Rsg_compact.Scanline.layer = Layer.Poly
+        && b.Rsg_compact.Scanline.layer = Layer.Diffusion
+        && proper_overlap a.Rsg_compact.Scanline.box b.Rsg_compact.Scanline.box
+      then
+        match
+          Box.intersect a.Rsg_compact.Scanline.box b.Rsg_compact.Scanline.box
+        with
+        | Some g ->
+          raw_gates :=
+            { gate = g; poly_item = i; diff_item = j; gate_net = nets.(i) }
+            :: !raw_gates
+        | None -> ()
+    done
+  done;
+  (* merge touching gate regions of the same gate net *)
+  let gates = Array.of_list !raw_gates in
+  let parent = Array.init (Array.length gates) Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  for i = 0 to Array.length gates - 1 do
+    for j = i + 1 to Array.length gates - 1 do
+      if
+        gates.(i).gate_net = gates.(j).gate_net
+        && Box.overlaps gates.(i).gate gates.(j).gate
+      then begin
+        let ri = find i and rj = find j in
+        if ri <> rj then parent.(ri) <- rj
+      end
+    done
+  done;
+  let devices =
+    Array.to_list
+      (Array.of_seq
+         (Hashtbl.to_seq_values
+            (let tbl = Hashtbl.create 16 in
+             Array.iteri
+               (fun i d ->
+                 let r = find i in
+                 match Hashtbl.find_opt tbl r with
+                 | None -> Hashtbl.replace tbl r d
+                 | Some d0 ->
+                   Hashtbl.replace tbl r { d0 with gate = Box.union d0.gate d.gate })
+               gates;
+             tbl)))
+  in
+  let terminals =
+    List.filter_map
+      (fun (text, at) ->
+        let rec hunt i =
+          if i >= n then None
+          else if
+            is_conductor items.(i).Rsg_compact.Scanline.layer
+            && Box.contains items.(i).Rsg_compact.Scanline.box at
+          then Some (text, nets.(i))
+          else hunt (i + 1)
+        in
+        hunt 0)
+      labels
+  in
+  { items; nets; n_nets = Hashtbl.length reps; devices; terminals }
+
+let of_cell ?rules cell =
+  let f = Flatten.flatten cell in
+  let items =
+    Array.of_list
+      (List.map
+         (fun (layer, box) -> { Rsg_compact.Scanline.layer; box })
+         f.Flatten.flat_boxes)
+  in
+  of_items ?rules items f.Flatten.flat_labels
+
+let n_devices nl = List.length nl.devices
+
+let net_of_terminal nl name = List.assoc_opt name nl.terminals
+
+let connected nl a b =
+  match (net_of_terminal nl a, net_of_terminal nl b) with
+  | Some na, Some nb -> na = nb
+  | _ -> raise Not_found

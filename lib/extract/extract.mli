@@ -1,0 +1,49 @@
+(** Circuit extraction (the thesis's flow used EXCL [23] for this
+    step: "using the RSG for layout generation, EXCL for circuit
+    extraction, and SPICE for circuit simulation").
+
+    A deliberately small extractor over flattened box geometry:
+
+    - {e nets}: connected components of touching geometry on
+      connecting layers (the same union-find the compactor uses);
+    - {e devices}: MOS transistors, one per maximal poly-over-diffusion
+      overlap region, with gate dimensions;
+    - {e terminals}: labels resolved to the net under them.
+
+    Enough to close the generation -> extraction loop in tests: the
+    multiplier's transistor census must follow its personalisation
+    rules, and every named terminal must land on a distinct net. *)
+
+open Rsg_geom
+open Rsg_layout
+
+type device = {
+  gate : Box.t;        (** the poly-diffusion overlap region *)
+  poly_item : int;
+  diff_item : int;
+  gate_net : int;      (** net of the poly gate *)
+}
+
+type netlist = {
+  items : Rsg_compact.Scanline.item array;
+  nets : int array;          (** per item, representative index *)
+  n_nets : int;              (** distinct conductor nets *)
+  devices : device list;
+  terminals : (string * int) list;  (** label -> net (labels on conductors) *)
+}
+
+val of_items :
+  ?rules:Rsg_compact.Rules.t ->
+  Rsg_compact.Scanline.item array -> (string * Vec.t) list -> netlist
+(** Extract from flat geometry plus labels. *)
+
+val of_cell : ?rules:Rsg_compact.Rules.t -> Cell.t -> netlist
+(** Flatten and extract. *)
+
+val n_devices : netlist -> int
+
+val net_of_terminal : netlist -> string -> int option
+
+val connected : netlist -> string -> string -> bool
+(** Do two named terminals share a net?  Raises [Not_found] if either
+    label is missing. *)

@@ -1,0 +1,72 @@
+type t = { xmin : int; ymin : int; xmax : int; ymax : int }
+
+let make ~xmin ~ymin ~xmax ~ymax =
+  { xmin = min xmin xmax;
+    ymin = min ymin ymax;
+    xmax = max xmin xmax;
+    ymax = max ymin ymax }
+
+let of_corners (a : Vec.t) (b : Vec.t) =
+  make ~xmin:a.x ~ymin:a.y ~xmax:b.x ~ymax:b.y
+
+let of_size ~(origin : Vec.t) ~width ~height =
+  if width < 0 || height < 0 then invalid_arg "Box.of_size";
+  { xmin = origin.x; ymin = origin.y;
+    xmax = origin.x + width; ymax = origin.y + height }
+
+let width b = b.xmax - b.xmin
+
+let height b = b.ymax - b.ymin
+
+let area b = width b * height b
+
+let center2 b = Vec.make (b.xmin + b.xmax) (b.ymin + b.ymax)
+
+let translate (v : Vec.t) b =
+  { xmin = b.xmin + v.x; ymin = b.ymin + v.y;
+    xmax = b.xmax + v.x; ymax = b.ymax + v.y }
+
+let transform o b =
+  let p = Orient.apply o (Vec.make b.xmin b.ymin)
+  and q = Orient.apply o (Vec.make b.xmax b.ymax) in
+  of_corners p q
+
+let contains b (v : Vec.t) =
+  b.xmin <= v.x && v.x <= b.xmax && b.ymin <= v.y && v.y <= b.ymax
+
+let overlaps a b =
+  a.xmin <= b.xmax && b.xmin <= a.xmax && a.ymin <= b.ymax && b.ymin <= a.ymax
+
+let intersect a b =
+  if overlaps a b then
+    Some { xmin = max a.xmin b.xmin; ymin = max a.ymin b.ymin;
+           xmax = min a.xmax b.xmax; ymax = min a.ymax b.ymax }
+  else None
+
+let union a b =
+  { xmin = min a.xmin b.xmin; ymin = min a.ymin b.ymin;
+    xmax = max a.xmax b.xmax; ymax = max a.ymax b.ymax }
+
+let inflate k b =
+  let b' =
+    { xmin = b.xmin - k; ymin = b.ymin - k;
+      xmax = b.xmax + k; ymax = b.ymax + k }
+  in
+  if b'.xmin > b'.xmax || b'.ymin > b'.ymax then invalid_arg "Box.inflate"
+  else b'
+
+let equal a b =
+  a.xmin = b.xmin && a.ymin = b.ymin && a.xmax = b.xmax && a.ymax = b.ymax
+
+let compare a b =
+  let c = Int.compare a.xmin b.xmin in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.ymin b.ymin in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.xmax b.xmax in
+      if c <> 0 then c else Int.compare a.ymax b.ymax
+
+let pp ppf b =
+  Format.fprintf ppf "[%d,%d..%d,%d]" b.xmin b.ymin b.xmax b.ymax

@@ -1,0 +1,26 @@
+type t = { orient : Orient.t; offset : Vec.t }
+
+let identity = { orient = Orient.identity; offset = Vec.zero }
+
+let make ?(orient = Orient.north) offset = { orient; offset }
+
+let of_orient orient = { orient; offset = Vec.zero }
+
+let apply t v = Vec.add t.offset (Orient.apply t.orient v)
+
+let apply_box t b = Box.translate t.offset (Box.transform t.orient b)
+
+(* (t2 o t1)(v) = off2 + o2(off1 + o1 v) = (off2 + o2 off1) + (o2 o o1) v *)
+let compose t2 t1 =
+  { orient = Orient.compose t2.orient t1.orient;
+    offset = Vec.add t2.offset (Orient.apply t2.orient t1.offset) }
+
+(* t(v) = off + o v  =>  t^-1(w) = o^-1 (w - off) = -o^-1 off + o^-1 w *)
+let invert t =
+  let oi = Orient.invert t.orient in
+  { orient = oi; offset = Vec.neg (Orient.apply oi t.offset) }
+
+let equal a b = Orient.equal a.orient b.orient && Vec.equal a.offset b.offset
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a@%a@]" Orient.pp t.orient Vec.pp t.offset

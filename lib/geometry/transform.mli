@@ -1,0 +1,31 @@
+(** Full placement isometries: an orientation about the origin followed
+    by a translation.
+
+    Calling an instance of B in A with point of call [l] and
+    orientation [o] (section 2.1) applies exactly the transform
+    [{ orient = o; offset = l }] to every object of B.  Transforms
+    compose like instance nesting: if A is called in B with [t1] and B
+    in C with [t2], objects of A land in C under [compose t2 t1]. *)
+
+type t = { orient : Orient.t; offset : Vec.t }
+
+val identity : t
+
+val make : ?orient:Orient.t -> Vec.t -> t
+(** [make ~orient offset]; [orient] defaults to {!Orient.north}. *)
+
+val of_orient : Orient.t -> t
+
+val apply : t -> Vec.t -> Vec.t
+(** [apply t v = offset + orient(v)]. *)
+
+val apply_box : t -> Box.t -> Box.t
+
+val compose : t -> t -> t
+(** [compose t2 t1] applies [t1] first. *)
+
+val invert : t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type t = { x : int; y : int }
+
+let make x y = { x; y }
+
+let zero = { x = 0; y = 0 }
+
+let add a b = { x = a.x + b.x; y = a.y + b.y }
+
+let sub a b = { x = a.x - b.x; y = a.y - b.y }
+
+let neg a = { x = -a.x; y = -a.y }
+
+let scale k a = { x = k * a.x; y = k * a.y }
+
+let equal a b = a.x = b.x && a.y = b.y
+
+let compare a b =
+  let c = Int.compare a.x b.x in
+  if c <> 0 then c else Int.compare a.y b.y
+
+let dot a b = (a.x * b.x) + (a.y * b.y)
+
+let norm2 a = dot a a
+
+let manhattan a = abs a.x + abs a.y
+
+let pp ppf a = Format.fprintf ppf "(%d,%d)" a.x a.y
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,39 @@
+(** Exact two-dimensional integer vectors.
+
+    All RSG geometry lives on an integer grid (lambda units in the
+    thesis).  Using exact integers rather than floats removes the
+    numerical-inaccuracy concerns the thesis raises in section 2.6
+    about sin/cos based orientation application. *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+
+val zero : t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+(** [neg v] is the vector pointing the opposite way. *)
+val neg : t -> t
+
+(** [scale k v] multiplies both coordinates by [k]. *)
+val scale : int -> t -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** Dot product. *)
+val dot : t -> t -> int
+
+(** Squared Euclidean length (exact). *)
+val norm2 : t -> int
+
+(** Manhattan length [|x| + |y|]. *)
+val manhattan : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

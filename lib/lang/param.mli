@@ -1,0 +1,29 @@
+(** Parameter files (section 4.1, Appendix C).
+
+    A parameter file provides the size and functional specification of
+    a particular generation run.  It contains
+
+    - directives of the form [.key:value] (e.g. [.example_file:...],
+      [.output_file:...]), and
+    - bindings of the form [name=value], where the value is an integer
+      ([vinum=2]), a quoted string ([mularrayname="array"]), or a bare
+      symbol ([corecell=cell]) that will be resolved through the
+      scoping rules at each use — this is how design-file variable
+      names are personalised to the cell names of a sample layout.
+
+    Lines starting with [;] or [#] and blank lines are ignored. *)
+
+type t = {
+  directives : (string * string) list;  (** in file order *)
+  bindings : (string * Value.t) list;   (** in file order *)
+}
+
+exception Param_error of { line : int; message : string }
+
+val parse : string -> t
+
+val parse_file : string -> t
+
+val directive : t -> string -> string option
+
+val binding : t -> string -> Value.t option

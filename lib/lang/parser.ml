@@ -1,0 +1,199 @@
+exception Syntax_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Syntax_error s)) fmt
+
+let is_int s = match int_of_string_opt s with Some _ -> true | None -> false
+
+(* An atom names an indexed variable when it contains a dot and is not
+   an integer (integers never contain dots in this language, but keep
+   the guard for safety). *)
+let has_dot s = String.contains s '.'
+
+(* Split "a.i.j" -> ("a", ["i"; "j"], trailing) where trailing is true
+   for "a." / "a.i." forms that take further indices from the token
+   stream. *)
+let split_dotted s =
+  match String.split_on_char '.' s with
+  | [] | [ _ ] -> fail "split_dotted: no dot in %s" s
+  | base :: rest ->
+    if base = "" then fail "variable name missing before dot in %S" s;
+    let trailing = List.exists (( = ) "") rest in
+    if trailing && List.filter (( = ) "") rest <> [ "" ] then
+      fail "malformed indexed variable %S" s;
+    let segs = List.filter (( <> ) "") rest in
+    (base, segs, trailing)
+
+let seg_expr s =
+  match int_of_string_opt s with
+  | Some n -> Ast.Int n
+  | None -> Ast.Var (Ast.Simple s)
+
+(* ------------------------------------------------------------------ *)
+(* Expression conversion with dotted-variable reassembly.              *)
+
+let rec exprs_of_sexps sexps : Ast.expr list =
+  match sexps with
+  | [] -> []
+  | Sexp.Atom a :: rest when has_dot a && not (is_int a) ->
+    let base, segs, trailing = split_dotted a in
+    let indices = List.map seg_expr segs in
+    let indices, rest =
+      if trailing then
+        match rest with
+        | idx :: rest' -> (indices @ [ expr_of_sexp idx ], rest')
+        | [] -> fail "indexed variable %s. missing its index" base
+      else (indices, rest)
+    in
+    (* a following atom that starts with '.' continues the index list:
+       m.(i).(j) lexes as "m." (i) "." (j). *)
+    let rec continue indices rest =
+      match rest with
+      | Sexp.Atom a' :: rest' when String.length a' > 0 && a'.[0] = '.' ->
+        let segs' = List.filter (( <> ) "") (String.split_on_char '.' a') in
+        let indices = indices @ List.map seg_expr segs' in
+        if a'.[String.length a' - 1] = '.' then
+          match rest' with
+          | idx :: rest'' ->
+            continue (indices @ [ expr_of_sexp idx ]) rest''
+          | [] -> fail "indexed variable missing its index"
+        else continue indices rest'
+      | _ -> (indices, rest)
+    in
+    let indices, rest = continue indices rest in
+    if List.length indices > 2 then fail "more than two indices on %s" base;
+    Ast.Var (Ast.Indexed (base, indices)) :: exprs_of_sexps rest
+  | s :: rest -> expr_of_sexp s :: exprs_of_sexps rest
+
+and expr_of_sexp (s : Sexp.t) : Ast.expr =
+  match s with
+  | Sexp.Str str -> Ast.Str str
+  | Sexp.Atom a -> (
+    match int_of_string_opt a with
+    | Some n -> Ast.Int n
+    | None -> (
+      match a with
+      | "true" -> Ast.Bool true
+      | "false" -> Ast.Bool false
+      | _ ->
+        if has_dot a then
+          match exprs_of_sexps [ s ] with
+          | [ e ] -> e
+          | _ -> fail "bad dotted atom %S" a
+        else Ast.Var (Ast.Simple a)))
+  | Sexp.List [] -> fail "empty list is not an expression"
+  | Sexp.List (Sexp.Atom head :: args) -> special_or_call head args
+  | Sexp.List _ -> fail "expression list must start with an operator name"
+
+and var_of_expr = function
+  | Ast.Var v -> v
+  | e -> fail "expected a variable, got %a" Ast.pp_expr e
+
+and special_or_call head args =
+  match head with
+  | "cond" ->
+    let clause = function
+      | Sexp.List (test :: body) ->
+        (expr_of_sexp test, exprs_of_sexps body)
+      | _ -> fail "cond clause must be a (test body...) list"
+    in
+    Ast.Cond (List.map clause args)
+  | "do" -> (
+    match args with
+    | Sexp.List header :: body -> (
+      match exprs_of_sexps header with
+      | [ Ast.Var (Ast.Simple loop_var); init; next; until ] ->
+        Ast.Do { loop_var; init; next; until; body = exprs_of_sexps body }
+      | _ -> fail "do header must be (var init next exit)")
+    | _ -> fail "do requires a (var init next exit) header")
+  | "assign" | "setq" -> (
+    match exprs_of_sexps args with
+    | [ target; value ] -> Ast.Assign (var_of_expr target, value)
+    | _ -> fail "%s takes a variable and a value" head)
+  | "prog" -> Ast.Prog (exprs_of_sexps args)
+  | "print" -> (
+    match exprs_of_sexps args with
+    | [ e ] -> Ast.Print e
+    | _ -> fail "print takes one argument")
+  | "read" ->
+    if args <> [] then fail "read takes no arguments";
+    Ast.Read
+  | "mk_instance" | "mkinstance" -> (
+    match exprs_of_sexps args with
+    | [ target; cell ] -> Ast.Mk_instance (var_of_expr target, cell)
+    | _ -> fail "mk_instance takes a variable and a cell")
+  | "connect" -> (
+    match exprs_of_sexps args with
+    | [ a; b; index ] -> Ast.Connect (a, b, index)
+    | _ -> fail "connect takes two nodes and an interface number")
+  | "subcell" -> (
+    match exprs_of_sexps args with
+    | [ env; binding ] -> Ast.Subcell (env, var_of_expr binding)
+    | _ -> fail "subcell takes an environment and a variable")
+  | "mk_cell" | "mkcell" -> (
+    match exprs_of_sexps args with
+    | [ name; root ] -> Ast.Mk_cell (name, root)
+    | _ -> fail "mk_cell takes a name and a root node")
+  | "declare_interface" | "declareinterface" -> (
+    match exprs_of_sexps args with
+    | [ c1; c2; newi; i1; i2; oldi ] ->
+      Ast.Declare_interface
+        { di_cell1 = c1; di_cell2 = c2; di_new_index = newi; di_inst1 = i1;
+          di_inst2 = i2; di_old_index = oldi }
+    | _ -> fail "declare_interface takes six arguments")
+  | "defun" | "macro" -> fail "%s only allowed at top level" head
+  | _ -> Ast.Call (head, exprs_of_sexps args)
+
+(* ------------------------------------------------------------------ *)
+(* Top-level forms                                                     *)
+
+let locals_of_sexps sexps =
+  List.map
+    (function
+      | Sexp.Atom a ->
+        if String.length a > 1 && a.[String.length a - 1] = '.' then
+          Ast.Array_local (String.sub a 0 (String.length a - 1))
+        else Ast.Scalar_local a
+      | s -> fail "bad local declaration %a" Sexp.pp s)
+    sexps
+
+let formals_of_sexp = function
+  | Sexp.List items ->
+    List.map
+      (function
+        | Sexp.Atom a -> a
+        | s -> fail "bad formal parameter %a" Sexp.pp s)
+      items
+  | s -> fail "formals must be a list, got %a" Sexp.pp s
+
+let proc_of_sexps ~is_macro = function
+  | Sexp.Atom name :: formals :: rest ->
+    if is_macro && not (String.length name > 0 && name.[0] = 'm') then
+      fail "macro names must begin with 'm': %s" name;
+    if (not is_macro) && String.length name > 0 && name.[0] = 'm' then
+      fail "function names must not begin with 'm': %s" name;
+    let formals = formals_of_sexp formals in
+    let locals, body =
+      match rest with
+      | Sexp.List (Sexp.Atom ("locals" | "local") :: decls) :: body ->
+        (locals_of_sexps decls, body)
+      | body -> ([], body)
+    in
+    { Ast.proc_name = name; formals; locals;
+      body = exprs_of_sexps body; is_macro }
+  | _ -> fail "malformed procedure definition"
+
+let toplevel_of_sexp = function
+  | Sexp.List (Sexp.Atom "defun" :: rest) ->
+    Ast.Defproc (proc_of_sexps ~is_macro:false rest)
+  | Sexp.List (Sexp.Atom "macro" :: rest) ->
+    Ast.Defproc (proc_of_sexps ~is_macro:true rest)
+  | s -> Ast.Expr (expr_of_sexp s)
+
+let program_of_sexps sexps = List.map toplevel_of_sexp sexps
+
+let parse_program src = program_of_sexps (Sexp.parse_string src)
+
+let parse_expr src =
+  match Sexp.parse_string src with
+  | [ s ] -> expr_of_sexp s
+  | _ -> fail "expected exactly one expression"

@@ -1,0 +1,17 @@
+(** Second parsing stage: s-expressions to design-file AST.
+
+    Implements the grammar of Appendix A, including the reassembly of
+    indexed variables from dotted atoms ([c.i], [l.1], [arr.i.j]) and
+    the split forms where a trailing-dot atom takes the following
+    expression as its index ([l.(- i 1)], [l. (- i 1)]). *)
+
+exception Syntax_error of string
+
+val program_of_sexps : Sexp.t list -> Ast.toplevel list
+
+val parse_program : string -> Ast.toplevel list
+(** [parse_program source] = {!Sexp.parse_string} then
+    {!program_of_sexps}. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (for tests and the REPL-ish helpers). *)

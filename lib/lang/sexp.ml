@@ -1,0 +1,102 @@
+type t = Atom of string | Str of string | List of t list
+
+exception Parse_error of { line : int; message : string }
+
+type token = Lparen | Rparen | Tatom of string | Tstr of string
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let i = ref 0 in
+  let fail message = raise (Parse_error { line = !line; message }) in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = ';' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then begin
+      toks := (Lparen, !line) :: !toks;
+      incr i
+    end
+    else if c = ')' then begin
+      toks := (Rparen, !line) :: !toks;
+      incr i
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let d = src.[!i] in
+        if d = '"' then closed := true
+        else begin
+          if d = '\n' then incr line;
+          Buffer.add_char buf d
+        end;
+        incr i
+      done;
+      if not !closed then fail "unterminated string literal";
+      toks := (Tstr (Buffer.contents buf), !line) :: !toks
+    end
+    else begin
+      let start = !i in
+      while
+        !i < n
+        && (match src.[!i] with
+           | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' -> false
+           | _ -> true)
+      do
+        incr i
+      done;
+      toks := (Tatom (String.sub src start (!i - start)), !line) :: !toks
+    end
+  done;
+  List.rev !toks
+
+let parse_string src =
+  let toks = ref (tokenize src) in
+  let fail line message = raise (Parse_error { line; message }) in
+  let rec parse_one () =
+    match !toks with
+    | [] -> fail 0 "unexpected end of input"
+    | (tok, line) :: rest -> (
+      toks := rest;
+      match tok with
+      | Tatom a -> Atom a
+      | Tstr s -> Str s
+      | Lparen ->
+        let items = ref [] in
+        let rec loop () =
+          match !toks with
+          | [] -> fail line "unclosed parenthesis"
+          | (Rparen, _) :: rest ->
+            toks := rest
+          | _ ->
+            items := parse_one () :: !items;
+            loop ()
+        in
+        loop ();
+        List (List.rev !items)
+      | Rparen -> fail line "unexpected )")
+  in
+  let forms = ref [] in
+  while !toks <> [] do
+    forms := parse_one () :: !forms
+  done;
+  List.rev !forms
+
+let rec pp ppf = function
+  | Atom a -> Format.pp_print_string ppf a
+  | Str s -> Format.fprintf ppf "%S" s
+  | List items ->
+    Format.fprintf ppf "(@[<hov>%a@])"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+      items

@@ -1,0 +1,22 @@
+(** Surface syntax of design files: s-expressions with dotted atoms.
+
+    The design-file language is "a variant of Lisp" (Chapter 4), so the
+    first parsing stage is a conventional s-expression reader.  The one
+    wrinkle is indexed variables: [c.i], [l.1], [arr.i.j] and the
+    split forms [l.(- i 1)] where the index is a parenthesised
+    expression following an atom that ends in a dot.  The reader keeps
+    atoms intact (dots included); {!Parser} reassembles indexed
+    variables from adjacent atoms. *)
+
+type t =
+  | Atom of string      (** symbol, integer or dotted atom *)
+  | Str of string       (** double-quoted string literal *)
+  | List of t list
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> t list
+(** Parse a whole file's worth of top-level forms.  Comments run from
+    [;] to end of line.  Raises {!Parse_error}. *)
+
+val pp : Format.formatter -> t -> unit

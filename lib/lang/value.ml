@@ -1,0 +1,54 @@
+type t =
+  | Vunit
+  | Vint of int
+  | Vbool of bool
+  | Vstr of string
+  | Vsym of string
+  | Vnode of Rsg_core.Graph.node
+  | Vcell of Rsg_layout.Cell.t
+  | Venv of env
+  | Varray of (index, t) Hashtbl.t
+
+and index = Idx1 of int | Idx2 of int * int
+
+and env = {
+  frame : (string, t) Hashtbl.t;
+  parent : env option;
+  env_name : string;
+}
+
+let type_name = function
+  | Vunit -> "unit"
+  | Vint _ -> "integer"
+  | Vbool _ -> "boolean"
+  | Vstr _ -> "string"
+  | Vsym _ -> "symbol"
+  | Vnode _ -> "node"
+  | Vcell _ -> "cell"
+  | Venv _ -> "environment"
+  | Varray _ -> "array"
+
+let pp ppf = function
+  | Vunit -> Format.pp_print_string ppf "()"
+  | Vint n -> Format.pp_print_int ppf n
+  | Vbool b -> Format.pp_print_bool ppf b
+  | Vstr s -> Format.fprintf ppf "%S" s
+  | Vsym s -> Format.pp_print_string ppf s
+  | Vnode n ->
+    Format.fprintf ppf "<node %d of %s>" n.Rsg_core.Graph.id
+      n.Rsg_core.Graph.def.Rsg_layout.Cell.cname
+  | Vcell c -> Format.fprintf ppf "<cell %s>" c.Rsg_layout.Cell.cname
+  | Venv e -> Format.fprintf ppf "<environment of %s>" e.env_name
+  | Varray a -> Format.fprintf ppf "<array of %d entries>" (Hashtbl.length a)
+
+let equal_value a b =
+  match (a, b) with
+  | Vunit, Vunit -> true
+  | Vint x, Vint y -> x = y
+  | Vbool x, Vbool y -> x = y
+  | Vstr x, Vstr y | Vsym x, Vsym y | Vstr x, Vsym y | Vsym x, Vstr y ->
+    String.equal x y
+  | Vnode x, Vnode y -> x == y
+  | Vcell x, Vcell y -> x == y
+  | Venv x, Venv y -> x == y
+  | _ -> false

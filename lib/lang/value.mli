@@ -1,0 +1,38 @@
+(** Runtime values of the design-file language.
+
+    The language manipulates integers, booleans, strings, unresolved
+    symbols (from parameter files — the delayed-binding hook of
+    section 4.1), connectivity-graph nodes, cell definitions, arrays
+    (the language replaces Lisp lists with arrays, section 4),
+    and whole environments (macros return their evaluation
+    environment, section 4.2). *)
+
+type t =
+  | Vunit
+  | Vint of int
+  | Vbool of bool
+  | Vstr of string
+  | Vsym of string
+      (** a name from a parameter file, resolved through scoping rules
+          at each use (Table 4.1) *)
+  | Vnode of Rsg_core.Graph.node
+  | Vcell of Rsg_layout.Cell.t
+  | Venv of env
+  | Varray of (index, t) Hashtbl.t
+
+and index = Idx1 of int | Idx2 of int * int
+
+and env = {
+  frame : (string, t) Hashtbl.t;
+  parent : env option;
+  env_name : string;  (** procedure name, for error messages *)
+}
+
+val type_name : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal_value : t -> t -> bool
+(** Structural equality for scalars ([=] in the language); nodes,
+    cells and environments compare by identity; arrays are not
+    comparable (returns false). *)

@@ -1,0 +1,33 @@
+(** CIF 2.0 subset writer and reader.
+
+    CIF was one of the two layout file formats the RSG supported
+    (section 4.5).  We emit hierarchical symbol definitions ([DS]/[DF])
+    with the common [9 name;] and [94 label x y;] extensions, boxes,
+    layer selections and calls with [MX], [R] and [T] transformations.
+
+    Coordinates are written doubled (one lambda = two CIF units) so
+    that box centers — which CIF requires — stay exact integers.  The
+    reader reverses the doubling and accepts only geometry on that
+    grid. *)
+
+type read_result = {
+  db : Db.t;               (** every symbol read, by name *)
+  top : Cell.t option;     (** synthetic "(top)" cell holding top-level calls *)
+}
+
+val to_string : Cell.t -> string
+(** Serialise [cell] and every cell it references (children first),
+    ending with a top-level call of [cell]. *)
+
+val write_file : string -> Cell.t -> unit
+
+val of_string : string -> read_result
+(** Parse a CIF stream produced by {!to_string} (or a compatible
+    subset).  Raises [Failure] with a line-ish context message on
+    malformed input. *)
+
+val read_file : string -> read_result
+
+val roundtrip_equal : Cell.t -> Cell.t -> bool
+(** Structural equality on the flattened geometry of two cells — the
+    property the writer/reader pair preserves. *)

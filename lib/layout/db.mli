@@ -1,0 +1,34 @@
+(** The cell definition table.
+
+    Maps cell names to definitions.  The thesis implements this (like
+    the interface table and environment frames) with hash tables for
+    fast lookup during design-file execution, where variables routinely
+    resolve to cell names (section 4.5, Table 4.1). *)
+
+type t
+
+val create : ?size:int -> unit -> t
+
+val add : t -> Cell.t -> unit
+(** Register a cell.  Raises [Failure] if a different cell with the
+    same name is already present (re-adding the same cell is a
+    no-op). *)
+
+val find : t -> string -> Cell.t option
+
+val find_exn : t -> string -> Cell.t
+(** Raises [Not_found]. *)
+
+val mem : t -> string -> bool
+
+val names : t -> string list
+(** Sorted cell names. *)
+
+val cells : t -> Cell.t list
+(** Cells sorted by name. *)
+
+val length : t -> int
+
+val fresh_name : t -> string -> string
+(** [fresh_name db base] returns [base] if unused, otherwise
+    [base-2], [base-3], ... *)

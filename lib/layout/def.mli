@@ -1,0 +1,31 @@
+(** The native line-oriented layout format.
+
+    Section 4.5: "Two layout file formats (CIF and DEF) are
+    supported."  CIF is implemented faithfully in {!Cif}; DEF was an
+    MIT-internal format whose specification is lost, so this is a
+    plausible reconstruction: a simple hierarchical text format, one
+    object per line, human-diffable, loss-free for everything the
+    cell model holds.
+
+    {v
+    ; comment
+    cell <name>
+    b <layer> <xmin> <ymin> <xmax> <ymax>
+    l <text> <x> <y>
+    c <cellname> <x> <y> <orientation>
+    end
+    top <name>
+    v} *)
+
+type read_result = { db : Db.t; top : Cell.t option }
+
+val to_string : Cell.t -> string
+(** Children-first; a [top] line names the root. *)
+
+val write_file : string -> Cell.t -> unit
+
+val of_string : string -> read_result
+(** Raises [Failure] with a line number on malformed input.  Cells
+    must be defined before they are called. *)
+
+val read_file : string -> read_result

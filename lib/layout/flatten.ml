@@ -1,0 +1,93 @@
+open Rsg_geom
+
+type flat = {
+  flat_boxes : (Layer.t * Box.t) list;
+  flat_labels : (string * Vec.t) list;
+}
+
+let rec fold_objects ~max_depth ~depth t (cell : Cell.t) ~box ~label ~inst acc
+    =
+  if depth > max_depth then
+    failwith ("Flatten: max depth exceeded in cell " ^ cell.Cell.cname);
+  List.fold_left
+    (fun acc obj ->
+      match obj with
+      | Cell.Obj_box (l, b) -> box acc l (Transform.apply_box t b)
+      | Cell.Obj_label l -> label acc l.Cell.text (Transform.apply t l.Cell.at)
+      | Cell.Obj_instance i ->
+        let t' = Transform.compose t (Cell.transform_of_instance i) in
+        let acc = inst acc i.Cell.def t' in
+        fold_objects ~max_depth ~depth:(depth + 1) t' i.Cell.def ~box ~label
+          ~inst acc)
+    acc (Cell.objects cell)
+
+let flatten ?(max_depth = 64) cell =
+  let boxes, labels =
+    fold_objects ~max_depth ~depth:0 Transform.identity cell
+      ~box:(fun (bs, ls) l b -> ((l, b) :: bs, ls))
+      ~label:(fun (bs, ls) text at -> (bs, (text, at) :: ls))
+      ~inst:(fun acc _ _ -> acc)
+      ([], [])
+  in
+  { flat_boxes = List.rev boxes; flat_labels = List.rev labels }
+
+let flat_bbox f =
+  List.fold_left
+    (fun acc (_, b) ->
+      match acc with None -> Some b | Some a -> Some (Box.union a b))
+    None f.flat_boxes
+
+type stats = {
+  n_boxes : int;
+  n_instances : int;
+  n_leaf_instances : int;
+  by_cell : (string * int) list;
+  box_area : int;
+  bbox : Box.t option;
+}
+
+let is_leaf (c : Cell.t) = Cell.instances c = []
+
+let stats ?(max_depth = 64) cell =
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let bump name =
+    Hashtbl.replace counts name (1 + Option.value ~default:0 (Hashtbl.find_opt counts name))
+  in
+  let n_boxes = ref 0
+  and n_instances = ref 0
+  and n_leaf = ref 0
+  and area = ref 0
+  and bb = ref None in
+  let () =
+    fold_objects ~max_depth ~depth:0 Transform.identity cell
+      ~box:(fun () _ b ->
+        incr n_boxes;
+        area := !area + Box.area b;
+        bb := (match !bb with None -> Some b | Some a -> Some (Box.union a b)))
+      ~label:(fun () _ _ -> ())
+      ~inst:(fun () def _ ->
+        incr n_instances;
+        if is_leaf def then incr n_leaf;
+        bump def.Cell.cname)
+      ()
+  in
+  let by_cell =
+    Hashtbl.fold (fun name n acc -> (name, n) :: acc) counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { n_boxes = !n_boxes;
+    n_instances = !n_instances;
+    n_leaf_instances = !n_leaf;
+    by_cell;
+    box_area = !area;
+    bbox = !bb }
+
+let instance_placements ?(max_depth = 64) cell =
+  let acc =
+    fold_objects ~max_depth ~depth:0 Transform.identity cell
+      ~box:(fun acc _ _ -> acc)
+      ~label:(fun acc _ _ -> acc)
+      ~inst:(fun acc def t -> (def.Cell.cname, t) :: acc)
+      []
+  in
+  List.rev acc

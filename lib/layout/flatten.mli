@@ -1,0 +1,34 @@
+(** Hierarchical flattening and layout statistics.
+
+    Expands a cell's instance hierarchy into absolute-coordinate
+    geometry.  Used by the CIF/DEF writers, by layout verification in
+    the tests, and by the flat-compaction baseline of experiment E10. *)
+
+open Rsg_geom
+
+type flat = {
+  flat_boxes : (Layer.t * Box.t) list;       (** absolute coordinates *)
+  flat_labels : (string * Vec.t) list;
+}
+
+val flatten : ?max_depth:int -> Cell.t -> flat
+(** Fully expand [cell].  [max_depth] (default 64) bounds recursion so
+    accidental instance cycles fail fast with [Failure]. *)
+
+val flat_bbox : flat -> Box.t option
+
+type stats = {
+  n_boxes : int;            (** boxes after flattening *)
+  n_instances : int;        (** instances expanded (all levels) *)
+  n_leaf_instances : int;   (** instances of cells containing no instances *)
+  by_cell : (string * int) list;  (** flattened instance count per cell name, sorted *)
+  box_area : int;           (** total flattened box area (overlaps counted twice) *)
+  bbox : Box.t option;
+}
+
+val stats : ?max_depth:int -> Cell.t -> stats
+
+val instance_placements :
+  ?max_depth:int -> Cell.t -> (string * Transform.t) list
+(** Absolute placement of every instance at every level, as
+    (cell name, transform) pairs in traversal order. *)

@@ -1,0 +1,35 @@
+open Rsg_geom
+
+(* (x,y) -> (y,x): reflect about y (x -> -x) then one clockwise
+   quarter turn ((x,y) -> (y,-x)). *)
+let transpose = Orient.make ~rot:1 ~refl:true
+
+let cell ?suffix o root =
+  let suffix =
+    match suffix with Some s -> s | None -> "-" ^ Orient.name o
+  in
+  let oi = Orient.invert o in
+  let seen : (string, Cell.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec go (c : Cell.t) =
+    match Hashtbl.find_opt seen c.Cell.cname with
+    | Some c' -> c'
+    | None ->
+      let c' = Cell.create (c.Cell.cname ^ suffix) in
+      Hashtbl.add seen c.Cell.cname c';
+      List.iter
+        (fun obj ->
+          match obj with
+          | Cell.Obj_box (layer, b) -> Cell.add_box c' layer (Box.transform o b)
+          | Cell.Obj_label l ->
+            Cell.add_label c' l.Cell.text (Orient.apply o l.Cell.at)
+          | Cell.Obj_instance i ->
+            (* conjugate the placement so contents land at o(original) *)
+            ignore
+              (Cell.add_instance c'
+                 ~orient:(Orient.compose (Orient.compose o i.Cell.orientation) oi)
+                 ~at:(Orient.apply o i.Cell.point_of_call)
+                 (go i.Cell.def)))
+        (Cell.objects c);
+      c'
+  in
+  go root

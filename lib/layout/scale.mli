@@ -1,0 +1,26 @@
+(** Lambda scaling.
+
+    Chapter 6 motivates the leaf-cell compactor with technology
+    transport: "a library of cells ... designed in an older technology
+    can quickly become obsolete as new process technologies with
+    smaller geometries become available."  Uniform lambda scaling is
+    the trivial half of transport (Mead-Conway's premise); the
+    compactor handles the non-uniform rest.  This module provides the
+    trivial half exactly: every coordinate in a hierarchy multiplied
+    by num/den, shared subcells scaled once. *)
+
+open Rsg_geom
+
+exception Inexact of { value : int; num : int; den : int }
+(** A coordinate that [num/den] does not scale to an integer. *)
+
+val vec : num:int -> den:int -> Vec.t -> Vec.t
+
+val box : num:int -> den:int -> Box.t -> Box.t
+
+val cell : ?suffix:string -> num:int -> ?den:int -> Cell.t -> Cell.t
+(** Deep-scale a cell and everything it instantiates (each definition
+    scaled once; sharing preserved).  Cell names get [suffix] (default
+    ["-s<num>[d<den>]"]).  [den] defaults to 1.  Raises {!Inexact} for
+    non-integral results and [Invalid_argument] for non-positive
+    factors. *)

@@ -1,0 +1,87 @@
+open Rsg_layout
+open Rsg_core
+
+type t = { cell : Cell.t; bits : int; sample : Sample.t }
+
+let cell_of sample name =
+  match Db.find sample.Sample.db name with
+  | Some c -> c
+  | None -> failwith ("Adder_gen: sample lacks cell " ^ name)
+
+let generate ?sample ~bits () =
+  if bits < 2 then invalid_arg "Adder_gen.generate: bits >= 2";
+  let sample =
+    match sample with Some s -> s | None -> fst (Sample_lib.build ())
+  in
+  let db = sample.Sample.db and tbl = sample.Sample.table in
+  let basic = cell_of sample Sample_lib.basic_cell in
+  let mask node name =
+    let m = Graph.mk_instance (cell_of sample name) in
+    Graph.connect node m 1
+  in
+  let row = Array.init bits (fun _ -> Graph.mk_instance basic) in
+  for i = 1 to bits - 1 do
+    Graph.connect row.(i - 1) row.(i) Sample_lib.h_index
+  done;
+  Array.iteri
+    (fun i node ->
+      mask node Sample_lib.type1;
+      mask node (if (i + 1) mod 2 = 0 then Sample_lib.clock1 else Sample_lib.clock2);
+      mask node
+        (if i = bits - 1 then Sample_lib.car2 else Sample_lib.car1))
+    row;
+  let name = Db.fresh_name db "adder" in
+  let cell = Expand.mk_cell ~db tbl name row.(0) in
+  { cell; bits; sample }
+
+(* ------------------------------------------------------------------ *)
+
+type model = { m_bits : int; net : Cellnet.t }
+
+let build_model ?beta ~bits () =
+  if bits < 1 then invalid_arg "Adder_gen.build_model";
+  let net = Cellnet.create () in
+  let zero = Cellnet.add_cell net (Cellnet.Const false) [] in
+  let one = Cellnet.add_cell net (Cellnet.Const true) [] in
+  let a_in =
+    Array.init bits (fun bit ->
+        Cellnet.add_cell net (Cellnet.Input { bus = "a"; bit }) [])
+  in
+  let b_in =
+    Array.init bits (fun bit ->
+        Cellnet.add_cell net (Cellnet.Input { bus = "b"; bit }) [])
+  in
+  (* the multiplier's cell with its AND gate neutralised: one operand
+     enters through the partial-product port (a AND true = a) *)
+  let carry = ref (Cellnet.signal zero "out") in
+  for i = 0 to bits - 1 do
+    let cell =
+      Cellnet.add_cell net ~pos:(i, 0)
+        (Cellnet.Adder { negate = false })
+        [ ("a", Cellnet.signal a_in.(i) "out");
+          ("b", Cellnet.signal one "out");
+          ("s", Cellnet.signal b_in.(i) "out");
+          ("c", !carry) ]
+    in
+    Cellnet.set_output net "s" i (Cellnet.signal cell "sum");
+    carry := Cellnet.signal cell "carry"
+  done;
+  Cellnet.set_output net "s" bits !carry;
+  (match beta with
+  | None -> Cellnet.combinational net
+  | Some b -> Cellnet.pipeline net ~beta:b);
+  { m_bits = bits; net }
+
+let add m a b =
+  let limit = 1 lsl m.m_bits in
+  if a < 0 || a >= limit || b < 0 || b >= limit then
+    invalid_arg "Adder_gen.add";
+  let stim ~bus ~bit ~cycle =
+    if cycle < 0 then false
+    else
+      let v = if String.equal bus "a" then a else b in
+      v land (1 lsl bit) <> 0
+  in
+  Cellnet.read_output m.net stim ~bus:"s" ~cycle:(Cellnet.latency m.net)
+
+let latency m = Cellnet.latency m.net

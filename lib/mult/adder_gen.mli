@@ -1,0 +1,37 @@
+(** A ripple-carry vector adder from the {e multiplier's} sample.
+
+    Section 1.2.2 argues that a sample layout does not constrain the
+    architecture generated from it ("the cells in many PLA sample
+    layouts can also be used to generate other layouts").  The same
+    holds here: the multiplier's basic cell is an AND gate plus a full
+    adder, so a row of them with the right personalisation masks is an
+    n-bit carry-ripple adder — a different architecture from the same
+    graphical information.
+
+    The companion logic model (a {!Cellnet} chain of the same cells,
+    a-inputs as one operand, partial-product path disabled) verifies
+    the architecture's function, and supports the same [beta]
+    pipelining as the multiplier. *)
+
+open Rsg_layout
+open Rsg_core
+
+type t = {
+  cell : Cell.t;      (** the adder row layout *)
+  bits : int;
+  sample : Sample.t;  (** the multiplier sample it was built from *)
+}
+
+val generate : ?sample:Sample.t -> bits:int -> unit -> t
+(** A row of [bits] basic cells, personalised type I with alternating
+    clocks and the carry-chain masks. *)
+
+type model = { m_bits : int; net : Cellnet.t }
+
+val build_model : ?beta:int -> bits:int -> unit -> model
+
+val add : model -> int -> int -> int
+(** [add m a b] for unsigned operands in [0, 2^bits): the full
+    (bits+1)-wide sum including the carry out. *)
+
+val latency : model -> int

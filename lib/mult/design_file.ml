@@ -1,0 +1,156 @@
+open Rsg_layout
+open Rsg_lang
+
+let text =
+  {|
+;; Design file for a pipelined Baugh-Wooley array multiplier
+;; (after Appendix B of the thesis).  All cell names and interface
+;; numbers come from the parameter file; the array architecture below
+;; is pure connectivity.
+
+;; --- cell personalisation -------------------------------------------
+
+(macro mcell (xsize ysize xloc yloc)
+  (locals c foo)
+  (mk_instance c corecell)
+  (cond ((= yloc (+ ysize 1)) (connect c (mk_instance foo typecell1) t1inum))
+        ((= xloc xsize)
+         (cond ((= yloc ysize) (connect c (mk_instance foo typecell1) t1inum))
+               (true (connect c (mk_instance foo typecell2) t2inum))))
+        (true
+         (cond ((= yloc ysize) (connect c (mk_instance foo typecell2) t2inum))
+               (true (connect c (mk_instance foo typecell1) t1inum)))))
+  (cond ((= (mod xloc 2) 0) (connect c (mk_instance foo clockcell1) clk1inum))
+        (true (connect c (mk_instance foo clockcell2) clk2inum)))
+  (cond ((= yloc ysize) (connect c (mk_instance foo carcell2) car2inum))
+        ((= yloc (+ ysize 1))
+         (cond ((= xloc xsize) (connect c (mk_instance foo carcell1) car1inum))
+               (true (connect c (mk_instance foo carcell2) car2inum))))
+        (true (connect c (mk_instance foo carcell1) car1inum))))
+
+;; --- the array -------------------------------------------------------
+
+(macro mrow (xsize ysize yloc)
+  (locals r.)
+  (assign r.1 (subcell (mcell xsize ysize 1 yloc) c))
+  (do (i 2 (+ i 1) (> i xsize))
+    (assign r.i (subcell (mcell xsize ysize i yloc) c))
+    (connect r.(- i 1) r.i hinum)))
+
+(macro marray (xsize ysize)
+  (locals rows. bottomleft bottomright topleft)
+  (assign rows.1 (mrow xsize ysize 1))
+  (do (j 2 (+ j 1) (> j (+ ysize 1)))
+    (assign rows.j (mrow xsize ysize j))
+    (connect (subcell rows.(- j 1) r.1) (subcell rows.j r.1) vinum))
+  (assign bottomleft (subcell rows.1 r.1))
+  (assign bottomright (subcell rows.1 r.xsize))
+  (assign topleft (subcell rows.(+ ysize 1) r.1)))
+
+;; --- peripheral register stacks -------------------------------------
+
+(macro mtopregs (xsize)
+  (locals cols. ref)
+  (assign cols.1 (array topregcell 1 topregvinum))
+  (assign ref (subcell cols.1 c.1))
+  (do (x 2 (+ x 1) (> x xsize))
+    (assign cols.x (array topregcell x topregvinum))
+    (connect (subcell cols.(- x 1) c.1) (subcell cols.x c.1) topreghinum))
+  (mk_cell topregisters ref))
+
+(macro mbottomregs (xsize)
+  (locals cols. ref)
+  (assign cols.1 (array bottomregcell xsize bottomregvinum))
+  (assign ref (subcell cols.1 c.1))
+  (do (x 2 (+ x 1) (> x xsize))
+    (assign cols.x (array bottomregcell (- (+ xsize 1) x) bottomregvinum))
+    (connect (subcell cols.(- x 1) c.1) (subcell cols.x c.1) bottomreghinum))
+  (mk_cell bottomregisters ref))
+
+(defun fmin (x y) (locals) (cond ((> x y) y) (true x)))
+
+(defun assdirection (rarray row length regnum)
+  (locals ins outs bi foo doublereg singlereg)
+  (assign ins (* row 2))
+  (assign outs (- regnum ins))
+  (assign bi (fmin ins outs))
+  (cond ((> ins outs)
+         (prog (assign doublereg leftdir) (assign singlereg sleftdir)))
+        (true
+         (prog (assign doublereg rightdir) (assign singlereg srightdir))))
+  (do (k 1 (+ k 1) (> k bi))
+    (connect (mk_instance foo bothdir) (subcell rarray c.k) rtoregsinum))
+  (connect (mk_instance foo singlereg) (subcell rarray c.(+ bi 1)) rtoregsinum)
+  (do (k (+ bi 2) (+ k 1) (> k length))
+    (connect (mk_instance foo doublereg) (subcell rarray c.k) rtoregsinum)))
+
+(macro mrightregs (ysize)
+  (locals rows. ref regnum length)
+  (assign regnum (+ (* 3 ysize) 1))
+  (assign length (+ (// regnum 2) 1))
+  (assign rows.1 (array rightregcell length rightreghinum))
+  (assdirection rows.1 1 length regnum)
+  (assign ref (subcell rows.1 c.1))
+  (do (r 2 (+ r 1) (> r ysize))
+    (assign rows.r (array rightregcell length rightreghinum))
+    (assdirection rows.r r length regnum)
+    (connect (subcell rows.(- r 1) c.1) (subcell rows.r c.1) rightregvinum))
+  (mk_cell rightregisters ref))
+
+;; --- assembly through inherited interfaces --------------------------
+
+(macro mall (xsize ysize)
+  (locals arr tregs bregs rregs tri arrayi bri rri)
+  (assign arr (marray xsize ysize))
+  (mk_cell mularrayname (subcell arr bottomleft))
+  (assign tregs (mtopregs xsize))
+  (assign bregs (mbottomregs xsize))
+  (assign rregs (mrightregs ysize))
+  (declare_interface topregistername arrayname 1
+    (subcell tregs ref) (subcell arr topleft) celltotopreginum)
+  (declare_interface arrayname bottomregistername 1
+    (subcell arr bottomleft) (subcell bregs ref) celltobottomreginum)
+  (declare_interface arrayname rightregistername 1
+    (subcell arr bottomright) (subcell rregs ref) celltorightreginum)
+  (mk_instance arrayi arrayname)
+  (connect (mk_instance tri topregistername) arrayi 1)
+  (connect (mk_instance bri bottomregistername) arrayi 1)
+  (connect (mk_instance rri rightregistername) arrayi 1)
+  (mk_cell "thewholething" arrayi))
+
+(mall xsize ysize)
+|}
+
+let generate ?sample ~xsize ~ysize () =
+  let sample =
+    match sample with Some s -> s | None -> fst (Sample_lib.build ())
+  in
+  let st = Interp.of_sample sample in
+  Interp.load_params st (Param.parse (Sample_lib.param_file ~xsize ~ysize));
+  ignore (Interp.run_string st text);
+  (* mall is a macro, so the program's value is its environment; the
+     generated layout is the last mk_cell result. *)
+  match Interp.last_created st with
+  | Some c -> (st, c)
+  | None -> failwith "Design_file.generate: design file created no cell"
+
+type phases = {
+  t_read_sample : float;
+  t_execute : float;
+  t_write : float;
+  cif_bytes : int;
+}
+
+let timed_generate ~xsize ~ysize =
+  let t0 = Unix.gettimeofday () in
+  let sample, _ = Sample_lib.build () in
+  let t1 = Unix.gettimeofday () in
+  let _, cell = generate ~sample ~xsize ~ysize () in
+  let t2 = Unix.gettimeofday () in
+  let cif = Cif.to_string cell in
+  let t3 = Unix.gettimeofday () in
+  ( { t_read_sample = t1 -. t0;
+      t_execute = t2 -. t1;
+      t_write = t3 -. t2;
+      cif_bytes = String.length cif },
+    cell )

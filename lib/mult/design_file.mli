@@ -1,0 +1,40 @@
+(** The multiplier design file (Appendix B) and its execution.
+
+    The design file is the procedural half of the multiplier: a set of
+    macros that personalise the basic cell ([mcell]), tile it into the
+    carry-save + carry-propagate array ([mrow], [marray]), build the
+    three peripheral register stacks ([mtopregs], [mbottomregs],
+    [mrightregs] with [assdirection]), and assemble everything through
+    inherited interfaces ([mall]).  It is parameterised entirely by
+    the parameter file ({!Sample_lib.param_file}), which also binds
+    the design file's cell variables to the sample layout's cell names
+    — running the identical design file against a different sample
+    would retarget the multiplier to another implementation.
+
+    Experiment E17 checks that interpreting this file reproduces the
+    native generator's layout ({!Layout_gen.generate}) exactly. *)
+
+open Rsg_layout
+open Rsg_core
+
+val text : string
+(** The design file source. *)
+
+val generate :
+  ?sample:Sample.t -> xsize:int -> ysize:int -> unit ->
+  Rsg_lang.Interp.state * Cell.t
+(** Run {!text} with the Appendix C parameter file under a fresh
+    interpreter; returns the interpreter state and the generated
+    multiplier cell ("thewholething"). *)
+
+type phases = {
+  t_read_sample : float;   (** building + extracting the sample *)
+  t_execute : float;       (** parsing + executing design and params *)
+  t_write : float;         (** writing the CIF output *)
+  cif_bytes : int;
+}
+
+val timed_generate : xsize:int -> ysize:int -> phases * Cell.t
+(** The three-phase timing breakdown of section 4.5 ("roughly three
+    equal parts: reading in the source ..., parsing and executing ...,
+    and writing the output file"). *)

@@ -1,0 +1,166 @@
+type graph = {
+  n : int;
+  delay : int array;
+  edges : (int * int * int) list;
+}
+
+exception Bad_graph of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Bad_graph s)) fmt
+
+let validate g =
+  if g.n < 1 then fail "empty graph";
+  if Array.length g.delay <> g.n then fail "delay array size";
+  Array.iteri (fun v d -> if d < 0 then fail "negative delay at %d" v) g.delay;
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= g.n || v < 0 || v >= g.n then fail "edge out of range";
+      if w < 0 then fail "negative register count on (%d,%d)" u v)
+    g.edges;
+  (* every cycle must carry a register: the 0-weight subgraph must be
+     acyclic *)
+  let adj = Array.make g.n [] in
+  List.iter (fun (u, v, w) -> if w = 0 then adj.(u) <- v :: adj.(u)) g.edges;
+  let color = Array.make g.n 0 in
+  let rec visit v =
+    if color.(v) = 1 then fail "register-free cycle through vertex %d" v;
+    if color.(v) = 0 then begin
+      color.(v) <- 1;
+      List.iter visit adj.(v);
+      color.(v) <- 2
+    end
+  in
+  for v = 0 to g.n - 1 do
+    visit v
+  done
+
+(* Longest register-free combinational path, by DP over the (acyclic)
+   0-weight subgraph. *)
+let clock_period g =
+  validate g;
+  let adj_in = Array.make g.n [] in
+  List.iter (fun (u, v, w) -> if w = 0 then adj_in.(v) <- u :: adj_in.(v)) g.edges;
+  let memo = Array.make g.n (-1) in
+  let rec delta v =
+    if memo.(v) >= 0 then memo.(v)
+    else begin
+      let best = List.fold_left (fun acc u -> max acc (delta u)) 0 adj_in.(v) in
+      memo.(v) <- best + g.delay.(v);
+      memo.(v)
+    end
+  in
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    best := max !best (delta v)
+  done;
+  !best
+
+(* W and D matrices by Floyd-Warshall over lexicographic weights
+   (w(e), -d(u)): W(u,v) = min registers u~>v, D(u,v) = critical delay
+   along such a minimum-register path. *)
+let wd_matrices g =
+  let inf = max_int / 4 in
+  let w = Array.make_matrix g.n g.n inf in
+  let nd = Array.make_matrix g.n g.n inf in
+  (* nd = "negative delay" second component *)
+  List.iter
+    (fun (u, v, wt) ->
+      if
+        wt < w.(u).(v)
+        || (wt = w.(u).(v) && -g.delay.(u) < nd.(u).(v))
+      then begin
+        w.(u).(v) <- wt;
+        nd.(u).(v) <- -g.delay.(u)
+      end)
+    g.edges;
+  for k = 0 to g.n - 1 do
+    for i = 0 to g.n - 1 do
+      for j = 0 to g.n - 1 do
+        if w.(i).(k) < inf && w.(k).(j) < inf then begin
+          let cand_w = w.(i).(k) + w.(k).(j) in
+          let cand_d = nd.(i).(k) + nd.(k).(j) in
+          if cand_w < w.(i).(j) || (cand_w = w.(i).(j) && cand_d < nd.(i).(j))
+          then begin
+            w.(i).(j) <- cand_w;
+            nd.(i).(j) <- cand_d
+          end
+        end
+      done
+    done
+  done;
+  let d = Array.make_matrix g.n g.n min_int in
+  for i = 0 to g.n - 1 do
+    for j = 0 to g.n - 1 do
+      if w.(i).(j) < inf then d.(i).(j) <- g.delay.(j) - nd.(i).(j)
+    done
+  done;
+  (w, d)
+
+(* Difference constraints r(a) - r(b) <= c solved by Bellman-Ford
+   shortest paths; None on a negative cycle. *)
+let solve_diff n cons =
+  let r = Array.make n 0 in
+  let changed = ref true in
+  let passes = ref 0 in
+  let ok = ref true in
+  while !changed && !ok do
+    changed := false;
+    incr passes;
+    if !passes > n + 1 then ok := false
+    else
+      List.iter
+        (fun (a, b, c) ->
+          if r.(a) > r.(b) + c then begin
+            r.(a) <- r.(b) + c;
+            changed := true
+          end)
+        cons
+  done;
+  if !ok then Some r else None
+
+let retime_for g ~period =
+  validate g;
+  let w, d = wd_matrices g in
+  let cons = ref [] in
+  List.iter (fun (u, v, wt) -> cons := (u, v, wt) :: !cons) g.edges;
+  for u = 0 to g.n - 1 do
+    for v = 0 to g.n - 1 do
+      if d.(u).(v) > min_int && d.(u).(v) > period then
+        cons := (u, v, w.(u).(v) - 1) :: !cons
+    done
+  done;
+  (* single-vertex demand: each vertex's own delay must fit *)
+  let fits = Array.for_all (fun dv -> dv <= period) g.delay in
+  if not fits then None else solve_diff g.n !cons
+
+let apply g r =
+  if Array.length r <> g.n then fail "retiming size";
+  let edges =
+    List.map
+      (fun (u, v, w) ->
+        let w' = w + r.(v) - r.(u) in
+        if w' < 0 then fail "illegal retiming on edge (%d,%d)" u v;
+        (u, v, w'))
+      g.edges
+  in
+  { g with edges }
+
+let min_period g =
+  validate g;
+  let _, d = wd_matrices g in
+  let candidates = ref [] in
+  Array.iter (fun row ->
+      Array.iter (fun x -> if x > min_int then candidates := x :: !candidates) row)
+    d;
+  Array.iter (fun dv -> candidates := dv :: !candidates) g.delay;
+  let sorted = List.sort_uniq Int.compare !candidates in
+  let rec search = function
+    | [] -> fail "min_period: no feasible period?!"
+    | c :: rest -> (
+      match retime_for g ~period:c with
+      | Some r -> (c, r)
+      | None -> search rest)
+  in
+  search sorted
+
+let total_registers g = List.fold_left (fun acc (_, _, w) -> acc + w) 0 g.edges

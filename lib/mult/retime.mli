@@ -1,0 +1,51 @@
+(** Leiserson-Rose-Saxe retiming (the thesis's reference [18]).
+
+    Chapter 5 pipelines the multiplier "using retiming
+    transformations"; the staged pipelining in {!Cellnet} is the
+    acyclic special case.  This module implements the general
+    algorithm on synchronous circuit graphs, cycles included:
+
+    - a {e retiming} is an integer lag [r v] per vertex; it moves
+      registers so edge [e = (u, v)] ends up with
+      [wr e = w e + r v - r u] registers, which must stay >= 0;
+    - the circuit can be clocked at period [c] iff a retiming exists
+      making every register-free path's total propagation delay at
+      most [c];
+    - feasibility for a given [c] reduces to difference constraints
+      over the W and D matrices (all-pairs minimum register counts
+      and the corresponding critical delays), solved here with the
+      same Bellman-Ford relaxation style as the compactor;
+    - the minimum period is found by searching the candidate values
+      in the D matrix.
+
+    The classic three-tap correlator from the original paper is used
+    as a test vector. *)
+
+type graph = {
+  n : int;                          (** vertices 0 .. n-1 *)
+  delay : int array;                (** propagation delay per vertex *)
+  edges : (int * int * int) list;   (** (from, to, registers) *)
+}
+
+exception Bad_graph of string
+
+val validate : graph -> unit
+(** Checks dimensions, non-negative delays/weights, and that every
+    cycle carries at least one register (otherwise the circuit has no
+    legal clock).  Raises {!Bad_graph}. *)
+
+val clock_period : graph -> int
+(** Longest register-free combinational path (the period the circuit
+    runs at {e without} retiming). *)
+
+val retime_for : graph -> period:int -> int array option
+(** A legal retiming achieving the period, or [None] if infeasible. *)
+
+val apply : graph -> int array -> graph
+(** The retimed graph ([wr e = w e + r v - r u]); raises {!Bad_graph}
+    if the retiming is illegal. *)
+
+val min_period : graph -> int * int array
+(** The optimal period and a retiming achieving it. *)
+
+val total_registers : graph -> int

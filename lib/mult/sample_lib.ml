@@ -1,0 +1,210 @@
+open Rsg_geom
+open Rsg_layout
+open Rsg_core
+
+let basic_cell = "cell"
+
+let type1 = "t1"
+
+let type2 = "t2"
+
+let clock1 = "clk1"
+
+let clock2 = "clk2"
+
+let car1 = "car1"
+
+let car2 = "car2"
+
+let topreg = "tr"
+
+let bottomreg = "br"
+
+let rightreg = "rr"
+
+let dir_masks = [ "goboth"; "goleft"; "goright"; "gosleft"; "gosright" ]
+
+let h_index = 1
+
+let v_index = 2
+
+let cell_width = 48
+
+let cell_height = 64
+
+let reg_height = 20
+
+let box x y w h = Box.of_size ~origin:(Vec.make x y) ~width:w ~height:h
+
+(* ------------------------------------------------------------------ *)
+(* Leaf cell geometry.  Synthetic but non-trivial: the basic cell has
+   power rails, an input inverter column, full-adder circuitry and an
+   output register bank, echoing the description of Figure 5.3.       *)
+
+let make_basic () =
+  let c = Cell.create basic_cell in
+  (* power rails *)
+  Cell.add_box c Layer.Metal (box 0 0 cell_width 4);
+  Cell.add_box c Layer.Metal (box 0 (cell_height - 4) cell_width 4);
+  (* input inverters *)
+  Cell.add_box c Layer.Diffusion (box 4 8 8 20);
+  Cell.add_box c Layer.Poly (box 2 14 12 4);
+  Cell.add_box c Layer.Contact (box 6 10 4 4);
+  (* full adder core *)
+  Cell.add_box c Layer.Diffusion (box 18 8 22 24);
+  Cell.add_box c Layer.Poly (box 16 12 26 4);
+  Cell.add_box c Layer.Poly (box 16 22 26 4);
+  Cell.add_box c Layer.Contact (box 36 10 4 4);
+  (* output registers *)
+  Cell.add_box c Layer.Diffusion (box 6 38 36 14);
+  Cell.add_box c Layer.Poly (box 4 42 40 4);
+  Cell.add_box c Layer.Metal (box 4 54 40 4);
+  (* routing *)
+  Cell.add_box c Layer.Metal (box 22 4 4 50);
+  c
+
+let make_mask name layer =
+  let c = Cell.create name in
+  Cell.add_box c layer (box 0 0 10 10);
+  Cell.add_box c Layer.Contact (box 3 3 4 4);
+  c
+
+let make_clock name =
+  let c = Cell.create name in
+  Cell.add_box c Layer.Metal (box 0 0 12 6);
+  Cell.add_box c Layer.Poly (box 4 0 4 6);
+  c
+
+let make_reg name w h =
+  let c = Cell.create name in
+  Cell.add_box c Layer.Metal (box 0 0 w 3);
+  Cell.add_box c Layer.Metal (box 0 (h - 3) w 3);
+  Cell.add_box c Layer.Diffusion (box 4 5 (w - 8) (h - 10));
+  Cell.add_box c Layer.Poly (box 2 (h / 2 - 2) (w - 4) 4);
+  c
+
+let make_dir name =
+  let c = Cell.create name in
+  Cell.add_box c Layer.Implant (box 0 0 6 6);
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Assemblies: each defines one interface by example.                  *)
+
+let pair_assembly asm_name a ?(orient = Orient.north) ~at b ~label ~at_label =
+  let asm = Cell.create asm_name in
+  ignore (Cell.add_instance asm ~at:Vec.zero a);
+  ignore (Cell.add_instance asm ~orient ~at b);
+  Cell.add_label asm (string_of_int label) at_label;
+  asm
+
+let assemblies () =
+  let cellc = make_basic () in
+  let t1 = make_mask type1 Layer.Implant in
+  let t2 = make_mask type2 Layer.Buried in
+  let ck1 = make_clock clock1 in
+  let ck2 = make_clock clock2 in
+  let cr1 = make_mask car1 Layer.Poly in
+  let cr2 = make_mask car2 Layer.Overglass in
+  let tr = make_reg topreg cell_width reg_height in
+  let br = make_reg bottomreg cell_width reg_height in
+  let rr = make_reg rightreg reg_height cell_height in
+  let dirs = List.map make_dir dir_masks in
+  let mask_at name mask = pair_assembly name cellc mask in
+  [ (* array tiling *)
+    pair_assembly "asm-cell-h" cellc cellc ~at:(Vec.make cell_width 0)
+      ~label:h_index ~at_label:(Vec.make cell_width 32);
+    pair_assembly "asm-cell-v" cellc cellc ~at:(Vec.make 0 cell_height)
+      ~label:v_index ~at_label:(Vec.make 24 cell_height);
+    (* personalisation masks, placed well inside the basic cell *)
+    mask_at "asm-t1" t1 ~at:(Vec.make 6 28) ~label:1
+      ~at_label:(Vec.make 8 30);
+    mask_at "asm-t2" t2 ~at:(Vec.make 6 28) ~label:1
+      ~at_label:(Vec.make 8 30);
+    mask_at "asm-clk1" ck1 ~at:(Vec.make 30 46) ~label:1
+      ~at_label:(Vec.make 32 48);
+    mask_at "asm-clk2" ck2 ~at:(Vec.make 30 46) ~label:1
+      ~at_label:(Vec.make 32 48);
+    mask_at "asm-car1" cr1 ~at:(Vec.make 32 8) ~label:1
+      ~at_label:(Vec.make 34 10);
+    mask_at "asm-car2" cr2 ~at:(Vec.make 32 8) ~label:1
+      ~at_label:(Vec.make 34 10);
+    (* register stacks: horizontal chains and vertical pitches *)
+    pair_assembly "asm-tr-h" tr tr ~at:(Vec.make cell_width 0) ~label:1
+      ~at_label:(Vec.make cell_width 10);
+    pair_assembly "asm-tr-v" tr tr ~at:(Vec.make 0 reg_height) ~label:2
+      ~at_label:(Vec.make 24 reg_height);
+    pair_assembly "asm-br-h" br br ~at:(Vec.make cell_width 0) ~label:1
+      ~at_label:(Vec.make cell_width 10);
+    (* bottom registers stack downward *)
+    pair_assembly "asm-br-v" br br ~at:(Vec.make 0 (-reg_height)) ~label:2
+      ~at_label:(Vec.make 24 0);
+    (* right registers stack rightward, tile vertically *)
+    pair_assembly "asm-rr-h" rr rr ~at:(Vec.make reg_height 0) ~label:1
+      ~at_label:(Vec.make reg_height 32);
+    pair_assembly "asm-rr-v" rr rr ~at:(Vec.make 0 cell_height) ~label:2
+      ~at_label:(Vec.make 10 cell_height);
+    (* array cell to peripheral registers *)
+    pair_assembly "asm-cell-tr" cellc tr ~at:(Vec.make 0 cell_height)
+      ~label:1 ~at_label:(Vec.make 30 cell_height);
+    pair_assembly "asm-cell-br" cellc br ~at:(Vec.make 0 (-reg_height))
+      ~label:1 ~at_label:(Vec.make 30 0);
+    pair_assembly "asm-cell-rr" cellc rr ~at:(Vec.make cell_width 0)
+      ~label:1 ~at_label:(Vec.make cell_width 40) ]
+  @ List.map
+      (fun d ->
+        pair_assembly ("asm-rr-" ^ d.Cell.cname) rr d ~at:(Vec.make 7 29)
+          ~label:1 ~at_label:(Vec.make 8 30))
+      dirs
+
+let build () = Sample.of_assemblies (assemblies ())
+
+let param_file ~xsize ~ysize =
+  Printf.sprintf
+    ";; parameter file after Appendix C\n\
+     .output_file:mult.cif\n\
+     xsize=%d\n\
+     ysize=%d\n\
+     corecell=%s\n\
+     typecell1=%s\n\
+     typecell2=%s\n\
+     clockcell1=%s\n\
+     clockcell2=%s\n\
+     carcell1=%s\n\
+     carcell2=%s\n\
+     topregcell=%s\n\
+     bottomregcell=%s\n\
+     rightregcell=%s\n\
+     bothdir=goboth\n\
+     leftdir=goleft\n\
+     rightdir=goright\n\
+     sleftdir=gosleft\n\
+     srightdir=gosright\n\
+     hinum=%d\n\
+     vinum=%d\n\
+     t1inum=1\n\
+     t2inum=1\n\
+     clk1inum=1\n\
+     clk2inum=1\n\
+     car1inum=1\n\
+     car2inum=1\n\
+     topreghinum=1\n\
+     topregvinum=2\n\
+     bottomreghinum=1\n\
+     bottomregvinum=2\n\
+     rightreghinum=1\n\
+     rightregvinum=2\n\
+     rtoregsinum=1\n\
+     celltotopreginum=1\n\
+     celltobottomreginum=1\n\
+     celltorightreginum=1\n\
+     mularrayname=\"array\"\n\
+     arrayname=array\n\
+     topregisters=\"topregs\"\n\
+     topregistername=topregs\n\
+     bottomregisters=\"bottomregs\"\n\
+     bottomregistername=bottomregs\n\
+     rightregisters=\"rightregs\"\n\
+     rightregistername=rightregs\n"
+    xsize ysize basic_cell type1 type2 clock1 clock2 car1 car2 topreg
+    bottomreg rightreg h_index v_index

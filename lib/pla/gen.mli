@@ -1,0 +1,48 @@
+(** PLA and decoder generation over the RSG core (section 1.2.2).
+
+    The RSG "can generate any PLA that HPLA can" from a much smaller
+    sample, because the architecture lives in the procedural side.
+    [generate] tiles the AND plane (two columns per input), the
+    connect-ao column, the OR plane and the buffer rows, and drops a
+    programming crosspoint mask on every square the truth table
+    selects.
+
+    The same AND-plane cells also build decoders — the thesis's point
+    that a sample layout does not imply one architecture.
+
+    Verification is {e extraction-based}: {!read_back} recovers the
+    personality from the flattened layout's crosspoint masks, and the
+    result must equal the input table. *)
+
+open Rsg_layout
+open Rsg_core
+
+type t = {
+  cell : Cell.t;
+  table : Truth_table.t;
+  sample : Sample.t;
+}
+
+val generate : ?sample:Sample.t -> ?name:string -> Truth_table.t -> t
+(** Raises [Failure] if the sample lacks a required cell or
+    interface. *)
+
+val read_back : t -> Truth_table.t
+(** Reconstruct the personality from the generated layout. *)
+
+val verify : t -> bool
+(** [Truth_table.equal (read_back t) t.table] plus structural checks
+    (every square on the grid). *)
+
+val minterm_table : int -> Truth_table.t
+(** The n-input decoder personality: 2^n minterm rows, row v driving
+    output bit v.  Raises [Invalid_argument] outside 1..16. *)
+
+val generate_decoder : ?sample:Sample.t -> ?name:string -> int -> t
+(** [generate_decoder n]: an n-to-2^n minterm decoder built from the
+    {e same} sample cells: AND plane of 2^n minterm rows feeding the
+    connect-ao drivers — no OR plane.  The resulting truth table maps
+    input v to output bit v. *)
+
+val stats : t -> (string * int) list
+(** Instance census of the generated layout, sorted by cell name. *)

@@ -1,0 +1,111 @@
+open Rsg_geom
+open Rsg_layout
+open Rsg_core
+
+let and_sq = "and-sq"
+
+let or_sq = "or-sq"
+
+let connect_ao = "connect-ao"
+
+let inbuf = "inbuf"
+
+let outbuf = "outbuf"
+
+let and_cross = "and-cross"
+
+let or_cross = "or-cross"
+
+let square = 20
+
+let cross_offset = 6
+
+let box x y w h = Box.of_size ~origin:(Vec.make x y) ~width:w ~height:h
+
+let make_square name vert horiz =
+  let c = Cell.create name in
+  Cell.add_box c vert (box 8 0 4 square);
+  Cell.add_box c horiz (box 0 8 square 4);
+  c
+
+let make_and_sq () = make_square and_sq Layer.Poly Layer.Metal
+
+let make_or_sq () = make_square or_sq Layer.Metal Layer.Poly
+
+let make_connect_ao () =
+  let c = Cell.create connect_ao in
+  Cell.add_box c Layer.Metal (box 0 8 square 4);
+  Cell.add_box c Layer.Diffusion (box 6 4 8 12);
+  Cell.add_box c Layer.Contact (box 8 8 4 4);
+  c
+
+let make_inbuf () =
+  let c = Cell.create inbuf in
+  (* drives the true and complement columns: twice the plane pitch *)
+  Cell.add_box c Layer.Diffusion (box 2 4 ((2 * square) - 4) 12);
+  Cell.add_box c Layer.Poly (box 8 0 4 20);
+  Cell.add_box c Layer.Poly (box 28 0 4 20);
+  Cell.add_box c Layer.Metal (box 0 16 (2 * square) 4);
+  c
+
+let make_outbuf () =
+  let c = Cell.create outbuf in
+  Cell.add_box c Layer.Diffusion (box 4 4 12 12);
+  Cell.add_box c Layer.Metal (box 8 0 4 20);
+  Cell.add_box c Layer.Metal (box 0 16 square 4);
+  c
+
+let make_cross name layer =
+  let c = Cell.create name in
+  Cell.add_box c layer (box 0 0 8 8);
+  Cell.add_box c Layer.Contact_cut (box 2 2 4 4);
+  c
+
+let pair_assembly asm_name a ~at b ~label ~at_label =
+  let asm = Cell.create asm_name in
+  ignore (Cell.add_instance asm ~at:Vec.zero a);
+  ignore (Cell.add_instance asm ~at b);
+  Cell.add_label asm (string_of_int label) at_label;
+  asm
+
+let assemblies () =
+  let asq = make_and_sq () in
+  let osq = make_or_sq () in
+  let cao = make_connect_ao () in
+  let ib = make_inbuf () in
+  let ob = make_outbuf () in
+  let ac = make_cross and_cross Layer.Buried in
+  let oc = make_cross or_cross Layer.Implant in
+  [ pair_assembly "pla-and-h" asq asq ~at:(Vec.make square 0) ~label:1
+      ~at_label:(Vec.make square 10);
+    pair_assembly "pla-and-v" asq asq ~at:(Vec.make 0 square) ~label:2
+      ~at_label:(Vec.make 10 square);
+    pair_assembly "pla-or-h" osq osq ~at:(Vec.make square 0) ~label:1
+      ~at_label:(Vec.make square 10);
+    pair_assembly "pla-or-v" osq osq ~at:(Vec.make 0 square) ~label:2
+      ~at_label:(Vec.make 10 square);
+    pair_assembly "pla-and-cao" asq cao ~at:(Vec.make square 0) ~label:1
+      ~at_label:(Vec.make square 10);
+    pair_assembly "pla-cao-or" cao osq ~at:(Vec.make square 0) ~label:1
+      ~at_label:(Vec.make square 10);
+    pair_assembly "pla-and-inbuf" asq ib ~at:(Vec.make 0 square) ~label:1
+      ~at_label:(Vec.make 10 square);
+    (* bottom-entry buffer for folded columns: mirrored about x, hung
+       below the square *)
+    (let asm = Cell.create "pla-and-inbuf-bot" in
+     ignore (Cell.add_instance asm ~at:Vec.zero asq);
+     ignore (Cell.add_instance asm ~orient:Orient.mirror_x ~at:Vec.zero ib);
+     Cell.add_label asm "2" (Vec.make 10 0);
+     asm);
+    pair_assembly "pla-or-outbuf" osq ob ~at:(Vec.make 0 square) ~label:1
+      ~at_label:(Vec.make 10 square);
+    pair_assembly "pla-and-cross" asq ac
+      ~at:(Vec.make cross_offset cross_offset)
+      ~label:1
+      ~at_label:(Vec.make (cross_offset + 2) (cross_offset + 2));
+    pair_assembly "pla-or-cross" osq oc
+      ~at:(Vec.make cross_offset cross_offset)
+      ~label:1
+      ~at_label:(Vec.make (cross_offset + 2) (cross_offset + 2)) ]
+
+let build () = Sample.of_assemblies (assemblies ())

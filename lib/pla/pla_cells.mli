@@ -1,0 +1,38 @@
+(** The PLA sample layout (section 1.2.2).
+
+    Leaf cells for an HPLA-style PLA — AND-plane and OR-plane squares,
+    the connect-ao column between the planes, input and output
+    buffers, and the two programming crosspoint masks — plus the
+    {e minimal} set of by-example assemblies declaring each interface
+    exactly once.  The thesis's point: unlike HPLA, the RSG does not
+    need the sample to be a fully assembled PLA, which both shrinks
+    the sample and frees the same cells for other architectures
+    (decoders). *)
+
+open Rsg_core
+
+val and_sq : string
+
+val or_sq : string
+
+val connect_ao : string
+
+val inbuf : string
+
+val outbuf : string
+
+val and_cross : string
+
+val or_cross : string
+
+val square : int
+(** plane pitch (square cells are [square] x [square]) *)
+
+val cross_offset : int
+(** crosspoint masks sit at (cross_offset, cross_offset) inside their
+    square *)
+
+val assemblies : unit -> Rsg_layout.Cell.t list
+(** Minimal sample: one assembly per interface. *)
+
+val build : unit -> Sample.t * Sample.declaration list

@@ -1,0 +1,113 @@
+open Rsg_lang
+
+let text =
+  {|
+;; PLA architecture as a design file.  Sizes come from the parameter
+;; file; the encoding arrives as two global two-index arrays installed
+;; by the host (delayed binding of the personality):
+;;   lits.r.i  in {0 = complement, 1 = true, 2 = don't care}
+;;   outs.r.k  boolean
+
+(macro mrow (ninputs noutputs yloc)
+  (locals a. o. caonode nxt foo)
+  (mk_instance nxt andsq)
+  (assign a.1 nxt)
+  (do (c 2 (+ c 1) (> c (* 2 ninputs)))
+    (mk_instance nxt andsq)
+    (assign a.c nxt)
+    (connect a.(- c 1) a.c andhnum))
+  (mk_instance caonode caocell)
+  (connect a.(* 2 ninputs) caonode andcaonum)
+  (cond ((> noutputs 0)
+         (prog
+           (mk_instance nxt orsq)
+           (assign o.1 nxt)
+           (connect caonode o.1 caoornum)
+           (do (k 2 (+ k 1) (> k noutputs))
+             (mk_instance nxt orsq)
+             (assign o.k nxt)
+             (connect o.(- k 1) o.k orhnum)))))
+  ;; programming crosspoints from the encoding tables
+  (do (i 1 (+ i 1) (> i ninputs))
+    (cond ((= lits.yloc.i 1)
+           (connect a.(- (* 2 i) 1) (mk_instance foo andcross) acrossnum))
+          ((= lits.yloc.i 0)
+           (connect a.(* 2 i) (mk_instance foo andcross) acrossnum))))
+  (do (k 1 (+ k 1) (> k noutputs))
+    (cond (outs.yloc.k
+           (connect o.k (mk_instance foo orcross) ocrossnum)))))
+
+(macro mpla (ninputs noutputs nterms)
+  (locals rows. foo)
+  (assign rows.1 (mrow ninputs noutputs 1))
+  (do (r 2 (+ r 1) (> r nterms))
+    (assign rows.r (mrow ninputs noutputs r))
+    (connect (subcell rows.(- r 1) a.1) (subcell rows.r a.1) andvnum))
+  ;; buffers above the top row
+  (do (i 1 (+ i 1) (> i ninputs))
+    (connect (subcell rows.nterms a.(- (* 2 i) 1))
+             (mk_instance foo inbufcell) inbufnum))
+  (do (k 1 (+ k 1) (> k noutputs))
+    (connect (subcell rows.nterms o.k) (mk_instance foo outbufcell) outbufnum))
+  (mk_cell planame (subcell rows.1 a.1)))
+
+(mpla ninputs noutputs nterms)
+|}
+
+let param_file ~ninputs ~noutputs ~nterms ~name =
+  Printf.sprintf
+    "ninputs=%d\nnoutputs=%d\nnterms=%d\nplaname=\"%s\"\n\
+     andsq=%s\norsq=%s\ncaocell=%s\ninbufcell=%s\noutbufcell=%s\n\
+     andcross=%s\norcross=%s\n\
+     andhnum=1\nandvnum=2\norhnum=1\nandcaonum=1\ncaoornum=1\n\
+     inbufnum=1\noutbufnum=1\nacrossnum=1\nocrossnum=1\n"
+    ninputs noutputs nterms name Pla_cells.and_sq Pla_cells.or_sq
+    Pla_cells.connect_ao Pla_cells.inbuf Pla_cells.outbuf Pla_cells.and_cross
+    Pla_cells.or_cross
+
+let install_tables st (tt : Truth_table.t) =
+  let terms = Array.of_list tt.Truth_table.terms in
+  let p = Array.length terms in
+  let lits = Hashtbl.create (p * tt.Truth_table.n_inputs) in
+  let outs = Hashtbl.create (max 1 (p * tt.Truth_table.n_outputs)) in
+  Array.iteri
+    (fun r term ->
+      Array.iteri
+        (fun i lit ->
+          let v =
+            match lit with
+            | Truth_table.F -> 0
+            | Truth_table.T -> 1
+            | Truth_table.X -> 2
+          in
+          Hashtbl.replace lits (Value.Idx2 (r + 1, i + 1)) (Value.Vint v))
+        term.Truth_table.lits;
+      Array.iteri
+        (fun k b ->
+          Hashtbl.replace outs (Value.Idx2 (r + 1, k + 1)) (Value.Vbool b))
+        term.Truth_table.outs)
+    terms;
+  Interp.define_global st "lits" (Value.Varray lits);
+  Interp.define_global st "outs" (Value.Varray outs)
+
+let run ?sample tt ~noutputs ~name =
+  let sample =
+    match sample with Some s -> s | None -> fst (Pla_cells.build ())
+  in
+  let st = Interp.of_sample sample in
+  Interp.load_params st
+    (Param.parse
+       (param_file ~ninputs:tt.Truth_table.n_inputs ~noutputs
+          ~nterms:(List.length tt.Truth_table.terms) ~name));
+  install_tables st tt;
+  ignore (Interp.run_string st text);
+  match Interp.last_created st with
+  | Some c -> (st, c)
+  | None -> failwith "Pla_design_file: design file created no cell"
+
+let generate ?sample tt =
+  run ?sample tt ~noutputs:tt.Truth_table.n_outputs ~name:"pla"
+
+let generate_decoder ?sample n =
+  let tt = Gen.minterm_table n in
+  run ?sample tt ~noutputs:0 ~name:"decoder"

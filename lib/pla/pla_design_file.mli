@@ -1,0 +1,29 @@
+(** A PLA architecture written in the design-file language.
+
+    Chapter 4 notes that "primitives for manipulating encoding tables
+    (such as PLA truth tables) have also been added" and section 1.2.3
+    that HPLA's phase split allowed "delayed binding of the specifics
+    of the PLA encoding".  This module realises both: the PLA
+    architecture is a design file; the encoding arrives as two-index
+    arrays installed into the interpreter's global environment just
+    before the run (the host-side half of the delayed binding); the
+    sizes come from an ordinary parameter file.
+
+    The generated layout must equal {!Gen.generate}'s output exactly
+    — the same architecture expressed procedurally twice. *)
+
+open Rsg_core
+
+val text : string
+(** The design-file source (macros [mrow], [mpla]). *)
+
+val generate :
+  ?sample:Sample.t -> Truth_table.t -> Rsg_lang.Interp.state * Rsg_layout.Cell.t
+(** Run the design file for a personality: parameters from the
+    table's dimensions, encoding tables installed as globals. *)
+
+val generate_decoder :
+  ?sample:Sample.t -> int -> Rsg_lang.Interp.state * Rsg_layout.Cell.t
+(** The same design file with [noutputs = 0] builds the minterm
+    decoder (the OR plane and output buffers vanish), personalised
+    with minterm literals. *)

@@ -1,0 +1,49 @@
+type t = {
+  pla : Gen.t;
+  address_bits : int;
+  word_bits : int;
+  contents : int array;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let personality ~word_bits contents =
+  let size = Array.length contents in
+  if not (is_power_of_two size) then
+    invalid_arg "Rom.generate: contents length must be a power of two";
+  if size < 2 then invalid_arg "Rom.generate: need at least 2 words";
+  if word_bits < 1 then invalid_arg "Rom.generate: word_bits";
+  Array.iter
+    (fun w ->
+      if w < 0 || w >= 1 lsl word_bits then
+        invalid_arg "Rom.generate: word out of range")
+    contents;
+  let n =
+    let rec go k = if 1 lsl k = size then k else go (k + 1) in
+    go 1
+  in
+  let terms =
+    List.init size (fun v ->
+        { Truth_table.lits =
+            Array.init n (fun i ->
+                if v land (1 lsl i) <> 0 then Truth_table.T else Truth_table.F);
+          outs = Array.init word_bits (fun k -> contents.(v) land (1 lsl k) <> 0) })
+  in
+  (n, Truth_table.make ~n_inputs:n ~n_outputs:word_bits terms)
+
+let generate ?sample ?(name = "rom") ~word_bits contents =
+  let address_bits, tt = personality ~word_bits contents in
+  let pla = Gen.generate ?sample ~name tt in
+  { pla; address_bits; word_bits; contents }
+
+let read_word t addr =
+  if addr < 0 || addr >= Array.length t.contents then
+    invalid_arg "Rom.read_word";
+  Truth_table.eval_int t.pla.Gen.table addr
+
+let dump t =
+  let back = Gen.read_back t.pla in
+  Array.init (Array.length t.contents) (fun addr ->
+      Truth_table.eval_int back addr)
+
+let verify t = Gen.verify t.pla && dump t = t.contents

@@ -1,0 +1,32 @@
+(** ROM generation (the thesis's introduction lists ROMs among the
+    regular structures the RSG targets).
+
+    A ROM is the degenerate PLA whose AND plane decodes every address
+    (minterm rows) and whose OR plane holds the stored words: bit k of
+    word v programs crosspoint (k, row v).  Built entirely from the
+    {!Pla_cells} sample. *)
+
+open Rsg_core
+
+type t = {
+  pla : Gen.t;
+  address_bits : int;
+  word_bits : int;
+  contents : int array;
+}
+
+val generate :
+  ?sample:Sample.t -> ?name:string -> word_bits:int -> int array -> t
+(** [generate ~word_bits contents]: [contents] length must be a power
+    of two (the address space); each word must fit in [word_bits].
+    Raises [Invalid_argument] otherwise. *)
+
+val read_word : t -> int -> int
+(** Functional read through the generated personality. *)
+
+val dump : t -> int array
+(** Every word, read back from the {e layout} (via crosspoint
+    extraction), in address order. *)
+
+val verify : t -> bool
+(** [dump t = t.contents] and the underlying PLA extraction check. *)

@@ -1,0 +1,53 @@
+(** Static RAM generation.
+
+    The array: one word per row (word-line driver at the left, bit
+    cells across), precharge row on top, sense amplifiers below; the
+    address decoder is the {!Rsg_pla.Gen.generate_decoder} macrocell,
+    docked to the array through an {e inherited} interface computed
+    from the connect-ao/word-line-driver interface of the sample —
+    the Figure 2.4 mechanism joining two independently generated
+    macrocells with no new layout.
+
+    Functional verification goes through the layout: the decoder
+    personality is extracted from the generated geometry and every
+    read/write decodes its address through it. *)
+
+open Rsg_layout
+open Rsg_core
+
+type t = {
+  cell : Cell.t;          (** the complete RAM (decoder + array) *)
+  array_cell : Cell.t;
+  decoder_cell : Cell.t;
+  words : int;            (** rows; a power of two *)
+  bits : int;             (** word width *)
+  sample : Sample.t;
+}
+
+val generate : ?sample:Sample.t -> words:int -> bits:int -> unit -> t
+(** Raises [Invalid_argument] unless [words] is a power of two >= 2
+    and [bits >= 1]. *)
+
+(** Behavioural model whose address decode runs through the layout. *)
+module Model : sig
+  type ram = t
+
+  type m
+
+  val create : ram -> m
+  (** Extracts the decoder personality from the generated layout;
+      raises [Failure] if the geometry does not decode one-hot. *)
+
+  val write : m -> addr:int -> int -> unit
+
+  val read : m -> addr:int -> int
+  (** Uninitialised words read as 0. *)
+end
+
+val structure_counts : t -> (string * int) list
+(** Instance census of the whole RAM. *)
+
+val docking_aligned : t -> bool
+(** Every decoder row's connect-ao sits exactly one plane pitch left
+    of the corresponding word-line driver, on the same y — the
+    geometric proof that the inherited interface did its job. *)

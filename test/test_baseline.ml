@@ -1,0 +1,102 @@
+(* Tests for the Figure 1.2 baselines: the shift-add datapath model
+   with its PLA controller, the canonical-architecture compiler, and
+   the specialised module generator. *)
+
+open Rsg_geom
+open Rsg_layout
+open Rsg_baseline
+
+let test_shift_add_exhaustive () =
+  for a = -16 to 15 do
+    for b = -8 to 7 do
+      let t = Shift_add.multiply ~m:5 ~n:4 a b in
+      Alcotest.(check int) (Printf.sprintf "%d*%d" a b) (a * b)
+        t.Shift_add.product;
+      Alcotest.(check int) "cycles" (Shift_add.cycles_per_multiply ~n:4)
+        t.Shift_add.cycles
+    done
+  done
+
+let prop_shift_add_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"8x8 shift-add equals product"
+       (QCheck.pair (QCheck.int_range (-128) 127) (QCheck.int_range (-128) 127))
+       (fun (a, b) ->
+         (Shift_add.multiply ~m:8 ~n:8 a b).Shift_add.product = a * b))
+
+let test_control_table_is_a_pla () =
+  (* the controller personality runs through the actual PLA generator
+     and verifies by extraction *)
+  let tt = Shift_add.control_table ~n:6 in
+  let g = Rsg_pla.Gen.generate tt in
+  Alcotest.(check bool) "controller PLA verifies" true (Rsg_pla.Gen.verify g)
+
+let test_canonical_structure () =
+  let c = Canonical.generate ~m:6 ~n:6 in
+  Alcotest.(check int) "three full words of slices" (3 * 12)
+    c.Canonical.slices;
+  let s = Flatten.stats c.Canonical.datapath in
+  Alcotest.(check (list (pair string int))) "datapath census"
+    [ ("dp-slice", 36) ]
+    s.Flatten.by_cell;
+  Alcotest.(check int) "cycles" 7 c.Canonical.cycles_per_multiply;
+  Alcotest.(check bool) "area positive" true (c.Canonical.area > 0)
+
+let test_specialized_structure () =
+  let xsize = 5 and ysize = 4 in
+  let t = Specialized.generate ~xsize ~ysize in
+  let counts = Specialized.variants ~xsize ~ysize in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+  Alcotest.(check int) "all cells placed" (xsize * (ysize + 1)) total;
+  (* fused type2 cells where the personalisation rule says so *)
+  let t2 =
+    List.fold_left
+      (fun acc (name, n) ->
+        if String.length name >= 6 && String.sub name 4 2 = "t2" then acc + n
+        else acc)
+      0 counts
+  in
+  Alcotest.(check int) "type2 count" (xsize + ysize - 2) t2;
+  (* tight pitch: bounding box exactly the array extent *)
+  match Cell.bbox t.Specialized.cell with
+  | Some b ->
+    Alcotest.(check int) "width" (xsize * Specialized.cell_width) (Box.width b);
+    Alcotest.(check int) "height"
+      ((ysize + 1) * Specialized.cell_height)
+      (Box.height b)
+  | None -> Alcotest.fail "empty layout"
+
+let test_fig_1_2_shape () =
+  (* the qualitative claim: canonical-architecture silicon-time per
+     multiply is several times the matched architectures'; the RSG is
+     close to the specialised generator *)
+  let xsize = 8 and ysize = 8 in
+  let c = Canonical.generate ~m:xsize ~n:ysize in
+  let s = Specialized.generate ~xsize ~ysize in
+  let g = Rsg_mult.Layout_gen.generate ~xsize ~ysize () in
+  let rsg_array_area =
+    match Cell.bbox g.Rsg_mult.Layout_gen.array_cell with
+    | Some b -> Box.area b
+    | None -> 0
+  in
+  let canonical_st = c.Canonical.area * c.Canonical.cycles_per_multiply in
+  Alcotest.(check bool) "canonical at least 4x the RSG array" true
+    (canonical_st > 4 * rsg_array_area);
+  Alcotest.(check bool) "rsg within 2x of specialised" true
+    (rsg_array_area < 2 * s.Specialized.area);
+  Alcotest.(check bool) "specialised is denser" true
+    (s.Specialized.area < rsg_array_area)
+
+let () =
+  Alcotest.run "rsg_baseline"
+    [ ("shift-add",
+       [ Alcotest.test_case "exhaustive 5x4" `Slow test_shift_add_exhaustive;
+         prop_shift_add_random;
+         Alcotest.test_case "controller is a PLA" `Quick
+           test_control_table_is_a_pla ]);
+      ("canonical",
+       [ Alcotest.test_case "structure" `Quick test_canonical_structure ]);
+      ("specialized",
+       [ Alcotest.test_case "structure" `Quick test_specialized_structure ]);
+      ("fig1.2",
+       [ Alcotest.test_case "shape" `Quick test_fig_1_2_shape ]) ]

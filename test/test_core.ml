@@ -1,0 +1,502 @@
+(* Tests for the RSG core: interfaces (Chapter 2), the interface table,
+   connectivity graphs and graph expansion (Chapter 3), and sample
+   extraction. *)
+
+open Rsg_geom
+open Rsg_layout
+open Rsg_core
+
+let transform = Alcotest.testable Transform.pp Transform.equal
+
+let iface = Alcotest.testable Interface.pp Interface.equal
+
+let gen_orient = QCheck.map Orient.of_index (QCheck.int_range 0 7)
+
+let gen_vec =
+  QCheck.map
+    (fun (x, y) -> Vec.make x y)
+    (QCheck.pair (QCheck.int_range (-50) 50) (QCheck.int_range (-50) 50))
+
+let gen_transform =
+  QCheck.map
+    (fun (o, v) -> Transform.{ orient = o; offset = v })
+    (QCheck.pair gen_orient gen_vec)
+
+let prop name ?(count = 500) gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Interface algebra                                                  *)
+
+let suite_interface =
+  [ (* The defining property: deskewing A to north must make place
+       recover B's placement from A's (eqs 2.1/2.2 vs 3.1/3.2). *)
+    prop "of_placements / place round trip"
+      (QCheck.pair gen_transform gen_transform) (fun (a, b) ->
+        let i = Interface.of_placements ~a ~b in
+        Transform.equal (Interface.place ~a i) b);
+    prop "invert is Iba" (QCheck.pair gen_transform gen_transform)
+      (fun (a, b) ->
+        Interface.equal
+          (Interface.invert (Interface.of_placements ~a ~b))
+          (Interface.of_placements ~a:b ~b:a));
+    prop "invert is an involution" (QCheck.pair gen_vec gen_orient)
+      (fun (v, o) ->
+        let i = Interface.make v o in
+        Interface.equal (Interface.invert (Interface.invert i)) i);
+    (* The interface is invariant under a global isometry applied to
+       the calling cell — the heart of "modulo an affine isometry"
+       (section 3.4). *)
+    prop "interface is isometry-invariant"
+      (QCheck.triple gen_transform gen_transform gen_transform)
+      (fun (g, a, b) ->
+        let i = Interface.of_placements ~a ~b in
+        let i' =
+          Interface.of_placements ~a:(Transform.compose g a)
+            ~b:(Transform.compose g b)
+        in
+        Interface.equal i i');
+    (* Inheritance (eqs 2.11/2.12) must agree with brute force: place C
+       anywhere, derive D so the inner interface holds, and read the
+       interface between C and D off their placements. *)
+    prop "inheritance agrees with brute force"
+      (QCheck.triple
+         (QCheck.pair gen_transform gen_transform)
+         (QCheck.pair gen_transform gen_transform)
+         gen_transform)
+      (fun ((a_in_c, b_in_d), (a_abs_delta, _), tc) ->
+        ignore a_abs_delta;
+        let inner =
+          Interface.of_placements ~a:a_in_c
+            ~b:(Transform.compose a_in_c (Transform.make (Vec.make 3 1)))
+        in
+        let ta = Transform.compose tc a_in_c in
+        let tb = Interface.place ~a:ta inner in
+        let td = Transform.compose tb (Transform.invert b_in_d) in
+        let expected = Interface.of_placements ~a:tc ~b:td in
+        let got = Interface.inherit_interface ~inner ~a_in_c ~b_in_d in
+        Interface.equal expected got) ]
+
+let test_interface_worked_example () =
+  (* Figure 2.2: A oriented south at (0,0), B oriented east at (4,2).
+     Deskewing by south^-1 = south rotates the picture a half turn:
+     B lands at (-4,-2) oriented east o south = west.  (Using our
+     concrete D4 tables.) *)
+  let a = Transform.{ orient = Orient.south; offset = Vec.zero } in
+  let b = Transform.{ orient = Orient.east; offset = Vec.make 4 2 } in
+  let i = Interface.of_placements ~a ~b in
+  Alcotest.(check iface) "fig 2.2"
+    (Interface.make (Vec.make (-4) (-2)) Orient.west)
+    i
+
+(* ------------------------------------------------------------------ *)
+(* Interface table                                                    *)
+
+let test_table_bilateral () =
+  let tbl = Interface_table.create () in
+  let i = Interface.make (Vec.make 10 0) Orient.east in
+  Interface_table.declare tbl ~from:"a" ~into:"b" ~index:1 i;
+  Alcotest.(check (option iface)) "forward" (Some i)
+    (Interface_table.find tbl ~from:"a" ~into:"b" ~index:1);
+  Alcotest.(check (option iface)) "reverse auto-loaded"
+    (Some (Interface.invert i))
+    (Interface_table.find tbl ~from:"b" ~into:"a" ~index:1);
+  Alcotest.(check int) "two entries" 2 (Interface_table.length tbl)
+
+let test_table_families () =
+  let tbl = Interface_table.create () in
+  let i1 = Interface.make (Vec.make 10 0) Orient.north in
+  let i2 = Interface.make (Vec.make 0 20) Orient.south in
+  Interface_table.declare tbl ~from:"a" ~into:"b" ~index:1 i1;
+  Interface_table.declare tbl ~from:"a" ~into:"b" ~index:2 i2;
+  Alcotest.(check (list int)) "family of interfaces (fig 2.3)" [ 1; 2 ]
+    (Interface_table.indices tbl ~from:"a" ~into:"b");
+  Alcotest.(check int) "next index" 3
+    (Interface_table.next_index tbl ~from:"a" ~into:"b");
+  (* Identical re-declaration is fine. *)
+  Interface_table.declare tbl ~from:"a" ~into:"b" ~index:1 i1;
+  (* Conflicting re-declaration is not. *)
+  Alcotest.(check bool) "conflict raises" true
+    (try
+       Interface_table.declare tbl ~from:"a" ~into:"b" ~index:1 i2;
+       false
+     with Failure _ -> true)
+
+let test_table_self_interface () =
+  let tbl = Interface_table.create () in
+  let i = Interface.make (Vec.make 10 0) Orient.north in
+  Interface_table.declare tbl ~from:"a" ~into:"a" ~index:1 i;
+  (* For A = A only the forward (reference) entry is stored. *)
+  Alcotest.(check int) "single entry" 1 (Interface_table.length tbl);
+  Alcotest.(check (option iface)) "canonical entry" (Some i)
+    (Interface_table.find tbl ~from:"a" ~into:"a" ~index:1)
+
+(* ------------------------------------------------------------------ *)
+(* Graphs and expansion                                               *)
+
+let leaf_cell name w h =
+  let c = Cell.create name in
+  Cell.add_box c Layer.Metal (Box.of_size ~origin:Vec.zero ~width:w ~height:h);
+  c
+
+(* A simple sample: cell "u" (8x8) with a horizontal pitch-10 interface
+   (index 1) and a vertical pitch-12 interface (index 2). *)
+let grid_table () =
+  let tbl = Interface_table.create () in
+  Interface_table.declare tbl ~from:"u" ~into:"u" ~index:1
+    (Interface.make (Vec.make 10 0) Orient.north);
+  Interface_table.declare tbl ~from:"u" ~into:"u" ~index:2
+    (Interface.make (Vec.make 0 12) Orient.north);
+  tbl
+
+let test_expand_row () =
+  let u = leaf_cell "u" 8 8 in
+  let tbl = grid_table () in
+  let nodes = Array.init 5 (fun _ -> Graph.mk_instance u) in
+  for i = 0 to 3 do
+    Graph.connect nodes.(i) nodes.(i + 1) 1
+  done;
+  let row = Expand.mk_cell tbl "row" nodes.(0) in
+  let placements =
+    List.map
+      (fun (i : Cell.instance) -> i.Cell.point_of_call)
+      (Cell.instances row)
+  in
+  List.iteri
+    (fun i p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cell %d at x=%d" i (10 * i))
+        true
+        (Vec.equal p (Vec.make (10 * i) 0)))
+    placements
+
+let test_expand_against_edge_direction () =
+  (* Connect b -> a but root at a: placement must use the inverse
+     interface, so b sits at -10. *)
+  let u = leaf_cell "u" 8 8 in
+  let tbl = grid_table () in
+  let a = Graph.mk_instance u and b = Graph.mk_instance u in
+  Graph.connect b a 1;
+  let cell = Expand.mk_cell tbl "pair" a in
+  match Cell.instances cell with
+  | [ ia; ib ] ->
+    Alcotest.(check transform) "a at origin" Transform.identity
+      (Cell.transform_of_instance ia);
+    Alcotest.(check transform) "b at -10"
+      (Transform.make (Vec.make (-10) 0))
+      (Cell.transform_of_instance ib)
+  | _ -> Alcotest.fail "expected two instances"
+
+let test_directed_disambiguation () =
+  (* Figures 3.5-3.7: with a "chiral" self-interface the two readings
+     differ; directed edges pick exactly one. *)
+  let tbl = Interface_table.create () in
+  Interface_table.declare tbl ~from:"u" ~into:"u" ~index:1
+    (Interface.make (Vec.make 10 3) Orient.east);
+  match
+    Expand.both_readings tbl ~placed:Transform.identity ~from:"u" ~into:"u"
+      ~index:1
+  with
+  | None -> Alcotest.fail "interface missing"
+  | Some (fwd, rev) ->
+    Alcotest.(check bool) "two readings differ" false (Transform.equal fwd rev);
+    Alcotest.(check transform) "forward reading"
+      Transform.{ orient = Orient.east; offset = Vec.make 10 3 }
+      fwd
+
+let test_spanning_tree_and_cycles () =
+  let u = leaf_cell "u" 8 8 in
+  let tbl = grid_table () in
+  (* 2x2 grid connected as a tree: 3 edges. *)
+  let n = Array.init 4 (fun _ -> Graph.mk_instance u) in
+  Graph.connect n.(0) n.(1) 1;
+  Graph.connect n.(0) n.(2) 2;
+  Graph.connect n.(2) n.(3) 1;
+  Alcotest.(check bool) "is spanning tree" true (Graph.is_spanning_tree n.(0));
+  (* Add the redundant but consistent fourth edge (fig 3.3): n1 -> n3
+     vertically. *)
+  Graph.connect n.(1) n.(3) 2;
+  Alcotest.(check bool) "no longer a tree" false (Graph.is_spanning_tree n.(0));
+  let cell = Expand.mk_cell tbl "grid" n.(0) in
+  Alcotest.(check int) "4 instances" 4 (List.length (Cell.instances cell));
+  (* Now an inconsistent cycle must be rejected. *)
+  let m = Array.init 3 (fun _ -> Graph.mk_instance u) in
+  Graph.connect m.(0) m.(1) 1;
+  Graph.connect m.(1) m.(2) 1;
+  Graph.connect m.(0) m.(2) 2;
+  (* horizontal+horizontal vs vertical *)
+  Alcotest.(check bool) "inconsistent cycle raises" true
+    (try
+       ignore (Expand.place_component tbl m.(0));
+       false
+     with Expand.Inconsistent_cycle _ -> true)
+
+let test_missing_interface () =
+  let u = leaf_cell "u" 8 8 in
+  let v = leaf_cell "v" 8 8 in
+  let tbl = grid_table () in
+  let a = Graph.mk_instance u and b = Graph.mk_instance v in
+  Graph.connect a b 7;
+  Alcotest.(check bool) "missing interface raises" true
+    (try
+       ignore (Expand.mk_cell tbl "broken" a);
+       false
+     with Expand.Missing_interface { index = 7; _ } -> true)
+
+let test_reuse_rejected () =
+  let u = leaf_cell "u" 8 8 in
+  let tbl = grid_table () in
+  let a = Graph.mk_instance u and b = Graph.mk_instance u in
+  Graph.connect a b 1;
+  ignore (Expand.mk_cell tbl "once" a);
+  Alcotest.(check bool) "second expansion rejected" true
+    (try
+       ignore (Expand.mk_cell tbl "twice" a);
+       false
+     with Expand.Already_placed _ -> true)
+
+(* Root independence: layouts from different roots are equal modulo a
+   single global isometry (section 3.4). *)
+let test_root_equivalence () =
+  let build () =
+    let u = leaf_cell "u" 8 8 in
+    let nodes = Array.init 6 (fun _ -> Graph.mk_instance u) in
+    Graph.connect nodes.(0) nodes.(1) 1;
+    Graph.connect nodes.(1) nodes.(2) 1;
+    Graph.connect nodes.(0) nodes.(3) 2;
+    Graph.connect nodes.(3) nodes.(4) 1;
+    Graph.connect nodes.(4) nodes.(5) 2;
+    nodes
+  in
+  let tbl = grid_table () in
+  let n1 = build () and n2 = build () in
+  ignore (Expand.place_component tbl n1.(0));
+  ignore (Expand.place_component tbl n2.(4));
+  let t1 i = Option.get n1.(i).Graph.placement in
+  let t2 i = Option.get n2.(i).Graph.placement in
+  (* g maps layout 1 onto layout 2 using node 0 as anchor. *)
+  let g = Transform.compose (t2 0) (Transform.invert (t1 0)) in
+  for i = 0 to 5 do
+    Alcotest.(check transform)
+      (Printf.sprintf "node %d related by g" i)
+      (t2 i)
+      (Transform.compose g (t1 i))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Sample extraction                                                  *)
+
+let test_sample_extraction () =
+  let a = leaf_cell "alpha" 10 10 in
+  let b = leaf_cell "beta" 6 6 in
+  let assembly = Cell.create "assembly" in
+  let ia = Cell.add_instance assembly ~at:Vec.zero a in
+  let ib =
+    Cell.add_instance assembly ~orient:Orient.east ~at:(Vec.make 9 4) b
+  in
+  (* beta east at (9,4): bbox corners (0,0),(6,6) -> (0,0),(6,-6),
+     translated: [9,-2 .. 15,4]; overlap with alpha's [0,0..10,10] is
+     [9,0..10,4]. *)
+  Cell.add_label assembly "1" (Vec.make 9 1);
+  let s, decls = Sample.of_assemblies [ assembly ] in
+  (match decls with
+  | [ d ] ->
+    Alcotest.(check string) "from" "alpha" d.Sample.d_from;
+    Alcotest.(check string) "into" "beta" d.Sample.d_into;
+    Alcotest.(check int) "index" 1 d.Sample.d_index;
+    Alcotest.(check bool) "not duplicate" false d.Sample.d_duplicate
+  | _ -> Alcotest.fail "expected one declaration");
+  Alcotest.(check (option iface)) "extracted interface"
+    (Some (Interface.of_instances ia ib))
+    (Interface_table.find s.Sample.table ~from:"alpha" ~into:"beta" ~index:1);
+  (* Both leaf definitions were registered. *)
+  Alcotest.(check bool) "alpha loaded" true (Db.mem s.Sample.db "alpha");
+  Alcotest.(check bool) "beta loaded" true (Db.mem s.Sample.db "beta")
+
+let test_sample_duplicate_detection () =
+  (* HPLA's sample contained two identical and-sq/connect-ao interfaces
+     (section 1.2.2); our extractor flags the redundancy. *)
+  let a = leaf_cell "alpha" 10 10 in
+  let assembly = Cell.create "assembly" in
+  ignore (Cell.add_instance assembly ~at:Vec.zero a);
+  ignore (Cell.add_instance assembly ~at:(Vec.make 8 0) a);
+  ignore (Cell.add_instance assembly ~at:(Vec.make 16 0) a);
+  Cell.add_label assembly "1" (Vec.make 8 5);
+  Cell.add_label assembly "1" (Vec.make 16 5);
+  let _, decls = Sample.of_assemblies [ assembly ] in
+  Alcotest.(check (list bool)) "second is duplicate" [ false; true ]
+    (List.map (fun d -> d.Sample.d_duplicate) decls)
+
+let test_sample_bad_label () =
+  let a = leaf_cell "alpha" 10 10 in
+  let assembly = Cell.create "assembly" in
+  ignore (Cell.add_instance assembly ~at:Vec.zero a);
+  Cell.add_label assembly "1" (Vec.make 5 5);
+  Alcotest.(check bool) "label over one instance raises" true
+    (try
+       ignore (Sample.of_assemblies [ assembly ]);
+       false
+     with Sample.Bad_label _ -> true)
+
+let test_declare_by_example () =
+  let s = Sample.create () in
+  let a = leaf_cell "alpha" 10 10 in
+  let ia = Cell.instance ~at:Vec.zero a in
+  let ib = Cell.instance ~orient:Orient.south ~at:(Vec.make 20 0) a in
+  let idx = Sample.declare_by_example s ia ib in
+  Alcotest.(check int) "auto index" 1 idx;
+  let idx2 = Sample.declare_by_example s ia ib in
+  (* identical interface redeclared under a fresh index is allowed *)
+  Alcotest.(check int) "next auto index" 2 idx2
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: sample -> graph -> layout matches the sample geometry. *)
+
+let test_by_example_end_to_end () =
+  let a = leaf_cell "alpha" 10 10 in
+  let assembly = Cell.create "assembly" in
+  ignore (Cell.add_instance assembly ~at:Vec.zero a);
+  ignore (Cell.add_instance assembly ~orient:Orient.mirror_y ~at:(Vec.make 20 0) a);
+  (* mirror_y at (20,0) puts the second alpha on [10,0..20,10]; the
+     overlap with the first is the x = 10 edge. *)
+  Cell.add_label assembly "1" (Vec.make 10 5);
+  let s, _ = Sample.of_assemblies [ assembly ] in
+  let n1 = Graph.mk_instance a and n2 = Graph.mk_instance a in
+  Graph.connect n1 n2 1;
+  let out = Expand.mk_cell s.Sample.table "out" n1 in
+  (* The generated pair must reproduce the sample's relative placement:
+     flattened geometry equal to the assembly's (same anchor). *)
+  Alcotest.(check bool) "pair reproduces sample" true
+    (Cif.roundtrip_equal out
+       (let ref_cell = Cell.create "ref" in
+        ignore (Cell.add_instance ref_cell ~at:Vec.zero a);
+        ignore
+          (Cell.add_instance ref_cell ~orient:Orient.mirror_y
+             ~at:(Vec.make 20 0) a);
+        ref_cell))
+
+let test_root_placement () =
+  (* expanding with a non-default root placement shifts and reorients
+     the whole component *)
+  let u = leaf_cell "u" 8 8 in
+  let tbl = grid_table () in
+  let a = Graph.mk_instance u and b = Graph.mk_instance u in
+  Graph.connect a b 1;
+  let g = Transform.{ orient = Orient.east; offset = Vec.make 100 50 } in
+  ignore (Expand.place_component ~root_placement:g tbl a);
+  Alcotest.(check transform) "root where asked" g (Option.get a.Graph.placement);
+  Alcotest.(check transform) "neighbour follows"
+    (Interface.place ~a:g (Interface.make (Vec.make 10 0) Orient.north))
+    (Option.get b.Graph.placement)
+
+let test_table_fold_and_gaps () =
+  let tbl = Interface_table.create () in
+  Interface_table.declare tbl ~from:"a" ~into:"b" ~index:1
+    (Interface.make (Vec.make 1 0) Orient.north);
+  Interface_table.declare tbl ~from:"a" ~into:"b" ~index:3
+    (Interface.make (Vec.make 0 1) Orient.south);
+  (* fold visits the bilateral images too *)
+  let n = Interface_table.fold (fun ~from:_ ~into:_ ~index:_ _ acc -> acc + 1) tbl 0 in
+  Alcotest.(check int) "four entries" 4 n;
+  (* next_index fills the gap *)
+  Alcotest.(check int) "gap filled" 2
+    (Interface_table.next_index tbl ~from:"a" ~into:"b")
+
+(* Mirrored-row tiling: real arrays often flip alternate rows about
+   the x axis so power rails are shared.  The interface machinery must
+   compose reflections correctly over many rows. *)
+let test_mirrored_row_tiling () =
+  let u = Cell.create "u" in
+  Cell.add_box u Layer.Metal (Box.of_size ~origin:Vec.zero ~width:8 ~height:2);
+  Cell.add_box u Layer.Poly (Box.of_size ~origin:(Vec.make 2 2) ~width:2 ~height:6);
+  let tbl = Interface_table.create () in
+  (* horizontal neighbours share orientation *)
+  Interface_table.declare tbl ~from:"u" ~into:"u" ~index:1
+    (Interface.make (Vec.make 8 0) Orient.north);
+  (* the row above is flipped about x, its origin 16 up (two cell
+     heights, so the flipped cell's extent lands in [8, 16]) *)
+  Interface_table.declare tbl ~from:"u" ~into:"u" ~index:2
+    (Interface.make (Vec.make 0 16) Orient.mirror_x);
+  let rows = 4 and cols = 4 in
+  let nodes = Array.init rows (fun _ -> Array.init cols (fun _ -> Graph.mk_instance u)) in
+  for r = 0 to rows - 1 do
+    for c = 1 to cols - 1 do
+      Graph.connect nodes.(r).(c - 1) nodes.(r).(c) 1
+    done
+  done;
+  for r = 1 to rows - 1 do
+    Graph.connect nodes.(r - 1).(0) nodes.(r).(0) 2
+  done;
+  let layout = Expand.mk_cell tbl "mirrored" nodes.(0).(0) in
+  (* orientations alternate N, MX, N, MX...  Note mirror_x o mirror_x
+     = identity, so even rows are upright. *)
+  Array.iteri
+    (fun r row ->
+      Array.iter
+        (fun (n : Graph.node) ->
+          let t = Option.get n.Graph.placement in
+          let expected =
+            if r mod 2 = 0 then Orient.north else Orient.mirror_x
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "row %d orientation" r)
+            true
+            (Orient.equal t.Transform.orient expected))
+        row)
+    nodes;
+  (* flipped rows really are reflections: row 1's flattened geometry is
+     row 0's reflected about y = 8 *)
+  let f = Flatten.flatten layout in
+  let boxes_in lo hi =
+    List.filter (fun ((_ : Layer.t), (b : Box.t)) -> b.Box.ymin >= lo && b.Box.ymax <= hi)
+      f.Flatten.flat_boxes
+    |> List.map (fun (l, b) -> (Layer.to_index l, b))
+    |> List.sort compare
+  in
+  let row0 = boxes_in 0 8 in
+  let row1_reflected =
+    boxes_in 8 16
+    |> List.map (fun (l, (b : Box.t)) ->
+           (l, Box.make ~xmin:b.Box.xmin ~xmax:b.Box.xmax ~ymin:(16 - b.Box.ymax)
+              ~ymax:(16 - b.Box.ymin)))
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "row 1 mirrors row 0" true (row0 = row1_reflected);
+  (* and the pattern keeps its pitch over all rows *)
+  Alcotest.(check int) "16 instances" 16
+    (List.length (Cell.instances layout))
+
+let () =
+  Alcotest.run "rsg_core"
+    [ ("interface",
+       Alcotest.test_case "fig 2.2 worked example" `Quick
+         test_interface_worked_example
+       :: suite_interface);
+      ("interface-table",
+       [ Alcotest.test_case "bilateral" `Quick test_table_bilateral;
+         Alcotest.test_case "families + conflicts" `Quick test_table_families;
+         Alcotest.test_case "self interface" `Quick test_table_self_interface ]);
+      ("graph-expand",
+       [ Alcotest.test_case "row expansion" `Quick test_expand_row;
+         Alcotest.test_case "against edge direction" `Quick
+           test_expand_against_edge_direction;
+         Alcotest.test_case "directed disambiguation" `Quick
+           test_directed_disambiguation;
+         Alcotest.test_case "spanning tree + cycles" `Quick
+           test_spanning_tree_and_cycles;
+         Alcotest.test_case "missing interface" `Quick test_missing_interface;
+         Alcotest.test_case "reuse rejected" `Quick test_reuse_rejected;
+         Alcotest.test_case "root equivalence" `Quick test_root_equivalence;
+         Alcotest.test_case "mirrored row tiling" `Quick
+           test_mirrored_row_tiling;
+         Alcotest.test_case "root placement" `Quick test_root_placement ]);
+      ("table-extra",
+       [ Alcotest.test_case "fold and index gaps" `Quick
+           test_table_fold_and_gaps ]);
+      ("sample",
+       [ Alcotest.test_case "extraction" `Quick test_sample_extraction;
+         Alcotest.test_case "duplicate detection" `Quick
+           test_sample_duplicate_detection;
+         Alcotest.test_case "bad label" `Quick test_sample_bad_label;
+         Alcotest.test_case "declare by example" `Quick test_declare_by_example;
+         Alcotest.test_case "end to end" `Quick test_by_example_end_to_end ]) ]

@@ -1,0 +1,212 @@
+(* Tests for the EXCL-style extractor (reference [23]) and lambda
+   scaling: nets, devices, terminals, and the generation->extraction
+   loop on generated structures. *)
+
+open Rsg_geom
+open Rsg_layout
+open Rsg_extract.Extract
+
+let box x0 y0 x1 y1 = Box.make ~xmin:x0 ~ymin:y0 ~xmax:x1 ~ymax:y1
+
+let item layer b = { Rsg_compact.Scanline.layer; box = b }
+
+(* ------------------------------------------------------------------ *)
+(* Nets and terminals                                                 *)
+
+let test_nets_basic () =
+  let items =
+    [| item Layer.Metal (box 0 0 10 3);        (* net A *)
+       item Layer.Metal (box 8 0 12 10);       (* touches -> net A *)
+       item Layer.Metal (box 20 0 25 3);       (* net B *)
+       item Layer.Poly (box 0 20 10 23) |]     (* net C (own layer) *)
+  in
+  let nl =
+    of_items items
+      [ ("a1", Vec.make 1 1); ("a2", Vec.make 11 8); ("b", Vec.make 22 1);
+        ("c", Vec.make 5 21); ("nowhere", Vec.make 100 100) ]
+  in
+  Alcotest.(check int) "three nets" 3 nl.n_nets;
+  Alcotest.(check bool) "a1-a2 connected" true (connected nl "a1" "a2");
+  Alcotest.(check bool) "a1-b separate" false (connected nl "a1" "b");
+  Alcotest.(check bool) "a1-c separate" false (connected nl "a1" "c");
+  Alcotest.(check (option int)) "label off geometry" None
+    (net_of_terminal nl "nowhere")
+
+let test_contact_joins_layers () =
+  (* metal - contact - poly is one net *)
+  let items =
+    [| item Layer.Metal (box 0 0 10 4);
+       item Layer.Contact (box 2 0 6 10);
+       item Layer.Poly (box 0 6 10 10) |]
+  in
+  let nl = of_items items [ ("m", Vec.make 9 2); ("p", Vec.make 9 9) ] in
+  Alcotest.(check int) "one net" 1 nl.n_nets;
+  Alcotest.(check bool) "metal-poly via contact" true (connected nl "m" "p")
+
+let test_poly_diff_do_not_join () =
+  let items =
+    [| item Layer.Poly (box 0 4 20 8); item Layer.Diffusion (box 8 0 12 12) |]
+  in
+  let nl = of_items items [] in
+  Alcotest.(check int) "two nets" 2 nl.n_nets
+
+(* ------------------------------------------------------------------ *)
+(* Devices                                                            *)
+
+let test_single_transistor () =
+  let items =
+    [| item Layer.Poly (box 0 4 20 8); item Layer.Diffusion (box 8 0 12 12) |]
+  in
+  let nl = of_items items [] in
+  Alcotest.(check int) "one device" 1 (n_devices nl);
+  match nl.devices with
+  | [ d ] -> Alcotest.(check bool) "gate region" true
+      (Box.equal d.gate (box 8 4 12 8))
+  | _ -> Alcotest.fail "expected one device"
+
+let test_fragmented_gate_merges () =
+  (* the diffusion is drawn in two abutting pieces: still one
+     transistor *)
+  let items =
+    [| item Layer.Poly (box 0 4 20 8);
+       item Layer.Diffusion (box 8 0 12 6);
+       item Layer.Diffusion (box 8 6 12 12) |]
+  in
+  let nl = of_items items [] in
+  Alcotest.(check int) "merged to one device" 1 (n_devices nl)
+
+let test_two_transistors_one_gate_line () =
+  (* one poly line crossing two separate diffusions: two devices *)
+  let items =
+    [| item Layer.Poly (box 0 4 40 8);
+       item Layer.Diffusion (box 5 0 10 12);
+       item Layer.Diffusion (box 25 0 30 12) |]
+  in
+  let nl = of_items items [] in
+  Alcotest.(check int) "two devices" 2 (n_devices nl)
+
+let test_edge_touch_is_not_a_device () =
+  let items =
+    [| item Layer.Poly (box 0 4 8 8); item Layer.Diffusion (box 8 0 12 12) |]
+  in
+  Alcotest.(check int) "no device" 0 (n_devices (of_items items []))
+
+(* ------------------------------------------------------------------ *)
+(* Generation -> extraction loop                                      *)
+
+let test_basic_cell_census () =
+  (* the multiplier's basic cell draws four transistors *)
+  let sample, _ = Rsg_mult.Sample_lib.build () in
+  let basic = Db.find_exn sample.Rsg_core.Sample.db Rsg_mult.Sample_lib.basic_cell in
+  Alcotest.(check int) "4 transistors in the basic cell" 4
+    (n_devices (of_cell basic))
+
+let test_multiplier_census_follows_personality () =
+  (* four transistors per basic cell; the clock/carry masks' poly
+     lands touching the core gates and merges into them (one
+     continuous gate region), so personalisation leaves the count at
+     exactly 4 per cell at every array size *)
+  List.iter
+    (fun (xsize, ysize) ->
+      let g = Rsg_mult.Layout_gen.generate ~xsize ~ysize () in
+      let nl = of_cell g.Rsg_mult.Layout_gen.array_cell in
+      let cells = xsize * (ysize + 1) in
+      Alcotest.(check int)
+        (Printf.sprintf "%dx%d census" xsize ysize)
+        (cells * 4) (n_devices nl))
+    [ (2, 2); (3, 3); (4, 2) ]
+
+let test_pla_census () =
+  (* connect-ao contributes no poly; crosspoints carry no poly over
+     diffusion; inbuf draws two poly columns over its diffusion *)
+  let tt = Rsg_pla.Truth_table.of_strings [ ("10", "10"); ("01", "01") ] in
+  let p = Rsg_pla.Gen.generate tt in
+  let nl = of_cell p.Rsg_pla.Gen.cell in
+  Alcotest.(check int) "2 inbufs x 2 gates" 4 (n_devices nl)
+
+(* ------------------------------------------------------------------ *)
+(* Scaling                                                            *)
+
+let test_scale_simple () =
+  let c = Cell.create "unit" in
+  Cell.add_box c Layer.Metal (box 1 2 5 9);
+  Cell.add_label c "x" (Vec.make 3 4);
+  let c2 = Scale.cell ~num:2 c in
+  Alcotest.(check string) "renamed" "unit-s2" c2.Cell.cname;
+  (match Cell.boxes c2 with
+  | [ (_, b) ] -> Alcotest.(check bool) "doubled" true (Box.equal b (box 2 4 10 18))
+  | _ -> Alcotest.fail "one box");
+  match Cell.labels c2 with
+  | [ l ] -> Alcotest.(check bool) "label moved" true (Vec.equal l.Cell.at (Vec.make 6 8))
+  | _ -> Alcotest.fail "one label"
+
+let test_scale_hierarchy_shares () =
+  let leaf = Cell.create "leaf" in
+  Cell.add_box leaf Layer.Poly (box 0 0 4 4);
+  let top = Cell.create "top" in
+  ignore (Cell.add_instance top ~at:(Vec.make 0 0) leaf);
+  ignore (Cell.add_instance top ~at:(Vec.make 10 0) leaf);
+  let top3 = Scale.cell ~num:3 top in
+  (match Cell.instances top3 with
+  | [ i1; i2 ] ->
+    Alcotest.(check bool) "definition shared" true (i1.Cell.def == i2.Cell.def);
+    Alcotest.(check bool) "offset scaled" true
+      (Vec.equal i2.Cell.point_of_call (Vec.make 30 0))
+  | _ -> Alcotest.fail "two instances");
+  (* flattened geometry equals scaling the flattened original *)
+  let f = Flatten.flatten top and f3 = Flatten.flatten top3 in
+  let scaled =
+    List.map (fun (l, b) -> (l, Scale.box ~num:3 ~den:1 b)) f.Flatten.flat_boxes
+  in
+  Alcotest.(check bool) "flatten commutes" true (scaled = f3.Flatten.flat_boxes)
+
+let test_scale_down_and_inexact () =
+  let c = Cell.create "even" in
+  Cell.add_box c Layer.Metal (box 0 0 4 8);
+  let half = Scale.cell ~num:1 ~den:2 c in
+  (match Cell.boxes half with
+  | [ (_, b) ] -> Alcotest.(check bool) "halved" true (Box.equal b (box 0 0 2 4))
+  | _ -> Alcotest.fail "one box");
+  let odd = Cell.create "odd" in
+  Cell.add_box odd Layer.Metal (box 0 0 3 3);
+  Alcotest.(check bool) "inexact raises" true
+    (try ignore (Scale.cell ~num:1 ~den:2 odd); false
+     with Scale.Inexact _ -> true);
+  Alcotest.(check bool) "bad factor" true
+    (try ignore (Scale.cell ~num:0 c); false with Invalid_argument _ -> true)
+
+let test_scaled_multiplier_extracts_identically () =
+  (* a technology shrink keeps the netlist: same nets, same devices *)
+  let g = Rsg_mult.Layout_gen.generate ~xsize:2 ~ysize:2 () in
+  let nl = of_cell g.Rsg_mult.Layout_gen.array_cell in
+  let nl2 = of_cell (Scale.cell ~num:2 g.Rsg_mult.Layout_gen.array_cell) in
+  Alcotest.(check int) "same nets" nl.n_nets nl2.n_nets;
+  Alcotest.(check int) "same devices" (n_devices nl) (n_devices nl2)
+
+let () =
+  Alcotest.run "rsg_extract"
+    [ ("nets",
+       [ Alcotest.test_case "basics" `Quick test_nets_basic;
+         Alcotest.test_case "contact joins layers" `Quick
+           test_contact_joins_layers;
+         Alcotest.test_case "poly-diff separate" `Quick
+           test_poly_diff_do_not_join ]);
+      ("devices",
+       [ Alcotest.test_case "single transistor" `Quick test_single_transistor;
+         Alcotest.test_case "fragmented gate merges" `Quick
+           test_fragmented_gate_merges;
+         Alcotest.test_case "two on one line" `Quick
+           test_two_transistors_one_gate_line;
+         Alcotest.test_case "edge touch" `Quick test_edge_touch_is_not_a_device ]);
+      ("generated",
+       [ Alcotest.test_case "basic cell census" `Quick test_basic_cell_census;
+         Alcotest.test_case "multiplier census" `Quick
+           test_multiplier_census_follows_personality;
+         Alcotest.test_case "pla census" `Quick test_pla_census ]);
+      ("scale",
+       [ Alcotest.test_case "simple" `Quick test_scale_simple;
+         Alcotest.test_case "hierarchy shares" `Quick
+           test_scale_hierarchy_shares;
+         Alcotest.test_case "down + inexact" `Quick test_scale_down_and_inexact;
+         Alcotest.test_case "shrunk multiplier netlist" `Quick
+           test_scaled_multiplier_extracts_identically ]) ]

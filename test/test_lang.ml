@@ -1,0 +1,526 @@
+(* Tests for the design-file language: parsing (Appendix A grammar),
+   evaluation, scoping (Table 4.1), macros returning environments,
+   the RSG primitives and parameter files. *)
+
+open Rsg_geom
+open Rsg_layout
+open Rsg_core
+open Rsg_lang
+
+let value =
+  Alcotest.testable Value.pp (fun a b -> Value.equal_value a b)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+
+let test_sexp_reader () =
+  match Sexp.parse_string "(a (b 1) \"s\") ; comment\n(c)" with
+  | [ Sexp.List [ Sexp.Atom "a"; Sexp.List [ Sexp.Atom "b"; Sexp.Atom "1" ]; Sexp.Str "s" ];
+      Sexp.List [ Sexp.Atom "c" ] ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected sexp structure"
+
+let test_sexp_errors () =
+  let raises s =
+    try
+      ignore (Sexp.parse_string s);
+      false
+    with Sexp.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "unclosed paren" true (raises "(a (b)");
+  Alcotest.(check bool) "stray rparen" true (raises ")");
+  Alcotest.(check bool) "unterminated string" true (raises "\"abc")
+
+let parse_one s =
+  match Parser.parse_program s with
+  | [ Ast.Expr e ] -> e
+  | _ -> Alcotest.fail "expected a single expression"
+
+let test_indexed_variables () =
+  (match parse_one "(assign l.1 5)" with
+  | Ast.Assign (Ast.Indexed ("l", [ Ast.Int 1 ]), Ast.Int 5) -> ()
+  | e -> Alcotest.failf "l.1: got %a" Ast.pp_expr e);
+  (match parse_one "(assign c.i 5)" with
+  | Ast.Assign (Ast.Indexed ("c", [ Ast.Var (Ast.Simple "i") ]), _) -> ()
+  | e -> Alcotest.failf "c.i: got %a" Ast.pp_expr e);
+  (match parse_one "(assign l.(- i 1) 5)" with
+  | Ast.Assign (Ast.Indexed ("l", [ Ast.Call ("-", _) ]), _) -> ()
+  | e -> Alcotest.failf "l.(- i 1): got %a" Ast.pp_expr e);
+  (match parse_one "(assign m.i.j 5)" with
+  | Ast.Assign
+      (Ast.Indexed ("m", [ Ast.Var (Ast.Simple "i"); Ast.Var (Ast.Simple "j") ]), _) ->
+    ()
+  | e -> Alcotest.failf "m.i.j: got %a" Ast.pp_expr e);
+  (* Appendix B style: subcell with a computed index. *)
+  match parse_one "(connect (subcell l.(- i 1) c.1) (subcell l.i c.1) h)" with
+  | Ast.Connect (Ast.Subcell (_, Ast.Indexed ("c", [ Ast.Int 1 ])), _, _) -> ()
+  | e -> Alcotest.failf "appendix connect: got %a" Ast.pp_expr e
+
+let test_proc_parsing () =
+  let prog =
+    Parser.parse_program
+      "(defun f (x y) (locals a b.) (assign a (+ x y)) a)\n\
+       (macro mg (n) (locals c) (assign c n))"
+  in
+  match prog with
+  | [ Ast.Defproc f; Ast.Defproc g ] ->
+    Alcotest.(check string) "f name" "f" f.Ast.proc_name;
+    Alcotest.(check bool) "f is function" false f.Ast.is_macro;
+    Alcotest.(check int) "f formals" 2 (List.length f.Ast.formals);
+    (match f.Ast.locals with
+    | [ Ast.Scalar_local "a"; Ast.Array_local "b" ] -> ()
+    | _ -> Alcotest.fail "f locals");
+    Alcotest.(check bool) "mg is macro" true g.Ast.is_macro
+  | _ -> Alcotest.fail "expected two definitions"
+
+let test_macro_name_convention () =
+  let raises s =
+    try
+      ignore (Parser.parse_program s);
+      false
+    with Parser.Syntax_error _ -> true
+  in
+  Alcotest.(check bool) "macro must start with m" true
+    (raises "(macro foo (x) x)");
+  Alcotest.(check bool) "function must not start with m" true
+    (raises "(defun mfoo (x) x)")
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation basics                                                  *)
+
+let run ?cells ?table src =
+  let st = Interp.create ?cells ?table () in
+  (st, Interp.run_string st src)
+
+let test_arith () =
+  let check src expected =
+    let _, v = run src in
+    Alcotest.(check value) src expected v
+  in
+  check "(+ 1 2 3)" (Value.Vint 6);
+  check "(- 10 3 2)" (Value.Vint 5);
+  check "(- 4)" (Value.Vint (-4));
+  check "(* 2 3 4)" (Value.Vint 24);
+  check "(// 7 2)" (Value.Vint 3);
+  check "(mod 7 2)" (Value.Vint 1);
+  check "(= 3 3)" (Value.Vbool true);
+  check "(> 4 2)" (Value.Vbool true);
+  check "(<= 4 2)" (Value.Vbool false);
+  check "(min 4 2 9)" (Value.Vint 2);
+  check "(max 4 2 9)" (Value.Vint 9);
+  check "(abs (- 5))" (Value.Vint 5);
+  check "(not (= 1 2))" (Value.Vbool true)
+
+let test_cond_and_do () =
+  let _, v = run "(cond ((= 1 2) 10) ((= 1 1) 20) (true 30))" in
+  Alcotest.(check value) "cond picks second" (Value.Vint 20) v;
+  let _, v = run "(cond ((= 1 2) 10))" in
+  Alcotest.(check value) "cond no match" Value.Vunit v;
+  let _, v =
+    run
+      "(assign total 0)\n\
+       (do (i 1 (+ i 1) (> i 5)) (assign total (+ total i)))\n\
+       total"
+  in
+  Alcotest.(check value) "do sums 1..5" (Value.Vint 15) v;
+  let _, v = run "(assign x 9) (do (i 1 (+ i 1) (> i 0)) (assign x 7)) x" in
+  Alcotest.(check value) "do with immediate exit" (Value.Vint 9) v
+
+let test_functions_and_recursion () =
+  let _, v =
+    run
+      "(defun fact (n) (locals) (cond ((= n 0) 1) (true (* n (fact (- n 1))))))\n\
+       (fact 6)"
+  in
+  Alcotest.(check value) "recursion" (Value.Vint 720) v;
+  (* fmin from Appendix B verbatim. *)
+  let _, v =
+    run "(defun fmin (x y) (locals) (cond ((> x y) y) (true x))) (fmin 7 3)"
+  in
+  Alcotest.(check value) "appendix fmin" (Value.Vint 3) v
+
+let test_macro_returns_environment () =
+  let _, v =
+    run
+      "(macro mpoint (x y) (locals sum) (assign sum (+ x y)))\n\
+       (assign p (mpoint 3 4))\n\
+       (+ (subcell p x) (subcell p sum))"
+  in
+  Alcotest.(check value) "subcell reads returned env" (Value.Vint 10) v
+
+let test_scoping_locals_shadow () =
+  let _, v =
+    run
+      "(assign g 100)\n\
+       (defun f () (locals g) (assign g 1) g)\n\
+       (+ (f) g)"
+  in
+  Alcotest.(check value) "locals shadow globals" (Value.Vint 101) v
+
+let test_scoping_lexical_not_dynamic () =
+  (* h's local x must not be visible inside f (dynamic scoping was
+     rejected, section 4.1). *)
+  let _, v =
+    run
+      "(assign x 5)\n\
+       (defun f () (locals) x)\n\
+       (defun h () (locals x) (assign x 99) (f))\n\
+       (h)"
+  in
+  Alcotest.(check value) "lexical scoping" (Value.Vint 5) v
+
+let test_arrays () =
+  let _, v =
+    run
+      "(defun f () (locals a.) \n\
+       (do (i 1 (+ i 1) (> i 4)) (assign a.i (* i i)))\n\
+       (+ a.1 a.2 a.3 a.4))\n\
+       (f)"
+  in
+  Alcotest.(check value) "array locals" (Value.Vint 30) v;
+  let _, v = run "(assign m.2.3 7) (assign m.3.2 1) (+ m.2.3 m.3.2)" in
+  Alcotest.(check value) "two-dimensional" (Value.Vint 8) v
+
+let test_unbound_errors () =
+  let raises src =
+    try
+      ignore (run src);
+      false
+    with Interp.Runtime_error _ -> true
+  in
+  Alcotest.(check bool) "unbound variable" true (raises "nosuch");
+  Alcotest.(check bool) "unbound array index" true
+    (raises "(assign a.1 5) a.2");
+  Alcotest.(check bool) "unknown function" true (raises "(nosuchfn 1)");
+  Alcotest.(check bool) "arity mismatch" true
+    (raises "(defun f (x) (locals) x) (f 1 2)");
+  Alcotest.(check bool) "division by zero" true (raises "(// 1 0)")
+
+(* ------------------------------------------------------------------ *)
+(* Parameter files                                                    *)
+
+let test_param_parsing () =
+  let p =
+    Param.parse
+      ".example_file:/u/bamji/demo/mult.def\n\
+       ; a comment\n\
+       vinum=2\n\
+       corecell=cell\n\
+       mularrayname=\"array\"\n\
+       flag=true\n"
+  in
+  Alcotest.(check (option string)) "directive" (Some "/u/bamji/demo/mult.def")
+    (Param.directive p "example_file");
+  Alcotest.(check (option value)) "int" (Some (Value.Vint 2))
+    (Param.binding p "vinum");
+  Alcotest.(check (option value)) "symbol" (Some (Value.Vsym "cell"))
+    (Param.binding p "corecell");
+  Alcotest.(check (option value)) "string" (Some (Value.Vstr "array"))
+    (Param.binding p "mularrayname");
+  Alcotest.(check (option value)) "bool" (Some (Value.Vbool true))
+    (Param.binding p "flag")
+
+let test_param_errors () =
+  let raises s =
+    try
+      ignore (Param.parse s);
+      false
+    with Param.Param_error _ -> true
+  in
+  Alcotest.(check bool) "no equals" true (raises "junk line\n");
+  Alcotest.(check bool) "empty value" true (raises "a=\n");
+  Alcotest.(check bool) "bad directive" true (raises ".nocolon\n")
+
+(* ------------------------------------------------------------------ *)
+(* Table 4.1: environment -> global -> cell table, with symbol
+   indirection from the parameter file.                               *)
+
+let simple_sample () =
+  (* One 8x8 cell "basiccell" with a horizontal self-interface 1 at
+     pitch 10 and a vertical one (2) at pitch 12. *)
+  let c = Cell.create "basiccell" in
+  Cell.add_box c Layer.Metal (Box.of_size ~origin:Vec.zero ~width:8 ~height:8);
+  let s = Sample.create () in
+  Sample.load_cell s c;
+  Interface_table.declare s.Sample.table ~from:"basiccell" ~into:"basiccell"
+    ~index:1
+    (Interface.make (Vec.make 10 0) Orient.north);
+  Interface_table.declare s.Sample.table ~from:"basiccell" ~into:"basiccell"
+    ~index:2
+    (Interface.make (Vec.make 0 12) Orient.north);
+  s
+
+let test_lookup_chain () =
+  let s = simple_sample () in
+  let st = Interp.of_sample s in
+  Interp.load_params st (Param.parse "corecell=basiccell\n");
+  (* corecell -> Vsym basiccell -> cell table -> the cell. *)
+  match Interp.run_string st "corecell" with
+  | Value.Vcell c -> Alcotest.(check string) "resolved" "basiccell" c.Cell.cname
+  | v -> Alcotest.failf "expected cell, got %a" Value.pp v
+
+let test_symbol_cycle_detected () =
+  let st = Interp.create () in
+  Interp.load_params st (Param.parse "a=b\nb=a\n");
+  Alcotest.(check bool) "cycle detected" true
+    (try
+       ignore (Interp.run_string st "a");
+       false
+     with Interp.Runtime_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* RSG primitives through the language                                *)
+
+let test_mk_instance_connect_mk_cell () =
+  let s = simple_sample () in
+  let st = Interp.of_sample s in
+  let v =
+    Interp.run_string st
+      "(mk_instance a basiccell)\n\
+       (mk_instance b basiccell)\n\
+       (mk_instance c basiccell)\n\
+       (connect a b 1)\n\
+       (connect b c 2)\n\
+       (mk_cell \"trio\" a)"
+  in
+  (match v with
+  | Value.Vcell cell ->
+    Alcotest.(check string) "cell name" "trio" cell.Cell.cname;
+    let placements =
+      List.map
+        (fun (i : Cell.instance) -> i.Cell.point_of_call)
+        (Cell.instances cell)
+    in
+    Alcotest.(check bool) "a at origin" true
+      (List.exists (Vec.equal Vec.zero) placements);
+    Alcotest.(check bool) "b at (10,0)" true
+      (List.exists (Vec.equal (Vec.make 10 0)) placements);
+    Alcotest.(check bool) "c at (10,12)" true
+      (List.exists (Vec.equal (Vec.make 10 12)) placements)
+  | _ -> Alcotest.fail "expected a cell");
+  (* The created cell registers in the cell table for later use. *)
+  Alcotest.(check bool) "trio in cell table" true (Db.mem st.Interp.cells "trio")
+
+let test_array_builtin () =
+  let s = simple_sample () in
+  let st = Interp.of_sample s in
+  let v =
+    Interp.run_string st
+      "(assign col (array basiccell 4 2))\n\
+       (mk_cell \"column\" (subcell col c.1))"
+  in
+  match v with
+  | Value.Vcell cell ->
+    let ys =
+      List.map
+        (fun (i : Cell.instance) -> i.Cell.point_of_call.Vec.y)
+        (Cell.instances cell)
+      |> List.sort Int.compare
+    in
+    Alcotest.(check (list int)) "vertical chain" [ 0; 12; 24; 36 ] ys
+  | _ -> Alcotest.fail "expected a cell"
+
+let test_macro_subgraph_composition () =
+  (* A macro builds a row subgraph; the caller fetches its end nodes
+     via subcell and stitches rows into a 3x3 array — macro
+     abstraction with delayed binding (section 3.2). *)
+  let s = simple_sample () in
+  let st = Interp.of_sample s in
+  let v =
+    Interp.run_string st
+      "(macro mrow (size)\n\
+      \  (locals r. first last)\n\
+      \  (mk_instance first basiccell)\n\
+      \  (assign r.1 first)\n\
+      \  (do (i 2 (+ i 1) (> i size))\n\
+      \    (mk_instance nxt basiccell)\n\
+      \    (assign r.i nxt)\n\
+      \    (connect r.(- i 1) r.i 1))\n\
+      \  (assign last r.size))\n\
+       (assign row1 (mrow 3))\n\
+       (assign row2 (mrow 3))\n\
+       (assign row3 (mrow 3))\n\
+       (connect (subcell row1 first) (subcell row2 first) 2)\n\
+       (connect (subcell row2 first) (subcell row3 first) 2)\n\
+       (mk_cell \"grid\" (subcell row1 first))"
+  in
+  match v with
+  | Value.Vcell cell ->
+    let placements =
+      List.map
+        (fun (i : Cell.instance) -> i.Cell.point_of_call)
+        (Cell.instances cell)
+      |> List.sort Vec.compare
+    in
+    let expected =
+      List.concat_map
+        (fun x -> List.map (fun y -> Vec.make (10 * x) (12 * y)) [ 0; 1; 2 ])
+        [ 0; 1; 2 ]
+      |> List.sort Vec.compare
+    in
+    Alcotest.(check bool) "3x3 grid placements" true (placements = expected)
+  | _ -> Alcotest.fail "expected a cell"
+
+let test_declare_interface_inheritance () =
+  (* Build two single-instance macrocells and inherit their interface
+     from the primitive one; then use it to place them (fig 2.4). *)
+  let s = simple_sample () in
+  let st = Interp.of_sample s in
+  let v =
+    Interp.run_string st
+      "(mk_instance a basiccell)\n\
+       (mk_cell \"left\" a)\n\
+       (mk_instance b basiccell)\n\
+       (mk_cell \"right\" b)\n\
+       (declare_interface left right 1 a b 1)\n\
+       (mk_instance lft left)\n\
+       (mk_instance rgt right)\n\
+       (connect lft rgt 1)\n\
+       (mk_cell \"pair\" lft)"
+  in
+  match v with
+  | Value.Vcell cell -> (
+    match Cell.instances cell with
+    | [ i1; i2 ] ->
+      Alcotest.(check bool) "left at origin" true
+        (Vec.equal i1.Cell.point_of_call Vec.zero);
+      Alcotest.(check bool) "right at pitch" true
+        (Vec.equal i2.Cell.point_of_call (Vec.make 10 0))
+    | _ -> Alcotest.fail "expected two instances")
+  | _ -> Alcotest.fail "expected a cell"
+
+let test_print_capture () =
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  let st = Interp.create ~out:ppf () in
+  ignore (Interp.run_string st "(print (+ 40 2)) (print \"done\")");
+  Format.pp_print_flush ppf ();
+  Alcotest.(check string) "printed" "42\n\"done\"\n" (Buffer.contents buf)
+
+let test_read_fn () =
+  let st = Interp.create ~read_fn:(fun () -> 17) () in
+  Alcotest.(check value) "read" (Value.Vint 17) (Interp.run_string st "(read)")
+
+let test_error_call_trace () =
+  let st = Interp.create () in
+  match
+    Interp.run_string st
+      "(defun f (x) (locals) (+ x nosuch))\n\
+       (defun g (y) (locals) (f y))\n\
+       (g 1)"
+  with
+  | exception Interp.Runtime_error msg ->
+    Alcotest.(check string) "call trace"
+      "unbound variable nosuch\n  in f\n  in g" msg
+  | _ -> Alcotest.fail "expected a runtime error"
+
+let test_runaway_recursion_guard () =
+  let st = Interp.create () in
+  match Interp.run_string st "(defun f (x) (locals) (f (+ x 1))) (f 0)" with
+  | exception Interp.Runtime_error msg ->
+    Alcotest.(check bool) "depth guard fires" true
+      (String.length msg > 0
+      && String.sub msg 0 17 = "call depth exceed")
+  | _ -> Alcotest.fail "expected depth error"
+
+(* Parametric codegen equivalence: a design-file grid macro must place
+   exactly the same grid the API does, for random sizes. *)
+let prop_design_file_grid_matches_api =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:20 ~name:"random grids: design file == API"
+       (QCheck.pair (QCheck.int_range 1 5) (QCheck.int_range 1 5))
+       (fun (cols, rows) ->
+         let src =
+           Printf.sprintf
+             "(macro mrow (size)\n\
+             \  (locals r. nxt)\n\
+             \  (mk_instance nxt basiccell)\n\
+             \  (assign r.1 nxt)\n\
+             \  (do (i 2 (+ i 1) (> i size))\n\
+             \    (mk_instance nxt basiccell)\n\
+             \    (assign r.i nxt)\n\
+             \    (connect r.(- i 1) r.i 1)))\n\
+              (assign g.1 (mrow %d))\n\
+              (do (j 2 (+ j 1) (> j %d))\n\
+             \  (assign g.j (mrow %d))\n\
+             \  (connect (subcell g.(- j 1) r.1) (subcell g.j r.1) 2))\n\
+              (mk_cell \"grid\" (subcell g.1 r.1))"
+             cols rows cols
+         in
+         let s = simple_sample () in
+         let st = Interp.of_sample s in
+         ignore (Interp.run_string st src);
+         let cell = Option.get (Interp.last_created st) in
+         let got =
+           List.map
+             (fun (i : Cell.instance) -> i.Cell.point_of_call)
+             (Cell.instances cell)
+           |> List.sort Vec.compare
+         in
+         let expected =
+           List.concat_map
+             (fun c ->
+               List.map (fun r -> Vec.make (10 * c) (12 * r))
+                 (List.init rows Fun.id))
+             (List.init cols Fun.id)
+           |> List.sort Vec.compare
+         in
+         got = expected))
+
+let test_define_global_table () =
+  (* host installs an encoding table; the design file reads it through
+     two-index variables — delayed binding of a personality *)
+  let st = Interp.create () in
+  Interp.define_global st "enc"
+    (Interp.array2_of_matrix [| [| true; false |]; [| false; true |] |]);
+  let v =
+    Interp.run_string st
+      "(assign hits 0)\n\
+       (do (r 1 (+ r 1) (> r 2))\n\
+         (do (c 1 (+ c 1) (> c 2))\n\
+           (cond (enc.r.c (assign hits (+ hits 1))))))\n\
+       hits"
+  in
+  Alcotest.(check value) "diagonal hits" (Value.Vint 2) v
+
+let () =
+  Alcotest.run "rsg_lang"
+    [ ("parse",
+       [ Alcotest.test_case "sexp reader" `Quick test_sexp_reader;
+         Alcotest.test_case "sexp errors" `Quick test_sexp_errors;
+         Alcotest.test_case "indexed variables" `Quick test_indexed_variables;
+         Alcotest.test_case "procedures" `Quick test_proc_parsing;
+         Alcotest.test_case "macro naming" `Quick test_macro_name_convention ]);
+      ("eval",
+       [ Alcotest.test_case "arithmetic" `Quick test_arith;
+         Alcotest.test_case "cond/do" `Quick test_cond_and_do;
+         Alcotest.test_case "functions + recursion" `Quick
+           test_functions_and_recursion;
+         Alcotest.test_case "macros return environments" `Quick
+           test_macro_returns_environment;
+         Alcotest.test_case "locals shadow" `Quick test_scoping_locals_shadow;
+         Alcotest.test_case "lexical not dynamic" `Quick
+           test_scoping_lexical_not_dynamic;
+         Alcotest.test_case "arrays" `Quick test_arrays;
+         Alcotest.test_case "errors" `Quick test_unbound_errors;
+         Alcotest.test_case "print" `Quick test_print_capture;
+         Alcotest.test_case "read" `Quick test_read_fn;
+         Alcotest.test_case "define_global table" `Quick
+           test_define_global_table;
+         Alcotest.test_case "error call trace" `Quick test_error_call_trace;
+         Alcotest.test_case "runaway recursion guard" `Quick
+           test_runaway_recursion_guard ]);
+      ("codegen", [ prop_design_file_grid_matches_api ]);
+      ("params",
+       [ Alcotest.test_case "parsing" `Quick test_param_parsing;
+         Alcotest.test_case "errors" `Quick test_param_errors;
+         Alcotest.test_case "lookup chain (table 4.1)" `Quick test_lookup_chain;
+         Alcotest.test_case "symbol cycles" `Quick test_symbol_cycle_detected ]);
+      ("rsg-primitives",
+       [ Alcotest.test_case "mk_instance/connect/mk_cell" `Quick
+           test_mk_instance_connect_mk_cell;
+         Alcotest.test_case "array builtin" `Quick test_array_builtin;
+         Alcotest.test_case "macro subgraph composition" `Quick
+           test_macro_subgraph_composition;
+         Alcotest.test_case "interface inheritance" `Quick
+           test_declare_interface_inheritance ]) ]

@@ -1,0 +1,447 @@
+(* Tests for the layout database: cells, instances, flattening,
+   statistics and the CIF writer/reader. *)
+
+open Rsg_geom
+open Rsg_layout
+
+let vec = Alcotest.testable Vec.pp Vec.equal
+
+let box = Alcotest.testable Box.pp Box.equal
+
+(* A tiny two-level hierarchy used by several tests:
+
+   leaf  = 4x2 metal box at origin, label "pin" at (0, 0)
+   duo   = two leaf instances: one at (0,0) north, one at (10, 5) east
+   top   = duo at (0,0) plus duo at (100, 0) mirrored. *)
+
+let build_leaf () =
+  let leaf = Cell.create "leaf" in
+  Cell.add_box leaf Layer.Metal (Box.of_size ~origin:Vec.zero ~width:4 ~height:2);
+  Cell.add_label leaf "pin" Vec.zero;
+  leaf
+
+let build_hierarchy () =
+  let leaf = build_leaf () in
+  let duo = Cell.create "duo" in
+  ignore (Cell.add_instance duo ~at:Vec.zero leaf);
+  ignore (Cell.add_instance duo ~orient:Orient.east ~at:(Vec.make 10 5) leaf);
+  let top = Cell.create "top" in
+  ignore (Cell.add_instance top ~at:Vec.zero duo);
+  ignore (Cell.add_instance top ~orient:Orient.mirror_y ~at:(Vec.make 100 0) duo);
+  (leaf, duo, top)
+
+let test_cell_accessors () =
+  let leaf, duo, _ = build_hierarchy () in
+  Alcotest.(check int) "leaf boxes" 1 (List.length (Cell.boxes leaf));
+  Alcotest.(check int) "leaf labels" 1 (List.length (Cell.labels leaf));
+  Alcotest.(check int) "duo instances" 2 (List.length (Cell.instances duo));
+  Alcotest.(check (option box)) "leaf local bbox"
+    (Some (Box.make ~xmin:0 ~ymin:0 ~xmax:4 ~ymax:2))
+    (Cell.local_bbox leaf)
+
+let test_bbox_recursive () =
+  let _, duo, _ = build_hierarchy () in
+  (* Second leaf instance: east orientation maps the 4x2 box corners
+     (0,0) and (4,2) to (0,0) and (2,-4); translated to (10,5) gives
+     [10,1 .. 12,5].  Union with the first instance [0,0..4,2]. *)
+  Alcotest.(check (option box)) "duo bbox"
+    (Some (Box.make ~xmin:0 ~ymin:0 ~xmax:12 ~ymax:5))
+    (Cell.bbox duo)
+
+let test_instance_cycle_detected () =
+  let a = Cell.create "a" in
+  let b = Cell.create "b" in
+  ignore (Cell.add_instance a ~at:Vec.zero b);
+  ignore (Cell.add_instance b ~at:Vec.zero a);
+  Alcotest.check_raises "cycle"
+    (Failure "Cell.bbox: instance cycle through cell a") (fun () ->
+      ignore (Cell.bbox a))
+
+let test_flatten_counts () =
+  let _, _, top = build_hierarchy () in
+  let f = Flatten.flatten top in
+  Alcotest.(check int) "4 boxes" 4 (List.length f.Flatten.flat_boxes);
+  Alcotest.(check int) "4 labels" 4 (List.length f.Flatten.flat_labels);
+  let s = Flatten.stats top in
+  Alcotest.(check int) "instances" 6 s.Flatten.n_instances;
+  Alcotest.(check int) "leaf instances" 4 s.Flatten.n_leaf_instances;
+  Alcotest.(check (list (pair string int)))
+    "by cell"
+    [ ("duo", 2); ("leaf", 4) ]
+    s.Flatten.by_cell;
+  Alcotest.(check int) "box area" (4 * 8) s.Flatten.box_area
+
+let test_flatten_placement () =
+  let _, _, top = build_hierarchy () in
+  let f = Flatten.flatten top in
+  (* The first leaf of the mirrored duo sits at (100, 0) mirrored:
+     its label lands exactly at the duo origin. *)
+  let pins = List.filter (fun (t, _) -> t = "pin") f.Flatten.flat_labels in
+  let positions = List.map snd pins in
+  Alcotest.(check bool) "mirrored duo pin present" true
+    (List.exists (Vec.equal (Vec.make 100 0)) positions);
+  (* Second leaf of the mirrored duo: mirror_y maps (10,5) to (-10,5),
+     so its pin is at (90, 5). *)
+  Alcotest.(check bool) "mirrored inner pin present" true
+    (List.exists (Vec.equal (Vec.make 90 5)) positions)
+
+let test_db () =
+  let db = Db.create () in
+  let leaf, duo, top = build_hierarchy () in
+  Db.add db leaf;
+  Db.add db duo;
+  Db.add db top;
+  Db.add db leaf;
+  (* re-adding same cell is fine *)
+  Alcotest.(check int) "3 cells" 3 (Db.length db);
+  Alcotest.(check (list string)) "names" [ "duo"; "leaf"; "top" ] (Db.names db);
+  Alcotest.(check bool) "mem" true (Db.mem db "duo");
+  Alcotest.(check string) "fresh name" "leaf-2" (Db.fresh_name db "leaf");
+  Alcotest.check_raises "duplicate name"
+    (Failure "Db.add: duplicate cell name leaf") (fun () ->
+      Db.add db (Cell.create "leaf"))
+
+(* ------------------------------------------------------------------ *)
+(* CIF round trips                                                    *)
+
+let test_cif_roundtrip_hierarchy () =
+  let _, _, top = build_hierarchy () in
+  let s = Cif.to_string top in
+  let r = Cif.of_string s in
+  Alcotest.(check int) "3 symbols" 3 (Db.length r.Cif.db);
+  let top' = Db.find_exn r.Cif.db "top" in
+  Alcotest.(check bool) "geometry identical" true (Cif.roundtrip_equal top top')
+
+let test_cif_all_orientations () =
+  let leaf = build_leaf () in
+  let c = Cell.create "compass" in
+  List.iteri
+    (fun i o ->
+      ignore (Cell.add_instance c ~orient:o ~at:(Vec.make (20 * i) 7) leaf))
+    Orient.all;
+  let r = Cif.of_string (Cif.to_string c) in
+  let c' = Db.find_exn r.Cif.db "compass" in
+  Alcotest.(check bool) "all 8 orientations survive" true
+    (Cif.roundtrip_equal c c');
+  (* Orientations must round trip exactly, not just geometrically. *)
+  let orients cell =
+    List.map (fun (i : Cell.instance) -> Orient.to_index i.Cell.orientation)
+      (Cell.instances cell)
+  in
+  Alcotest.(check (list int)) "exact orientations" (orients c) (orients c')
+
+let test_cif_layers () =
+  let c = Cell.create "layers" in
+  List.iteri
+    (fun i l ->
+      Cell.add_box c l (Box.of_size ~origin:(Vec.make (10 * i) 0) ~width:3 ~height:3))
+    Layer.all;
+  let r = Cif.of_string (Cif.to_string c) in
+  let c' = Db.find_exn r.Cif.db "layers" in
+  let layers cell = List.map fst (Cell.boxes cell) in
+  Alcotest.(check bool) "layers preserved" true (layers c = layers c')
+
+let test_cif_negative_coords () =
+  let c = Cell.create "neg" in
+  Cell.add_box c Layer.Poly (Box.make ~xmin:(-7) ~ymin:(-3) ~xmax:(-1) ~ymax:4);
+  Cell.add_label c "13" (Vec.make (-5) (-2));
+  let r = Cif.of_string (Cif.to_string c) in
+  let c' = Db.find_exn r.Cif.db "neg" in
+  Alcotest.(check bool) "negative geometry" true (Cif.roundtrip_equal c c');
+  match Cell.labels c' with
+  | [ l ] ->
+    Alcotest.(check string) "label text" "13" l.Cell.text;
+    Alcotest.(check vec) "label pos" (Vec.make (-5) (-2)) l.Cell.at
+  | _ -> Alcotest.fail "expected one label"
+
+let test_cif_file_io () =
+  let _, _, top = build_hierarchy () in
+  let path = Filename.temp_file "rsg" ".cif" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cif.write_file path top;
+      let r = Cif.read_file path in
+      Alcotest.(check bool) "file round trip" true
+        (Cif.roundtrip_equal top (Db.find_exn r.Cif.db "top")))
+
+let test_cif_rejects_garbage () =
+  Alcotest.(check bool) "bad input raises" true
+    (try
+       ignore (Cif.of_string "DS 1 1 1; B 3 3;");
+       false
+     with Failure _ -> true)
+
+(* Property: random flat cells round trip through CIF. *)
+let gen_flat_cell =
+  let open QCheck in
+  let gen_box =
+    map
+      (fun ((x, y), (w, h)) ->
+        Box.of_size ~origin:(Vec.make x y) ~width:(w + 1) ~height:(h + 1))
+      (pair
+         (pair (int_range (-30) 30) (int_range (-30) 30))
+         (pair (int_range 0 20) (int_range 0 20)))
+  in
+  let gen_layer = map (fun i -> List.nth Layer.all (i mod 8)) (int_range 0 7) in
+  map
+    (fun boxes ->
+      let c = Cell.create "random" in
+      List.iter (fun (l, b) -> Cell.add_box c l b) boxes;
+      c)
+    (list_of_size (Gen.int_range 1 20) (pair gen_layer gen_box))
+
+let prop_cif_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"random cells round trip" gen_flat_cell
+       (fun c ->
+         let r = Cif.of_string (Cif.to_string c) in
+         Cif.roundtrip_equal c (Db.find_exn r.Cif.db "random")))
+
+(* ------------------------------------------------------------------ *)
+(* DEF (native text format)                                           *)
+
+let exact_equal (a : Cell.t) (b : Cell.t) =
+  (* structural equality, not just flattened-geometry equality *)
+  let rec cmp (a : Cell.t) (b : Cell.t) =
+    String.equal a.Cell.cname b.Cell.cname
+    && List.length (Cell.objects a) = List.length (Cell.objects b)
+    && List.for_all2
+         (fun oa ob ->
+           match (oa, ob) with
+           | Cell.Obj_box (la, ba), Cell.Obj_box (lb, bb) ->
+             Layer.equal la lb && Box.equal ba bb
+           | Cell.Obj_label la, Cell.Obj_label lb ->
+             String.equal la.Cell.text lb.Cell.text && Vec.equal la.Cell.at lb.Cell.at
+           | Cell.Obj_instance ia, Cell.Obj_instance ib ->
+             Vec.equal ia.Cell.point_of_call ib.Cell.point_of_call
+             && Orient.equal ia.Cell.orientation ib.Cell.orientation
+             && cmp ia.Cell.def ib.Cell.def
+           | _ -> false)
+         (Cell.objects a) (Cell.objects b)
+  in
+  cmp a b
+
+let test_def_roundtrip () =
+  let _, _, top = build_hierarchy () in
+  let r = Def.of_string (Def.to_string top) in
+  (match r.Def.top with
+  | Some top' ->
+    Alcotest.(check bool) "structurally identical" true (exact_equal top top')
+  | None -> Alcotest.fail "no top cell");
+  Alcotest.(check int) "three cells" 3 (Db.length r.Def.db)
+
+let test_def_all_orientations () =
+  let leaf = build_leaf () in
+  let c = Cell.create "compass" in
+  List.iteri
+    (fun i o ->
+      ignore (Cell.add_instance c ~orient:o ~at:(Vec.make (20 * i) (-7)) leaf))
+    Orient.all;
+  match (Def.of_string (Def.to_string c)).Def.top with
+  | Some c' -> Alcotest.(check bool) "orientations exact" true (exact_equal c c')
+  | None -> Alcotest.fail "no top"
+
+let test_def_errors () =
+  let raises s =
+    try ignore (Def.of_string s); false with Failure _ -> true
+  in
+  Alcotest.(check bool) "call before definition" true
+    (raises "cell a\nc b 0 0 north\nend\n");
+  Alcotest.(check bool) "box outside cell" true (raises "b metal 0 0 1 1\n");
+  Alcotest.(check bool) "bad layer" true
+    (raises "cell a\nb vibranium 0 0 1 1\nend\n");
+  Alcotest.(check bool) "bad orientation" true
+    (raises "cell a\nend\ncell b\nc a 0 0 sideways\nend\n");
+  Alcotest.(check bool) "unterminated" true (raises "cell a\n")
+
+let prop_def_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"random cells round trip (def)"
+       gen_flat_cell (fun c ->
+         match (Def.of_string (Def.to_string c)).Def.top with
+         | Some c' -> exact_equal c c'
+         | None -> false))
+
+let test_def_cif_agree () =
+  (* both formats preserve the same flattened geometry *)
+  let _, _, top = build_hierarchy () in
+  let via_def = Option.get (Def.of_string (Def.to_string top)).Def.top in
+  let via_cif =
+    Db.find_exn (Cif.of_string (Cif.to_string top)).Cif.db "top"
+  in
+  Alcotest.(check bool) "formats agree" true
+    (Cif.roundtrip_equal via_def via_cif)
+
+(* ------------------------------------------------------------------ *)
+(* Reorient                                                           *)
+
+let test_transpose_element () =
+  Alcotest.(check vec) "maps (x,y) to (y,x)" (Vec.make 3 2)
+    (Orient.apply Reorient.transpose (Vec.make 2 3));
+  Alcotest.(check bool) "involution" true
+    (Orient.equal
+       (Orient.compose Reorient.transpose Reorient.transpose)
+       Orient.identity)
+
+let norm_flat (f : Flatten.flat) =
+  List.sort compare
+    (List.map (fun (l, b) -> (Layer.to_index l, b)) f.Flatten.flat_boxes)
+
+let test_reorient_hierarchy () =
+  let _, _, top = build_hierarchy () in
+  List.iter
+    (fun o ->
+      let r = Reorient.cell o top in
+      let expected =
+        List.sort compare
+          (List.map
+             (fun (l, b) -> (Layer.to_index l, Box.transform o b))
+             (Flatten.flatten top).Flatten.flat_boxes)
+      in
+      Alcotest.(check bool)
+        (Orient.name o ^ " commutes with flatten")
+        true
+        (norm_flat (Flatten.flatten r) = expected))
+    Orient.all
+
+let test_reorient_shares_definitions () =
+  let _, duo, _ = build_hierarchy () in
+  let top = Cell.create "two-duos" in
+  ignore (Cell.add_instance top ~at:Vec.zero duo);
+  ignore (Cell.add_instance top ~at:(Vec.make 50 0) duo);
+  let r = Reorient.cell Orient.south top in
+  match Cell.instances r with
+  | [ a; b ] ->
+    Alcotest.(check bool) "definition shared" true (a.Cell.def == b.Cell.def)
+  | _ -> Alcotest.fail "two instances"
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                            *)
+
+let test_report () =
+  let _, _, top = build_hierarchy () in
+  let r = Report.of_cell top in
+  Alcotest.(check string) "cell" "top" r.Report.r_cell;
+  Alcotest.(check int) "instances" 6 r.Report.r_instances;
+  Alcotest.(check int) "boxes" 4 r.Report.r_boxes;
+  (* one layer in use: metal, 4 boxes of area 8 each *)
+  (match r.Report.r_layers with
+  | [ u ] ->
+    Alcotest.(check bool) "metal" true (Layer.equal u.Report.lu_layer Layer.Metal);
+    Alcotest.(check int) "boxes" 4 u.Report.lu_boxes;
+    Alcotest.(check int) "area" 32 u.Report.lu_area
+  | _ -> Alcotest.fail "expected one layer");
+  (* hierarchy tree: top -> duo x2 -> leaf x2 *)
+  (match r.Report.r_hierarchy with
+  | { Report.t_name = "top"; t_children = [ duo ]; _ } ->
+    Alcotest.(check string) "child" "duo" duo.Report.t_name;
+    Alcotest.(check int) "duo count" 2 duo.Report.t_count;
+    (match duo.Report.t_children with
+    | [ leaf ] ->
+      Alcotest.(check string) "grandchild" "leaf" leaf.Report.t_name;
+      Alcotest.(check int) "leaf count" 2 leaf.Report.t_count
+    | _ -> Alcotest.fail "expected one grandchild")
+  | _ -> Alcotest.fail "bad hierarchy");
+  (* the printer runs without error and mentions the cell *)
+  let txt = Format.asprintf "%a" Report.pp r in
+  Alcotest.(check bool) "printed" true
+    (String.length txt > 0
+    && String.length txt
+       > String.length "cell top"
+    && String.sub txt 0 8 = "cell top")
+
+(* ------------------------------------------------------------------ *)
+(* Golden CIF output: guards the writer against format drift.         *)
+
+let test_cif_golden () =
+  let c = Cell.create "gold" in
+  Cell.add_box c Layer.Metal (Box.of_size ~origin:(Vec.make 1 2) ~width:3 ~height:4);
+  Cell.add_label c "7" (Vec.make 2 3);
+  let top = Cell.create "goldtop" in
+  ignore (Cell.add_instance top ~orient:Orient.east ~at:(Vec.make 5 6) c);
+  let expected =
+    "(CIF written by rsg; 1 lambda = 2 units);\n\
+     DS 1 1 1;\n\
+     9 gold;\n\
+     L NM;\n\
+     B 6 8 5 8;\n\
+     94 7 4 6;\n\
+     DF;\n\
+     DS 2 1 1;\n\
+     9 goldtop;\n\
+     C 1 R 0 -1 T 10 12;\n\
+     DF;\n\
+     C 2;\n\
+     E\n"
+  in
+  Alcotest.(check string) "golden cif" expected (Cif.to_string top)
+
+let test_def_golden () =
+  let c = Cell.create "gold" in
+  Cell.add_box c Layer.Poly (Box.of_size ~origin:(Vec.make 0 0) ~width:2 ~height:2);
+  let top = Cell.create "goldtop" in
+  ignore (Cell.add_instance top ~orient:Orient.mirror_y ~at:(Vec.make (-3) 4) c);
+  let expected =
+    "; rsg def 1\n\
+     cell gold\n\
+     b poly 0 0 2 2\n\
+     end\n\
+     cell goldtop\n\
+     c gold -3 4 mirror-north\n\
+     end\n\
+     top goldtop\n"
+  in
+  Alcotest.(check string) "golden def" expected (Def.to_string top)
+
+let () =
+  Alcotest.run "rsg_layout"
+    [ ("cell",
+       [ Alcotest.test_case "accessors" `Quick test_cell_accessors;
+         Alcotest.test_case "recursive bbox" `Quick test_bbox_recursive;
+         Alcotest.test_case "cycle detection" `Quick test_instance_cycle_detected ]);
+      ("flatten",
+       [ Alcotest.test_case "counts" `Quick test_flatten_counts;
+         Alcotest.test_case "placement" `Quick test_flatten_placement ]);
+      ("db", [ Alcotest.test_case "operations" `Quick test_db ]);
+      ("cif",
+       [ Alcotest.test_case "hierarchy round trip" `Quick test_cif_roundtrip_hierarchy;
+         Alcotest.test_case "all orientations" `Quick test_cif_all_orientations;
+         Alcotest.test_case "all layers" `Quick test_cif_layers;
+         Alcotest.test_case "negative coordinates" `Quick test_cif_negative_coords;
+         Alcotest.test_case "file io" `Quick test_cif_file_io;
+         Alcotest.test_case "rejects garbage" `Quick test_cif_rejects_garbage;
+         prop_cif_roundtrip ]);
+      ("def",
+       [ Alcotest.test_case "hierarchy round trip" `Quick test_def_roundtrip;
+         Alcotest.test_case "all orientations" `Quick test_def_all_orientations;
+         Alcotest.test_case "errors" `Quick test_def_errors;
+         Alcotest.test_case "agrees with cif" `Quick test_def_cif_agree;
+         prop_def_roundtrip ]);
+      ("reorient",
+       [ Alcotest.test_case "transpose element" `Quick test_transpose_element;
+         Alcotest.test_case "hierarchy" `Quick test_reorient_hierarchy;
+         Alcotest.test_case "shares definitions" `Quick
+           test_reorient_shares_definitions ]);
+      ("report", [ Alcotest.test_case "summary" `Quick test_report ]);
+      ("golden",
+       [ Alcotest.test_case "cif output" `Quick test_cif_golden;
+         Alcotest.test_case "def output" `Quick test_def_golden ]);
+      ("fuzz",
+       [ (* hostile input must fail cleanly, never crash *)
+         QCheck_alcotest.to_alcotest
+           (QCheck.Test.make ~count:300 ~name:"cif reader never crashes"
+              QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 200)
+                        QCheck.Gen.printable)
+              (fun s ->
+                match Cif.of_string s with
+                | _ -> true
+                | exception Failure _ -> true));
+         QCheck_alcotest.to_alcotest
+           (QCheck.Test.make ~count:300 ~name:"def reader never crashes"
+              QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 200)
+                        QCheck.Gen.printable)
+              (fun s ->
+                match Def.of_string s with
+                | _ -> true
+                | exception Failure _ -> true)) ]) ]

@@ -1,0 +1,103 @@
+(* Tests for the RAM generator: structure, decoder docking through
+   interface inheritance, and the layout-backed behavioural model. *)
+
+open Rsg_layout
+open Rsg_ram
+
+let test_structure () =
+  let words = 8 and bits = 4 in
+  let ram = Ram_gen.generate ~words ~bits () in
+  let counts = Ram_gen.structure_counts ram in
+  let get name = try List.assoc name counts with Not_found -> 0 in
+  Alcotest.(check int) "bit cells" (words * bits) (get Ram_cells.bitcell);
+  Alcotest.(check int) "word-line drivers" words (get Ram_cells.wldrv);
+  Alcotest.(check int) "precharge row" bits (get Ram_cells.precharge);
+  Alcotest.(check int) "sense amps" bits (get Ram_cells.senseamp);
+  (* the decoder macrocell came along: 2n columns x 2^n minterm rows *)
+  Alcotest.(check int) "decoder plane" (2 * 3 * words)
+    (get Rsg_pla.Pla_cells.and_sq);
+  Alcotest.(check int) "row drivers" words (get Rsg_pla.Pla_cells.connect_ao)
+
+let test_docking () =
+  List.iter
+    (fun (words, bits) ->
+      let ram = Ram_gen.generate ~words ~bits () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%dx%d docked" words bits)
+        true
+        (Ram_gen.docking_aligned ram))
+    [ (2, 1); (4, 4); (8, 2); (16, 8) ]
+
+let test_bad_sizes () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "non power of two" true
+    (raises (fun () -> Ram_gen.generate ~words:6 ~bits:4 ()));
+  Alcotest.(check bool) "one word" true
+    (raises (fun () -> Ram_gen.generate ~words:1 ~bits:4 ()));
+  Alcotest.(check bool) "zero bits" true
+    (raises (fun () -> Ram_gen.generate ~words:4 ~bits:0 ()))
+
+let test_model_basic () =
+  let ram = Ram_gen.generate ~words:8 ~bits:4 () in
+  let m = Ram_gen.Model.create ram in
+  for addr = 0 to 7 do
+    Alcotest.(check int) "initially zero" 0 (Ram_gen.Model.read m ~addr)
+  done;
+  Ram_gen.Model.write m ~addr:3 9;
+  Ram_gen.Model.write m ~addr:7 5;
+  Ram_gen.Model.write m ~addr:0 15;
+  Alcotest.(check int) "read 3" 9 (Ram_gen.Model.read m ~addr:3);
+  Alcotest.(check int) "read 7" 5 (Ram_gen.Model.read m ~addr:7);
+  Alcotest.(check int) "read 0" 15 (Ram_gen.Model.read m ~addr:0);
+  Alcotest.(check int) "read untouched" 0 (Ram_gen.Model.read m ~addr:4);
+  Alcotest.(check bool) "write out of range" true
+    (try Ram_gen.Model.write m ~addr:1 16; false
+     with Invalid_argument _ -> true)
+
+let prop_model_random =
+  (* random write/read sequences behave like an array *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25 ~name:"random traffic matches reference"
+       QCheck.(
+         list_of_size (QCheck.Gen.int_range 1 40)
+           (pair (int_bound 7) (int_bound 15)))
+       (fun ops ->
+         let ram = Ram_gen.generate ~words:8 ~bits:4 () in
+         let m = Ram_gen.Model.create ram in
+         let reference = Array.make 8 0 in
+         List.for_all
+           (fun (addr, v) ->
+             Ram_gen.Model.write m ~addr v;
+             reference.(addr) <- v;
+             List.for_all
+               (fun a -> Ram_gen.Model.read m ~addr:a = reference.(a))
+               [ 0; 3; 7 ])
+           ops))
+
+let test_cif_roundtrip () =
+  let ram = Ram_gen.generate ~words:4 ~bits:2 () in
+  let r = Cif.of_string (Cif.to_string ram.Ram_gen.cell) in
+  Alcotest.(check bool) "cif" true
+    (Cif.roundtrip_equal ram.Ram_gen.cell
+       (Db.find_exn r.Cif.db ram.Ram_gen.cell.Cell.cname))
+
+let test_shared_sample () =
+  (* several RAMs from one sample: fresh names, no clashes *)
+  let sample, _ = Ram_cells.build () in
+  let a = Ram_gen.generate ~sample ~words:4 ~bits:2 () in
+  let b = Ram_gen.generate ~sample ~words:8 ~bits:3 () in
+  Alcotest.(check bool) "distinct names" true
+    (a.Ram_gen.cell.Cell.cname <> b.Ram_gen.cell.Cell.cname);
+  Alcotest.(check bool) "both docked" true
+    (Ram_gen.docking_aligned a && Ram_gen.docking_aligned b)
+
+let () =
+  Alcotest.run "rsg_ram"
+    [ ("ram",
+       [ Alcotest.test_case "structure" `Quick test_structure;
+         Alcotest.test_case "decoder docking (fig 2.4)" `Quick test_docking;
+         Alcotest.test_case "bad sizes" `Quick test_bad_sizes;
+         Alcotest.test_case "model" `Quick test_model_basic;
+         prop_model_random;
+         Alcotest.test_case "cif round trip" `Quick test_cif_roundtrip;
+         Alcotest.test_case "shared sample" `Quick test_shared_sample ]) ]
