@@ -663,11 +663,35 @@ let e21 () =
   note "be achieved by using a special kind of compactor' — the pitch, not";
   note "the cell extremity, is what a large array pays for (section 6.2)"
 
+(* ------------------------------------------------------------------ *)
+(* E22 (lib/obs): per-phase breakdown of generation and compaction.    *)
+
+let e22 () =
+  section "E22" "lib/obs: per-phase timing/counter breakdown of the pipeline";
+  let module Obs = Rsg_obs.Obs in
+  Obs.reset ();
+  Obs.enable ();
+  ignore (Rsg_mult.Layout_gen.generate ~xsize:16 ~ysize:16 ());
+  let pla =
+    Rsg_pla.Gen.generate
+      (Rsg_pla.Truth_table.of_strings
+         [ ("10-1", "10"); ("0-11", "01"); ("1--0", "11") ])
+  in
+  ignore (Rsg_pla.Gen.verify pla);
+  ignore
+    (Rsg_compact.Compactor.compact_cell ~distribute_slack:true
+       Rsg_compact.Rules.default pla.Rsg_pla.Gen.cell);
+  Obs.disable ();
+  Format.printf "%a" Obs.pp ();
+  note "expansion, constraint generation and the Bellman-Ford solve are";
+  note "now measurable per phase — the baseline every perf PR reports against"
+
 let sections =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21) ]
+    ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
+    ("E22", e22) ]
 
 let () =
   let wanted =

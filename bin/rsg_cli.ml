@@ -8,11 +8,42 @@
      rsg decoder -n 4 -o dec.cif
      rsg stats layout.cif
      rsg compact layout.cif -o smaller.cif --slack
+     rsg doctor                       # expansion diagnostics demo
+
+   Generator commands accept --obs / --obs-json to record per-phase
+   timers and counters (lib/obs) and dump them to stderr on exit.
 *)
 
 open Cmdliner
+open Rsg_geom
 open Rsg_layout
 open Rsg_core
+module Obs = Rsg_obs.Obs
+
+(* ---- observability flags ------------------------------------------- *)
+
+let obs_term =
+  let obs =
+    Arg.(
+      value & flag
+      & info [ "obs" ]
+          ~doc:
+            "Record per-phase wall-clock timers and counters (graph \
+             expansion, constraint generation, Bellman-Ford, ...) and dump \
+             a human-readable report to stderr on exit.")
+  in
+  let obs_json =
+    Arg.(
+      value & flag
+      & info [ "obs-json" ] ~doc:"Like $(b,--obs) but dump JSON to stderr.")
+  in
+  Term.(const (fun a b -> (a, b)) $ obs $ obs_json)
+
+let with_obs (text, json) f =
+  if text || json then Obs.enable ();
+  Fun.protect f ~finally:(fun () ->
+      if json then prerr_endline (Obs.to_json ())
+      else if text then Obs.dump ())
 
 let read_file path =
   let ic = open_in path in
@@ -41,7 +72,8 @@ let print_stats cell =
 
 (* ---- generate ------------------------------------------------------ *)
 
-let generate design params sample_path out stats =
+let generate design params sample_path out stats obs =
+  with_obs obs @@ fun () ->
   let sample = sample_of_cif sample_path in
   let st = Rsg_lang.Interp.of_sample sample in
   Rsg_lang.Interp.load_params st (Rsg_lang.Param.parse (read_file params));
@@ -90,11 +122,12 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a layout from design/parameter/sample files")
     Term.(
       const generate $ design_arg $ params_arg $ sample_arg $ out_arg "out.cif"
-      $ stats_flag)
+      $ stats_flag $ obs_term)
 
 (* ---- multiplier ---------------------------------------------------- *)
 
-let multiplier size out stats =
+let multiplier size out stats obs =
+  with_obs obs @@ fun () ->
   let g = Rsg_mult.Layout_gen.generate ~xsize:size ~ysize:size () in
   if stats then print_stats g.Rsg_mult.Layout_gen.whole;
   write_layout out g.Rsg_mult.Layout_gen.whole
@@ -105,11 +138,13 @@ let size_arg =
 let multiplier_cmd =
   Cmd.v
     (Cmd.info "multiplier" ~doc:"Generate a pipelined array multiplier")
-    Term.(const multiplier $ size_arg $ out_arg "mult.cif" $ stats_flag)
+    Term.(
+      const multiplier $ size_arg $ out_arg "mult.cif" $ stats_flag $ obs_term)
 
 (* ---- pla ----------------------------------------------------------- *)
 
-let pla table out stats fold =
+let pla table out stats fold obs =
+  with_obs obs @@ fun () ->
   let rows =
     read_file table |> String.split_on_char '\n'
     |> List.filter_map (fun line ->
@@ -159,11 +194,14 @@ let fold_flag =
 let pla_cmd =
   Cmd.v
     (Cmd.info "pla" ~doc:"Generate a PLA from a truth table")
-    Term.(const pla $ table_arg $ out_arg "pla.cif" $ stats_flag $ fold_flag)
+    Term.(
+      const pla $ table_arg $ out_arg "pla.cif" $ stats_flag $ fold_flag
+      $ obs_term)
 
 (* ---- rom ----------------------------------------------------------- *)
 
-let rom data_path word_bits out stats =
+let rom data_path word_bits out stats obs =
+  with_obs obs @@ fun () ->
   let words =
     read_file data_path |> String.split_on_char '\n'
     |> List.filter_map (fun line ->
@@ -200,11 +238,12 @@ let rom_cmd =
           & info [ "data" ] ~docv:"FILE"
               ~doc:"One integer word per line; power-of-two count.")
       $ Arg.(value & opt int 8 & info [ "word-bits" ] ~docv:"N" ~doc:"Word width.")
-      $ out_arg "rom.cif" $ stats_flag)
+      $ out_arg "rom.cif" $ stats_flag $ obs_term)
 
 (* ---- decoder ------------------------------------------------------- *)
 
-let decoder n out stats =
+let decoder n out stats obs =
+  with_obs obs @@ fun () ->
   let g = Rsg_pla.Gen.generate_decoder n in
   if stats then print_stats g.Rsg_pla.Gen.cell;
   write_layout out g.Rsg_pla.Gen.cell
@@ -215,7 +254,8 @@ let n_arg =
 let decoder_cmd =
   Cmd.v
     (Cmd.info "decoder" ~doc:"Generate an n-to-2^n decoder")
-    Term.(const decoder $ n_arg $ out_arg "decoder.cif" $ stats_flag)
+    Term.(
+      const decoder $ n_arg $ out_arg "decoder.cif" $ stats_flag $ obs_term)
 
 (* ---- sim ----------------------------------------------------------- *)
 
@@ -312,7 +352,8 @@ let masks_cmd =
 
 (* ---- compact ------------------------------------------------------- *)
 
-let compact path out slack =
+let compact path out slack obs =
+  with_obs obs @@ fun () ->
   let cell = top_cell_of_cif path in
   let compacted, r =
     Rsg_compact.Compactor.compact_cell ~distribute_slack:slack
@@ -332,7 +373,73 @@ let compact_cmd =
     Term.(
       const compact
       $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
-      $ out_arg "compacted.cif" $ slack_flag)
+      $ out_arg "compacted.cif" $ slack_flag $ obs_term)
+
+(* ---- doctor -------------------------------------------------------- *)
+
+(* A guided demonstration of the diagnosable, transactional expansion
+   engine: a deliberately broken connectivity graph (one missing
+   interface, one inconsistent cycle) is diagnosed in collect mode,
+   the table is repaired, and the very same graph then expands. *)
+let doctor () =
+  let leaf name =
+    let c = Cell.create name in
+    Cell.add_box c Layer.Metal (Box.of_size ~origin:Vec.zero ~width:8 ~height:8);
+    c
+  in
+  let u = leaf "u" and v = leaf "v" in
+  let tbl = Interface_table.create () in
+  Interface_table.declare tbl ~from:"u" ~into:"u" ~index:1
+    (Interface.make (Vec.make 10 0) Orient.north);
+  (* deliberately wrong: the closing edge of the triangle below needs
+     (20, 0), but index 2 was "declared" as a vertical step *)
+  Interface_table.declare tbl ~from:"u" ~into:"u" ~index:2
+    (Interface.make (Vec.make 0 12) Orient.north);
+  let a = Graph.mk_instance u
+  and b = Graph.mk_instance u
+  and c = Graph.mk_instance u
+  and d = Graph.mk_instance v in
+  Graph.connect a b 1;
+  Graph.connect b c 1;
+  Graph.connect a c 2;
+  (* inconsistent cycle *)
+  Graph.connect c d 7;
+  (* no I(u, v, 7) anywhere: missing interface *)
+  Format.printf "diagnosing a deliberately broken graph (collect mode):@.@.";
+  let r = Expand.run ~mode:`Collect tbl a in
+  Format.printf "%a@." Expand.pp_report r;
+  let untouched =
+    List.for_all
+      (fun (n : Graph.node) -> n.Graph.placement = None)
+      (Graph.reachable a)
+  in
+  Format.printf "@.graph left untouched by the failed expansion: %b@."
+    untouched;
+  Format.printf "@.repairing: replace I(u, u, 2) with (20, 0) north; declare \
+                 I(u, v, 7)@.";
+  Interface_table.replace tbl ~from:"u" ~into:"u" ~index:2
+    (Interface.make (Vec.make 20 0) Orient.north);
+  Interface_table.declare tbl ~from:"u" ~into:"v" ~index:7
+    (Interface.make (Vec.make 10 0) Orient.north);
+  let r' = Expand.run ~mode:`Collect tbl a in
+  Format.printf "@.%a@." Expand.pp_report r';
+  match r'.Expand.r_defects with
+  | [] ->
+    let cell = Expand.mk_cell tbl "repaired" a in
+    Format.printf "@.expanded %d instances into cell %s@."
+      (List.length (Cell.instances cell))
+      cell.Cell.cname
+  | _ ->
+    Format.eprintf "repair failed?!@.";
+    exit 1
+
+let doctor_cmd =
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Demonstrate expansion diagnostics: collect every defect of a \
+          broken connectivity graph, repair the interface table, re-expand")
+    Term.(const doctor $ const ())
 
 let () =
   let info = Cmd.info "rsg" ~version:"1.0" ~doc:"Regular Structure Generator" in
@@ -340,4 +447,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; multiplier_cmd; pla_cmd; rom_cmd; decoder_cmd;
-            sim_cmd; stats_cmd; compact_cmd; masks_cmd ]))
+            sim_cmd; stats_cmd; compact_cmd; masks_cmd; doctor_cmd ]))

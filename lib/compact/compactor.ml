@@ -1,4 +1,5 @@
 open Rsg_geom
+module Obs = Rsg_obs.Obs
 
 type result = {
   items : Scanline.item array;
@@ -37,27 +38,40 @@ let rightmost g ~width =
 
 let compact ?(method_ = Scanline.Visibility) ?(distribute_slack = false)
     ?(order = Bellman.Sorted_by_abscissa) ?stretchable rules items =
-  let gen = Scanline.generate ?stretchable rules method_ items in
-  let sol = Bellman.solve ~order gen.Scanline.graph in
-  let values = sol.Bellman.values in
-  let values =
-    if not distribute_slack then values
-    else begin
-      let w = Array.fold_left max 0 values in
-      let hi = rightmost gen.Scanline.graph ~width:w in
-      (* midpoint placement keeps every difference constraint: if
-         a - b >= g holds for both the least and greatest solutions it
-         holds for their average (rounded consistently). *)
-      Array.init (Array.length values) (fun v -> (values.(v) + hi.(v)) asr 1)
-    end
-  in
-  let out = Scanline.apply gen values in
-  { items = out;
-    width_before = Scanline.width items;
-    width_after = Scanline.width out;
-    n_constraints = Cgraph.n_constraints gen.Scanline.graph;
-    passes = sol.Bellman.passes;
-    relaxations = sol.Bellman.relaxations }
+  Obs.span "compact" (fun () ->
+      let gen =
+        Obs.span "compact.constraints" (fun () ->
+            Scanline.generate ?stretchable rules method_ items)
+      in
+      let sol =
+        Obs.span "compact.solve" (fun () ->
+            Bellman.solve ~order gen.Scanline.graph)
+      in
+      let values = sol.Bellman.values in
+      let values =
+        if not distribute_slack then values
+        else
+          Obs.span "compact.slack" (fun () ->
+              let w = Array.fold_left max 0 values in
+              let hi = rightmost gen.Scanline.graph ~width:w in
+              (* midpoint placement keeps every difference constraint: if
+                 a - b >= g holds for both the least and greatest solutions it
+                 holds for their average (rounded consistently). *)
+              Array.init (Array.length values) (fun v ->
+                  (values.(v) + hi.(v)) asr 1))
+      in
+      let out = Scanline.apply gen values in
+      Obs.count "compact.runs";
+      Obs.count ~n:(Array.length items) "compact.boxes";
+      Obs.count ~n:(Cgraph.n_constraints gen.Scanline.graph)
+        "compact.constraints";
+      Obs.count ~n:sol.Bellman.relaxations "compact.relaxations";
+      { items = out;
+        width_before = Scanline.width items;
+        width_after = Scanline.width out;
+        n_constraints = Cgraph.n_constraints gen.Scanline.graph;
+        passes = sol.Bellman.passes;
+        relaxations = sol.Bellman.relaxations })
 
 let compact_cell ?method_ ?distribute_slack rules cell =
   let items = Scanline.items_of_cell cell in

@@ -1,4 +1,5 @@
 open Rsg_geom
+module Obs = Rsg_obs.Obs
 
 type item = { layer : Layer.t; box : Box.t }
 
@@ -169,24 +170,29 @@ let generate ?(stretchable = fun _ -> false) rules method_ items =
     order;
   (match method_ with
   | Naive ->
-    for oi = 0 to n - 1 do
-      for oj = oi + 1 to n - 1 do
-        let ia = order.(oi) and ib = order.(oj) in
-        if y_overlap items.(ia) items.(ib) && interacting rules items.(ia) items.(ib)
-        then naive_pair rules g ~left ~right ~items ia ib
-      done
-    done
+    Obs.span "scanline.pairs" (fun () ->
+        for oi = 0 to n - 1 do
+          for oj = oi + 1 to n - 1 do
+            let ia = order.(oi) and ib = order.(oj) in
+            if y_overlap items.(ia) items.(ib)
+               && interacting rules items.(ia) items.(ib)
+            then naive_pair rules g ~left ~right ~items ia ib
+          done
+        done)
   | Visibility ->
-    let nets = nets_of rules items in
-    for oi = 0 to n - 1 do
-      for oj = oi + 1 to n - 1 do
-        let ia = order.(oi) and ib = order.(oj) in
-        if interacting rules items.(ia) items.(ib) then
-          pair_constraints rules g ~left ~right ~items
-            ~same_net:(nets.(ia) = nets.(ib))
-            ia ib
-      done
-    done);
+    let nets = Obs.span "scanline.nets" (fun () -> nets_of rules items) in
+    Obs.span "scanline.pairs" (fun () ->
+        for oi = 0 to n - 1 do
+          for oj = oi + 1 to n - 1 do
+            let ia = order.(oi) and ib = order.(oj) in
+            if interacting rules items.(ia) items.(ib) then
+              pair_constraints rules g ~left ~right ~items
+                ~same_net:(nets.(ia) = nets.(ib))
+                ia ib
+          done
+        done));
+  Obs.count "scanline.generations";
+  Obs.count ~n:(n * (n - 1) / 2) "scanline.pairs";
   { graph = g; left; right; items }
 
 let apply gen values =

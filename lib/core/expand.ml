@@ -1,5 +1,6 @@
 open Rsg_geom
 open Rsg_layout
+module Obs = Rsg_obs.Obs
 
 exception Missing_interface of { from : string; into : string; index : int }
 
@@ -10,6 +11,32 @@ exception Inconsistent_cycle of {
 }
 
 exception Already_placed of string
+
+type mode = [ `Fail_fast | `Collect ]
+
+type defect =
+  | Missing of {
+      from : string;
+      into : string;
+      index : int;
+      path : string list;
+    }
+  | Mismatch of {
+      cell : string;
+      from : string;
+      index : int;
+      expected : Transform.t;
+      actual : Transform.t;
+      path : string list;
+    }
+
+type report = {
+  r_root : Graph.node;
+  r_placements : (Graph.node * Transform.t) list;
+  r_defects : defect list;
+  r_component : int;
+  r_edges_walked : int;
+}
 
 let interface_for tbl ~(placed : Graph.node) ~(edge : Graph.edge) =
   let a = placed.Graph.def.Cell.cname
@@ -25,52 +52,136 @@ let interface_for tbl ~(placed : Graph.node) ~(edge : Graph.edge) =
     | Graph.Emanating -> fwd
     | Graph.Terminating -> Option.map Interface.invert fwd
 
-let place_component ?(root_placement = Transform.identity)
-    ?(check_cycles = true) tbl root =
-  let nodes = Graph.reachable root in
-  List.iter
-    (fun (n : Graph.node) ->
-      match n.Graph.placement with
-      | Some _ -> raise (Already_placed n.Graph.def.Cell.cname)
-      | None -> ())
-    nodes;
-  root.Graph.placement <- Some root_placement;
-  let queue = Queue.create () in
-  Queue.add root queue;
-  while not (Queue.is_empty queue) do
-    let n = Queue.pop queue in
-    let tn =
-      match n.Graph.placement with
-      | Some t -> t
-      | None -> assert false
-    in
-    List.iter
-      (fun (e : Graph.edge) ->
-        let iface =
-          match interface_for tbl ~placed:n ~edge:e with
-          | Some i -> i
-          | None ->
-            raise
-              (Missing_interface
-                 { from = n.Graph.def.Cell.cname;
-                   into = e.Graph.peer.Graph.def.Cell.cname;
-                   index = e.Graph.index })
+(* The transactional engine.  Placements are derived into a map keyed
+   by node id; the graph itself is never written, so a failed or
+   defective expansion leaves every [placement] field exactly as it
+   was, and a later run over the same (repaired) graph starts clean. *)
+let run ?(root_placement = Transform.identity) ?(check_cycles = true)
+    ?(mode : mode = `Fail_fast) tbl root =
+  Obs.span "expand" (fun () ->
+      let component = Graph.reachable root in
+      List.iter
+        (fun (n : Graph.node) ->
+          match n.Graph.placement with
+          | Some _ -> raise (Already_placed n.Graph.def.Cell.cname)
+          | None -> ())
+        component;
+      let derived : (int, Transform.t) Hashtbl.t = Hashtbl.create 64 in
+      let parent : (int, Graph.node) Hashtbl.t = Hashtbl.create 64 in
+      let order = ref [] (* placed nodes, reverse traversal order *)
+      and defects = ref []
+      and edges_walked = ref 0 in
+      (* traversal path from the root, as celltype names *)
+      let path_to n =
+        let rec up acc (n : Graph.node) =
+          let acc = n.Graph.def.Cell.cname :: acc in
+          match Hashtbl.find_opt parent n.Graph.id with
+          | Some p -> up acc p
+          | None -> acc
         in
-        let implied = Interface.place ~a:tn iface in
-        match e.Graph.peer.Graph.placement with
-        | None ->
-          e.Graph.peer.Graph.placement <- Some implied;
-          Queue.add e.Graph.peer queue
-        | Some actual ->
-          if check_cycles && not (Transform.equal implied actual) then
-            raise
-              (Inconsistent_cycle
-                 { cell = e.Graph.peer.Graph.def.Cell.cname;
-                   expected = implied;
-                   actual }))
-      (Graph.edges n)
-  done;
-  nodes
+        up [] n
+      in
+      let exception Stop in
+      let add_defect d =
+        defects := d :: !defects;
+        if mode = `Fail_fast then raise Stop
+      in
+      (* every edge is stored on both endpoints, so a defect would be
+         seen twice: a missing interface is deduplicated by the failed
+         (unordered) table key, a mismatch by reporting it only from
+         the edge's emanating side — both endpoints of a mismatching
+         edge are placed, hence both eventually walked *)
+      let missing_seen : (string * string * int, unit) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let missing_key from into index =
+        if String.compare from into <= 0 then (from, into, index)
+        else (into, from, index)
+      in
+      Hashtbl.add derived root.Graph.id root_placement;
+      order := [ root ];
+      let queue = Queue.create () in
+      Queue.add root queue;
+      (try
+         while not (Queue.is_empty queue) do
+           let n = Queue.pop queue in
+           let tn = Hashtbl.find derived n.Graph.id in
+           List.iter
+             (fun (e : Graph.edge) ->
+               incr edges_walked;
+               match interface_for tbl ~placed:n ~edge:e with
+               | None ->
+                 let from = n.Graph.def.Cell.cname
+                 and into = e.Graph.peer.Graph.def.Cell.cname in
+                 let key = missing_key from into e.Graph.index in
+                 if not (Hashtbl.mem missing_seen key) then begin
+                   Hashtbl.add missing_seen key ();
+                   add_defect
+                     (Missing
+                        { from; into; index = e.Graph.index; path = path_to n })
+                 end
+               | Some iface -> (
+                 let implied = Interface.place ~a:tn iface in
+                 match Hashtbl.find_opt derived e.Graph.peer.Graph.id with
+                 | None ->
+                   Hashtbl.add derived e.Graph.peer.Graph.id implied;
+                   Hashtbl.add parent e.Graph.peer.Graph.id n;
+                   order := e.Graph.peer :: !order;
+                   Queue.add e.Graph.peer queue
+                 | Some actual ->
+                   if
+                     check_cycles
+                     && e.Graph.dir = Graph.Emanating
+                     && not (Transform.equal implied actual)
+                   then
+                     add_defect
+                       (Mismatch
+                          { cell = e.Graph.peer.Graph.def.Cell.cname;
+                            from = n.Graph.def.Cell.cname;
+                            index = e.Graph.index;
+                            expected = implied;
+                            actual;
+                            path = path_to e.Graph.peer })))
+             (Graph.edges n)
+         done
+       with Stop -> ());
+      Obs.count "expand.runs";
+      Obs.count ~n:(List.length component) "expand.nodes";
+      Obs.count ~n:!edges_walked "expand.edges";
+      Obs.count ~n:(List.length !defects) "expand.defects";
+      { r_root = root;
+        r_placements =
+          List.rev_map
+            (fun (n : Graph.node) -> (n, Hashtbl.find derived n.Graph.id))
+            !order;
+        r_defects = List.rev !defects;
+        r_component = List.length component;
+        r_edges_walked = !edges_walked })
+
+let commit report =
+  (match report.r_defects with
+  | [] -> ()
+  | _ -> invalid_arg "Expand.commit: report has defects");
+  if List.length report.r_placements < report.r_component then
+    invalid_arg "Expand.commit: component not fully placed";
+  List.iter
+    (fun ((n : Graph.node), t) -> n.Graph.placement <- Some t)
+    report.r_placements;
+  List.map fst report.r_placements
+
+let raise_first = function
+  | [] -> assert false
+  | Missing { from; into; index; _ } :: _ ->
+    raise (Missing_interface { from; into; index })
+  | Mismatch { cell; expected; actual; _ } :: _ ->
+    raise (Inconsistent_cycle { cell; expected; actual })
+
+(* The historical entry point, now a thin wrapper: run transactionally,
+   surface the first defect as the classic exception, commit only on
+   full success. *)
+let place_component ?root_placement ?check_cycles tbl root =
+  let r = run ?root_placement ?check_cycles ~mode:`Fail_fast tbl root in
+  match r.r_defects with [] -> commit r | ds -> raise_first ds
 
 let mk_cell ?db ?check_cycles tbl name root =
   let nodes = place_component ?check_cycles tbl root in
@@ -92,3 +203,38 @@ let both_readings tbl ~placed ~from ~into ~index =
   | None -> None
   | Some i ->
     Some (Interface.place ~a:placed i, Interface.place ~a:placed (Interface.invert i))
+
+(* ---- rendering ----------------------------------------------------- *)
+
+let pp_path ppf path =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
+    Format.pp_print_string ppf path
+
+let pp_defect ppf = function
+  | Missing { from; into; index; path } ->
+    Format.fprintf ppf
+      "missing interface: no I(%s, %s, %d) in the table@,  reached via %a"
+      from into index pp_path path
+  | Mismatch { cell; from; index; expected; actual; path } ->
+    Format.fprintf ppf
+      "inconsistent cycle at an instance of %s:@,\
+      \  closing edge from %s (interface %d) implies %a@,\
+      \  but the spanning tree already placed it at %a@,\
+      \  reached via %a"
+      cell from index Transform.pp expected Transform.pp actual pp_path path
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>expansion of component rooted at %s (id %d):@,"
+    r.r_root.Graph.def.Cell.cname r.r_root.Graph.id;
+  Format.fprintf ppf "  %d nodes, %d edge slots walked, %d placed, %d defect%s@,"
+    r.r_component r.r_edges_walked
+    (List.length r.r_placements)
+    (List.length r.r_defects)
+    (if List.length r.r_defects = 1 then "" else "s");
+  List.iteri
+    (fun i d -> Format.fprintf ppf "@,[%d] @[<v>%a@]@," (i + 1) pp_defect d)
+    r.r_defects;
+  if r.r_defects = [] then
+    Format.fprintf ppf "  graph is expandable (no defects)@,";
+  Format.fprintf ppf "@]"

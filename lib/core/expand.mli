@@ -14,7 +14,24 @@
     The same connectivity graph expands, for a given interface table,
     to a unique layout modulo one global isometry (section 3.4): the
     root choice merely picks the representative of the equivalence
-    class. *)
+    class.
+
+    {2 Transactional expansion}
+
+    Expansion is {e transactional}: {!run} derives placements into a
+    private map keyed by node id and never touches the graph, so a
+    failed expansion leaves every node's [placement] exactly as it was
+    and the same graph can be re-expanded after the table or graph is
+    repaired.  {!commit} writes a defect-free report back into the
+    nodes; the classic {!place_component} / {!mk_cell} entry points are
+    thin wrappers over run-then-commit and keep their historical
+    exception behaviour.
+
+    In [`Collect] mode {!run} keeps traversing past defects and
+    returns {e all} missing interfaces and inconsistent-cycle
+    mismatches, each with the offending edge, both transforms and the
+    traversal path from the root — the structured diagnosis behind
+    [rsg doctor]. *)
 
 open Rsg_geom
 open Rsg_layout
@@ -29,23 +46,71 @@ exception Inconsistent_cycle of {
 
 exception Already_placed of string
 
+type mode = [ `Fail_fast | `Collect ]
+(** [`Fail_fast] stops at the first defect (the wrapper entry points
+    then raise it); [`Collect] records every defect and keeps
+    expanding whatever remains derivable. *)
+
+type defect =
+  | Missing of {
+      from : string;        (** celltype of the placed edge source *)
+      into : string;        (** celltype of the unplaceable peer *)
+      index : int;          (** interface index of the offending edge *)
+      path : string list;   (** traversal path, root to the source *)
+    }
+  | Mismatch of {
+      cell : string;        (** celltype of the doubly-constrained node *)
+      from : string;        (** celltype sourcing the closing edge *)
+      index : int;          (** interface index of the closing edge *)
+      expected : Transform.t;  (** placement implied by the closing edge *)
+      actual : Transform.t;    (** placement from the spanning tree *)
+      path : string list;      (** traversal path, root to the node *)
+    }
+
+type report = {
+  r_root : Graph.node;
+  r_placements : (Graph.node * Transform.t) list;
+  (** tentative placements in traversal order; in [`Collect] mode
+      nodes reachable only through missing interfaces are absent *)
+  r_defects : defect list;     (** in discovery order *)
+  r_component : int;           (** nodes in the component *)
+  r_edges_walked : int;        (** edge slots examined *)
+}
+
 val interface_for :
   Interface_table.t ->
   placed:Graph.node -> edge:Graph.edge -> Interface.t option
 (** The interface that derives [edge.peer]'s placement from [placed]'s,
     honouring edge direction for same-celltype pairs. *)
 
+val run :
+  ?root_placement:Transform.t ->
+  ?check_cycles:bool ->
+  ?mode:mode ->
+  Interface_table.t -> Graph.node -> report
+(** Derive placements for the component of the root without mutating
+    any node.  [root_placement] defaults to the identity;
+    [check_cycles] (default true) verifies that redundant (non-tree)
+    edges agree with the tree placement; [mode] defaults to
+    [`Fail_fast].  Raises {!Already_placed} if any reachable node was
+    previously expanded — that is a precondition, not a defect. *)
+
+val commit : report -> Graph.node list
+(** Write a defect-free, fully-placed report's placements into the
+    graph and return the nodes in traversal order.  Raises
+    [Invalid_argument] if the report has defects or did not place the
+    whole component. *)
+
 val place_component :
   ?root_placement:Transform.t ->
   ?check_cycles:bool ->
   Interface_table.t -> Graph.node -> Graph.node list
 (** Fill in the [placement] of every node reachable from the root
-    (returned in traversal order).  [root_placement] defaults to the
-    identity; [check_cycles] (default true) verifies that redundant
-    (non-tree) edges agree with the tree placement and raises
-    {!Inconsistent_cycle} otherwise.  Raises {!Missing_interface} when
-    the table lacks a required entry and {!Already_placed} if any
-    reachable node was previously expanded. *)
+    (returned in traversal order): {!run} in [`Fail_fast] mode
+    followed by {!commit}.  Raises {!Missing_interface} or
+    {!Inconsistent_cycle} on the first defect — with the graph left
+    untouched — and {!Already_placed} if any reachable node was
+    previously expanded. *)
 
 val mk_cell :
   ?db:Db.t ->
@@ -63,3 +128,9 @@ val both_readings :
     edge would permit — [(using I°aa, using (I°aa)^-1)].  This is the
     ambiguity of Figures 3.5/3.6 that directed edges resolve; exposed
     for experiment E16.  [None] if the interface is absent. *)
+
+val pp_defect : Format.formatter -> defect -> unit
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable diagnosis: component summary, then every defect
+    with its offending edge, transforms and traversal path. *)

@@ -12,13 +12,28 @@ and edge = { dir : direction; index : int; peer : node }
 
 and direction = Emanating | Terminating
 
-let counter = ref 0
+type generator = { mutable next : int }
 
-let mk_instance def =
-  incr counter;
-  { id = !counter; def; placement = None; edges = [] }
+let generator ?(first = 1) () = { next = first }
+
+(* The shared generator behind plain [mk_instance] calls.  Every graph
+   built without an explicit generator draws from it, which keeps ids
+   unique across all such graphs in the process. *)
+let default_generator = generator ()
+
+let fresh_id g =
+  let id = g.next in
+  g.next <- id + 1;
+  id
+
+let mk_instance ?(gen = default_generator) def =
+  { id = fresh_id gen; def; placement = None; edges = [] }
 
 let connect a b index =
+  if a == b then
+    invalid_arg
+      (Printf.sprintf "Graph.connect: self-loop on an instance of %s"
+         a.def.Cell.cname);
   a.edges <- { dir = Emanating; index; peer = b } :: a.edges;
   b.edges <- { dir = Terminating; index; peer = a } :: b.edges
 
@@ -43,17 +58,33 @@ let reachable root =
   done;
   List.rev !order
 
-let edge_count root =
-  (* Each edge is stored twice (once per endpoint); count emanating
-     entries only. *)
-  List.fold_left
-    (fun acc n ->
-      acc
-      + List.length (List.filter (fun e -> e.dir = Emanating) n.edges))
-    0 (reachable root)
+(* Nodes and distinct edges of the component in one traversal.  Each
+   edge is stored twice (once per endpoint), so only Emanating entries
+   are counted. *)
+let component_size root =
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let nodes = ref 0 and emanating = ref 0 in
+  Hashtbl.add seen root.id ();
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    incr nodes;
+    List.iter
+      (fun e ->
+        if e.dir = Emanating then incr emanating;
+        if not (Hashtbl.mem seen e.peer.id) then begin
+          Hashtbl.add seen e.peer.id ();
+          Queue.add e.peer queue
+        end)
+      n.edges
+  done;
+  (!nodes, !emanating)
+
+let edge_count root = snd (component_size root)
 
 let is_spanning_tree root =
-  let nodes = reachable root in
-  edge_count root = List.length nodes - 1
+  let nodes, edges = component_size root in
+  edges = nodes - 1
 
 let degree n = List.length n.edges

@@ -15,7 +15,7 @@ open Rsg_geom
 open Rsg_layout
 
 type node = {
-  id : int;                               (** unique per process *)
+  id : int;                               (** unique per generator *)
   def : Cell.t;                           (** celltype *)
   mutable placement : Transform.t option; (** filled in by expansion *)
   mutable edges : edge list;              (** reverse insertion order *)
@@ -29,15 +29,35 @@ and edge = {
 
 and direction = Emanating | Terminating
 
-val mk_instance : Cell.t -> node
+type generator
+(** A node-id allocator.  Ids identify nodes in the hash tables of
+    {!reachable} and [Expand], so two nodes of one traversal must
+    never share an id: draw all nodes of a graph from one generator. *)
+
+val generator : ?first:int -> unit -> generator
+(** A fresh allocator, starting at [first] (default 1).  Use a
+    dedicated generator to build graphs with dense, reproducible ids
+    (tests, serialisation) independent of whatever else the process
+    has built. *)
+
+val default_generator : generator
+(** The process-wide allocator used when [mk_instance] is called
+    without [?gen].  Never resets, so ids stay unique across every
+    graph built this way — mixing default-generator nodes from
+    different build contexts in one graph is safe. *)
+
+val mk_instance : ?gen:generator -> Cell.t -> node
 (** The [mk_instance] operator (section 4.4.1): a fresh pseudo-instance
-    node with empty edge list and blank calling parameters. *)
+    node with empty edge list and blank calling parameters, its id
+    drawn from [gen] (default {!default_generator}). *)
 
 val connect : node -> node -> int -> unit
 (** [connect a b index] — the [connect] operator (section 4.4.2): adds
     a directed edge from [a] to [b] with the given interface index,
     recorded bilaterally (an [Emanating] entry on [a], a [Terminating]
-    entry on [b]). *)
+    entry on [b]).  Raises [Invalid_argument] on a self-loop
+    [connect a a i], which would record both entries on one node and
+    double-count in {!degree}. *)
 
 val edges : node -> edge list
 (** Edge list in insertion order. *)
@@ -45,6 +65,10 @@ val edges : node -> edge list
 val reachable : node -> node list
 (** Every node in the connected component of the argument, in
     breadth-first order starting from it. *)
+
+val component_size : node -> int * int
+(** [(nodes, edges)] of the component, computed in a single
+    breadth-first traversal. *)
 
 val edge_count : node -> int
 (** Number of distinct edges in the component. *)

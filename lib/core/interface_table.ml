@@ -19,6 +19,11 @@ let declare tbl ~from ~into ~index iface =
   if not (String.equal from into) then
     add_one tbl (into, from, index) (Interface.invert iface)
 
+let replace tbl ~from ~into ~index iface =
+  Hashtbl.replace tbl (from, into, index) iface;
+  if not (String.equal from into) then
+    Hashtbl.replace tbl (into, from, index) (Interface.invert iface)
+
 let find tbl ~from ~into ~index = Hashtbl.find_opt tbl (from, into, index)
 
 let find_exn tbl ~from ~into ~index = Hashtbl.find tbl (from, into, index)

@@ -29,6 +29,13 @@ val declare :
     for an existing key raises [Failure] — interface indices must be
     unambiguous. *)
 
+val replace :
+  t -> from:string -> into:string -> index:int -> Interface.t -> unit
+(** Like {!declare} but overwrites any existing (possibly different)
+    entry, bilaterally — the repair operation behind re-expanding a
+    graph whose diagnosis ([Expand.run ~mode:`Collect]) blamed a
+    declared interface. *)
+
 val find : t -> from:string -> into:string -> index:int -> Interface.t option
 (** Interface for deriving the placement of [into] from the placement
     of [from]. *)

@@ -211,11 +211,11 @@ let rec eval st env (e : Ast.expr) : Value.t =
     let root = expect_node "mk_cell" (eval st env root_expr) in
     let cell =
       try Expand.mk_cell ~db:st.cells st.table name root with
-      | Expand.Missing_interface { from; into; index } ->
-        error "mk_cell %s: no interface %d between %s and %s" name index from
-          into
-      | Expand.Inconsistent_cycle { cell; _ } ->
-        error "mk_cell %s: inconsistent cycle at an instance of %s" name cell
+      | Expand.Missing_interface _ | Expand.Inconsistent_cycle _ ->
+        (* expansion is transactional, so the graph is untouched: a
+           collect-mode re-run can enumerate every defect at once *)
+        let r = Expand.run ~mode:`Collect st.table root in
+        error "mk_cell %s: graph cannot expand@\n%a" name Expand.pp_report r
       | Expand.Already_placed c ->
         error "mk_cell %s: node of %s already expanded" name c
     in

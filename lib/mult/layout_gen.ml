@@ -1,6 +1,7 @@
 open Rsg_geom
 open Rsg_layout
 open Rsg_core
+module Obs = Rsg_obs.Obs
 
 type t = { whole : Cell.t; array_cell : Cell.t; sample : Sample.t }
 
@@ -83,8 +84,11 @@ let cell_of sample name =
 
 let generate ?sample ~xsize ~ysize () =
   if xsize < 2 || ysize < 2 then invalid_arg "Layout_gen.generate";
+  Obs.span "mult.generate" @@ fun () ->
   let sample =
-    match sample with Some s -> s | None -> fst (Sample_lib.build ())
+    match sample with
+    | Some s -> s
+    | None -> Obs.span "mult.sample" (fun () -> fst (Sample_lib.build ()))
   in
   let db = sample.Sample.db and tbl = sample.Sample.table in
   let cellc = cell_of sample Sample_lib.basic_cell in
@@ -97,24 +101,26 @@ let generate ?sample ~xsize ~ysize () =
   in
   (* --- the personalised array, rows 1 .. ysize+1 --- *)
   let grid = Array.make_matrix (xsize + 1) (ysize + 2) None in
-  for yloc = 1 to ysize + 1 do
-    for xloc = 1 to xsize do
-      let node = Graph.mk_instance cellc in
-      grid.(xloc).(yloc) <- Some node;
-      mask (type_mask ~xsize ~ysize ~xloc ~yloc) node;
-      mask (clock_mask ~xloc) node;
-      mask (car_mask ~xsize ~ysize ~xloc ~yloc) node
-    done
-  done;
+  Obs.span "mult.graph" (fun () ->
+      for yloc = 1 to ysize + 1 do
+        for xloc = 1 to xsize do
+          let node = Graph.mk_instance cellc in
+          grid.(xloc).(yloc) <- Some node;
+          mask (type_mask ~xsize ~ysize ~xloc ~yloc) node;
+          mask (clock_mask ~xloc) node;
+          mask (car_mask ~xsize ~ysize ~xloc ~yloc) node
+        done
+      done);
   let at x y = Option.get grid.(x).(y) in
-  for yloc = 2 to ysize + 1 do
-    Graph.connect (at 1 (yloc - 1)) (at 1 yloc) Sample_lib.v_index
-  done;
-  for yloc = 1 to ysize + 1 do
-    for xloc = 2 to xsize do
-      Graph.connect (at (xloc - 1) yloc) (at xloc yloc) Sample_lib.h_index
-    done
-  done;
+  Obs.span "mult.graph" (fun () ->
+      for yloc = 2 to ysize + 1 do
+        Graph.connect (at 1 (yloc - 1)) (at 1 yloc) Sample_lib.v_index
+      done;
+      for yloc = 1 to ysize + 1 do
+        for xloc = 2 to xsize do
+          Graph.connect (at (xloc - 1) yloc) (at xloc yloc) Sample_lib.h_index
+        done
+      done);
   let array_name = Db.fresh_name db "array" in
   let array_cell = Expand.mk_cell ~db tbl array_name (at 1 1) in
   (* --- register stacks --- *)
@@ -207,6 +213,7 @@ let generate ?sample ~xsize ~ysize () =
   Graph.connect rri arrayi 1;
   let whole_name = Db.fresh_name db "thewholething" in
   let whole = Expand.mk_cell ~db tbl whole_name arrayi in
+  Obs.count "mult.generated";
   { whole; array_cell; sample }
 
 let mask_positions cell name =

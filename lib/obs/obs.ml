@@ -1,0 +1,156 @@
+(* Process-wide instrumentation state.  A span is aggregated by name
+   under its parent, so instrumenting a hot loop does not grow the
+   tree; the mutable records are internal and frozen into span_node on
+   read-out. *)
+
+type node = {
+  name : string;
+  mutable total : float;
+  mutable count : int;
+  mutable children : node list; (* reverse first-entry order *)
+}
+
+let enabled = ref false
+
+let mk_root () = { name = "<root>"; total = 0.; count = 0; children = [] }
+
+let root = ref (mk_root ())
+
+(* innermost open span; the root sentinel is always at the bottom *)
+let stack = ref []
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 64
+
+let enable () = enabled := true
+
+let disable () = enabled := false
+
+let is_enabled () = !enabled
+
+let reset () =
+  root := mk_root ();
+  stack := [];
+  Hashtbl.reset table
+
+let count ?(n = 1) name =
+  if !enabled then
+    Hashtbl.replace table name
+      (n + Option.value ~default:0 (Hashtbl.find_opt table name))
+
+let child_named parent name =
+  match List.find_opt (fun c -> String.equal c.name name) parent.children with
+  | Some c -> c
+  | None ->
+    let c = { name; total = 0.; count = 0; children = [] } in
+    parent.children <- c :: parent.children;
+    c
+
+let span name f =
+  if not !enabled then f ()
+  else begin
+    let parent = match !stack with [] -> !root | p :: _ -> p in
+    let node = child_named parent name in
+    node.count <- node.count + 1;
+    stack := node :: !stack;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        node.total <- node.total +. (Unix.gettimeofday () -. t0);
+        match !stack with
+        | top :: rest when top == node -> stack := rest
+        | _ -> () (* a reset inside the span dropped the stack *))
+      f
+  end
+
+let counters () =
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+type span_node = {
+  sp_name : string;
+  sp_total : float;
+  sp_count : int;
+  sp_children : span_node list;
+}
+
+let rec freeze n =
+  { sp_name = n.name;
+    sp_total = n.total;
+    sp_count = n.count;
+    sp_children = List.rev_map freeze n.children }
+
+let spans () = (freeze !root).sp_children
+
+(* ---- rendering ----------------------------------------------------- *)
+
+let pp ppf () =
+  let tops = spans () in
+  if tops <> [] then begin
+    Format.fprintf ppf "-- phases ------------------------------------------@.";
+    let rec walk indent enclosing s =
+      let pct =
+        if enclosing > 0. then 100. *. s.sp_total /. enclosing else 100.
+      in
+      Format.fprintf ppf "%s%-*s %9.4fs %5.1f%% %8dx@." indent
+        (max 1 (32 - String.length indent))
+        s.sp_name s.sp_total pct s.sp_count;
+      List.iter (walk (indent ^ "  ") s.sp_total) s.sp_children
+    in
+    let whole = List.fold_left (fun a s -> a +. s.sp_total) 0. tops in
+    List.iter (walk "" whole) tops
+  end;
+  let cs = counters () in
+  if cs <> [] then begin
+    Format.fprintf ppf "-- counters ----------------------------------------@.";
+    List.iter (fun (name, n) -> Format.fprintf ppf "%-36s %12d@." name n) cs
+  end;
+  if tops = [] && cs = [] then Format.fprintf ppf "(no observations recorded)@."
+
+let dump ?(oc = stderr) () =
+  let ppf = Format.formatter_of_out_channel oc in
+  pp ppf ();
+  Format.pp_print_flush ppf ()
+
+(* ---- JSON ---------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json () =
+  let b = Buffer.create 1024 in
+  let rec emit_span s =
+    Buffer.add_string b
+      (Printf.sprintf "{\"name\":\"%s\",\"seconds\":%.6f,\"count\":%d,\"children\":["
+         (json_escape s.sp_name) s.sp_total s.sp_count);
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_char b ',';
+        emit_span c)
+      s.sp_children;
+    Buffer.add_string b "]}"
+  in
+  Buffer.add_string b "{\"spans\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      emit_span s)
+    (spans ());
+  Buffer.add_string b "],\"counters\":{";
+  List.iteri
+    (fun i (name, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape name) n))
+    (counters ());
+  Buffer.add_string b "}}";
+  Buffer.contents b

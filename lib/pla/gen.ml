@@ -1,6 +1,7 @@
 open Rsg_geom
 open Rsg_layout
 open Rsg_core
+module Obs = Rsg_obs.Obs
 
 type t = { cell : Cell.t; table : Truth_table.t; sample : Sample.t }
 
@@ -93,13 +94,20 @@ let build_structure sample (tt : Truth_table.t) ~with_or_plane =
   aget 0 0
 
 let generate ?sample ?(name = "pla") tt =
-  let sample =
-    match sample with Some s -> s | None -> fst (Pla_cells.build ())
-  in
-  let root = build_structure sample tt ~with_or_plane:true in
-  let cell_name = Db.fresh_name sample.Sample.db name in
-  let cell = Expand.mk_cell ~db:sample.Sample.db sample.Sample.table cell_name root in
-  { cell; table = tt; sample }
+  Obs.span "pla.generate" (fun () ->
+      let sample =
+        match sample with Some s -> s | None -> fst (Pla_cells.build ())
+      in
+      let root =
+        Obs.span "pla.graph" (fun () ->
+            build_structure sample tt ~with_or_plane:true)
+      in
+      let cell_name = Db.fresh_name sample.Sample.db name in
+      let cell =
+        Expand.mk_cell ~db:sample.Sample.db sample.Sample.table cell_name root
+      in
+      Obs.count "pla.generated";
+      { cell; table = tt; sample })
 
 let minterm_table n =
   if n < 1 || n > 16 then invalid_arg "Pla.Gen.generate_decoder";
@@ -114,14 +122,21 @@ let minterm_table n =
   Truth_table.make ~n_inputs:n ~n_outputs:p terms
 
 let generate_decoder ?sample ?(name = "decoder") n =
-  let sample =
-    match sample with Some s -> s | None -> fst (Pla_cells.build ())
-  in
-  let tt = minterm_table n in
-  let root = build_structure sample tt ~with_or_plane:false in
-  let cell_name = Db.fresh_name sample.Sample.db name in
-  let cell = Expand.mk_cell ~db:sample.Sample.db sample.Sample.table cell_name root in
-  { cell; table = tt; sample }
+  Obs.span "pla.generate_decoder" (fun () ->
+      let sample =
+        match sample with Some s -> s | None -> fst (Pla_cells.build ())
+      in
+      let tt = minterm_table n in
+      let root =
+        Obs.span "pla.graph" (fun () ->
+            build_structure sample tt ~with_or_plane:false)
+      in
+      let cell_name = Db.fresh_name sample.Sample.db name in
+      let cell =
+        Expand.mk_cell ~db:sample.Sample.db sample.Sample.table cell_name root
+      in
+      Obs.count "pla.generated";
+      { cell; table = tt; sample })
 
 (* --- extraction-based verification --------------------------------- *)
 
@@ -173,9 +188,10 @@ let read_back t =
     (List.init p (fun r -> { Truth_table.lits = lits.(r); outs = outs.(r) }))
 
 let verify t =
-  let back = read_back t in
-  Truth_table.to_strings back = Truth_table.to_strings t.table
-  && Truth_table.equal back t.table
+  Obs.span "pla.verify" (fun () ->
+      let back = read_back t in
+      Truth_table.to_strings back = Truth_table.to_strings t.table
+      && Truth_table.equal back t.table)
 
 let stats t =
   (Flatten.stats t.cell).Flatten.by_cell

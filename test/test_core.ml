@@ -255,6 +255,150 @@ let test_reuse_rejected () =
        false
      with Expand.Already_placed _ -> true)
 
+(* Transactional expansion: a failed expansion must leave every
+   placement untouched, and the same graph must expand cleanly once the
+   table is repaired — the regression for the old partial-placement
+   corruption. *)
+let test_transactional_rollback () =
+  let u = leaf_cell "u" 8 8 in
+  let v = leaf_cell "v" 8 8 in
+  let tbl = grid_table () in
+  let nodes = Array.init 4 (fun _ -> Graph.mk_instance u) in
+  let stranger = Graph.mk_instance v in
+  for i = 0 to 2 do
+    Graph.connect nodes.(i) nodes.(i + 1) 1
+  done;
+  (* last edge has no interface: u -> v index 9 is undeclared *)
+  Graph.connect nodes.(3) stranger 9;
+  Alcotest.(check bool) "expansion fails" true
+    (try
+       ignore (Expand.place_component tbl nodes.(0));
+       false
+     with Expand.Missing_interface { index = 9; _ } -> true);
+  (* nothing was committed — not even the nodes reached before the
+     defect *)
+  Array.iter
+    (fun (n : Graph.node) ->
+      Alcotest.(check bool) "placement still None" true
+        (n.Graph.placement = None))
+    nodes;
+  Alcotest.(check bool) "stranger unplaced" true
+    (stranger.Graph.placement = None);
+  (* repair the table and the very same graph now expands *)
+  Interface_table.declare tbl ~from:"u" ~into:"v" ~index:9
+    (Interface.make (Vec.make 10 0) Orient.north);
+  let cell = Expand.mk_cell tbl "repaired" nodes.(0) in
+  Alcotest.(check int) "5 instances" 5 (List.length (Cell.instances cell))
+
+(* Collect mode: one run reports every defect at once — a missing
+   interface AND an inconsistent cycle — with the graph untouched; after
+   repairing both, the same graph expands. *)
+let test_collect_mode_report () =
+  let u = leaf_cell "u" 8 8 in
+  let v = leaf_cell "v" 8 8 in
+  let tbl = Interface_table.create () in
+  Interface_table.declare tbl ~from:"u" ~into:"u" ~index:1
+    (Interface.make (Vec.make 10 0) Orient.north);
+  (* deliberately wrong: should be (20, 0) to close the a-b-c cycle *)
+  Interface_table.declare tbl ~from:"u" ~into:"u" ~index:2
+    (Interface.make (Vec.make 0 12) Orient.north);
+  let a = Graph.mk_instance u
+  and b = Graph.mk_instance u
+  and c = Graph.mk_instance u
+  and d = Graph.mk_instance v in
+  Graph.connect a b 1;
+  Graph.connect b c 1;
+  Graph.connect a c 2;
+  (* inconsistent cycle *)
+  Graph.connect c d 7;
+  (* missing interface *)
+  let r = Expand.run ~mode:`Collect tbl a in
+  Alcotest.(check int) "two defects" 2 (List.length r.Expand.r_defects);
+  Alcotest.(check int) "component of 4" 4 r.Expand.r_component;
+  let missing, mismatches =
+    List.partition
+      (function Expand.Missing _ -> true | Expand.Mismatch _ -> false)
+      r.Expand.r_defects
+  in
+  (match missing with
+  | [ Expand.Missing { from = "u"; into = "v"; index = 7; path } ] ->
+    Alcotest.(check bool) "path starts at root" true
+      (match path with "u" :: _ -> true | _ -> false)
+  | _ -> Alcotest.fail "expected exactly one missing-interface defect");
+  (match mismatches with
+  | [ Expand.Mismatch { cell = "u"; index; expected; actual; _ } ] ->
+    (* the defect is pinned to whichever edge closed the cycle *)
+    Alcotest.(check bool) "closing edge index" true (index = 1 || index = 2);
+    Alcotest.(check bool) "transforms differ" false
+      (Transform.equal expected actual)
+  | _ -> Alcotest.fail "expected exactly one mismatch defect");
+  (* diagnosis is read-only *)
+  List.iter
+    (fun (n : Graph.node) ->
+      Alcotest.(check bool) "untouched" true (n.Graph.placement = None))
+    [ a; b; c; d ];
+  (* commit refuses a defective report *)
+  Alcotest.(check bool) "commit refuses defects" true
+    (try
+       ignore (Expand.commit r);
+       false
+     with Invalid_argument _ -> true);
+  (* repair both defects: overwrite the bad self-interface, declare the
+     missing one *)
+  Interface_table.replace tbl ~from:"u" ~into:"u" ~index:2
+    (Interface.make (Vec.make 20 0) Orient.north);
+  Interface_table.declare tbl ~from:"u" ~into:"v" ~index:7
+    (Interface.make (Vec.make 10 0) Orient.north);
+  let r2 = Expand.run ~mode:`Collect tbl a in
+  Alcotest.(check int) "no defects after repair" 0
+    (List.length r2.Expand.r_defects);
+  let cell = Expand.mk_cell tbl "repaired" a in
+  Alcotest.(check int) "4 instances" 4 (List.length (Cell.instances cell))
+
+(* ------------------------------------------------------------------ *)
+(* Graph plumbing: generators, self-loops, component size              *)
+
+let test_generator_isolation () =
+  let u = leaf_cell "u" 8 8 in
+  let g1 = Graph.generator () and g2 = Graph.generator ~first:100 () in
+  let a = Graph.mk_instance ~gen:g1 u
+  and b = Graph.mk_instance ~gen:g1 u
+  and c = Graph.mk_instance ~gen:g2 u in
+  Alcotest.(check int) "g1 ids consecutive" (a.Graph.id + 1) b.Graph.id;
+  Alcotest.(check int) "g2 starts where asked" 100 c.Graph.id;
+  (* default generator keeps its own sequence *)
+  let d = Graph.mk_instance u and e = Graph.mk_instance u in
+  Alcotest.(check int) "default ids consecutive" (d.Graph.id + 1) e.Graph.id
+
+let test_self_loop_rejected () =
+  let u = leaf_cell "u" 8 8 in
+  let a = Graph.mk_instance u in
+  Alcotest.(check bool) "self-loop rejected" true
+    (try
+       Graph.connect a a 1;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "no edge added" 0 (List.length (Graph.edges a))
+
+let test_component_size () =
+  let u = leaf_cell "u" 8 8 in
+  let n = Array.init 4 (fun _ -> Graph.mk_instance u) in
+  Graph.connect n.(0) n.(1) 1;
+  Graph.connect n.(0) n.(2) 2;
+  Graph.connect n.(2) n.(3) 1;
+  let nodes, edges = Graph.component_size n.(0) in
+  Alcotest.(check int) "nodes agree with reachable"
+    (List.length (Graph.reachable n.(0))) nodes;
+  Alcotest.(check int) "edges agree with edge_count"
+    (Graph.edge_count n.(0)) edges;
+  Alcotest.(check (pair int int)) "tree: 4 nodes, 3 edges" (4, 3)
+    (nodes, edges);
+  Alcotest.(check bool) "tree detected" true (Graph.is_spanning_tree n.(0));
+  Graph.connect n.(1) n.(3) 2;
+  Alcotest.(check (pair int int)) "cycle: 4 nodes, 4 edges" (4, 4)
+    (Graph.component_size n.(0));
+  Alcotest.(check bool) "cycle detected" false (Graph.is_spanning_tree n.(0))
+
 (* Root independence: layouts from different roots are equal modulo a
    single global isometry (section 3.4). *)
 let test_root_equivalence () =
@@ -490,6 +634,17 @@ let () =
          Alcotest.test_case "mirrored row tiling" `Quick
            test_mirrored_row_tiling;
          Alcotest.test_case "root placement" `Quick test_root_placement ]);
+      ("transactional-expand",
+       [ Alcotest.test_case "rollback on failure" `Quick
+           test_transactional_rollback;
+         Alcotest.test_case "collect-mode report + repair" `Quick
+           test_collect_mode_report ]);
+      ("graph-plumbing",
+       [ Alcotest.test_case "generator isolation" `Quick
+           test_generator_isolation;
+         Alcotest.test_case "self-loop rejected" `Quick
+           test_self_loop_rejected;
+         Alcotest.test_case "component size" `Quick test_component_size ]);
       ("table-extra",
        [ Alcotest.test_case "fold and index gaps" `Quick
            test_table_fold_and_gaps ]);

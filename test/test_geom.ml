@@ -213,6 +213,50 @@ let test_cayley_table () =
         Orient.all)
     Orient.all
 
+(* Exhaustive D4 group laws: every law checked over all 8x8 pairs
+   (and all 8x8x8 triples for associativity), not just sampled. *)
+let test_d4_laws () =
+  let sample_vecs =
+    [ Vec.make 0 0; Vec.make 1 0; Vec.make 0 1; Vec.make 2 3; Vec.make (-5) 7 ]
+  in
+  List.iter
+    (fun a ->
+      (* invert is a two-sided inverse *)
+      Alcotest.(check orient)
+        ("right inverse of " ^ Orient.name a)
+        Orient.identity
+        (Orient.compose a (Orient.invert a));
+      Alcotest.(check orient)
+        ("left inverse of " ^ Orient.name a)
+        Orient.identity
+        (Orient.compose (Orient.invert a) a);
+      (* of_name round-trips *)
+      Alcotest.(check (option orient))
+        ("of_name (name " ^ Orient.name a ^ ")")
+        (Some a)
+        (Orient.of_name (Orient.name a));
+      List.iter
+        (fun b ->
+          (* apply is a homomorphism: D4 acting on Z^2 *)
+          List.iter
+            (fun v ->
+              Alcotest.(check vec)
+                (Printf.sprintf "apply (%s o %s)" (Orient.name a) (Orient.name b))
+                (Orient.apply a (Orient.apply b v))
+                (Orient.apply (Orient.compose a b) v))
+            sample_vecs;
+          (* compose is associative, all 512 triples *)
+          List.iter
+            (fun c ->
+              Alcotest.(check orient)
+                (Printf.sprintf "(%s o %s) o %s" (Orient.name a) (Orient.name b)
+                   (Orient.name c))
+                (Orient.compose a (Orient.compose b c))
+                (Orient.compose (Orient.compose a b) c))
+            Orient.all)
+        Orient.all)
+    Orient.all
+
 let test_group_structure () =
   (* D4 facts: 2 rotations of order 4, 5 involutions besides identity *)
   let order o =
@@ -235,6 +279,7 @@ let () =
       ("orient-group",
        Alcotest.test_case "cayley table" `Quick test_cayley_table
        :: Alcotest.test_case "group structure" `Quick test_group_structure
+       :: Alcotest.test_case "exhaustive D4 laws" `Quick test_d4_laws
        :: suite_group);
       ("orient-matrix", suite_matrix);
       ("box",

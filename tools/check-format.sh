@@ -1,0 +1,32 @@
+#!/bin/sh
+# Source hygiene gate, usable anywhere dune runs (no ocamlformat
+# dependency): rejects tab indentation, trailing whitespace and
+# missing final newlines in tracked OCaml/dune sources.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+files=$(git ls-files '*.ml' '*.mli' 'dune-project' '*/dune' 'dune')
+
+for f in $files; do
+  if grep -n "$(printf '\t')" "$f" >/dev/null; then
+    echo "error: tab character in $f:" >&2
+    grep -n "$(printf '\t')" "$f" | head -3 >&2
+    status=1
+  fi
+  if grep -n ' $' "$f" >/dev/null; then
+    echo "error: trailing whitespace in $f:" >&2
+    grep -n ' $' "$f" | head -3 >&2
+    status=1
+  fi
+  if [ -s "$f" ] && [ "$(tail -c 1 "$f")" != "" ]; then
+    echo "error: no final newline in $f" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "format check: OK ($(echo "$files" | wc -w | tr -d ' ') files)"
+fi
+exit "$status"
