@@ -8,10 +8,12 @@
      rsg decoder -n 4 -o dec.cif
      rsg stats layout.cif
      rsg compact layout.cif -o smaller.cif --slack
+     rsg drc layout.cif               # design-rule check (or: pla|ram|...)
      rsg doctor                       # expansion diagnostics demo
 
    Generator commands accept --obs / --obs-json to record per-phase
-   timers and counters (lib/obs) and dump them to stderr on exit.
+   timers and counters (lib/obs) and dump them to stderr on exit, and
+   --drc to gate the run on a clean design-rule check of the result.
 *)
 
 open Cmdliner
@@ -70,9 +72,34 @@ let print_stats cell =
   Format.printf "  flattened census:@.";
   List.iter (fun (n, k) -> Format.printf "    %-14s %6d@." n k) s.Flatten.by_cell
 
+(* ---- design-rule gating -------------------------------------------- *)
+
+let drc_flag =
+  Arg.(
+    value & flag
+    & info [ "drc" ]
+        ~doc:
+          "Design-rule check the generated layout against the default lambda \
+           deck; fail (exit 1) on violations.")
+
+(* gate a generator's output: clean passes silently with a one-line
+   note, violations dump the report and abort before anything is
+   written *)
+let drc_gate enabled cell =
+  if enabled then begin
+    let r = Rsg_drc.Drc.check_cell cell in
+    if Rsg_drc.Drc.clean r then
+      Format.printf "drc: clean (%d boxes, %d regions, deck %s)@."
+        r.Rsg_drc.Drc.r_boxes r.Rsg_drc.Drc.r_regions r.Rsg_drc.Drc.r_deck
+    else begin
+      Format.eprintf "%a" Rsg_drc.Drc.pp_report r;
+      exit 1
+    end
+  end
+
 (* ---- generate ------------------------------------------------------ *)
 
-let generate design params sample_path out stats obs =
+let generate design params sample_path out stats drc obs =
   with_obs obs @@ fun () ->
   let sample = sample_of_cif sample_path in
   let st = Rsg_lang.Interp.of_sample sample in
@@ -90,6 +117,7 @@ let generate design params sample_path out stats obs =
     exit 1
   | Some cell ->
     if stats then print_stats cell;
+    drc_gate drc cell;
     write_layout out cell
 
 let design_arg =
@@ -122,14 +150,15 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a layout from design/parameter/sample files")
     Term.(
       const generate $ design_arg $ params_arg $ sample_arg $ out_arg "out.cif"
-      $ stats_flag $ obs_term)
+      $ stats_flag $ drc_flag $ obs_term)
 
 (* ---- multiplier ---------------------------------------------------- *)
 
-let multiplier size out stats obs =
+let multiplier size out stats drc obs =
   with_obs obs @@ fun () ->
   let g = Rsg_mult.Layout_gen.generate ~xsize:size ~ysize:size () in
   if stats then print_stats g.Rsg_mult.Layout_gen.whole;
+  drc_gate drc g.Rsg_mult.Layout_gen.whole;
   write_layout out g.Rsg_mult.Layout_gen.whole
 
 let size_arg =
@@ -139,11 +168,12 @@ let multiplier_cmd =
   Cmd.v
     (Cmd.info "multiplier" ~doc:"Generate a pipelined array multiplier")
     Term.(
-      const multiplier $ size_arg $ out_arg "mult.cif" $ stats_flag $ obs_term)
+      const multiplier $ size_arg $ out_arg "mult.cif" $ stats_flag $ drc_flag
+      $ obs_term)
 
 (* ---- pla ----------------------------------------------------------- *)
 
-let pla table out stats fold obs =
+let pla table out stats fold drc obs =
   with_obs obs @@ fun () ->
   let rows =
     read_file table |> String.split_on_char '\n'
@@ -179,6 +209,7 @@ let pla table out stats fold obs =
       end
     in
     if stats then print_stats cell;
+    drc_gate drc cell;
     write_layout out cell
 
 let table_arg =
@@ -196,11 +227,11 @@ let pla_cmd =
     (Cmd.info "pla" ~doc:"Generate a PLA from a truth table")
     Term.(
       const pla $ table_arg $ out_arg "pla.cif" $ stats_flag $ fold_flag
-      $ obs_term)
+      $ drc_flag $ obs_term)
 
 (* ---- rom ----------------------------------------------------------- *)
 
-let rom data_path word_bits out stats obs =
+let rom data_path word_bits out stats drc obs =
   with_obs obs @@ fun () ->
   let words =
     read_file data_path |> String.split_on_char '\n'
@@ -225,6 +256,7 @@ let rom data_path word_bits out stats obs =
       exit 1
     end;
     if stats then print_stats r.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell;
+    drc_gate drc r.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell;
     write_layout out r.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell
 
 let rom_cmd =
@@ -238,14 +270,15 @@ let rom_cmd =
           & info [ "data" ] ~docv:"FILE"
               ~doc:"One integer word per line; power-of-two count.")
       $ Arg.(value & opt int 8 & info [ "word-bits" ] ~docv:"N" ~doc:"Word width.")
-      $ out_arg "rom.cif" $ stats_flag $ obs_term)
+      $ out_arg "rom.cif" $ stats_flag $ drc_flag $ obs_term)
 
 (* ---- decoder ------------------------------------------------------- *)
 
-let decoder n out stats obs =
+let decoder n out stats drc obs =
   with_obs obs @@ fun () ->
   let g = Rsg_pla.Gen.generate_decoder n in
   if stats then print_stats g.Rsg_pla.Gen.cell;
+  drc_gate drc g.Rsg_pla.Gen.cell;
   write_layout out g.Rsg_pla.Gen.cell
 
 let n_arg =
@@ -255,7 +288,8 @@ let decoder_cmd =
   Cmd.v
     (Cmd.info "decoder" ~doc:"Generate an n-to-2^n decoder")
     Term.(
-      const decoder $ n_arg $ out_arg "decoder.cif" $ stats_flag $ obs_term)
+      const decoder $ n_arg $ out_arg "decoder.cif" $ stats_flag $ drc_flag
+      $ obs_term)
 
 (* ---- sim ----------------------------------------------------------- *)
 
@@ -352,7 +386,7 @@ let masks_cmd =
 
 (* ---- compact ------------------------------------------------------- *)
 
-let compact path out slack obs =
+let compact path out slack drc obs =
   with_obs obs @@ fun () ->
   let cell = top_cell_of_cif path in
   let compacted, r =
@@ -362,6 +396,7 @@ let compact path out slack obs =
   Format.printf "width %d -> %d (%d constraints, %d passes)@."
     r.Rsg_compact.Compactor.width_before r.Rsg_compact.Compactor.width_after
     r.Rsg_compact.Compactor.n_constraints r.Rsg_compact.Compactor.passes;
+  drc_gate drc compacted;
   write_layout out compacted
 
 let slack_flag =
@@ -373,7 +408,106 @@ let compact_cmd =
     Term.(
       const compact
       $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
-      $ out_arg "compacted.cif" $ slack_flag $ obs_term)
+      $ out_arg "compacted.cif" $ slack_flag $ drc_flag $ obs_term)
+
+(* ---- drc ----------------------------------------------------------- *)
+
+(* The target is either a CIF file or a builtin generator name, so the
+   checker can be exercised without a layout at hand. *)
+let drc_target = function
+  | "pla" ->
+    let tt =
+      Rsg_pla.Truth_table.of_strings [ ("10-", "10"); ("0-1", "01") ]
+    in
+    (Rsg_pla.Gen.generate tt).Rsg_pla.Gen.cell
+  | "ram" -> (Rsg_ram.Ram_gen.generate ~words:8 ~bits:4 ()).Rsg_ram.Ram_gen.cell
+  | "multiplier" ->
+    (Rsg_mult.Layout_gen.generate ~xsize:8 ~ysize:8 ()).Rsg_mult.Layout_gen.whole
+  | "decoder" -> (Rsg_pla.Gen.generate_decoder 3).Rsg_pla.Gen.cell
+  | path when Sys.file_exists path -> top_cell_of_cif path
+  | other ->
+    Format.eprintf
+      "%s is neither a file nor a builtin (pla, ram, multiplier, decoder)@."
+      other;
+    exit 1
+
+let drc target rules json max_shown self_check compacted obs =
+  with_obs obs @@ fun () ->
+  let deck =
+    match rules with
+    | None -> Rsg_drc.Deck.default
+    | Some path -> (
+      try Rsg_drc.Deck.read_file path
+      with Rsg_drc.Deck.Parse_error (line, msg) ->
+        Format.eprintf "%s:%d: %s@." path line msg;
+        exit 1)
+  in
+  let cell = drc_target target in
+  let cell =
+    if compacted then
+      fst (Rsg_compact.Compactor.compact_cell Rsg_compact.Rules.default cell)
+    else cell
+  in
+  if self_check then
+    match Rsg_drc.Drc.self_check_cell ~deck cell with
+    | Ok sc -> Format.printf "%a@." Rsg_drc.Drc.pp_self_check sc
+    | Error msg ->
+      Format.eprintf "self-check failed: %s@." msg;
+      exit 1
+  else begin
+    let r = Rsg_drc.Drc.check_cell ~deck cell in
+    if json then print_endline (Rsg_drc.Drc.report_to_json r)
+    else begin
+      let total = List.length r.Rsg_drc.Drc.r_violations in
+      let shown =
+        { r with
+          Rsg_drc.Drc.r_violations =
+            List.filteri (fun i _ -> i < max_shown) r.Rsg_drc.Drc.r_violations
+        }
+      in
+      Format.printf "%a" Rsg_drc.Drc.pp_report shown;
+      if total > max_shown then
+        Format.printf "  ... and %d more (raise --max)@." (total - max_shown)
+    end;
+    if not (Rsg_drc.Drc.clean r) then exit 1
+  end
+
+let drc_cmd =
+  Cmd.v
+    (Cmd.info "drc"
+       ~doc:
+         "Design-rule check a layout: merged-region minimum width, \
+          facing-edge spacing, contact enclosure.  The target is a CIF file \
+          or a builtin generator (pla, ram, multiplier, decoder).  Exits 1 \
+          on violations.")
+    Term.(
+      const drc
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"FILE|BUILTIN"
+              ~doc:"CIF layout, or builtin: pla, ram, multiplier, decoder.")
+      $ Arg.(
+          value
+          & opt (some file) None
+          & info [ "rules" ] ~docv:"FILE"
+              ~doc:
+                "Rule deck in the DSL (width/spacing/enclosure/overlap lines); \
+                 default is the builtin nmos-lambda deck.")
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+      $ Arg.(
+          value & opt int 20
+          & info [ "max" ] ~docv:"N" ~doc:"Print at most $(docv) violations.")
+      $ Arg.(
+          value & flag
+          & info [ "self-check" ]
+              ~doc:
+                "Mutation self-check: narrow one box to just below its width \
+                 rule and verify the checker reports exactly that defect.")
+      $ Arg.(
+          value & flag
+          & info [ "compacted" ] ~doc:"Check the layout after x compaction.")
+      $ obs_term)
 
 (* ---- doctor -------------------------------------------------------- *)
 
@@ -447,4 +581,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; multiplier_cmd; pla_cmd; rom_cmd; decoder_cmd;
-            sim_cmd; stats_cmd; compact_cmd; masks_cmd; doctor_cmd ]))
+            sim_cmd; stats_cmd; compact_cmd; masks_cmd; drc_cmd; doctor_cmd ]))

@@ -22,6 +22,62 @@ let is_contact = function
   | Layer.Contact | Layer.Contact_cut -> true
   | _ -> false
 
+(* Plane sweep over closed boxes: report every pair within Chebyshev
+   distance [halo] of each other (touching counts; [halo = 0] reports
+   exactly the overlapping-or-abutting pairs).  Boxes enter the active
+   set in xmin order and retire once their right edge falls more than
+   [halo] behind the sweep front; the active set is ordered by ymin so
+   a query stops as soon as candidates start past the query's top
+   edge.  On box-dominated layout geometry (bounded overlap depth)
+   this is O((n + k) log n) for k reported pairs — the all-pairs loop
+   this replaces was Theta(n^2) regardless of k. *)
+let sweep_pairs ?(halo = 0) (boxes : Box.t array) f =
+  let n = Array.length boxes in
+  if n > 1 then begin
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun i j ->
+        let c = Int.compare boxes.(i).Box.xmin boxes.(j).Box.xmin in
+        if c <> 0 then c else Int.compare i j)
+      order;
+    let module IS = Set.Make (struct
+      type t = int * int
+
+      let compare = compare
+    end) in
+    (* active: (ymin, idx); exits: (xmax + halo, idx) *)
+    let active = ref IS.empty and exits = ref IS.empty in
+    Array.iter
+      (fun i ->
+        let b = boxes.(i) in
+        let rec purge () =
+          match IS.min_elt_opt !exits with
+          | Some ((x_exit, j) as e) when x_exit < b.Box.xmin ->
+            exits := IS.remove e !exits;
+            active := IS.remove (boxes.(j).Box.ymin, j) !active;
+            purge ()
+          | _ -> ()
+        in
+        purge ();
+        (* an active box may start far below the query window yet reach
+           into it, so the scan starts at the bottom of the active set;
+           ymin ordering gives the early exit past the window's top *)
+        let cutoff = b.Box.ymax + halo in
+        let rec scan seq =
+          match seq () with
+          | Seq.Nil -> ()
+          | Seq.Cons ((ymin, j), tl) ->
+            if ymin <= cutoff then begin
+              if boxes.(j).Box.ymax >= b.Box.ymin - halo then f j i;
+              scan tl
+            end
+        in
+        scan (IS.to_seq !active);
+        active := IS.add (b.Box.ymin, i) !active;
+        exits := IS.add (b.Box.xmax + halo, i) !exits)
+      order
+  end
+
 (* Electrical nets: union-find over touching geometry on connecting
    layers.  Two boxes join a net when their layers connect (same
    layer, or contact over a conductor) and their closed extents meet
@@ -35,24 +91,22 @@ let is_contact = function
 let nets_of rules items =
   let n = Array.length items in
   let parent = Array.init n Fun.id in
-  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
   let union i j =
     let ri = find i and rj = find j in
     if ri <> rj then parent.(ri) <- rj
   in
-  let meet a b =
-    a.box.Box.xmax >= b.box.Box.xmin
-    && b.box.Box.xmax >= a.box.Box.xmin
-    && a.box.Box.ymax >= b.box.Box.ymin
-    && b.box.Box.ymax >= a.box.Box.ymin
-  in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      if Rules.connects rules items.(i).layer items.(j).layer
-         && meet items.(i) items.(j)
-      then union i j
-    done
-  done;
+  sweep_pairs
+    (Array.map (fun it -> it.box) items)
+    (fun i j ->
+      if Rules.connects rules items.(i).layer items.(j).layer then union i j);
   Array.init n find
 
 (* Emit the constraints between box [a] (to the left) and box [b].

@@ -40,6 +40,14 @@ type gen = {
   items : item array;
 }
 
+val sweep_pairs : ?halo:int -> Box.t array -> (int -> int -> unit) -> unit
+(** Plane sweep reporting every pair of boxes within Chebyshev
+    distance [halo] (default 0: overlapping or abutting closed boxes).
+    The callback receives the two indices, each unordered pair exactly
+    once.  O((n + k) log n) on bounded-overlap layout geometry — the
+    shared pair-finding engine of net merging and the design-rule
+    checker ({!Rsg_drc.Drc}). *)
+
 val nets_of : Rules.t -> item array -> int array
 (** Electrical net of each item: union-find over touching geometry on
     connecting layers (net ids are representative item indices). *)

@@ -1,0 +1,478 @@
+open Rsg_geom
+module Obs = Rsg_obs.Obs
+module Scanline = Rsg_compact.Scanline
+
+type violation = {
+  v_rule : string;
+  v_layers : Layer.t list;
+  v_boxes : Box.t list;
+  v_required : int;
+  v_actual : int;
+}
+
+type report = {
+  r_deck : string;
+  r_violations : violation list;
+  r_boxes : int;
+  r_regions : int;
+  r_rules : int;
+}
+
+(* ---- geometry helpers ---------------------------------------------- *)
+
+let union_find n =
+  let parent = Array.init n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  (find, union)
+
+(* Region ids (representative indices) of boxes merged by closed
+   touch, via the shared plane sweep. *)
+let regions_of boxes =
+  let n = Array.length boxes in
+  let find, union = union_find n in
+  Scanline.sweep_pairs boxes union;
+  Array.init n find
+
+(* Facing-edge gap: the boxes overlap strictly in one axis's
+   projection and are separated in the other.  [None] for touching,
+   overlapping, or corner-only pairs.  This is the separation the
+   thesis's one-dimensional compactor legislates (section 6.4.1
+   generates spacing constraints only between edges that face across
+   a strict orthogonal overlap), so it is what the checker measures;
+   corner-to-corner proximity is legal by construction. *)
+let facing_gap (a : Box.t) (b : Box.t) =
+  let gx = max (b.Box.xmin - a.Box.xmax) (a.Box.xmin - b.Box.xmax) in
+  let gy = max (b.Box.ymin - a.Box.ymax) (a.Box.ymin - b.Box.ymax) in
+  if gx > 0 && gy < 0 then Some gx
+  else if gy > 0 && gx < 0 then Some gy
+  else None
+
+(* Maximal merged x-intervals per y-slab of a box list: calls
+   [f ~y0 ~y1 ~x0 ~x1] for every run.  Within one region this is the
+   exact horizontal extent of the merged geometry at each height. *)
+let slab_runs boxes f =
+  let ys =
+    List.sort_uniq Int.compare
+      (List.concat_map (fun (b : Box.t) -> [ b.Box.ymin; b.Box.ymax ]) boxes)
+  in
+  let rec go = function
+    | y0 :: (y1 :: _ as tl) ->
+      let spans =
+        List.filter_map
+          (fun (b : Box.t) ->
+            if b.Box.ymin <= y0 && b.Box.ymax >= y1 then
+              Some (b.Box.xmin, b.Box.xmax)
+            else None)
+          boxes
+        |> List.sort compare
+      in
+      let rec merge = function
+        | (a0, a1) :: (b0, b1) :: tl when b0 <= a1 ->
+          merge ((a0, max a1 b1) :: tl)
+        | iv :: tl -> iv :: merge tl
+        | [] -> []
+      in
+      List.iter (fun (x0, x1) -> f ~y0 ~y1 ~x0 ~x1) (merge spans);
+      go (y1 :: List.tl tl)
+    | _ -> ()
+  in
+  go ys
+
+let transpose (b : Box.t) =
+  Box.make ~xmin:b.Box.ymin ~ymin:b.Box.xmin ~xmax:b.Box.ymax ~ymax:b.Box.xmax
+
+(* ---- width --------------------------------------------------------- *)
+
+(* A merged run is never shorter than the widest box it contains, so a
+   narrow run can only exist in a region that contains a box narrower
+   than the rule — regions of all-wide boxes are skipped without
+   decomposition. *)
+let width_violations layer w boxes reg emit =
+  let n = Array.length boxes in
+  let narrow_regions = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    if Box.width boxes.(i) < w || Box.height boxes.(i) < w then
+      Hashtbl.replace narrow_regions reg.(i) ()
+  done;
+  let members = Hashtbl.create 8 in
+  if Hashtbl.length narrow_regions > 0 then
+    for i = 0 to n - 1 do
+      if Hashtbl.mem narrow_regions reg.(i) then
+        Hashtbl.replace members reg.(i) (boxes.(i) :: (Option.value ~default:[] (Hashtbl.find_opt members reg.(i))))
+    done;
+  let check_direction boxes back =
+    (* gather narrow runs, then coalesce vertically-adjacent runs with
+       the same interval so one thin wire reports once *)
+    let runs = ref [] in
+    slab_runs boxes (fun ~y0 ~y1 ~x0 ~x1 ->
+        if x1 - x0 < w then runs := (x0, x1, y0, y1) :: !runs);
+    let runs = List.sort compare !runs in
+    let rec coalesce = function
+      | (x0, x1, y0, y1) :: (x0', x1', y0', y1') :: tl
+        when x0 = x0' && x1 = x1' && y1 = y0' ->
+        coalesce ((x0, x1, y0, y1') :: tl)
+      | r :: tl -> r :: coalesce tl
+      | [] -> []
+    in
+    List.iter
+      (fun (x0, x1, y0, y1) ->
+        let b = back (Box.make ~xmin:x0 ~ymin:y0 ~xmax:x1 ~ymax:y1) in
+        emit
+          { v_rule = "width." ^ Layer.name layer;
+            v_layers = [ layer ];
+            v_boxes = [ b ];
+            v_required = w;
+            v_actual = x1 - x0 })
+      (coalesce runs)
+  in
+  Hashtbl.iter
+    (fun _ bs ->
+      check_direction bs Fun.id;
+      check_direction (List.map transpose bs) transpose)
+    members
+
+(* ---- spacing ------------------------------------------------------- *)
+
+let spacing_violations la lb s geom emit =
+  match (List.assoc_opt la geom, List.assoc_opt lb geom) with
+  | None, _ | _, None -> ()
+  | Some (ba, ra), Some (bb, rb) ->
+    (* per pair of distinct regions, keep the worst (smallest) gap *)
+    let best : (int * int, int * Box.t * Box.t) Hashtbl.t = Hashtbl.create 16 in
+    let record ka kb g bi bj =
+      let key = if ka <= kb then (ka, kb) else (kb, ka) in
+      match Hashtbl.find_opt best key with
+      | Some (g', _, _) when g' <= g -> ()
+      | _ -> Hashtbl.replace best key (g, bi, bj)
+    in
+    if Layer.equal la lb then
+      Scanline.sweep_pairs ~halo:s ba (fun i j ->
+          if ra.(i) <> ra.(j) then
+            match facing_gap ba.(i) ba.(j) with
+            | Some g when g < s -> record ra.(i) ra.(j) g ba.(i) ba.(j)
+            | _ -> ())
+    else begin
+      let na = Array.length ba in
+      let combined = Array.append ba bb in
+      Scanline.sweep_pairs ~halo:s combined (fun i j ->
+          let i, j = (min i j, max i j) in
+          (* cross-layer pairs only; touching or overlapping geometry
+             on distinct layers is a device or a contact, not a
+             spacing problem *)
+          if i < na && j >= na && Box.distance combined.(i) combined.(j) > 0
+          then
+            match facing_gap combined.(i) combined.(j) with
+            | Some g when g < s ->
+              record ra.(i) (na + rb.(j - na)) g combined.(i) combined.(j)
+            | _ -> ())
+    end;
+    let la', lb' = if Layer.compare la lb <= 0 then (la, lb) else (lb, la) in
+    Hashtbl.iter
+      (fun _ (g, bi, bj) ->
+        emit
+          { v_rule = "spacing." ^ Layer.name la' ^ "." ^ Layer.name lb';
+            v_layers = [ la; lb ];
+            v_boxes = [ bi; bj ];
+            v_required = s;
+            v_actual = g })
+      best
+
+(* ---- enclosure ----------------------------------------------------- *)
+
+(* area of [q] covered by the union of [covers] (each clipped to [q]) *)
+let covered_area q covers =
+  let clipped = List.filter_map (Box.intersect q) covers in
+  let total = ref 0 in
+  slab_runs clipped (fun ~y0 ~y1 ~x0 ~x1 -> total := !total + ((x1 - x0) * (y1 - y0)));
+  !total
+
+let enclosure_violations inner covers m geom emit =
+  match List.assoc_opt inner geom with
+  | None -> ()
+  | Some (bi, _) ->
+    let cover_boxes =
+      List.concat_map
+        (fun l ->
+          match List.assoc_opt l geom with
+          | Some (bs, _) -> Array.to_list bs
+          | None -> [])
+        covers
+    in
+    let ni = Array.length bi in
+    let combined = Array.append bi (Array.of_list cover_boxes) in
+    let candidates = Array.make ni [] in
+    Scanline.sweep_pairs ~halo:m combined (fun i j ->
+        let i, j = (min i j, max i j) in
+        if i < ni && j >= ni then candidates.(i) <- combined.(j) :: candidates.(i));
+    Array.iteri
+      (fun i box ->
+        let q = Box.inflate m box in
+        if Box.area q > 0 && covered_area q candidates.(i) < Box.area q then begin
+          (* measured margin: the largest m' <= m that would pass *)
+          let rec probe m' =
+            if m' < 0 then -1
+            else
+              let q' = Box.inflate m' box in
+              if covered_area q' candidates.(i) = Box.area q' then m'
+              else probe (m' - 1)
+          in
+          emit
+            { v_rule = "enclosure." ^ Layer.name inner;
+              v_layers = inner :: covers;
+              v_boxes = [ box ];
+              v_required = m;
+              v_actual = probe (m - 1) }
+        end)
+      bi
+
+(* ---- overlap ------------------------------------------------------- *)
+
+let overlap_violations la lb k geom emit =
+  match (List.assoc_opt la geom, List.assoc_opt lb geom) with
+  | None, _ | _, None -> ()
+  | Some (ba, _), Some (bb, _) ->
+    let na = Array.length ba in
+    let combined = Array.append ba bb in
+    let rects = ref [] in
+    Scanline.sweep_pairs combined (fun i j ->
+        let i, j = (min i j, max i j) in
+        if i < na && j >= na then
+          match Box.intersect combined.(i) combined.(j) with
+          | Some r when Box.area r > 0 -> rects := r :: !rects
+          | _ -> ());
+    let rects = Array.of_list !rects in
+    if Array.length rects > 0 then begin
+      let reg = regions_of rects in
+      let groups = Hashtbl.create 8 in
+      Array.iteri
+        (fun i r ->
+          Hashtbl.replace groups reg.(i)
+            (match Hashtbl.find_opt groups reg.(i) with
+            | Some acc -> Box.union acc r
+            | None -> r))
+        rects;
+      Hashtbl.iter
+        (fun _ bbox ->
+          let extent = max (Box.width bbox) (Box.height bbox) in
+          if extent < k then
+            emit
+              { v_rule = "overlap." ^ Layer.name la ^ "." ^ Layer.name lb;
+                v_layers = [ la; lb ];
+                v_boxes = [ bbox ];
+                v_required = k;
+                v_actual = extent })
+        groups
+    end
+
+(* ---- the checker --------------------------------------------------- *)
+
+let check ?(deck = Deck.default) (items : Scanline.item array) =
+  Obs.span "drc.check" @@ fun () ->
+  let geom =
+    Obs.span "drc.regions" @@ fun () ->
+    List.filter_map
+      (fun layer ->
+        let boxes =
+          Array.of_list
+            (Array.to_list items
+            |> List.filter_map (fun (it : Scanline.item) ->
+                   if Layer.equal it.Scanline.layer layer then
+                     Some it.Scanline.box
+                   else None))
+        in
+        if Array.length boxes = 0 then None
+        else Some (layer, (boxes, regions_of boxes)))
+      Layer.all
+  in
+  let out = ref [] in
+  let emit v = out := v :: !out in
+  let n_rules = ref 0 in
+  List.iter
+    (fun rule ->
+      incr n_rules;
+      match rule with
+      | Deck.Width (l, w) ->
+        Obs.span "drc.width" @@ fun () ->
+        (match List.assoc_opt l geom with
+        | Some (boxes, reg) -> width_violations l w boxes reg emit
+        | None -> ())
+      | Deck.Spacing (a, b, s) ->
+        Obs.span "drc.spacing" @@ fun () -> spacing_violations a b s geom emit
+      | Deck.Enclosure (inner, covers, m) ->
+        Obs.span "drc.enclosure" @@ fun () ->
+        enclosure_violations inner covers m geom emit
+      | Deck.Overlap (a, b, k) ->
+        Obs.span "drc.overlap" @@ fun () -> overlap_violations a b k geom emit)
+    (Deck.rules deck);
+  let n_regions =
+    List.fold_left
+      (fun acc (_, (_, reg)) ->
+        acc
+        + (Array.to_list reg |> List.sort_uniq Int.compare |> List.length))
+      0 geom
+  in
+  Obs.count "drc.checks";
+  Obs.count ~n:(Array.length items) "drc.boxes";
+  let violations =
+    List.sort
+      (fun a b ->
+        let c = String.compare a.v_rule b.v_rule in
+        if c <> 0 then c
+        else
+          compare
+            (List.map (fun x -> (x.Box.xmin, x.Box.ymin, x.Box.xmax, x.Box.ymax)) a.v_boxes)
+            (List.map (fun x -> (x.Box.xmin, x.Box.ymin, x.Box.xmax, x.Box.ymax)) b.v_boxes))
+      !out
+  in
+  Obs.count ~n:(List.length violations) "drc.violations";
+  { r_deck = Deck.name deck;
+    r_violations = violations;
+    r_boxes = Array.length items;
+    r_regions = n_regions;
+    r_rules = !n_rules }
+
+let check_cell ?deck cell = check ?deck (Scanline.items_of_cell cell)
+
+let clean r = r.r_violations = []
+
+(* ---- rendering ----------------------------------------------------- *)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] required %d, measured %d at %a" v.v_rule
+    v.v_required v.v_actual
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " / ")
+       Box.pp)
+    v.v_boxes
+
+let pp_report ppf r =
+  Format.fprintf ppf "DRC (%s): %d violation%s in %d boxes, %d regions, %d rules@."
+    r.r_deck
+    (List.length r.r_violations)
+    (if List.length r.r_violations = 1 then "" else "s")
+    r.r_boxes r.r_regions r.r_rules;
+  List.iter (fun v -> Format.fprintf ppf "  %a@." pp_violation v) r.r_violations
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let report_to_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"deck\":\"%s\",\"boxes\":%d,\"regions\":%d,\"rules\":%d,\"violations\":["
+       (json_escape r.r_deck) r.r_boxes r.r_regions r.r_rules);
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"rule\":\"%s\",\"layers\":[%s],\"required\":%d,\"actual\":%d,\"boxes\":[%s]}"
+           (json_escape v.v_rule)
+           (String.concat ","
+              (List.map (fun l -> "\"" ^ Layer.name l ^ "\"") v.v_layers))
+           v.v_required v.v_actual
+           (String.concat ","
+              (List.map
+                 (fun (b : Box.t) ->
+                   Printf.sprintf "[%d,%d,%d,%d]" b.Box.xmin b.Box.ymin
+                     b.Box.xmax b.Box.ymax)
+                 v.v_boxes))))
+    r.r_violations;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* ---- mutation self-check ------------------------------------------- *)
+
+type self_check = {
+  sc_layer : Layer.t;
+  sc_original : Box.t;
+  sc_mutated : Box.t;
+  sc_violation : violation;
+}
+
+let self_check ?(deck = Deck.default) (items : Scanline.item array) =
+  Obs.span "drc.self_check" @@ fun () ->
+  let base = check ~deck items in
+  if not (clean base) then
+    Error
+      (Printf.sprintf "layout is not clean before mutation (%d violations)"
+         (List.length base.r_violations))
+  else begin
+    let n = Array.length items in
+    let attempt i (shrunk : Box.t) =
+      let it = items.(i) in
+      let mutated = Array.copy items in
+      mutated.(i) <- { it with Scanline.box = shrunk };
+      match (check ~deck mutated).r_violations with
+      | [ v ]
+        when v.v_rule = "width." ^ Layer.name it.Scanline.layer
+             && List.exists (fun vb -> Box.overlaps vb shrunk) v.v_boxes ->
+        Some
+          { sc_layer = it.Scanline.layer;
+            sc_original = it.Scanline.box;
+            sc_mutated = shrunk;
+            sc_violation = v }
+      | _ -> None
+    in
+    let rec try_idx i =
+      if i >= n then
+        Error "no box admits a clean single-defect narrowing"
+      else
+        let it = items.(i) in
+        match Deck.width deck it.Scanline.layer with
+        | Some w ->
+          let b = it.Scanline.box in
+          (* narrow the box to one lambda below the rule — for a box
+             already at minimum width this is exactly a 1-lambda
+             shrink *)
+          let in_x =
+            if Box.width b >= w then
+              attempt i
+                (Box.make ~xmin:b.Box.xmin ~ymin:b.Box.ymin
+                   ~xmax:(b.Box.xmin + w - 1) ~ymax:b.Box.ymax)
+            else None
+          in
+          (match in_x with
+          | Some sc -> Ok sc
+          | None ->
+            let in_y =
+              if Box.height b >= w then
+                attempt i
+                  (Box.make ~xmin:b.Box.xmin ~ymin:b.Box.ymin ~xmax:b.Box.xmax
+                     ~ymax:(b.Box.ymin + w - 1))
+              else None
+            in
+            (match in_y with
+            | Some sc -> Ok sc
+            | None -> try_idx (i + 1)))
+        | None -> try_idx (i + 1)
+    in
+    try_idx 0
+  end
+
+let self_check_cell ?deck cell = self_check ?deck (Scanline.items_of_cell cell)
+
+let pp_self_check ppf sc =
+  Format.fprintf ppf
+    "seeded defect: %s box %a shrunk to %a@.caught as: %a" (Layer.name sc.sc_layer)
+    Box.pp sc.sc_original Box.pp sc.sc_mutated pp_violation sc.sc_violation

@@ -55,6 +55,11 @@ let inflate k b =
   if b'.xmin > b'.xmax || b'.ymin > b'.ymax then invalid_arg "Box.inflate"
   else b'
 
+let distance a b =
+  let dx = max 0 (max (b.xmin - a.xmax) (a.xmin - b.xmax)) in
+  let dy = max 0 (max (b.ymin - a.ymax) (a.ymin - b.ymax)) in
+  max dx dy
+
 let equal a b =
   a.xmin = b.xmin && a.ymin = b.ymin && a.xmax = b.xmax && a.ymax = b.ymax
 

@@ -48,6 +48,12 @@ val inflate : int -> t -> t
     four sides.  Raises [Invalid_argument] if shrinking would invert
     the box. *)
 
+val distance : t -> t -> int
+(** Chebyshev (L-infinity) separation of the closed boxes: the largest
+    per-axis gap, 0 when they touch or overlap.  This is the metric of
+    lambda design rules on rectilinear geometry: [distance a b <= k]
+    iff [inflate k a] overlaps [b]. *)
+
 val equal : t -> t -> bool
 
 val compare : t -> t -> int

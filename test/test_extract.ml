@@ -116,6 +116,39 @@ let test_multiplier_census_follows_personality () =
         (cells * 4) (n_devices nl))
     [ (2, 2); (3, 3); (4, 2) ]
 
+let test_whole_multiplier_netlist () =
+  (* Pinned node/edge counts for the complete multiplier (array plus
+     register banks).  These are regression anchors: the array
+     contributes 4 transistors per cell (xsize * (ysize+1) cells), the
+     peripheral registers one each, and any change to the sample
+     library or the generator that perturbs connectivity shows up here
+     as a net- or device-count drift. *)
+  List.iter
+    (fun (xsize, ysize, exp_nets, exp_devices) ->
+      let g = Rsg_mult.Layout_gen.generate ~xsize ~ysize () in
+      let nl = of_cell g.Rsg_mult.Layout_gen.whole in
+      Alcotest.(check int)
+        (Printf.sprintf "%dx%d nets" xsize ysize)
+        exp_nets nl.n_nets;
+      Alcotest.(check int)
+        (Printf.sprintf "%dx%d devices" xsize ysize)
+        exp_devices (n_devices nl);
+      (* every device's gate lies on both a poly and a diffusion item:
+         the extractor's edges are well-formed *)
+      List.iter
+        (fun d ->
+          let on layer =
+            Array.exists
+              (fun (it : Rsg_compact.Scanline.item) ->
+                it.Rsg_compact.Scanline.layer = layer
+                && Box.overlaps it.Rsg_compact.Scanline.box d.gate)
+              nl.items
+          in
+          Alcotest.(check bool) "gate on poly" true (on Layer.Poly);
+          Alcotest.(check bool) "gate on diffusion" true (on Layer.Diffusion))
+        nl.devices)
+    [ (2, 2, 78, 38); (3, 3, 155, 78); (4, 4, 250, 128) ]
+
 let test_pla_census () =
   (* connect-ao contributes no poly; crosspoints carry no poly over
      diffusion; inbuf draws two poly columns over its diffusion *)
@@ -202,6 +235,8 @@ let () =
        [ Alcotest.test_case "basic cell census" `Quick test_basic_cell_census;
          Alcotest.test_case "multiplier census" `Quick
            test_multiplier_census_follows_personality;
+         Alcotest.test_case "whole multiplier netlist" `Quick
+           test_whole_multiplier_netlist;
          Alcotest.test_case "pla census" `Quick test_pla_census ]);
       ("scale",
        [ Alcotest.test_case "simple" `Quick test_scale_simple;

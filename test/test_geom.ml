@@ -142,7 +142,13 @@ let test_box_basics () =
     (Some (Box.make ~xmin:4 ~ymin:2 ~xmax:5 ~ymax:3))
     (Box.intersect b c);
   Alcotest.(check box) "union" (Box.make ~xmin:1 ~ymin:0 ~xmax:9 ~ymax:7)
-    (Box.union b c)
+    (Box.union b c);
+  (* Chebyshev separation: diagonal neighbours count the larger gap *)
+  let d = Box.make ~xmin:8 ~ymin:10 ~xmax:12 ~ymax:14 in
+  Alcotest.(check int) "distance diagonal" 3 (Box.distance b d);
+  Alcotest.(check int) "distance overlapping" 0 (Box.distance b c);
+  Alcotest.(check int) "distance touching" 0
+    (Box.distance b (Box.make ~xmin:5 ~ymin:2 ~xmax:9 ~ymax:7))
 
 let suite_box =
   [ prop "transform preserves area" (QCheck.pair gen_orient gen_box)
@@ -161,7 +167,35 @@ let suite_box =
     prop "intersect symmetric" (QCheck.pair gen_box gen_box) (fun (a, b) ->
         Box.intersect a b = Box.intersect b a);
     prop "overlaps iff intersect" (QCheck.pair gen_box gen_box) (fun (a, b) ->
-        Box.overlaps a b = Option.is_some (Box.intersect a b)) ]
+        Box.overlaps a b = Option.is_some (Box.intersect a b));
+    prop "intersect is contained in both" (QCheck.pair gen_box gen_box)
+      (fun (a, b) ->
+        match Box.intersect a b with
+        | None -> true
+        | Some i ->
+          Box.equal (Box.union a i) a && Box.equal (Box.union b i) b);
+    prop "intersect idempotent" gen_box (fun b ->
+        Box.intersect b b = Some b);
+    prop "distance symmetric" (QCheck.pair gen_box gen_box) (fun (a, b) ->
+        Box.distance a b = Box.distance b a);
+    prop "distance zero iff touching" (QCheck.pair gen_box gen_box)
+      (fun (a, b) ->
+        (Box.distance a b = 0) = Box.overlaps (Box.inflate 0 a) b);
+    prop "distance k iff inflate k overlaps"
+      (QCheck.triple gen_box gen_box (QCheck.int_range 0 20))
+      (fun (a, b, k) ->
+        (Box.distance a b <= k) = Box.overlaps (Box.inflate k a) b);
+    prop "inflate grows each side by k"
+      (QCheck.pair gen_box (QCheck.int_range 0 20)) (fun (b, k) ->
+        let i = Box.inflate k b in
+        Box.width i = Box.width b + (2 * k)
+        && Box.height i = Box.height b + (2 * k)
+        && i.Box.xmin = b.Box.xmin - k
+        && i.Box.ymin = b.Box.ymin - k);
+    prop "inflate composes additively"
+      (QCheck.triple gen_box (QCheck.int_range 0 10) (QCheck.int_range 0 10))
+      (fun (b, j, k) ->
+        Box.equal (Box.inflate j (Box.inflate k b)) (Box.inflate (j + k) b)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Transforms                                                         *)

@@ -394,6 +394,32 @@ let test_def_golden () =
   in
   Alcotest.(check string) "golden def" expected (Def.to_string top)
 
+(* Regression: a real generator output (not just synthetic fixtures)
+   survives the CIF writer/reader with geometry intact, through an
+   actual file on disk. *)
+let test_cif_generated_pla_roundtrip () =
+  let tt = Rsg_pla.Truth_table.of_strings [ ("10-", "10"); ("0-1", "01") ] in
+  let cell = (Rsg_pla.Gen.generate tt).Rsg_pla.Gen.cell in
+  let path = Filename.temp_file "rsg_pla" ".cif" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cif.write_file path cell;
+      let r = Cif.read_file path in
+      let cell' = Db.find_exn r.Cif.db cell.Cell.cname in
+      Alcotest.(check bool) "geometry identical" true
+        (Cif.roundtrip_equal cell cell');
+      let flat c =
+        (Flatten.flatten c).Flatten.flat_boxes
+        |> List.map (fun (l, b) ->
+               (Layer.name l, b.Box.xmin, b.Box.ymin, b.Box.xmax, b.Box.ymax))
+        |> List.sort compare
+      in
+      Alcotest.(check int) "same box count"
+        (List.length (flat cell))
+        (List.length (flat cell'));
+      Alcotest.(check bool) "same box multiset" true (flat cell = flat cell'))
+
 let () =
   Alcotest.run "rsg_layout"
     [ ("cell",
@@ -411,6 +437,8 @@ let () =
          Alcotest.test_case "negative coordinates" `Quick test_cif_negative_coords;
          Alcotest.test_case "file io" `Quick test_cif_file_io;
          Alcotest.test_case "rejects garbage" `Quick test_cif_rejects_garbage;
+         Alcotest.test_case "generated pla round trip" `Quick
+           test_cif_generated_pla_roundtrip;
          prop_cif_roundtrip ]);
       ("def",
        [ Alcotest.test_case "hierarchy round trip" `Quick test_def_roundtrip;
