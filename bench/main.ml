@@ -711,12 +711,115 @@ let e23 () =
   note "generated layouts check clean; the plane sweep keeps cost per box";
   note "flat as the array grows (no all-pairs comparison anywhere)"
 
+(* ------------------------------------------------------------------ *)
+(* E24: prototype flatten cache + the domain pool.                     *)
+
+let e24 () =
+  section "E24"
+    "flatten cache (prototypes) and multicore DRC/extraction (lib/par)";
+  let configs =
+    [ ("mult 8x8",
+       fun () ->
+         (Rsg_mult.Layout_gen.generate ~xsize:8 ~ysize:8 ())
+           .Rsg_mult.Layout_gen.whole);
+      ("mult 16x16",
+       fun () ->
+         (Rsg_mult.Layout_gen.generate ~xsize:16 ~ysize:16 ())
+           .Rsg_mult.Layout_gen.whole);
+      ("mult 24x24",
+       fun () ->
+         (Rsg_mult.Layout_gen.generate ~xsize:24 ~ysize:24 ())
+           .Rsg_mult.Layout_gen.whole);
+      ("ram 64x16",
+       fun () ->
+         (Rsg_ram.Ram_gen.generate ~words:64 ~bits:16 ()).Rsg_ram.Ram_gen.cell)
+    ]
+  in
+  let nd = Rsg_par.Par.default_domains () in
+  row "flatten: naive walk vs one shared prototype build (cells = distinct)";
+  row "%-12s %8s %6s | %9s %9s %10s %9s %8s %5s" "layout" "boxes" "cells"
+    "naive-s" "build-s" "cached-s" "stats-s" "speedup" "same";
+  List.iter
+    (fun (name, mk) ->
+      let cell = mk () in
+      let naive = seconds (fun () -> ignore (Flatten.flatten cell)) in
+      let build =
+        seconds (fun () ->
+            ignore (Flatten.protos_flat (Flatten.prototypes cell)))
+      in
+      let protos = Flatten.prototypes cell in
+      let flat = Flatten.protos_flat protos in
+      let cached = seconds (fun () -> ignore (Flatten.protos_flat protos)) in
+      let statss = seconds (fun () -> ignore (Flatten.stats cell)) in
+      let same = flat = Flatten.flatten cell in
+      row "%-12s %8d %6d | %9.4f %9.4f %10.6f %9.4f %7.0fx %5b" name
+        (Array.length flat.Flatten.flat_boxes)
+        (Flatten.distinct_cells protos)
+        naive build cached statss
+        (naive /. max cached 1e-9)
+        same)
+    configs;
+  row "";
+  row "DRC: 1 domain vs %d domains (identical = bit-identical report)" nd;
+  row "%-12s %8s | %9s %9s %8s %9s" "layout" "boxes" "1-dom-s"
+    (Printf.sprintf "%d-dom-s" nd) "speedup" "identical";
+  List.iter
+    (fun (name, mk) ->
+      let cell = mk () in
+      let items =
+        Rsg_compact.Scanline.items_of_flat
+          (Flatten.protos_flat (Flatten.prototypes cell))
+      in
+      let s1 = seconds (fun () -> ignore (Rsg_drc.Drc.check ~domains:1 items)) in
+      let sn =
+        seconds (fun () -> ignore (Rsg_drc.Drc.check ~domains:nd items))
+      in
+      let identical =
+        Rsg_drc.Drc.check ~domains:1 items = Rsg_drc.Drc.check ~domains:nd items
+      in
+      row "%-12s %8d | %9.4f %9.4f %7.2fx %9b" name (Array.length items) s1 sn
+        (s1 /. max sn 1e-9) identical)
+    configs;
+  row "";
+  row "extraction: 1 domain vs %d domains" nd;
+  row "%-12s %8s %8s | %9s %9s %8s %9s" "layout" "nets" "devices" "1-dom-s"
+    (Printf.sprintf "%d-dom-s" nd) "speedup" "identical";
+  List.iter
+    (fun (name, mk) ->
+      let cell = mk () in
+      let f = Flatten.protos_flat (Flatten.prototypes cell) in
+      let items = Rsg_compact.Scanline.items_of_flat f in
+      let labels = Array.to_list f.Flatten.flat_labels in
+      let s1 =
+        seconds (fun () ->
+            ignore (Rsg_extract.Extract.of_items ~domains:1 items labels))
+      in
+      let sn =
+        seconds (fun () ->
+            ignore (Rsg_extract.Extract.of_items ~domains:nd items labels))
+      in
+      let n1 = Rsg_extract.Extract.of_items ~domains:1 items labels in
+      let nn = Rsg_extract.Extract.of_items ~domains:nd items labels in
+      row "%-12s %8d %8d | %9.4f %9.4f %7.2fx %9b" name
+        n1.Rsg_extract.Extract.n_nets
+        (Rsg_extract.Extract.n_devices n1)
+        s1 sn
+        (s1 /. max sn 1e-9)
+        (n1 = nn))
+    configs;
+  note "the cached column is the amortised cost once one prototype build";
+  note "serves stats + DRC + extraction + the writer; domain speedups";
+  note
+    "depend on the machine (this host recommends %d domain%s)"
+    (Rsg_par.Par.recommended ())
+    (if Rsg_par.Par.recommended () = 1 then "" else "s")
+
 let sections =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
-    ("E22", e22); ("E23", e23) ]
+    ("E22", e22); ("E23", e23); ("E24", e24) ]
 
 let () =
   let wanted =

@@ -82,12 +82,27 @@ let drc_flag =
           "Design-rule check the generated layout against the default lambda \
            deck; fail (exit 1) on violations.")
 
+let domains_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Domains for the parallel phases (DRC region merging and rule \
+           checks, extraction scans).  Defaults to the RSG_DOMAINS \
+           environment variable, else the machine's recommended domain \
+           count.  Results are identical for every value; 1 runs fully \
+           sequentially.")
+
 (* gate a generator's output: clean passes silently with a one-line
    note, violations dump the report and abort before anything is
-   written *)
-let drc_gate enabled cell =
+   written.  The input geometry comes out of the prototype cache, so
+   the hierarchy is flattened once per distinct celltype rather than
+   once per instance. *)
+let drc_gate ?domains enabled cell =
   if enabled then begin
-    let r = Rsg_drc.Drc.check_cell cell in
+    let protos = Flatten.prototypes cell in
+    let r = Rsg_drc.Drc.check_flat ?domains (Flatten.protos_flat protos) in
     if Rsg_drc.Drc.clean r then
       Format.printf "drc: clean (%d boxes, %d regions, deck %s)@."
         r.Rsg_drc.Drc.r_boxes r.Rsg_drc.Drc.r_regions r.Rsg_drc.Drc.r_deck
@@ -99,7 +114,7 @@ let drc_gate enabled cell =
 
 (* ---- generate ------------------------------------------------------ *)
 
-let generate design params sample_path out stats drc obs =
+let generate design params sample_path out stats drc domains obs =
   with_obs obs @@ fun () ->
   let sample = sample_of_cif sample_path in
   let st = Rsg_lang.Interp.of_sample sample in
@@ -117,7 +132,7 @@ let generate design params sample_path out stats drc obs =
     exit 1
   | Some cell ->
     if stats then print_stats cell;
-    drc_gate drc cell;
+    drc_gate ?domains drc cell;
     write_layout out cell
 
 let design_arg =
@@ -150,15 +165,15 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a layout from design/parameter/sample files")
     Term.(
       const generate $ design_arg $ params_arg $ sample_arg $ out_arg "out.cif"
-      $ stats_flag $ drc_flag $ obs_term)
+      $ stats_flag $ drc_flag $ domains_term $ obs_term)
 
 (* ---- multiplier ---------------------------------------------------- *)
 
-let multiplier size out stats drc obs =
+let multiplier size out stats drc domains obs =
   with_obs obs @@ fun () ->
   let g = Rsg_mult.Layout_gen.generate ~xsize:size ~ysize:size () in
   if stats then print_stats g.Rsg_mult.Layout_gen.whole;
-  drc_gate drc g.Rsg_mult.Layout_gen.whole;
+  drc_gate ?domains drc g.Rsg_mult.Layout_gen.whole;
   write_layout out g.Rsg_mult.Layout_gen.whole
 
 let size_arg =
@@ -169,11 +184,11 @@ let multiplier_cmd =
     (Cmd.info "multiplier" ~doc:"Generate a pipelined array multiplier")
     Term.(
       const multiplier $ size_arg $ out_arg "mult.cif" $ stats_flag $ drc_flag
-      $ obs_term)
+      $ domains_term $ obs_term)
 
 (* ---- pla ----------------------------------------------------------- *)
 
-let pla table out stats fold drc obs =
+let pla table out stats fold drc domains obs =
   with_obs obs @@ fun () ->
   let rows =
     read_file table |> String.split_on_char '\n'
@@ -209,7 +224,7 @@ let pla table out stats fold drc obs =
       end
     in
     if stats then print_stats cell;
-    drc_gate drc cell;
+    drc_gate ?domains drc cell;
     write_layout out cell
 
 let table_arg =
@@ -227,11 +242,11 @@ let pla_cmd =
     (Cmd.info "pla" ~doc:"Generate a PLA from a truth table")
     Term.(
       const pla $ table_arg $ out_arg "pla.cif" $ stats_flag $ fold_flag
-      $ drc_flag $ obs_term)
+      $ drc_flag $ domains_term $ obs_term)
 
 (* ---- rom ----------------------------------------------------------- *)
 
-let rom data_path word_bits out stats drc obs =
+let rom data_path word_bits out stats drc domains obs =
   with_obs obs @@ fun () ->
   let words =
     read_file data_path |> String.split_on_char '\n'
@@ -256,7 +271,7 @@ let rom data_path word_bits out stats drc obs =
       exit 1
     end;
     if stats then print_stats r.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell;
-    drc_gate drc r.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell;
+    drc_gate ?domains drc r.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell;
     write_layout out r.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell
 
 let rom_cmd =
@@ -270,15 +285,15 @@ let rom_cmd =
           & info [ "data" ] ~docv:"FILE"
               ~doc:"One integer word per line; power-of-two count.")
       $ Arg.(value & opt int 8 & info [ "word-bits" ] ~docv:"N" ~doc:"Word width.")
-      $ out_arg "rom.cif" $ stats_flag $ drc_flag $ obs_term)
+      $ out_arg "rom.cif" $ stats_flag $ drc_flag $ domains_term $ obs_term)
 
 (* ---- decoder ------------------------------------------------------- *)
 
-let decoder n out stats drc obs =
+let decoder n out stats drc domains obs =
   with_obs obs @@ fun () ->
   let g = Rsg_pla.Gen.generate_decoder n in
   if stats then print_stats g.Rsg_pla.Gen.cell;
-  drc_gate drc g.Rsg_pla.Gen.cell;
+  drc_gate ?domains drc g.Rsg_pla.Gen.cell;
   write_layout out g.Rsg_pla.Gen.cell
 
 let n_arg =
@@ -289,7 +304,7 @@ let decoder_cmd =
     (Cmd.info "decoder" ~doc:"Generate an n-to-2^n decoder")
     Term.(
       const decoder $ n_arg $ out_arg "decoder.cif" $ stats_flag $ drc_flag
-      $ obs_term)
+      $ domains_term $ obs_term)
 
 (* ---- sim ----------------------------------------------------------- *)
 
@@ -386,7 +401,7 @@ let masks_cmd =
 
 (* ---- compact ------------------------------------------------------- *)
 
-let compact path out slack drc obs =
+let compact path out slack drc domains obs =
   with_obs obs @@ fun () ->
   let cell = top_cell_of_cif path in
   let compacted, r =
@@ -396,7 +411,7 @@ let compact path out slack drc obs =
   Format.printf "width %d -> %d (%d constraints, %d passes)@."
     r.Rsg_compact.Compactor.width_before r.Rsg_compact.Compactor.width_after
     r.Rsg_compact.Compactor.n_constraints r.Rsg_compact.Compactor.passes;
-  drc_gate drc compacted;
+  drc_gate ?domains drc compacted;
   write_layout out compacted
 
 let slack_flag =
@@ -408,7 +423,8 @@ let compact_cmd =
     Term.(
       const compact
       $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
-      $ out_arg "compacted.cif" $ slack_flag $ drc_flag $ obs_term)
+      $ out_arg "compacted.cif" $ slack_flag $ drc_flag $ domains_term
+      $ obs_term)
 
 (* ---- drc ----------------------------------------------------------- *)
 
@@ -431,7 +447,7 @@ let drc_target = function
       other;
     exit 1
 
-let drc target rules json max_shown self_check compacted obs =
+let drc target rules json max_shown self_check compacted domains obs =
   with_obs obs @@ fun () ->
   let deck =
     match rules with
@@ -449,13 +465,14 @@ let drc target rules json max_shown self_check compacted obs =
     else cell
   in
   if self_check then
-    match Rsg_drc.Drc.self_check_cell ~deck cell with
+    match Rsg_drc.Drc.self_check_cell ~deck ?domains cell with
     | Ok sc -> Format.printf "%a@." Rsg_drc.Drc.pp_self_check sc
     | Error msg ->
       Format.eprintf "self-check failed: %s@." msg;
       exit 1
   else begin
-    let r = Rsg_drc.Drc.check_cell ~deck cell in
+    let protos = Flatten.prototypes cell in
+    let r = Rsg_drc.Drc.check_flat ~deck ?domains (Flatten.protos_flat protos) in
     if json then print_endline (Rsg_drc.Drc.report_to_json r)
     else begin
       let total = List.length r.Rsg_drc.Drc.r_violations in
@@ -507,7 +524,7 @@ let drc_cmd =
       $ Arg.(
           value & flag
           & info [ "compacted" ] ~doc:"Check the layout after x compaction.")
-      $ obs_term)
+      $ domains_term $ obs_term)
 
 (* ---- doctor -------------------------------------------------------- *)
 

@@ -44,7 +44,7 @@ let expand_items rules items =
 let expand_cell rules cell =
   let f = Rsg_layout.Flatten.flatten cell in
   let out = Rsg_layout.Cell.create (cell.Rsg_layout.Cell.cname ^ "-masks") in
-  List.iter
+  Array.iter
     (fun (layer, box) ->
       match layer with
       | Layer.Contact ->

@@ -192,10 +192,12 @@ let naive_pair rules g ~left ~right ~(items : item array) ia ib =
 (* ------------------------------------------------------------------ *)
 (* ------------------------------------------------------------------ *)
 
-let items_of_cell cell =
-  let f = Rsg_layout.Flatten.flatten cell in
-  Array.of_list
-    (List.map (fun (layer, box) -> { layer; box }) f.Rsg_layout.Flatten.flat_boxes)
+let items_of_flat (f : Rsg_layout.Flatten.flat) =
+  Array.map
+    (fun (layer, box) -> { layer; box })
+    f.Rsg_layout.Flatten.flat_boxes
+
+let items_of_cell cell = items_of_flat (Rsg_layout.Flatten.flatten cell)
 
 let generate ?(stretchable = fun _ -> false) rules method_ items =
   let n = Array.length items in

@@ -61,6 +61,10 @@ val generate :
 val items_of_cell : Rsg_layout.Cell.t -> item array
 (** Flatten a cell to scanline items (labels dropped). *)
 
+val items_of_flat : Rsg_layout.Flatten.flat -> item array
+(** Already-flattened geometry to scanline items — lets callers feed
+    one {!Rsg_layout.Flatten.protos_flat} build to several passes. *)
+
 val apply : gen -> int array -> item array
 (** Rebuild items from solved edge positions (y coordinates are
     untouched — this is 1-D x compaction). *)

@@ -1,6 +1,7 @@
 open Rsg_geom
 module Obs = Rsg_obs.Obs
 module Scanline = Rsg_compact.Scanline
+module Par = Rsg_par.Par
 
 type violation = {
   v_rule : string;
@@ -277,44 +278,72 @@ let overlap_violations la lb k geom emit =
 
 (* ---- the checker --------------------------------------------------- *)
 
-let check ?(deck = Deck.default) (items : Scanline.item array) =
+let span_of_rule = function
+  | Deck.Width _ -> "drc.width"
+  | Deck.Spacing _ -> "drc.spacing"
+  | Deck.Enclosure _ -> "drc.enclosure"
+  | Deck.Overlap _ -> "drc.overlap"
+
+(* One rule against the per-layer merged geometry, violations in a
+   local accumulator — rules share nothing, so they can run on any
+   domain.  Emission order within a rule is deterministic; the global
+   report is sorted below, so rule scheduling never shows. *)
+let run_rule geom rule =
+  let out = ref [] in
+  let emit v = out := v :: !out in
+  (match rule with
+  | Deck.Width (l, w) -> (
+    match List.assoc_opt l geom with
+    | Some (boxes, reg) -> width_violations l w boxes reg emit
+    | None -> ())
+  | Deck.Spacing (a, b, s) -> spacing_violations a b s geom emit
+  | Deck.Enclosure (inner, covers, m) ->
+    enclosure_violations inner covers m geom emit
+  | Deck.Overlap (a, b, k) -> overlap_violations a b k geom emit);
+  !out
+
+let check ?(deck = Deck.default) ?domains (items : Scanline.item array) =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Par.default_domains ()
+  in
   Obs.span "drc.check" @@ fun () ->
   let geom =
     Obs.span "drc.regions" @@ fun () ->
-    List.filter_map
-      (fun layer ->
-        let boxes =
-          Array.of_list
-            (Array.to_list items
-            |> List.filter_map (fun (it : Scanline.item) ->
-                   if Layer.equal it.Scanline.layer layer then
-                     Some it.Scanline.box
-                   else None))
-        in
-        if Array.length boxes = 0 then None
-        else Some (layer, (boxes, regions_of boxes)))
-      Layer.all
+    (* single-pass partition into per-layer buckets, then region
+       merging per layer in parallel (each layer's sweep is
+       independent) *)
+    let buckets = Array.make (List.length Layer.all) [] in
+    Array.iter
+      (fun (it : Scanline.item) ->
+        let k = Layer.to_index it.Scanline.layer in
+        buckets.(k) <- it.Scanline.box :: buckets.(k))
+      items;
+    let present =
+      Array.of_list
+        (List.filter_map
+           (fun layer ->
+             match buckets.(Layer.to_index layer) with
+             | [] -> None
+             | bs -> Some (layer, Array.of_list (List.rev bs)))
+           Layer.all)
+    in
+    Array.to_list
+      (Par.map ~domains
+         (fun (layer, boxes) -> (layer, (boxes, regions_of boxes)))
+         present)
   in
-  let out = ref [] in
-  let emit v = out := v :: !out in
-  let n_rules = ref 0 in
-  List.iter
-    (fun rule ->
-      incr n_rules;
-      match rule with
-      | Deck.Width (l, w) ->
-        Obs.span "drc.width" @@ fun () ->
-        (match List.assoc_opt l geom with
-        | Some (boxes, reg) -> width_violations l w boxes reg emit
-        | None -> ())
-      | Deck.Spacing (a, b, s) ->
-        Obs.span "drc.spacing" @@ fun () -> spacing_violations a b s geom emit
-      | Deck.Enclosure (inner, covers, m) ->
-        Obs.span "drc.enclosure" @@ fun () ->
-        enclosure_violations inner covers m geom emit
-      | Deck.Overlap (a, b, k) ->
-        Obs.span "drc.overlap" @@ fun () -> overlap_violations a b k geom emit)
-    (Deck.rules deck);
+  let rules = Array.of_list (Deck.rules deck) in
+  let per_rule =
+    if domains = 1 then
+      Array.map
+        (fun rule -> Obs.span (span_of_rule rule) (fun () -> run_rule geom rule))
+        rules
+    else
+      Obs.span "drc.rules" @@ fun () ->
+      Par.chunked_map ~domains ~chunk:1 (run_rule geom) rules
+  in
+  let out = ref (List.concat (Array.to_list per_rule)) in
+  let n_rules = ref (Array.length rules) in
   let n_regions =
     List.fold_left
       (fun acc (_, (_, reg)) ->
@@ -342,7 +371,11 @@ let check ?(deck = Deck.default) (items : Scanline.item array) =
     r_regions = n_regions;
     r_rules = !n_rules }
 
-let check_cell ?deck cell = check ?deck (Scanline.items_of_cell cell)
+let check_cell ?deck ?domains cell =
+  check ?deck ?domains (Scanline.items_of_cell cell)
+
+let check_flat ?deck ?domains flat =
+  check ?deck ?domains (Scanline.items_of_flat flat)
 
 let clean r = r.r_violations = []
 
@@ -410,9 +443,9 @@ type self_check = {
   sc_violation : violation;
 }
 
-let self_check ?(deck = Deck.default) (items : Scanline.item array) =
+let self_check ?(deck = Deck.default) ?domains (items : Scanline.item array) =
   Obs.span "drc.self_check" @@ fun () ->
-  let base = check ~deck items in
+  let base = check ~deck ?domains items in
   if not (clean base) then
     Error
       (Printf.sprintf "layout is not clean before mutation (%d violations)"
@@ -423,7 +456,7 @@ let self_check ?(deck = Deck.default) (items : Scanline.item array) =
       let it = items.(i) in
       let mutated = Array.copy items in
       mutated.(i) <- { it with Scanline.box = shrunk };
-      match (check ~deck mutated).r_violations with
+      match (check ~deck ?domains mutated).r_violations with
       | [ v ]
         when v.v_rule = "width." ^ Layer.name it.Scanline.layer
              && List.exists (fun vb -> Box.overlaps vb shrunk) v.v_boxes ->
@@ -470,7 +503,8 @@ let self_check ?(deck = Deck.default) (items : Scanline.item array) =
     try_idx 0
   end
 
-let self_check_cell ?deck cell = self_check ?deck (Scanline.items_of_cell cell)
+let self_check_cell ?deck ?domains cell =
+  self_check ?deck ?domains (Scanline.items_of_cell cell)
 
 let pp_self_check ppf sc =
   Format.fprintf ppf

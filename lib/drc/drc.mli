@@ -43,14 +43,26 @@ type report = {
 }
 
 val check :
-  ?deck:Deck.t -> Rsg_compact.Scanline.item array -> report
+  ?deck:Deck.t -> ?domains:int -> Rsg_compact.Scanline.item array -> report
 (** Run every rule of the deck (default {!Deck.default}) over the
-    items.  Instrumented with [Obs] spans ([drc.check], [drc.regions],
-    [drc.width], [drc.spacing], [drc.enclosure], [drc.overlap]) and
-    counters ([drc.checks], [drc.boxes], [drc.violations]). *)
+    items.  [domains] ({!Rsg_par.Par.default_domains} when omitted)
+    fans per-layer region merging and the independent rule checks out
+    across that many domains; the report is bit-identical for every
+    pool size ([~domains:1] runs fully sequentially on the calling
+    domain).  Instrumented with [Obs] spans ([drc.check],
+    [drc.regions], then per-rule [drc.width]/[drc.spacing]/
+    [drc.enclosure]/[drc.overlap] when sequential or a pooled
+    [drc.rules] with per-domain children when parallel) and counters
+    ([drc.checks], [drc.boxes], [drc.violations]). *)
 
-val check_cell : ?deck:Deck.t -> Rsg_layout.Cell.t -> report
+val check_cell : ?deck:Deck.t -> ?domains:int -> Rsg_layout.Cell.t -> report
 (** [check] of the flattened cell. *)
+
+val check_flat :
+  ?deck:Deck.t -> ?domains:int -> Rsg_layout.Flatten.flat -> report
+(** [check] of already-flattened geometry — lets callers feed one
+    {!Rsg_layout.Flatten.protos_flat} build to stats, DRC and the
+    writers without re-flattening. *)
 
 val clean : report -> bool
 
@@ -79,7 +91,10 @@ type self_check = {
 }
 
 val self_check :
-  ?deck:Deck.t -> Rsg_compact.Scanline.item array -> (self_check, string) result
+  ?deck:Deck.t ->
+  ?domains:int ->
+  Rsg_compact.Scanline.item array ->
+  (self_check, string) result
 (** Verify the layout is clean, then narrow one box to one lambda
     below its layer's width rule (exactly a 1-lambda shrink when the
     box already sits at minimum width) and re-check, expecting exactly
@@ -90,6 +105,6 @@ val self_check :
     yields a clean single-defect result. *)
 
 val self_check_cell :
-  ?deck:Deck.t -> Rsg_layout.Cell.t -> (self_check, string) result
+  ?deck:Deck.t -> ?domains:int -> Rsg_layout.Cell.t -> (self_check, string) result
 
 val pp_self_check : Format.formatter -> self_check -> unit

@@ -1,5 +1,8 @@
 open Rsg_geom
 open Rsg_layout
+module Scanline = Rsg_compact.Scanline
+module Obs = Rsg_obs.Obs
+module Par = Rsg_par.Par
 
 type device = {
   gate : Box.t;
@@ -9,7 +12,7 @@ type device = {
 }
 
 type netlist = {
-  items : Rsg_compact.Scanline.item array;
+  items : Scanline.item array;
   nets : int array;
   n_nets : int;
   devices : device list;
@@ -26,92 +29,132 @@ let is_conductor = function
     true
   | Layer.Implant | Layer.Buried | Layer.Overglass -> false
 
-let of_items ?(rules = Rsg_compact.Rules.default) items labels =
-  let nets = Rsg_compact.Scanline.nets_of rules items in
+(* first index with keys.(i) >= x *)
+let lower_bound keys x =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if keys.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let of_items ?(rules = Rsg_compact.Rules.default) ?domains items labels =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Par.default_domains ()
+  in
+  let nets = Obs.span "extract.nets" @@ fun () -> Scanline.nets_of rules items in
   let n = Array.length items in
   (* count distinct nets over conductor items only *)
   let reps = Hashtbl.create 16 in
   for i = 0 to n - 1 do
-    if is_conductor items.(i).Rsg_compact.Scanline.layer then
+    if is_conductor items.(i).Scanline.layer then
       Hashtbl.replace reps nets.(i) ()
   done;
   (* devices: one per maximal poly-over-diffusion overlap region.
-     Overlapping gate rectangles from fragmented poly or diffusion are
-     merged so a transistor drawn in pieces counts once. *)
-  let raw_gates = ref [] in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      let a = items.(i) and b = items.(j) in
-      if
-        a.Rsg_compact.Scanline.layer = Layer.Poly
-        && b.Rsg_compact.Scanline.layer = Layer.Diffusion
-        && proper_overlap a.Rsg_compact.Scanline.box b.Rsg_compact.Scanline.box
-      then
-        match
-          Box.intersect a.Rsg_compact.Scanline.box b.Rsg_compact.Scanline.box
-        with
-        | Some g ->
-          raw_gates :=
-            { gate = g; poly_item = i; diff_item = j; gate_net = nets.(i) }
-            :: !raw_gates
-        | None -> ()
-    done
-  done;
-  (* merge touching gate regions of the same gate net *)
-  let gates = Array.of_list !raw_gates in
-  let parent = Array.init (Array.length gates) Fun.id in
-  let rec find i = if parent.(i) = i then i else find parent.(i) in
-  for i = 0 to Array.length gates - 1 do
-    for j = i + 1 to Array.length gates - 1 do
-      if
-        gates.(i).gate_net = gates.(j).gate_net
-        && Box.overlaps gates.(i).gate gates.(j).gate
-      then begin
-        let ri = find i and rj = find j in
-        if ri <> rj then parent.(ri) <- rj
-      end
-    done
-  done;
+     Diffusion is sorted by xmin once; each poly box then scans only
+     the window of diffusion boxes whose x-span can reach it, instead
+     of the full quadratic product.  The per-poly scans are
+     independent, so they fan out across domains; results come back in
+     poly order regardless of scheduling. *)
   let devices =
-    Array.to_list
-      (Array.of_seq
-         (Hashtbl.to_seq_values
-            (let tbl = Hashtbl.create 16 in
-             Array.iteri
-               (fun i d ->
-                 let r = find i in
-                 match Hashtbl.find_opt tbl r with
-                 | None -> Hashtbl.replace tbl r d
-                 | Some d0 ->
-                   Hashtbl.replace tbl r { d0 with gate = Box.union d0.gate d.gate })
-               gates;
-             tbl)))
+    Obs.span "extract.devices" @@ fun () ->
+    let layer_indices l =
+      let buf = ref [] in
+      for i = n - 1 downto 0 do
+        if items.(i).Scanline.layer = l then buf := i :: !buf
+      done;
+      Array.of_list !buf
+    in
+    let polys = layer_indices Layer.Poly in
+    let diffs = layer_indices Layer.Diffusion in
+    Array.sort
+      (fun i j ->
+        compare
+          (items.(i).Scanline.box.Box.xmin, i)
+          (items.(j).Scanline.box.Box.xmin, j))
+      diffs;
+    let diff_xmins =
+      Array.map (fun j -> items.(j).Scanline.box.Box.xmin) diffs
+    in
+    let max_diff_width =
+      Array.fold_left
+        (fun acc j -> max acc (Box.width items.(j).Scanline.box))
+        0 diffs
+    in
+    let gates_of_poly i =
+      let pb = items.(i).Scanline.box in
+      let out = ref [] in
+      let k = ref (lower_bound diff_xmins (pb.Box.xmin - max_diff_width)) in
+      while
+        !k < Array.length diffs && diff_xmins.(!k) < pb.Box.xmax
+      do
+        let j = diffs.(!k) in
+        let db = items.(j).Scanline.box in
+        (if proper_overlap pb db then
+           match Box.intersect pb db with
+           | Some g ->
+             out :=
+               { gate = g; poly_item = i; diff_item = j; gate_net = nets.(i) }
+               :: !out
+           | None -> ());
+        incr k
+      done;
+      List.rev !out
+    in
+    let per_poly = Par.chunked_map ~domains ~chunk:16 gates_of_poly polys in
+    let gates = Array.of_list (List.concat (Array.to_list per_poly)) in
+    (* merge touching gate regions of the same gate net, via the shared
+       plane sweep instead of the old all-pairs loop *)
+    let parent = Array.init (Array.length gates) Fun.id in
+    let rec find i = if parent.(i) = i then i else find parent.(i) in
+    Scanline.sweep_pairs
+      (Array.map (fun d -> d.gate) gates)
+      (fun i j ->
+        if
+          gates.(i).gate_net = gates.(j).gate_net
+          && Box.overlaps gates.(i).gate gates.(j).gate
+        then begin
+          let ri = find i and rj = find j in
+          if ri <> rj then parent.(ri) <- rj
+        end);
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    Array.iteri
+      (fun i d ->
+        let r = find i in
+        match Hashtbl.find_opt tbl r with
+        | None ->
+          Hashtbl.replace tbl r d;
+          order := r :: !order
+        | Some d0 ->
+          Hashtbl.replace tbl r { d0 with gate = Box.union d0.gate d.gate })
+      gates;
+    List.rev_map (fun r -> Hashtbl.find tbl r) !order
   in
   let terminals =
-    List.filter_map
-      (fun (text, at) ->
-        let rec hunt i =
-          if i >= n then None
-          else if
-            is_conductor items.(i).Rsg_compact.Scanline.layer
-            && Box.contains items.(i).Rsg_compact.Scanline.box at
-          then Some (text, nets.(i))
-          else hunt (i + 1)
-        in
-        hunt 0)
-      labels
+    Obs.span "extract.terminals" @@ fun () ->
+    let hunt (text, at) =
+      let rec go i =
+        if i >= n then None
+        else if
+          is_conductor items.(i).Scanline.layer
+          && Box.contains items.(i).Scanline.box at
+        then Some (text, nets.(i))
+        else go (i + 1)
+      in
+      go 0
+    in
+    Array.to_list (Par.map ~domains hunt (Array.of_list labels))
+    |> List.filter_map Fun.id
   in
+  Obs.count ~n:(List.length devices) "extract.devices";
   { items; nets; n_nets = Hashtbl.length reps; devices; terminals }
 
-let of_cell ?rules cell =
+let of_cell ?rules ?domains cell =
   let f = Flatten.flatten cell in
-  let items =
-    Array.of_list
-      (List.map
-         (fun (layer, box) -> { Rsg_compact.Scanline.layer; box })
-         f.Flatten.flat_boxes)
-  in
-  of_items ?rules items f.Flatten.flat_labels
+  of_items ?rules ?domains
+    (Scanline.items_of_flat f)
+    (Array.to_list f.Flatten.flat_labels)
 
 let n_devices nl = List.length nl.devices
 

@@ -34,10 +34,16 @@ type netlist = {
 
 val of_items :
   ?rules:Rsg_compact.Rules.t ->
+  ?domains:int ->
   Rsg_compact.Scanline.item array -> (string * Vec.t) list -> netlist
-(** Extract from flat geometry plus labels. *)
+(** Extract from flat geometry plus labels.  Device detection scans a
+    sorted diffusion window per poly box (no all-pairs loop) and fans
+    the per-poly scans plus terminal resolution out across [domains]
+    domains ({!Rsg_par.Par.default_domains} when omitted); results are
+    identical for every pool size.  Instrumented with [Obs] spans
+    ([extract.nets], [extract.devices], [extract.terminals]). *)
 
-val of_cell : ?rules:Rsg_compact.Rules.t -> Cell.t -> netlist
+val of_cell : ?rules:Rsg_compact.Rules.t -> ?domains:int -> Cell.t -> netlist
 (** Flatten and extract. *)
 
 val n_devices : netlist -> int

@@ -28,10 +28,18 @@ let rot_direction rot =
   | 2 -> (-1, 0)
   | _ -> (0, 1)
 
+(* One shared Buffer, no [Printf.sprintf] round trips: every command
+   is appended as literals + decimal ints directly, so writing is one
+   allocation-free pass per cell (modulo the buffer growing). *)
+let add_int buf n = Buffer.add_string buf (string_of_int n)
+
 let emit_cell buf ids (c : Cell.t) =
   let id = Hashtbl.find ids c.Cell.cname in
-  Buffer.add_string buf (Printf.sprintf "DS %d 1 1;\n" id);
-  Buffer.add_string buf (Printf.sprintf "9 %s;\n" c.Cell.cname);
+  Buffer.add_string buf "DS ";
+  add_int buf id;
+  Buffer.add_string buf " 1 1;\n9 ";
+  Buffer.add_string buf c.Cell.cname;
+  Buffer.add_string buf ";\n";
   let current_layer = ref None in
   List.iter
     (fun obj ->
@@ -39,31 +47,48 @@ let emit_cell buf ids (c : Cell.t) =
       | Cell.Obj_box (layer, b) ->
         if !current_layer <> Some layer then begin
           current_layer := Some layer;
-          Buffer.add_string buf (Printf.sprintf "L %s;\n" (Layer.cif_name layer))
+          Buffer.add_string buf "L ";
+          Buffer.add_string buf (Layer.cif_name layer);
+          Buffer.add_string buf ";\n"
         end;
-        let w = 2 * Box.width b
-        and h = 2 * Box.height b
-        and c2 = Box.center2 b in
-        Buffer.add_string buf
-          (Printf.sprintf "B %d %d %d %d;\n" w h c2.Vec.x c2.Vec.y)
+        let c2 = Box.center2 b in
+        Buffer.add_string buf "B ";
+        add_int buf (2 * Box.width b);
+        Buffer.add_char buf ' ';
+        add_int buf (2 * Box.height b);
+        Buffer.add_char buf ' ';
+        add_int buf c2.Vec.x;
+        Buffer.add_char buf ' ';
+        add_int buf c2.Vec.y;
+        Buffer.add_string buf ";\n"
       | Cell.Obj_label l ->
-        Buffer.add_string buf
-          (Printf.sprintf "94 %s %d %d;\n" l.Cell.text (2 * l.Cell.at.Vec.x)
-             (2 * l.Cell.at.Vec.y))
+        Buffer.add_string buf "94 ";
+        Buffer.add_string buf l.Cell.text;
+        Buffer.add_char buf ' ';
+        add_int buf (2 * l.Cell.at.Vec.x);
+        Buffer.add_char buf ' ';
+        add_int buf (2 * l.Cell.at.Vec.y);
+        Buffer.add_string buf ";\n"
       | Cell.Obj_instance i ->
-        let cid = Hashtbl.find ids i.Cell.def.Cell.cname in
-        let b = Buffer.create 32 in
-        Buffer.add_string b (Printf.sprintf "C %d" cid);
+        Buffer.add_string buf "C ";
+        add_int buf (Hashtbl.find ids i.Cell.def.Cell.cname);
         if Orient.is_reflection i.Cell.orientation then
-          Buffer.add_string b " MX";
+          Buffer.add_string buf " MX";
         let dx, dy = rot_direction i.Cell.orientation.Orient.rot in
-        if (dx, dy) <> (1, 0) then
-          Buffer.add_string b (Printf.sprintf " R %d %d" dx dy);
+        if (dx, dy) <> (1, 0) then begin
+          Buffer.add_string buf " R ";
+          add_int buf dx;
+          Buffer.add_char buf ' ';
+          add_int buf dy
+        end;
         let p = i.Cell.point_of_call in
-        if not (Vec.equal p Vec.zero) then
-          Buffer.add_string b (Printf.sprintf " T %d %d" (2 * p.Vec.x) (2 * p.Vec.y));
-        Buffer.add_string b ";\n";
-        Buffer.add_buffer buf b)
+        if not (Vec.equal p Vec.zero) then begin
+          Buffer.add_string buf " T ";
+          add_int buf (2 * p.Vec.x);
+          Buffer.add_char buf ' ';
+          add_int buf (2 * p.Vec.y)
+        end;
+        Buffer.add_string buf ";\n")
     (Cell.objects c);
   Buffer.add_string buf "DF;\n"
 
@@ -74,9 +99,9 @@ let to_string root =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "(CIF written by rsg; 1 lambda = 2 units);\n";
   List.iter (emit_cell buf ids) cells;
-  Buffer.add_string buf
-    (Printf.sprintf "C %d;\n" (Hashtbl.find ids root.Cell.cname));
-  Buffer.add_string buf "E\n";
+  Buffer.add_string buf "C ";
+  add_int buf (Hashtbl.find ids root.Cell.cname);
+  Buffer.add_string buf ";\nE\n";
   Buffer.contents buf
 
 let write_file path cell =
@@ -307,11 +332,17 @@ let read_file path =
 let roundtrip_equal a b =
   let fa = Flatten.flatten a and fb = Flatten.flatten b in
   let norm f =
-    List.sort compare
-      (List.map
-         (fun ((l : Layer.t), (b : Box.t)) -> (Layer.to_index l, b))
-         f.Flatten.flat_boxes)
+    let keyed =
+      Array.map
+        (fun ((l : Layer.t), (b : Box.t)) -> (Layer.to_index l, b))
+        f.Flatten.flat_boxes
+    in
+    Array.sort compare keyed;
+    keyed
   in
-  norm fa = norm fb
-  && List.sort compare fa.Flatten.flat_labels
-     = List.sort compare fb.Flatten.flat_labels
+  let labels f =
+    let ls = Array.copy f.Flatten.flat_labels in
+    Array.sort compare ls;
+    ls
+  in
+  norm fa = norm fb && labels fa = labels fb

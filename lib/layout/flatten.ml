@@ -1,41 +1,97 @@
 open Rsg_geom
 
+exception Depth_exceeded of { cell : string; max_depth : int }
+
 type flat = {
-  flat_boxes : (Layer.t * Box.t) list;
-  flat_labels : (string * Vec.t) list;
+  flat_boxes : (Layer.t * Box.t) array;
+  flat_labels : (string * Vec.t) array;
+  flat_bbox : Box.t option;
 }
 
-let rec fold_objects ~max_depth ~depth t (cell : Cell.t) ~box ~label ~inst acc
-    =
-  if depth > max_depth then
-    failwith ("Flatten: max depth exceeded in cell " ^ cell.Cell.cname);
-  List.fold_left
-    (fun acc obj ->
+let flat_bbox f = f.flat_bbox
+
+(* Growable array; the first pushed element doubles as the fill value,
+   so no dummy is ever observable. *)
+module Gbuf = struct
+  type 'a t = { mutable data : 'a array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let push b x =
+    let cap = Array.length b.data in
+    if b.len = cap then begin
+      let data = Array.make (max 16 (2 * cap)) x in
+      Array.blit b.data 0 data 0 b.len;
+      b.data <- data
+    end;
+    b.data.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let contents b = Array.sub b.data 0 b.len
+end
+
+let union_opt acc b =
+  match acc with None -> Some b | Some a -> Some (Box.union a b)
+
+(* Map keyed by physical cell identity with O(1) average lookup: a
+   hashtable on the cell name holding the (rare) physically distinct
+   cells that share it.  Plain [Hashtbl] on [Cell.t] would hash and
+   compare whole object graphs; assoc lists would be quadratic on deep
+   hierarchies. *)
+module Idmap = struct
+  type 'a t = (string, (Cell.t * 'a) list) Hashtbl.t
+
+  let create () : 'a t = Hashtbl.create 64
+
+  let find_opt (m : 'a t) (c : Cell.t) =
+    match Hashtbl.find_opt m c.Cell.cname with
+    | None -> None
+    | Some l -> List.assq_opt c l
+
+  let find m c =
+    match find_opt m c with Some v -> v | None -> raise Not_found
+
+  let mem m c = find_opt m c <> None
+
+  let add (m : 'a t) (c : Cell.t) v =
+    let l = Option.value ~default:[] (Hashtbl.find_opt m c.Cell.cname) in
+    Hashtbl.replace m c.Cell.cname ((c, v) :: l)
+end
+
+(* Pre-order traversal with an explicit work stack, so hierarchy depth
+   is bounded only by [max_depth], never by the OCaml call stack. *)
+let fold_objects ~max_depth t0 (cell : Cell.t) ~box ~label ~inst acc =
+  let rec go acc = function
+    | [] -> acc
+    | (_, _, []) :: stack -> go acc stack
+    | (t, depth, obj :: rest) :: stack -> (
+      let stack = (t, depth, rest) :: stack in
       match obj with
-      | Cell.Obj_box (l, b) -> box acc l (Transform.apply_box t b)
-      | Cell.Obj_label l -> label acc l.Cell.text (Transform.apply t l.Cell.at)
+      | Cell.Obj_box (l, b) -> go (box acc l (Transform.apply_box t b)) stack
+      | Cell.Obj_label l ->
+        go (label acc l.Cell.text (Transform.apply t l.Cell.at)) stack
       | Cell.Obj_instance i ->
+        if depth + 1 > max_depth then
+          raise (Depth_exceeded { cell = i.Cell.def.Cell.cname; max_depth });
         let t' = Transform.compose t (Cell.transform_of_instance i) in
         let acc = inst acc i.Cell.def t' in
-        fold_objects ~max_depth ~depth:(depth + 1) t' i.Cell.def ~box ~label
-          ~inst acc)
-    acc (Cell.objects cell)
+        go acc ((t', depth + 1, Cell.objects i.Cell.def) :: stack))
+  in
+  go acc [ (t0, 0, Cell.objects cell) ]
 
 let flatten ?(max_depth = 64) cell =
-  let boxes, labels =
-    fold_objects ~max_depth ~depth:0 Transform.identity cell
-      ~box:(fun (bs, ls) l b -> ((l, b) :: bs, ls))
-      ~label:(fun (bs, ls) text at -> (bs, (text, at) :: ls))
-      ~inst:(fun acc _ _ -> acc)
-      ([], [])
-  in
-  { flat_boxes = List.rev boxes; flat_labels = List.rev labels }
-
-let flat_bbox f =
-  List.fold_left
-    (fun acc (_, b) ->
-      match acc with None -> Some b | Some a -> Some (Box.union a b))
-    None f.flat_boxes
+  let boxes = Gbuf.create () and labels = Gbuf.create () in
+  let bb = ref None in
+  fold_objects ~max_depth Transform.identity cell
+    ~box:(fun () l b ->
+      Gbuf.push boxes (l, b);
+      bb := union_opt !bb b)
+    ~label:(fun () text at -> Gbuf.push labels (text, at))
+    ~inst:(fun () _ _ -> ())
+    ();
+  { flat_boxes = Gbuf.contents boxes;
+    flat_labels = Gbuf.contents labels;
+    flat_bbox = !bb }
 
 type stats = {
   n_boxes : int;
@@ -48,43 +104,213 @@ type stats = {
 
 let is_leaf (c : Cell.t) = Cell.instances c = []
 
-let stats ?(max_depth = 64) cell =
-  let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
-  let bump name =
-    Hashtbl.replace counts name (1 + Option.value ~default:0 (Hashtbl.find_opt counts name))
+(* ------------------------------------------------------------------ *)
+(* Prototype cache                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The generator's outputs are massively regular: thousands of
+   instances of a handful of distinct celltypes.  [prototypes] exploits
+   that by flattening every distinct cell exactly once into local
+   coordinates (children before parents, so a parent materialises by
+   composing its children's already-flat arrays with each instance
+   transform), memoizing the 8 D4 variants of each array on first use.
+   Cells are identified physically ([==]): two different cells that
+   happen to share a name never alias. *)
+
+type summary = {
+  s_boxes : int;
+  s_area : int;
+  s_instances : int;
+  s_leaf_instances : int;
+  s_bbox : Box.t option;
+  s_by_cell : (string * int) list; (* sorted by name *)
+}
+
+type proto = {
+  pid : int; (* postorder index, key for the variant cache *)
+  p_boxes : (Layer.t * Box.t) array; (* full flat subtree, local coords *)
+  p_labels : (string * Vec.t) array;
+}
+
+type protos = {
+  pt_root : Cell.t;
+  pt_order : Cell.t list; (* distinct cells, children before parents *)
+  pt_summaries : summary Idmap.t;
+  pt_variants : (int * Orient.t, (Layer.t * Box.t) array) Hashtbl.t;
+  mutable pt_protos : proto Idmap.t option; (* built on demand *)
+  mutable pt_flat : flat option;
+}
+
+(* Distinct cells reachable from [root], children before parents.
+   Iterative: the work stack holds (cell, depth, unvisited child defs).
+   Depth along first-discovery paths is checked against [max_depth], so
+   instance cycles fail fast just like the naive traversal. *)
+let postorder ~max_depth root =
+  let child_defs c =
+    List.map (fun (i : Cell.instance) -> i.Cell.def) (Cell.instances c)
   in
-  let n_boxes = ref 0
-  and n_instances = ref 0
-  and n_leaf = ref 0
-  and area = ref 0
-  and bb = ref None in
-  let () =
-    fold_objects ~max_depth ~depth:0 Transform.identity cell
-      ~box:(fun () _ b ->
-        incr n_boxes;
-        area := !area + Box.area b;
-        bb := (match !bb with None -> Some b | Some a -> Some (Box.union a b)))
-      ~label:(fun () _ _ -> ())
-      ~inst:(fun () def _ ->
-        incr n_instances;
-        if is_leaf def then incr n_leaf;
-        bump def.Cell.cname)
-      ()
+  let done_ : unit Idmap.t = Idmap.create () in
+  let order = ref [] in
+  let rec go = function
+    | [] -> ()
+    | (c, _, []) :: stack ->
+      if not (Idmap.mem done_ c) then begin
+        Idmap.add done_ c ();
+        order := c :: !order
+      end;
+      go stack
+    | (c, depth, d :: rest) :: stack ->
+      let stack = (c, depth, rest) :: stack in
+      if Idmap.mem done_ d then go stack
+      else begin
+        if depth + 1 > max_depth then
+          raise (Depth_exceeded { cell = d.Cell.cname; max_depth });
+        go ((d, depth + 1, child_defs d) :: stack)
+      end
   in
-  let by_cell =
-    Hashtbl.fold (fun name n acc -> (name, n) :: acc) counts []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
-  { n_boxes = !n_boxes;
-    n_instances = !n_instances;
-    n_leaf_instances = !n_leaf;
-    by_cell;
-    box_area = !area;
-    bbox = !bb }
+  go [ (root, 0, child_defs root) ];
+  List.rev !order
+
+(* Per-cell totals without materialising any geometry: a parent's
+   summary is its own objects plus its children's summaries, one
+   instance at a time — O(distinct cells + instances), independent of
+   the flattened box count. *)
+let summarize order =
+  let summaries : summary Idmap.t = Idmap.create () in
+  List.iter
+    (fun (c : Cell.t) ->
+      let boxes = ref 0 and area = ref 0 and bb = ref None in
+      let instances = ref 0 and leaves = ref 0 in
+      let census : (string, int) Hashtbl.t = Hashtbl.create 8 in
+      let bump name n =
+        Hashtbl.replace census name
+          (n + Option.value ~default:0 (Hashtbl.find_opt census name))
+      in
+      List.iter
+        (fun obj ->
+          match obj with
+          | Cell.Obj_box (_, b) ->
+            incr boxes;
+            area := !area + Box.area b;
+            bb := union_opt !bb b
+          | Cell.Obj_label _ -> ()
+          | Cell.Obj_instance i ->
+            let s = Idmap.find summaries i.Cell.def in
+            boxes := !boxes + s.s_boxes;
+            area := !area + s.s_area;
+            instances := !instances + 1 + s.s_instances;
+            leaves :=
+              !leaves
+              + (if is_leaf i.Cell.def then 1 else 0)
+              + s.s_leaf_instances;
+            bump i.Cell.def.Cell.cname 1;
+            List.iter (fun (n, k) -> bump n k) s.s_by_cell;
+            (match s.s_bbox with
+            | None -> ()
+            | Some b ->
+              bb :=
+                union_opt !bb
+                  (Transform.apply_box (Cell.transform_of_instance i) b)))
+        (Cell.objects c);
+      let by_cell =
+        Hashtbl.fold (fun name n acc -> (name, n) :: acc) census []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      Idmap.add summaries c
+        { s_boxes = !boxes;
+          s_area = !area;
+          s_instances = !instances;
+          s_leaf_instances = !leaves;
+          s_bbox = !bb;
+          s_by_cell = by_cell })
+    order;
+  summaries
+
+let prototypes ?(max_depth = 64) cell =
+  let order = postorder ~max_depth cell in
+  { pt_root = cell;
+    pt_order = order;
+    pt_summaries = summarize order;
+    pt_variants = Hashtbl.create 16;
+    pt_protos = None;
+    pt_flat = None }
+
+let distinct_cells p = List.length p.pt_order
+
+let variant p (child : proto) orient =
+  if Orient.equal orient Orient.north then child.p_boxes
+  else
+    let key = (child.pid, orient) in
+    match Hashtbl.find_opt p.pt_variants key with
+    | Some a -> a
+    | None ->
+      let a =
+        Array.map (fun (l, b) -> (l, Box.transform orient b)) child.p_boxes
+      in
+      Hashtbl.add p.pt_variants key a;
+      a
+
+let build_protos p =
+  match p.pt_protos with
+  | Some flats -> flats
+  | None ->
+    let flats : proto Idmap.t = Idmap.create () in
+    List.iteri
+      (fun idx (c : Cell.t) ->
+        let boxes = Gbuf.create () and labels = Gbuf.create () in
+        List.iter
+          (fun obj ->
+            match obj with
+            | Cell.Obj_box (l, b) -> Gbuf.push boxes (l, b)
+            | Cell.Obj_label l -> Gbuf.push labels (l.Cell.text, l.Cell.at)
+            | Cell.Obj_instance i ->
+              let child = Idmap.find flats i.Cell.def in
+              let ti = Cell.transform_of_instance i in
+              let off = ti.Transform.offset in
+              Array.iter
+                (fun (l, b) -> Gbuf.push boxes (l, Box.translate off b))
+                (variant p child i.Cell.orientation);
+              Array.iter
+                (fun (text, at) ->
+                  Gbuf.push labels (text, Transform.apply ti at))
+                child.p_labels)
+          (Cell.objects c);
+        Idmap.add flats c
+          { pid = idx;
+            p_boxes = Gbuf.contents boxes;
+            p_labels = Gbuf.contents labels })
+      p.pt_order;
+    p.pt_protos <- Some flats;
+    flats
+
+let protos_flat p =
+  match p.pt_flat with
+  | Some f -> f
+  | None ->
+    let pr = Idmap.find (build_protos p) p.pt_root in
+    let s = Idmap.find p.pt_summaries p.pt_root in
+    let f =
+      { flat_boxes = pr.p_boxes;
+        flat_labels = pr.p_labels;
+        flat_bbox = s.s_bbox }
+    in
+    p.pt_flat <- Some f;
+    f
+
+let protos_stats p =
+  let s = Idmap.find p.pt_summaries p.pt_root in
+  { n_boxes = s.s_boxes;
+    n_instances = s.s_instances;
+    n_leaf_instances = s.s_leaf_instances;
+    by_cell = s.s_by_cell;
+    box_area = s.s_area;
+    bbox = s.s_bbox }
+
+let stats ?max_depth cell = protos_stats (prototypes ?max_depth cell)
 
 let instance_placements ?(max_depth = 64) cell =
   let acc =
-    fold_objects ~max_depth ~depth:0 Transform.identity cell
+    fold_objects ~max_depth Transform.identity cell
       ~box:(fun acc _ _ -> acc)
       ~label:(fun acc _ _ -> acc)
       ~inst:(fun acc def t -> (def.Cell.cname, t) :: acc)

@@ -2,18 +2,40 @@
 
     Expands a cell's instance hierarchy into absolute-coordinate
     geometry.  Used by the CIF/DEF writers, by layout verification in
-    the tests, and by the flat-compaction baseline of experiment E10. *)
+    the tests, and by the flat-compaction baseline of experiment E10.
+
+    Two paths produce identical results:
+
+    - {!flatten} walks the whole instance tree once (iteratively, so
+      depth is bounded only by [max_depth]);
+    - {!prototypes} flattens each {e distinct} celltype once into
+      local coordinates and materialises instances by composing the
+      cached array with each instance transform, memoizing the eight
+      D4 orientation variants — O(distinct cells + instances + output
+      boxes) instead of re-walking every subtree, and {!protos_stats}
+      needs no geometry materialisation at all.  On the regular
+      structures this generator emits (thousands of instances of a
+      handful of celltypes) the cached path is the fast one; a shared
+      {!protos} value serves stats, DRC input and extraction in one
+      build. *)
 
 open Rsg_geom
 
+exception Depth_exceeded of { cell : string; max_depth : int }
+(** Raised when expansion descends more than [max_depth] levels —
+    in practice an accidental instance cycle.  [cell] is the cell
+    being entered when the limit was hit. *)
+
 type flat = {
-  flat_boxes : (Layer.t * Box.t) list;       (** absolute coordinates *)
-  flat_labels : (string * Vec.t) list;
+  flat_boxes : (Layer.t * Box.t) array;  (** absolute coordinates *)
+  flat_labels : (string * Vec.t) array;
+  flat_bbox : Box.t option;  (** bounding box of [flat_boxes] *)
 }
 
 val flatten : ?max_depth:int -> Cell.t -> flat
-(** Fully expand [cell].  [max_depth] (default 64) bounds recursion so
-    accidental instance cycles fail fast with [Failure]. *)
+(** Fully expand [cell], accumulating boxes, labels and the bounding
+    box in one pass.  [max_depth] (default 64) bounds descent so
+    accidental instance cycles fail fast with {!Depth_exceeded}. *)
 
 val flat_bbox : flat -> Box.t option
 
@@ -27,6 +49,35 @@ type stats = {
 }
 
 val stats : ?max_depth:int -> Cell.t -> stats
+(** Computed through the prototype cache: O(distinct cells +
+    instances), no geometry is materialised. *)
+
+(** {1 The prototype cache} *)
+
+type protos
+(** Flattening cache for one root cell: every distinct celltype
+    reachable from the root (identified physically, so renamed or
+    same-named cells never alias), its lightweight summary, and —
+    built on first demand — its fully flattened local-coordinate
+    geometry plus memoized D4 orientation variants. *)
+
+val prototypes : ?max_depth:int -> Cell.t -> protos
+(** Analyse the hierarchy under [cell]: distinct celltypes in
+    children-before-parents order and per-cell summaries.  Flat
+    geometry is not built until {!protos_flat} asks for it.  Raises
+    {!Depth_exceeded} like {!flatten}. *)
+
+val protos_flat : protos -> flat
+(** The root's flattened geometry, identical to [flatten root]
+    (same boxes, same order).  Memoized: repeated calls return the
+    same arrays, which callers must treat as read-only. *)
+
+val protos_stats : protos -> stats
+(** Same result as {!stats} on the root; free once the [protos] value
+    exists. *)
+
+val distinct_cells : protos -> int
+(** Number of distinct celltypes in the hierarchy (root included). *)
 
 val instance_placements :
   ?max_depth:int -> Cell.t -> (string * Transform.t) list

@@ -30,10 +30,11 @@ let rec tree_of ?(count = 1) (cell : Cell.t) =
   { t_name = cell.Cell.cname; t_count = count; t_children = children }
 
 let of_cell cell =
-  let flat = Flatten.flatten cell in
-  let stats = Flatten.stats cell in
+  let protos = Flatten.prototypes cell in
+  let flat = Flatten.protos_flat protos in
+  let stats = Flatten.protos_stats protos in
   let usage : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
-  List.iter
+  Array.iter
     (fun (layer, box) ->
       let k = Layer.to_index layer in
       let boxes, area =

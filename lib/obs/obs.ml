@@ -62,6 +62,14 @@ let span name f =
       f
   end
 
+let record ?(count = 1) name seconds =
+  if !enabled then begin
+    let parent = match !stack with [] -> !root | p :: _ -> p in
+    let node = child_named parent name in
+    node.count <- node.count + count;
+    node.total <- node.total +. seconds
+  end
+
 let counters () =
   Hashtbl.fold (fun name n acc -> (name, n) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -38,6 +38,15 @@ val span : string -> (unit -> 'a) -> 'a
     the innermost enclosing span.  Time is recorded even when [f]
     raises.  When disabled, equivalent to [f ()]. *)
 
+val record : ?count:int -> string -> float -> unit
+(** [record name seconds] adds an externally-timed span under the
+    innermost enclosing span, as if [span name] had run for [seconds]
+    ([count] entries, default 1).  For work timed off the main thread:
+    the span tree is process-global mutable state and must only be
+    touched from one domain, so parallel workers time themselves and
+    the coordinator records the measurements after joining.  No-op
+    when disabled. *)
+
 val counters : unit -> (string * int) list
 (** Recorded counters, sorted by name. *)
 

@@ -1,0 +1,68 @@
+module Obs = Rsg_obs.Obs
+
+let recommended () = Domain.recommended_domain_count ()
+
+let default_domains () =
+  match Sys.getenv_opt "RSG_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> recommended ())
+  | None -> recommended ()
+
+(* Run [body i] for every [i < n] on [d] domains (d - 1 spawned plus
+   the caller), chunk self-scheduling off one atomic counter.  Every
+   domain is joined before anything is raised; per-domain busy times
+   are handed back for the caller to record. *)
+let run_chunks ~domains:d ~chunk n body =
+  let next = Atomic.make 0 in
+  let worker () =
+    let t0 = Unix.gettimeofday () in
+    let rec loop () =
+      let start = Atomic.fetch_and_add next chunk in
+      if start < n then begin
+        let stop = min n (start + chunk) in
+        for i = start to stop - 1 do
+          body i
+        done;
+        loop ()
+      end
+    in
+    loop ();
+    Unix.gettimeofday () -. t0
+  in
+  let others = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+  let mine = try Ok (worker ()) with e -> Error e in
+  let joined =
+    Array.map (fun dom -> try Ok (Domain.join dom) with e -> Error e) others
+  in
+  let results = Array.append [| mine |] joined in
+  if Obs.is_enabled () then
+    Array.iteri
+      (fun k r ->
+        match r with
+        | Ok seconds -> Obs.record (Printf.sprintf "par.domain%d" k) seconds
+        | Error _ -> ())
+      results;
+  Array.iter (function Error e -> raise e | Ok _ -> ()) results
+
+let map_in ~domains:d ~chunk span_name f xs =
+  let n = Array.length xs in
+  let d = max 1 (min d n) in
+  if d = 1 then Array.map f xs
+  else
+    Obs.span span_name @@ fun () ->
+    let out = Array.make n None in
+    run_chunks ~domains:d ~chunk n (fun i -> out.(i) <- Some (f xs.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+
+let map ?domains f xs =
+  let d = match domains with Some d -> d | None -> default_domains () in
+  (* contiguous chunks a few per domain: cheap scheduling for roughly
+     uniform elements, still some balancing slack *)
+  let chunk = max 1 (Array.length xs / (max 1 d * 4)) in
+  map_in ~domains:d ~chunk "par.map" f xs
+
+let chunked_map ?domains ?(chunk = 1) f xs =
+  let d = match domains with Some d -> d | None -> default_domains () in
+  map_in ~domains:d ~chunk:(max 1 chunk) "par.chunked_map" f xs

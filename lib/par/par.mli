@@ -1,0 +1,44 @@
+(** A small dependency-free domain pool over OCaml 5 [Domain].
+
+    [map] and [chunked_map] fan an array of independent tasks out
+    across [domains] domains ([d - 1] spawned workers plus the calling
+    domain) with atomic self-scheduling: workers grab the next unclaimed
+    chunk of indices until the array is exhausted, so uneven task costs
+    balance automatically.  Results are written into their input slot,
+    which makes the output — and anything derived from it in input
+    order — independent of how the runtime schedules the domains.
+    [~domains:1] is the escape hatch: it runs the plain sequential
+    [Array.map] on the calling domain, no spawns, bit-identical by
+    construction.
+
+    Tasks must be independent: [f] must not touch shared mutable state,
+    and in particular must not call {!Rsg_obs.Obs} (its span tree is
+    process-global and single-domain).  The pool itself reports per-run
+    and per-domain busy times to [Obs] from the calling domain
+    ([par.map] / [par.chunked_map] spans with [par.domain<k>]
+    children), so callers get domain-utilisation observability for
+    free.
+
+    If a task raises, every domain is still joined (no domain leaks)
+    and then one of the raised exceptions is re-raised on the caller. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val default_domains : unit -> int
+(** Pool size used when [?domains] is omitted: the [RSG_DOMAINS]
+    environment variable when set to a positive integer, otherwise
+    {!recommended}.  CI sets [RSG_DOMAINS] to run the whole test suite
+    at fixed pool sizes. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f xs] is [Array.map f xs] computed on [domains]
+    domains.  Chunk size is picked for roughly uniform per-element
+    cost.  [domains] defaults to {!default_domains}; it is clamped to
+    [1 .. length xs]. *)
+
+val chunked_map : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Like {!map} with an explicit scheduling granularity.  [chunk]
+    (default 1) is the number of consecutive elements claimed per
+    atomic fetch — use 1 when per-element cost is large or very
+    uneven (e.g. one DRC rule per element). *)

@@ -593,7 +593,7 @@ let test_mirrored_row_tiling () =
   let f = Flatten.flatten layout in
   let boxes_in lo hi =
     List.filter (fun ((_ : Layer.t), (b : Box.t)) -> b.Box.ymin >= lo && b.Box.ymax <= hi)
-      f.Flatten.flat_boxes
+      (Array.to_list f.Flatten.flat_boxes)
     |> List.map (fun (l, b) -> (Layer.to_index l, b))
     |> List.sort compare
   in

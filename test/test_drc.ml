@@ -305,6 +305,47 @@ let test_self_check_rejects_dirty () =
   | Ok _ -> Alcotest.fail "dirty layout must not self-check"
 
 (* ------------------------------------------------------------------ *)
+(* Parallel determinism                                               *)
+
+(* The whole report — violations, counters, ordering — must be
+   bit-identical whatever the pool size, on clean and dirty inputs
+   alike.  This is the contract that lets CI run the suite under any
+   RSG_DOMAINS. *)
+let test_domains_identical_clean () =
+  List.iter
+    (fun (name, cell) ->
+      let seq = Drc.check_cell ~domains:1 cell in
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s report identical at %d domains" name d)
+            true
+            (Drc.check_cell ~domains:d cell = seq))
+        [ 2; 3 ])
+    (Lazy.force generated)
+
+let test_domains_identical_dirty () =
+  (* several rule families firing at once: narrow metal + narrow poly,
+     a too-close pair, and a bare contact (enclosure) *)
+  let items =
+    [| item Layer.Metal (box 0 0 2 10);
+       item Layer.Poly (box 20 0 1 10);
+       item Layer.Metal (box 40 0 3 10);
+       item Layer.Metal (box 45 0 3 10);
+       item Layer.Contact (box 60 0 2 2) |]
+  in
+  let seq = Drc.check ~domains:1 items in
+  Alcotest.(check bool) "dirty layout does violate" true
+    (seq.Drc.r_violations <> []);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dirty report identical at %d domains" d)
+        true
+        (Drc.check ~domains:d items = seq))
+    [ 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Report rendering                                                   *)
 
 let test_json_report () =
@@ -362,4 +403,9 @@ let () =
       ("self-check",
        [ Alcotest.test_case "generated" `Quick test_self_check_generated;
          Alcotest.test_case "rejects dirty" `Quick test_self_check_rejects_dirty ]);
+      ("domains",
+       [ Alcotest.test_case "identical on clean" `Quick
+           test_domains_identical_clean;
+         Alcotest.test_case "identical on dirty" `Quick
+           test_domains_identical_dirty ]);
       ("report", [ Alcotest.test_case "json" `Quick test_json_report ]) ]

@@ -189,7 +189,7 @@ let test_scale_hierarchy_shares () =
   (* flattened geometry equals scaling the flattened original *)
   let f = Flatten.flatten top and f3 = Flatten.flatten top3 in
   let scaled =
-    List.map (fun (l, b) -> (l, Scale.box ~num:3 ~den:1 b)) f.Flatten.flat_boxes
+    Array.map (fun (l, b) -> (l, Scale.box ~num:3 ~den:1 b)) f.Flatten.flat_boxes
   in
   Alcotest.(check bool) "flatten commutes" true (scaled = f3.Flatten.flat_boxes)
 
@@ -215,6 +215,26 @@ let test_scaled_multiplier_extracts_identically () =
   let nl2 = of_cell (Scale.cell ~num:2 g.Rsg_mult.Layout_gen.array_cell) in
   Alcotest.(check int) "same nets" nl.n_nets nl2.n_nets;
   Alcotest.(check int) "same devices" (n_devices nl) (n_devices nl2)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel determinism                                               *)
+
+let test_domains_identical () =
+  List.iter
+    (fun (name, cell) ->
+      let seq = of_cell ~domains:1 cell in
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s netlist identical at %d domains" name d)
+            true
+            (of_cell ~domains:d cell = seq))
+        [ 2; 3 ])
+    [ ("mult6",
+       (Rsg_mult.Layout_gen.generate ~xsize:6 ~ysize:6 ())
+         .Rsg_mult.Layout_gen.whole);
+      ("ram8x4",
+       (Rsg_ram.Ram_gen.generate ~words:8 ~bits:4 ()).Rsg_ram.Ram_gen.cell) ]
 
 let () =
   Alcotest.run "rsg_extract"
@@ -244,4 +264,6 @@ let () =
            test_scale_hierarchy_shares;
          Alcotest.test_case "down + inexact" `Quick test_scale_down_and_inexact;
          Alcotest.test_case "shrunk multiplier netlist" `Quick
-           test_scaled_multiplier_extracts_identically ]) ]
+           test_scaled_multiplier_extracts_identically ]);
+      ("domains",
+       [ Alcotest.test_case "netlist identical" `Quick test_domains_identical ]) ]

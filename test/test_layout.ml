@@ -60,8 +60,8 @@ let test_instance_cycle_detected () =
 let test_flatten_counts () =
   let _, _, top = build_hierarchy () in
   let f = Flatten.flatten top in
-  Alcotest.(check int) "4 boxes" 4 (List.length f.Flatten.flat_boxes);
-  Alcotest.(check int) "4 labels" 4 (List.length f.Flatten.flat_labels);
+  Alcotest.(check int) "4 boxes" 4 (Array.length f.Flatten.flat_boxes);
+  Alcotest.(check int) "4 labels" 4 (Array.length f.Flatten.flat_labels);
   let s = Flatten.stats top in
   Alcotest.(check int) "instances" 6 s.Flatten.n_instances;
   Alcotest.(check int) "leaf instances" 4 s.Flatten.n_leaf_instances;
@@ -76,7 +76,9 @@ let test_flatten_placement () =
   let f = Flatten.flatten top in
   (* The first leaf of the mirrored duo sits at (100, 0) mirrored:
      its label lands exactly at the duo origin. *)
-  let pins = List.filter (fun (t, _) -> t = "pin") f.Flatten.flat_labels in
+  let pins =
+    List.filter (fun (t, _) -> t = "pin") (Array.to_list f.Flatten.flat_labels)
+  in
   let positions = List.map snd pins in
   Alcotest.(check bool) "mirrored duo pin present" true
     (List.exists (Vec.equal (Vec.make 100 0)) positions);
@@ -286,7 +288,8 @@ let test_transpose_element () =
 
 let norm_flat (f : Flatten.flat) =
   List.sort compare
-    (List.map (fun (l, b) -> (Layer.to_index l, b)) f.Flatten.flat_boxes)
+    (List.map (fun (l, b) -> (Layer.to_index l, b))
+       (Array.to_list f.Flatten.flat_boxes))
 
 let test_reorient_hierarchy () =
   let _, _, top = build_hierarchy () in
@@ -297,7 +300,7 @@ let test_reorient_hierarchy () =
         List.sort compare
           (List.map
              (fun (l, b) -> (Layer.to_index l, Box.transform o b))
-             (Flatten.flatten top).Flatten.flat_boxes)
+             (Array.to_list (Flatten.flatten top).Flatten.flat_boxes))
       in
       Alcotest.(check bool)
         (Orient.name o ^ " commutes with flatten")
@@ -410,7 +413,7 @@ let test_cif_generated_pla_roundtrip () =
       Alcotest.(check bool) "geometry identical" true
         (Cif.roundtrip_equal cell cell');
       let flat c =
-        (Flatten.flatten c).Flatten.flat_boxes
+        Array.to_list (Flatten.flatten c).Flatten.flat_boxes
         |> List.map (fun (l, b) ->
                (Layer.name l, b.Box.xmin, b.Box.ymin, b.Box.xmax, b.Box.ymax))
         |> List.sort compare
@@ -419,6 +422,231 @@ let test_cif_generated_pla_roundtrip () =
         (List.length (flat cell))
         (List.length (flat cell'));
       Alcotest.(check bool) "same box multiset" true (flat cell = flat cell'))
+
+(* ------------------------------------------------------------------ *)
+(* Prototype cache                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The cached path must agree with the naive traversal exactly — same
+   boxes, same order, same labels — on every generator family, because
+   DRC, extraction and the writers now consume it. *)
+let check_prototypes_match name cell =
+  let f = Flatten.flatten cell in
+  let p = Flatten.prototypes cell in
+  let pf = Flatten.protos_flat p in
+  Alcotest.(check bool)
+    (name ^ ": boxes identical")
+    true
+    (pf.Flatten.flat_boxes = f.Flatten.flat_boxes);
+  Alcotest.(check bool)
+    (name ^ ": labels identical")
+    true
+    (pf.Flatten.flat_labels = f.Flatten.flat_labels);
+  Alcotest.(check bool)
+    (name ^ ": bbox identical")
+    true
+    (pf.Flatten.flat_bbox = f.Flatten.flat_bbox);
+  (* stats cross-checks against the materialised geometry *)
+  let s = Flatten.protos_stats p in
+  Alcotest.(check int)
+    (name ^ ": n_boxes")
+    (Array.length f.Flatten.flat_boxes)
+    s.Flatten.n_boxes;
+  let area =
+    Array.fold_left (fun a (_, b) -> a + Box.area b) 0 f.Flatten.flat_boxes
+  in
+  Alcotest.(check int) (name ^ ": box_area") area s.Flatten.box_area;
+  let bb =
+    Array.fold_left
+      (fun acc (_, b) ->
+        match acc with None -> Some b | Some a -> Some (Box.union a b))
+      None f.Flatten.flat_boxes
+  in
+  Alcotest.(check bool) (name ^ ": bbox = fold") true (bb = s.Flatten.bbox);
+  Alcotest.(check int)
+    (name ^ ": n_instances")
+    (List.length (Flatten.instance_placements cell))
+    s.Flatten.n_instances
+
+let test_prototypes_pla () =
+  let tt = Rsg_pla.Truth_table.of_strings [ ("10-", "10"); ("0-1", "01") ] in
+  check_prototypes_match "pla" (Rsg_pla.Gen.generate tt).Rsg_pla.Gen.cell
+
+let test_prototypes_decoder () =
+  check_prototypes_match "decoder" (Rsg_pla.Gen.generate_decoder 3).Rsg_pla.Gen.cell
+
+let test_prototypes_ram () =
+  let r = Rsg_ram.Ram_gen.generate ~words:16 ~bits:8 () in
+  check_prototypes_match "ram" r.Rsg_ram.Ram_gen.cell
+
+let test_prototypes_multiplier () =
+  let m = Rsg_mult.Layout_gen.generate ~xsize:6 ~ysize:6 () in
+  check_prototypes_match "multiplier" m.Rsg_mult.Layout_gen.whole;
+  check_prototypes_match "multiplier array" m.Rsg_mult.Layout_gen.array_cell
+
+let test_prototypes_synthetic () =
+  let _, _, top = build_hierarchy () in
+  check_prototypes_match "hierarchy" top;
+  check_prototypes_match "leaf only" (build_leaf ())
+
+(* Both traversals report runaway recursion as the same typed error,
+   with the offending cell in the payload. *)
+let test_depth_exceeded () =
+  let a = Cell.create "a" in
+  let b = Cell.create "b" in
+  ignore (Cell.add_instance a ~at:Vec.zero b);
+  ignore (Cell.add_instance b ~at:Vec.zero a);
+  Alcotest.check_raises "flatten"
+    (Flatten.Depth_exceeded { cell = "b"; max_depth = 4 }) (fun () ->
+      ignore (Flatten.flatten ~max_depth:4 a));
+  Alcotest.check_raises "prototypes"
+    (Flatten.Depth_exceeded { cell = "b"; max_depth = 4 }) (fun () ->
+      ignore (Flatten.prototypes ~max_depth:4 a))
+
+(* A 50 000-deep instance chain: the explicit work stack must not
+   overflow the OCaml call stack, and the single leaf box must land at
+   the sum of all the instance offsets. *)
+let test_flatten_deep_chain () =
+  let depth = 50_000 in
+  let leaf = Cell.create "chain-0" in
+  Cell.add_box leaf Layer.Metal (Box.of_size ~origin:Vec.zero ~width:2 ~height:2);
+  let top = ref leaf in
+  for i = 1 to depth do
+    let c = Cell.create (Printf.sprintf "chain-%d" i) in
+    ignore (Cell.add_instance c ~at:(Vec.make 1 0) !top);
+    top := c
+  done;
+  let f = Flatten.flatten ~max_depth:(depth + 1) !top in
+  Alcotest.(check int) "one box" 1 (Array.length f.Flatten.flat_boxes);
+  let _, b = f.Flatten.flat_boxes.(0) in
+  Alcotest.(check box) "translated by the chain"
+    (Box.make ~xmin:depth ~ymin:0 ~xmax:(depth + 2) ~ymax:2)
+    b
+
+(* Same shape through the prototype cache (shorter: every link is a
+   distinct celltype, so the per-cell census makes this quadratic in
+   chain length — regular designs have a handful of celltypes). *)
+let test_prototypes_deep_chain () =
+  let depth = 2_000 in
+  let leaf = Cell.create "pchain-0" in
+  Cell.add_box leaf Layer.Metal (Box.of_size ~origin:Vec.zero ~width:2 ~height:2);
+  let top = ref leaf in
+  for i = 1 to depth do
+    let c = Cell.create (Printf.sprintf "pchain-%d" i) in
+    ignore (Cell.add_instance c ~at:(Vec.make 1 0) !top);
+    top := c
+  done;
+  let p = Flatten.prototypes ~max_depth:(depth + 1) !top in
+  Alcotest.(check int) "distinct cells" (depth + 1) (Flatten.distinct_cells p);
+  let s = Flatten.protos_stats p in
+  Alcotest.(check int) "one box" 1 s.Flatten.n_boxes;
+  Alcotest.(check int) "instances" depth s.Flatten.n_instances;
+  let pf = Flatten.protos_flat p in
+  Alcotest.(check bool) "matches naive" true
+    (pf.Flatten.flat_boxes
+    = (Flatten.flatten ~max_depth:(depth + 1) !top).Flatten.flat_boxes)
+
+(* Byte-for-byte CIF regression on a real generator output.  The
+   writer is a plain Buffer pipeline; any change to its framing,
+   ordering or number formatting must be a conscious one. *)
+let test_cif_golden_pla () =
+  let expected =
+    String.concat "\n"
+      [ "(CIF written by rsg; 1 lambda = 2 units);";
+        "DS 1 1 1;";
+        "9 and-sq;";
+        "L NP;";
+        "B 8 40 20 20;";
+        "L NM;";
+        "B 40 8 20 20;";
+        "DF;";
+        "DS 2 1 1;";
+        "9 and-cross;";
+        "L NB;";
+        "B 16 16 8 8;";
+        "L NC;";
+        "B 8 8 8 8;";
+        "DF;";
+        "DS 3 1 1;";
+        "9 inbuf;";
+        "L ND;";
+        "B 72 24 40 20;";
+        "L NP;";
+        "B 8 40 20 20;";
+        "B 8 40 60 20;";
+        "L NM;";
+        "B 80 8 40 36;";
+        "DF;";
+        "DS 4 1 1;";
+        "9 connect-ao;";
+        "L NM;";
+        "B 40 8 20 20;";
+        "L ND;";
+        "B 16 24 20 20;";
+        "L XC;";
+        "B 8 8 20 20;";
+        "DF;";
+        "DS 5 1 1;";
+        "9 or-sq;";
+        "L NM;";
+        "B 8 40 20 20;";
+        "L NP;";
+        "B 40 8 20 20;";
+        "DF;";
+        "DS 6 1 1;";
+        "9 or-cross;";
+        "L NI;";
+        "B 16 16 8 8;";
+        "L NC;";
+        "B 8 8 8 8;";
+        "DF;";
+        "DS 7 1 1;";
+        "9 outbuf;";
+        "L ND;";
+        "B 24 24 20 20;";
+        "L NM;";
+        "B 8 40 20 20;";
+        "B 40 8 20 36;";
+        "DF;";
+        "DS 8 1 1;";
+        "9 pla;";
+        "C 1;";
+        "C 1 T 40 0;";
+        "C 1 T 0 40;";
+        "C 2 T 12 12;";
+        "C 1 T 80 0;";
+        "C 1 T 40 40;";
+        "C 3 T 0 80;";
+        "C 1 T 120 0;";
+        "C 1 T 80 40;";
+        "C 2 T 52 52;";
+        "C 1 T 160 0;";
+        "C 2 T 132 12;";
+        "C 1 T 120 40;";
+        "C 3 T 80 80;";
+        "C 1 T 200 0;";
+        "C 1 T 160 40;";
+        "C 4 T 240 0;";
+        "C 1 T 200 40;";
+        "C 3 T 160 80;";
+        "C 2 T 172 52;";
+        "C 5 T 280 0;";
+        "C 4 T 240 40;";
+        "C 5 T 320 0;";
+        "C 6 T 292 12;";
+        "C 5 T 280 40;";
+        "C 5 T 320 40;";
+        "C 7 T 280 80;";
+        "C 7 T 320 80;";
+        "C 6 T 332 52;";
+        "DF;";
+        "C 8;";
+        "E";
+        "" ]
+  in
+  let tt = Rsg_pla.Truth_table.of_strings [ ("10-", "10"); ("0-1", "01") ] in
+  let cell = (Rsg_pla.Gen.generate tt).Rsg_pla.Gen.cell in
+  Alcotest.(check string) "pla cif bytes" expected (Cif.to_string cell)
 
 let () =
   Alcotest.run "rsg_layout"
@@ -452,9 +680,20 @@ let () =
          Alcotest.test_case "shares definitions" `Quick
            test_reorient_shares_definitions ]);
       ("report", [ Alcotest.test_case "summary" `Quick test_report ]);
+      ("prototypes",
+       [ Alcotest.test_case "pla" `Quick test_prototypes_pla;
+         Alcotest.test_case "decoder" `Quick test_prototypes_decoder;
+         Alcotest.test_case "ram" `Quick test_prototypes_ram;
+         Alcotest.test_case "multiplier" `Quick test_prototypes_multiplier;
+         Alcotest.test_case "synthetic" `Quick test_prototypes_synthetic;
+         Alcotest.test_case "depth exceeded" `Quick test_depth_exceeded;
+         Alcotest.test_case "deep chain" `Quick test_flatten_deep_chain;
+         Alcotest.test_case "deep chain prototypes" `Quick
+           test_prototypes_deep_chain ]);
       ("golden",
        [ Alcotest.test_case "cif output" `Quick test_cif_golden;
-         Alcotest.test_case "def output" `Quick test_def_golden ]);
+         Alcotest.test_case "def output" `Quick test_def_golden;
+         Alcotest.test_case "pla cif bytes" `Quick test_cif_golden_pla ]);
       ("fuzz",
        [ (* hostile input must fail cleanly, never crash *)
          QCheck_alcotest.to_alcotest

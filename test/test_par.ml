@@ -1,0 +1,79 @@
+(* Tests for the domain pool: results must be identical to a
+   sequential Array.map for every pool size and chunking, and worker
+   exceptions must surface on the calling domain without hanging. *)
+
+open Rsg_par
+
+let squares n = Array.init n (fun i -> i)
+
+let test_map_matches_sequential () =
+  List.iter
+    (fun n ->
+      let xs = squares n in
+      let expected = Array.map (fun x -> (x * x) + 1) xs in
+      List.iter
+        (fun domains ->
+          let got = Par.map ~domains (fun x -> (x * x) + 1) xs in
+          Alcotest.(check (array int))
+            (Printf.sprintf "map n=%d domains=%d" n domains)
+            expected got)
+        [ 1; 2; 3; 4 ])
+    [ 0; 1; 2; 7; 100; 1_000 ]
+
+let test_chunked_map_matches_sequential () =
+  let xs = squares 257 in
+  let expected = Array.map (fun x -> x * 3) xs in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun chunk ->
+          let got = Par.chunked_map ~domains ~chunk (fun x -> x * 3) xs in
+          Alcotest.(check (array int))
+            (Printf.sprintf "chunked domains=%d chunk=%d" domains chunk)
+            expected got)
+        [ 1; 2; 16; 300 ])
+    [ 1; 2; 4 ]
+
+(* Reduction over the mapped array is deterministic: the pool writes
+   each slot by index, so element order never depends on scheduling. *)
+let test_deterministic_order () =
+  let xs = Array.init 500 (fun i -> i) in
+  let seq = Par.map ~domains:1 (fun x -> x * 7) xs in
+  for _ = 1 to 5 do
+    let par = Par.map ~domains:4 (fun x -> x * 7) xs in
+    Alcotest.(check bool) "same array" true (par = seq)
+  done
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let xs = Array.init 100 (fun i -> i) in
+  List.iter
+    (fun domains ->
+      match Par.map ~domains (fun x -> if x = 63 then raise (Boom x) else x) xs
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 63 -> ()
+      | exception e ->
+        Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e))
+    [ 1; 2; 4 ]
+
+let test_default_domains_env () =
+  Alcotest.(check bool) "recommended >= 1" true (Par.recommended () >= 1);
+  Alcotest.(check bool) "default >= 1" true (Par.default_domains () >= 1)
+
+let () =
+  Alcotest.run "rsg_par"
+    [ ("map",
+       [ Alcotest.test_case "matches sequential" `Quick
+           test_map_matches_sequential;
+         Alcotest.test_case "chunked matches sequential" `Quick
+           test_chunked_map_matches_sequential;
+         Alcotest.test_case "deterministic order" `Quick
+           test_deterministic_order ]);
+      ("failure",
+       [ Alcotest.test_case "exception propagates" `Quick
+           test_exception_propagates ]);
+      ("config",
+       [ Alcotest.test_case "domain counts" `Quick test_default_domains_env ])
+    ]
