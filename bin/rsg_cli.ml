@@ -9,11 +9,14 @@
      rsg stats layout.cif
      rsg compact layout.cif -o smaller.cif --slack
      rsg drc layout.cif               # design-rule check (or: pla|ram|...)
+     rsg lint design.def -p file.par  # static analysis (or: mult|pla)
      rsg doctor                       # expansion diagnostics demo
 
    Generator commands accept --obs / --obs-json to record per-phase
-   timers and counters (lib/obs) and dump them to stderr on exit, and
-   --drc to gate the run on a clean design-rule check of the result.
+   timers and counters (lib/obs) and dump them to stderr on exit,
+   --drc to gate the run on a clean design-rule check of the result,
+   and (design-file-driven generators) --lint to gate on a clean
+   static analysis of the design file before anything runs.
 *)
 
 open Cmdliner
@@ -112,13 +115,67 @@ let drc_gate ?domains enabled cell =
     end
   end
 
+(* ---- static lint gating -------------------------------------------- *)
+
+let lint_flag =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Statically analyze the design file (scoping, arity, array shape) \
+           before generating; fail (exit 1) on lint errors.")
+
+(* gate a design-file run on a clean static analysis, mirroring
+   drc_gate: clean passes with a one-line note, errors dump the
+   report and abort before anything is generated *)
+let lint_gate enabled ~source cfg text =
+  if enabled then begin
+    let r = Rsg_lint.Design_lint.check_string ~file:source cfg text in
+    if Rsg_lint.Diag.clean r then
+      Format.printf "lint: clean (%d forms, %d warnings)@."
+        r.Rsg_lint.Diag.r_checked
+        (List.length (Rsg_lint.Diag.warnings r))
+    else begin
+      Format.eprintf "%a" Rsg_lint.Diag.pp_report r;
+      exit 1
+    end
+  end
+
+let mult_lint_config ~size () =
+  let sample, _ = Rsg_mult.Sample_lib.build () in
+  let params =
+    Rsg_lang.Param.parse (Rsg_mult.Sample_lib.param_file ~xsize:size ~ysize:size)
+  in
+  Rsg_lint.Design_lint.config_of_params ~cells:(Db.names sample.Sample.db) params
+
+let pla_lint_config ~ninputs ~noutputs ~nterms () =
+  let sample, _ = Rsg_pla.Pla_cells.build () in
+  let params =
+    Rsg_lang.Param.parse
+      (Rsg_pla.Pla_design_file.param_file ~ninputs ~noutputs ~nterms ~name:"pla")
+  in
+  let cfg =
+    Rsg_lint.Design_lint.config_of_params ~cells:(Db.names sample.Sample.db)
+      params
+  in
+  (* the encoding tables are host-installed globals (delayed binding) *)
+  { cfg with
+    Rsg_lint.Design_lint.globals =
+      "lits" :: "outs" :: cfg.Rsg_lint.Design_lint.globals
+  }
+
 (* ---- generate ------------------------------------------------------ *)
 
-let generate design params sample_path out stats drc domains obs =
+let generate design params sample_path out stats lint drc domains obs =
   with_obs obs @@ fun () ->
   let sample = sample_of_cif sample_path in
-  let st = Rsg_lang.Interp.of_sample sample in
-  Rsg_lang.Interp.load_params st (Rsg_lang.Param.parse (read_file params));
+  let param_tbl = Rsg_lang.Param.parse (read_file params) in
+  lint_gate lint ~source:design
+    (Rsg_lint.Design_lint.config_of_params
+       ~cells:(Db.names sample.Sample.db) param_tbl)
+    (read_file design);
+  let st = Rsg_lang.Interp.of_sample ~file:design sample in
+  Rsg_lang.Interp.load_params st param_tbl;
   (try ignore (Rsg_lang.Interp.run_string st (read_file design)) with
   | Rsg_lang.Interp.Runtime_error msg ->
     Format.eprintf "runtime error: %s@." msg;
@@ -165,12 +222,14 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a layout from design/parameter/sample files")
     Term.(
       const generate $ design_arg $ params_arg $ sample_arg $ out_arg "out.cif"
-      $ stats_flag $ drc_flag $ domains_term $ obs_term)
+      $ stats_flag $ lint_flag $ drc_flag $ domains_term $ obs_term)
 
 (* ---- multiplier ---------------------------------------------------- *)
 
-let multiplier size out stats drc domains obs =
+let multiplier size out stats lint drc domains obs =
   with_obs obs @@ fun () ->
+  lint_gate lint ~source:"mult.def(builtin)" (mult_lint_config ~size ())
+    Rsg_mult.Design_file.text;
   let g = Rsg_mult.Layout_gen.generate ~xsize:size ~ysize:size () in
   if stats then print_stats g.Rsg_mult.Layout_gen.whole;
   drc_gate ?domains drc g.Rsg_mult.Layout_gen.whole;
@@ -183,12 +242,12 @@ let multiplier_cmd =
   Cmd.v
     (Cmd.info "multiplier" ~doc:"Generate a pipelined array multiplier")
     Term.(
-      const multiplier $ size_arg $ out_arg "mult.cif" $ stats_flag $ drc_flag
-      $ domains_term $ obs_term)
+      const multiplier $ size_arg $ out_arg "mult.cif" $ stats_flag $ lint_flag
+      $ drc_flag $ domains_term $ obs_term)
 
 (* ---- pla ----------------------------------------------------------- *)
 
-let pla table out stats fold drc domains obs =
+let pla table out stats fold lint drc domains obs =
   with_obs obs @@ fun () ->
   let rows =
     read_file table |> String.split_on_char '\n'
@@ -202,6 +261,12 @@ let pla table out stats fold drc domains obs =
     Format.eprintf "bad truth table: %s@." msg;
     exit 1
   | tt ->
+    lint_gate lint ~source:"pla.def(builtin)"
+      (pla_lint_config ~ninputs:tt.Rsg_pla.Truth_table.n_inputs
+         ~noutputs:tt.Rsg_pla.Truth_table.n_outputs
+         ~nterms:(List.length tt.Rsg_pla.Truth_table.terms)
+         ())
+      Rsg_pla.Pla_design_file.text;
     let cell =
       if fold then begin
         let g = Rsg_pla.Folding.generate tt in
@@ -242,7 +307,7 @@ let pla_cmd =
     (Cmd.info "pla" ~doc:"Generate a PLA from a truth table")
     Term.(
       const pla $ table_arg $ out_arg "pla.cif" $ stats_flag $ fold_flag
-      $ drc_flag $ domains_term $ obs_term)
+      $ lint_flag $ drc_flag $ domains_term $ obs_term)
 
 (* ---- rom ----------------------------------------------------------- *)
 
@@ -526,6 +591,93 @@ let drc_cmd =
           & info [ "compacted" ] ~doc:"Check the layout after x compaction.")
       $ domains_term $ obs_term)
 
+(* ---- lint ---------------------------------------------------------- *)
+
+(* The target is a design file or a builtin design (mult, pla), so the
+   analyzer can be exercised without a design file at hand.  A
+   parameter file makes the host environment fully known (unresolved
+   names become errors); without one they stay warnings, since the
+   name may arrive from a parameter file at generate time. *)
+let lint target params_path sample_path assumes json_out obs =
+  with_obs obs @@ fun () ->
+  let report =
+    match target with
+    | "mult" ->
+      Rsg_lint.Design_lint.check_string ~file:"mult.def(builtin)"
+        (mult_lint_config ~size:8 ())
+        Rsg_mult.Design_file.text
+    | "pla" ->
+      Rsg_lint.Design_lint.check_string ~file:"pla.def(builtin)"
+        (pla_lint_config ~ninputs:3 ~noutputs:2 ~nterms:4 ())
+        Rsg_pla.Pla_design_file.text
+    | path when Sys.file_exists path ->
+      let cells =
+        Option.map
+          (fun p -> Db.names (sample_of_cif p).Sample.db)
+          sample_path
+      in
+      let cfg =
+        match params_path with
+        | Some p ->
+          Rsg_lint.Design_lint.config_of_params ?cells
+            (Rsg_lang.Param.parse (read_file p))
+        | None ->
+          { Rsg_lint.Design_lint.default_config with
+            Rsg_lint.Design_lint.cells = Option.value cells ~default:[]
+          }
+      in
+      let cfg =
+        { cfg with
+          Rsg_lint.Design_lint.globals =
+            assumes @ cfg.Rsg_lint.Design_lint.globals
+        }
+      in
+      Rsg_lint.Design_lint.check_string ~file:path cfg (read_file path)
+    | other ->
+      Format.eprintf "%s is neither a file nor a builtin (mult, pla)@." other;
+      exit 1
+  in
+  if json_out then print_endline (Rsg_lint.Diag.report_to_json report)
+  else Format.printf "%a" Rsg_lint.Diag.pp_report report;
+  if not (Rsg_lint.Diag.clean report) then exit 1
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a design file without running it: unbound \
+          variables under the three-tier scoping, unused locals and macros, \
+          call arity, scalar-vs-array misuse, subcell bindings.  The target \
+          is a design file or a builtin design (mult, pla).  Exits 1 on \
+          lint errors; warnings do not fail the run.")
+    Term.(
+      const lint
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"FILE|BUILTIN"
+              ~doc:"Design file, or builtin: mult, pla.")
+      $ Arg.(
+          value
+          & opt (some file) None
+          & info [ "p"; "params" ] ~docv:"FILE"
+              ~doc:
+                "Parameter file; when given, the host environment is \
+                 considered fully known and unresolved names are errors.")
+      $ Arg.(
+          value
+          & opt (some file) None
+          & info [ "s"; "sample" ] ~docv:"FILE"
+              ~doc:"Sample layout (CIF); its cell names become resolvable.")
+      $ Arg.(
+          value & opt_all string []
+          & info [ "assume" ] ~docv:"NAME"
+              ~doc:
+                "Treat $(docv) as a host-installed global (repeatable), \
+                 e.g. the PLA's lits/outs encoding tables.")
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+      $ obs_term)
+
 (* ---- doctor -------------------------------------------------------- *)
 
 (* A guided demonstration of the diagnosable, transactional expansion
@@ -598,4 +750,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; multiplier_cmd; pla_cmd; rom_cmd; decoder_cmd;
-            sim_cmd; stats_cmd; compact_cmd; masks_cmd; drc_cmd; doctor_cmd ]))
+            sim_cmd; stats_cmd; compact_cmd; masks_cmd; drc_cmd; lint_cmd;
+            doctor_cmd ]))

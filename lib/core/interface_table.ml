@@ -2,6 +2,8 @@ type key = string * string * int
 
 type t = (key, Interface.t) Hashtbl.t
 
+exception Conflict of { from : string; into : string; index : int }
+
 let create ?(size = 256) () = Hashtbl.create size
 
 let add_one tbl key iface =
@@ -9,10 +11,8 @@ let add_one tbl key iface =
   | None -> Hashtbl.add tbl key iface
   | Some existing ->
     if not (Interface.equal existing iface) then
-      let a, b, k = key in
-      failwith
-        (Printf.sprintf
-           "Interface_table: conflicting declaration for (%s, %s, %d)" a b k)
+      let from, into, index = key in
+      raise (Conflict { from; into; index })
 
 let declare tbl ~from ~into ~index iface =
   add_one tbl (from, into, index) iface;

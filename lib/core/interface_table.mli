@@ -18,6 +18,9 @@
 
 type t
 
+exception Conflict of { from : string; into : string; index : int }
+(** A different interface is already declared under this key. *)
+
 val create : ?size:int -> unit -> t
 
 val declare :
@@ -26,7 +29,7 @@ val declare :
     [(a, b, index)] and [invert Iab] under [(b, a, index)] (unless
     [a = b], where only the forward entry exists).  Re-declaring the
     identical interface is a no-op; declaring a {e different} interface
-    for an existing key raises [Failure] — interface indices must be
+    for an existing key raises {!Conflict} — interface indices must be
     unambiguous. *)
 
 val replace :

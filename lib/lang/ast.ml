@@ -17,6 +17,7 @@ and expr =
   | Subcell of expr * var
   | Mk_cell of expr * expr
   | Declare_interface of declare_interface
+  | At of int * expr
 
 and do_loop = {
   loop_var : string;
@@ -43,11 +44,54 @@ type proc = {
   locals : local_decl list;
   body : expr list;
   is_macro : bool;
+  proc_line : int;
 }
 
 type toplevel = Defproc of proc | Expr of expr
 
 let var_name = function Simple n -> n | Indexed (n, _) -> n
+
+let rec strip = function At (_, e) -> strip e | e -> e
+
+let line_of = function At (line, _) -> Some line | _ -> None
+
+let rec strip_deep e =
+  match e with
+  | At (_, inner) -> strip_deep inner
+  | Int _ | Str _ | Bool _ | Read -> e
+  | Var v -> Var (strip_var v)
+  | Call (f, args) -> Call (f, List.map strip_deep args)
+  | Cond clauses ->
+    Cond
+      (List.map
+         (fun (t, body) -> (strip_deep t, List.map strip_deep body))
+         clauses)
+  | Do d ->
+    Do
+      { d with
+        init = strip_deep d.init;
+        next = strip_deep d.next;
+        until = strip_deep d.until;
+        body = List.map strip_deep d.body }
+  | Assign (v, rhs) -> Assign (strip_var v, strip_deep rhs)
+  | Prog body -> Prog (List.map strip_deep body)
+  | Print e -> Print (strip_deep e)
+  | Mk_instance (v, e) -> Mk_instance (strip_var v, strip_deep e)
+  | Connect (a, b, i) -> Connect (strip_deep a, strip_deep b, strip_deep i)
+  | Subcell (e, v) -> Subcell (strip_deep e, strip_var v)
+  | Mk_cell (n, r) -> Mk_cell (strip_deep n, strip_deep r)
+  | Declare_interface d ->
+    Declare_interface
+      { di_cell1 = strip_deep d.di_cell1;
+        di_cell2 = strip_deep d.di_cell2;
+        di_new_index = strip_deep d.di_new_index;
+        di_inst1 = strip_deep d.di_inst1;
+        di_inst2 = strip_deep d.di_inst2;
+        di_old_index = strip_deep d.di_old_index }
+
+and strip_var = function
+  | Simple n -> Simple n
+  | Indexed (n, idx) -> Indexed (n, List.map strip_deep idx)
 
 let rec pp_var ppf = function
   | Simple n -> Format.pp_print_string ppf n
@@ -93,3 +137,4 @@ and pp_expr ppf = function
     Format.fprintf ppf "(declare_interface %a %a %a %a %a %a)" pp_expr
       d.di_cell1 pp_expr d.di_cell2 pp_expr d.di_new_index pp_expr d.di_inst1
       pp_expr d.di_inst2 pp_expr d.di_old_index
+  | At (_, e) -> pp_expr ppf e

@@ -30,6 +30,10 @@ and expr =
   | Subcell of expr * var                    (** environment, binding *)
   | Mk_cell of expr * expr                   (** name, root node *)
   | Declare_interface of declare_interface
+  | At of int * expr
+      (** source-location wrapper: the expression started on this
+          1-based line.  The parser wraps every list-form expression;
+          the evaluator and printers are transparent to it. *)
 
 and do_loop = {
   loop_var : string;
@@ -58,6 +62,7 @@ type proc = {
   locals : local_decl list;
   body : expr list;
   is_macro : bool;
+  proc_line : int;  (** line of the [defun]/[macro] form (0 = unknown) *)
 }
 
 type toplevel =
@@ -65,6 +70,16 @@ type toplevel =
   | Expr of expr
 
 val var_name : var -> string
+
+val strip : expr -> expr
+(** Peel any top-level {!At} wrappers (shallow). *)
+
+val strip_deep : expr -> expr
+(** Remove every {!At} wrapper recursively — for structural matching
+    in tests and analyses that don't care about locations. *)
+
+val line_of : expr -> int option
+(** Source line of an {!At}-wrapped expression, if known. *)
 
 val pp_expr : Format.formatter -> expr -> unit
 

@@ -14,12 +14,15 @@ type state = {
   out : Format.formatter;
   read_fn : unit -> int;
   mutable depth : int;  (** current procedure call depth *)
+  file : string option;
+  mutable cur_line : int;
 }
 
 let max_call_depth = 10_000
 
 let create ?cells ?table ?(out = Format.std_formatter)
-    ?(read_fn = fun () -> error "read: no input source in batch mode") () =
+    ?(read_fn = fun () -> error "read: no input source in batch mode") ?file
+    () =
   { global = Env.create_global ();
     procs = Hashtbl.create 32;
     cells = (match cells with Some db -> db | None -> Db.create ());
@@ -27,10 +30,12 @@ let create ?cells ?table ?(out = Format.std_formatter)
     created = [];
     out;
     read_fn;
-    depth = 0 }
+    depth = 0;
+    file;
+    cur_line = 0 }
 
-let of_sample ?out (s : Sample.t) =
-  create ~cells:s.Sample.db ~table:s.Sample.table ?out ()
+let of_sample ?out ?file (s : Sample.t) =
+  create ~cells:s.Sample.db ~table:s.Sample.table ?out ?file ()
 
 let load_params st (p : Param.t) =
   List.iter (fun (name, v) -> Env.define st.global name v) p.Param.bindings
@@ -173,6 +178,9 @@ let index_of_values what = function
 
 let rec eval st env (e : Ast.expr) : Value.t =
   match e with
+  | Ast.At (line, inner) ->
+    st.cur_line <- line;
+    eval st env inner
   | Ast.Int n -> Value.Vint n
   | Ast.Str s -> Value.Vstr s
   | Ast.Bool b -> Value.Vbool b
@@ -393,7 +401,18 @@ let run_program st toplevels =
       | Ast.Defproc proc ->
         Hashtbl.replace st.procs proc.Ast.proc_name proc;
         Value.Vunit
-      | Ast.Expr e -> eval st st.global e)
+      | Ast.Expr e -> (
+        match st.file with
+        | None -> eval st st.global e
+        | Some f -> (
+          (* locate runtime failures: the innermost At node evaluated
+             before the error is the closest enclosing source form *)
+          try eval st st.global e
+          with Runtime_error msg ->
+            if st.cur_line > 0 then
+              raise
+                (Runtime_error (Printf.sprintf "%s:%d: %s" f st.cur_line msg))
+            else raise (Runtime_error (Printf.sprintf "%s: %s" f msg)))))
     Value.Vunit toplevels
 
 let run_string st src = run_program st (Parser.parse_program src)

@@ -23,6 +23,8 @@ type state = {
   out : Format.formatter;           (** where [print] writes *)
   read_fn : unit -> int;            (** supplies values for [read] *)
   mutable depth : int;              (** procedure call depth (guarded) *)
+  file : string option;             (** source name for error locations *)
+  mutable cur_line : int;           (** line of the innermost {!Ast.At} seen *)
 }
 
 val create :
@@ -30,12 +32,15 @@ val create :
   ?table:Interface_table.t ->
   ?out:Format.formatter ->
   ?read_fn:(unit -> int) ->
+  ?file:string ->
   unit -> state
 (** Fresh interpreter.  [cells]/[table] default to empty; pass a
     sample's [db]/[table] to generate against it.  [read_fn] defaults
-    to a function that raises. *)
+    to a function that raises.  When [file] is given, top-level
+    runtime errors are re-raised with a [file:line:] prefix taken from
+    the innermost {!Ast.At} node evaluated before the failure. *)
 
-val of_sample : ?out:Format.formatter -> Sample.t -> state
+val of_sample : ?out:Format.formatter -> ?file:string -> Sample.t -> state
 (** Interpreter initialised from an extracted sample layout. *)
 
 val load_params : state -> Param.t -> unit

@@ -1,5 +1,8 @@
 type t = Atom of string | Str of string | List of t list
 
+type located = { sx : desc; line : int }
+and desc = Latom of string | Lstr of string | Llist of located list
+
 exception Parse_error of { line : int; message : string }
 
 type token = Lparen | Rparen | Tatom of string | Tstr of string
@@ -32,6 +35,7 @@ let tokenize src =
     end
     else if c = '"' then begin
       let buf = Buffer.create 16 in
+      let start_line = !line in
       incr i;
       let closed = ref false in
       while (not !closed) && !i < n do
@@ -44,7 +48,7 @@ let tokenize src =
         incr i
       done;
       if not !closed then fail "unterminated string literal";
-      toks := (Tstr (Buffer.contents buf), !line) :: !toks
+      toks := (Tstr (Buffer.contents buf), start_line) :: !toks
     end
     else begin
       let start = !i in
@@ -61,7 +65,7 @@ let tokenize src =
   done;
   List.rev !toks
 
-let parse_string src =
+let parse_string_located src =
   let toks = ref (tokenize src) in
   let fail line message = raise (Parse_error { line; message }) in
   let rec parse_one () =
@@ -70,8 +74,8 @@ let parse_string src =
     | (tok, line) :: rest -> (
       toks := rest;
       match tok with
-      | Tatom a -> Atom a
-      | Tstr s -> Str s
+      | Tatom a -> { sx = Latom a; line }
+      | Tstr s -> { sx = Lstr s; line }
       | Lparen ->
         let items = ref [] in
         let rec loop () =
@@ -84,7 +88,7 @@ let parse_string src =
             loop ()
         in
         loop ();
-        List (List.rev !items)
+        { sx = Llist (List.rev !items); line }
       | Rparen -> fail line "unexpected )")
   in
   let forms = ref [] in
@@ -92,6 +96,14 @@ let parse_string src =
     forms := parse_one () :: !forms
   done;
   List.rev !forms
+
+let rec strip l =
+  match l.sx with
+  | Latom a -> Atom a
+  | Lstr s -> Str s
+  | Llist items -> List (List.map strip items)
+
+let parse_string src = List.map strip (parse_string_located src)
 
 let rec pp ppf = function
   | Atom a -> Format.pp_print_string ppf a

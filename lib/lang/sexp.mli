@@ -13,10 +13,23 @@ type t =
   | Str of string       (** double-quoted string literal *)
   | List of t list
 
+type located = { sx : desc; line : int }
+(** An s-expression annotated with the 1-based source line where it
+    starts.  Strings spanning several lines carry their opening line. *)
+
+and desc = Latom of string | Lstr of string | Llist of located list
+
 exception Parse_error of { line : int; message : string }
 
 val parse_string : string -> t list
 (** Parse a whole file's worth of top-level forms.  Comments run from
     [;] to end of line.  Raises {!Parse_error}. *)
+
+val parse_string_located : string -> located list
+(** Like {!parse_string} but keeping source lines, for located
+    diagnostics ({!Parser} threads them into {!Ast.At} nodes). *)
+
+val strip : located -> t
+(** Drop location annotations. *)
 
 val pp : Format.formatter -> t -> unit

@@ -65,9 +65,10 @@ let local_bbox c =
 
 (* Recursive bounding box.  The [visiting] list detects instance cycles
    (which would make the layout infinite). *)
+exception Instance_cycle of string
+
 let rec bbox_rec visiting c =
-  if List.memq c visiting then
-    failwith ("Cell.bbox: instance cycle through cell " ^ c.cname);
+  if List.memq c visiting then raise (Instance_cycle c.cname);
   List.fold_left
     (fun acc obj ->
       match obj with

@@ -69,10 +69,13 @@ val local_bbox : t -> Box.t option
 (** Bounding box of the cell's own boxes and labels only (no
     instances); [None] for an empty cell. *)
 
+exception Instance_cycle of string
+(** An instance chain revisits this cell, making the layout infinite. *)
+
 val bbox : t -> Box.t option
 (** Full recursive bounding box including instances.  Cycle-safe:
     recursion through an instance chain that revisits a cell raises
-    [Failure]. *)
+    {!Instance_cycle}. *)
 
 val instance_bbox : instance -> Box.t option
 (** Bounding box of an instance in the calling coordinate system. *)

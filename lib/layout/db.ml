@@ -1,11 +1,13 @@
 type t = (string, Cell.t) Hashtbl.t
 
+exception Duplicate_cell of string
+
 let create ?(size = 64) () = Hashtbl.create size
 
 let add db (c : Cell.t) =
   match Hashtbl.find_opt db c.cname with
   | Some existing when existing == c -> ()
-  | Some _ -> failwith ("Db.add: duplicate cell name " ^ c.cname)
+  | Some _ -> raise (Duplicate_cell c.cname)
   | None -> Hashtbl.add db c.cname c
 
 let find db name = Hashtbl.find_opt db name

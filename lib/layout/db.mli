@@ -7,12 +7,15 @@
 
 type t
 
+exception Duplicate_cell of string
+(** A different cell with this name is already registered. *)
+
 val create : ?size:int -> unit -> t
 
 val add : t -> Cell.t -> unit
-(** Register a cell.  Raises [Failure] if a different cell with the
-    same name is already present (re-adding the same cell is a
-    no-op). *)
+(** Register a cell.  Raises {!Duplicate_cell} if a different cell
+    with the same name is already present (re-adding the same cell is
+    a no-op). *)
 
 val find : t -> string -> Cell.t option
 

@@ -1,0 +1,431 @@
+open Rsg_lang
+module Obs = Rsg_obs.Obs
+
+type config = {
+  globals : string list;
+  cells : string list;
+  env_known : bool;
+}
+
+let default_config = { globals = []; cells = []; env_known = false }
+
+let config_of_params ?(cells = []) (p : Param.t) =
+  { globals = List.map fst p.Param.bindings; cells; env_known = true }
+
+(* Builtins of the evaluator (Interp.builtin plus the [array] macro).
+   Fixed-arity ones are checked; the rest are variadic. *)
+let builtin_arity =
+  [ ("//", 2); ("mod", 2); ("=", 2); (">", 2); ("<", 2); (">=", 2);
+    ("<=", 2); ("not", 1); ("abs", 1); ("array", 3) ]
+
+let variadic_builtins = [ "+"; "-"; "*"; "and"; "or"; "min"; "max"; "read" ]
+
+(* Per-procedure frame: what Table 4.1's first tier can resolve. *)
+type frame = {
+  names : (string, unit) Hashtbl.t;      (* formals + locals + do vars *)
+  scalar_locals : (string, unit) Hashtbl.t;
+  array_locals : (string, unit) Hashtbl.t;
+  used : (string, unit) Hashtbl.t;       (* locals seen in any role *)
+}
+
+type ctx = {
+  cfg : config;
+  file : string option;
+  procs : (string, Ast.proc) Hashtbl.t;
+  frames : (string, frame) Hashtbl.t;
+  globals : (string, unit) Hashtbl.t;
+      (* top-level assignment targets, non-frame assignment targets,
+         top-level do vars, host globals, sample and literal mk_cell
+         cell names — tiers two and three merged (both are "resolvable
+         outside the frame") *)
+  called : (string, unit) Hashtbl.t;
+  diags : Diag.t list ref;
+  mutable checked : int;
+}
+
+let add_diag ctx d = ctx.diags := d :: !(ctx.diags)
+
+let diag ctx ?severity ?line code fmt =
+  Format.kasprintf
+    (fun message ->
+      add_diag ctx
+        (Diag.make ?severity ?file:ctx.file ?line code "%s" message))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Pass A: collection.                                                 *)
+
+(* Fold over every sub-expression, peeling At wrappers. *)
+let rec iter_subexprs f (e : Ast.expr) =
+  let go = iter_subexprs f in
+  let go_var = function
+    | Ast.Simple _ -> ()
+    | Ast.Indexed (_, idx) -> List.iter go idx
+  in
+  f e;
+  match e with
+  | Ast.At (_, inner) -> iter_subexprs f inner
+  | Ast.Int _ | Ast.Str _ | Ast.Bool _ | Ast.Read -> ()
+  | Ast.Var v -> go_var v
+  | Ast.Call (_, args) -> List.iter go args
+  | Ast.Cond clauses ->
+    List.iter
+      (fun (t, body) ->
+        go t;
+        List.iter go body)
+      clauses
+  | Ast.Do d ->
+    go d.Ast.init;
+    go d.Ast.next;
+    go d.Ast.until;
+    List.iter go d.Ast.body
+  | Ast.Assign (v, rhs) ->
+    go_var v;
+    go rhs
+  | Ast.Prog body -> List.iter go body
+  | Ast.Print e -> go e
+  | Ast.Mk_instance (v, cell) ->
+    go_var v;
+    go cell
+  | Ast.Connect (a, b, i) ->
+    go a;
+    go b;
+    go i
+  | Ast.Subcell (env_e, v) ->
+    go env_e;
+    go_var v
+  | Ast.Mk_cell (n, r) ->
+    go n;
+    go r
+  | Ast.Declare_interface d ->
+    go d.Ast.di_cell1;
+    go d.Ast.di_cell2;
+    go d.Ast.di_new_index;
+    go d.Ast.di_inst1;
+    go d.Ast.di_inst2;
+    go d.Ast.di_old_index
+
+let loop_vars_of exprs =
+  let acc = ref [] in
+  List.iter
+    (iter_subexprs (function
+      | Ast.Do d -> acc := d.Ast.loop_var :: !acc
+      | _ -> ()))
+    exprs;
+  !acc
+
+let assigned_names_of exprs =
+  let acc = ref [] in
+  List.iter
+    (iter_subexprs (function
+      | Ast.Assign (v, _) | Ast.Mk_instance (v, _) ->
+        acc := Ast.var_name v :: !acc
+      | _ -> ()))
+    exprs;
+  !acc
+
+(* Cell names statically known to enter the cell table: [mk_cell]
+   calls whose name argument is a string literal. *)
+let literal_cell_names exprs =
+  let acc = ref [] in
+  List.iter
+    (iter_subexprs (function
+      | Ast.Mk_cell (name_e, _) -> (
+        match Ast.strip name_e with
+        | Ast.Str s -> acc := s :: !acc
+        | _ -> ())
+      | _ -> ()))
+    exprs;
+  !acc
+
+let frame_of_proc ctx (p : Ast.proc) =
+  let names = Hashtbl.create 16 in
+  let scalar_locals = Hashtbl.create 8 in
+  let array_locals = Hashtbl.create 8 in
+  let dup name what =
+    if Hashtbl.mem names name then
+      diag ctx ~line:p.Ast.proc_line "L106" "%s: duplicate %s %s"
+        p.Ast.proc_name what name
+  in
+  List.iter
+    (fun f ->
+      dup f "formal";
+      Hashtbl.replace names f ())
+    p.Ast.formals;
+  List.iter
+    (function
+      | Ast.Scalar_local n ->
+        dup n "local";
+        Hashtbl.replace names n ();
+        Hashtbl.replace scalar_locals n ()
+      | Ast.Array_local n ->
+        dup n "local";
+        Hashtbl.replace names n ();
+        Hashtbl.replace array_locals n ())
+    p.Ast.locals;
+  List.iter (fun v -> Hashtbl.replace names v ()) (loop_vars_of p.Ast.body);
+  { names; scalar_locals; array_locals; used = Hashtbl.create 16 }
+
+let collect ctx (prog : Ast.toplevel list) =
+  let toplevel_exprs =
+    List.filter_map
+      (function Ast.Expr e -> Some e | Ast.Defproc _ -> None)
+      prog
+  in
+  (* procedures and their frames *)
+  List.iter
+    (function
+      | Ast.Defproc p ->
+        if Hashtbl.mem ctx.procs p.Ast.proc_name then
+          diag ctx ~line:p.Ast.proc_line "L106"
+            "procedure %s defined more than once (the later definition wins)"
+            p.Ast.proc_name;
+        Hashtbl.replace ctx.procs p.Ast.proc_name p;
+        Hashtbl.replace ctx.frames p.Ast.proc_name (frame_of_proc ctx p)
+      | Ast.Expr _ -> ())
+    prog;
+  let add_global n = Hashtbl.replace ctx.globals n () in
+  List.iter add_global ctx.cfg.globals;
+  List.iter add_global ctx.cfg.cells;
+  (* top-level assignments and do vars land in the global frame *)
+  List.iter add_global (assigned_names_of toplevel_exprs);
+  List.iter add_global (loop_vars_of toplevel_exprs);
+  (* assignments inside a procedure to names outside its frame fall
+     through to the global frame (Env.set) *)
+  Hashtbl.iter
+    (fun name (p : Ast.proc) ->
+      let fr = Hashtbl.find ctx.frames name in
+      List.iter
+        (fun n -> if not (Hashtbl.mem fr.names n) then add_global n)
+        (assigned_names_of p.Ast.body))
+    ctx.procs;
+  (* string-literal mk_cell names enter the cell table *)
+  let all_bodies =
+    toplevel_exprs
+    @ List.concat_map
+        (function Ast.Defproc p -> p.Ast.body | Ast.Expr _ -> [])
+        prog
+  in
+  List.iter add_global (literal_cell_names all_bodies)
+
+(* ------------------------------------------------------------------ *)
+(* Pass B: checking.                                                   *)
+
+let where fr =
+  match fr with
+  | Some (name, _) -> Printf.sprintf " (in %s)" name
+  | None -> " (at top level)"
+
+let resolvable ctx fr name =
+  (match fr with
+  | Some (_, f) -> Hashtbl.mem f.names name
+  | None -> false)
+  || Hashtbl.mem ctx.globals name
+
+let mark_used fr name =
+  match fr with
+  | Some (_, f) -> if Hashtbl.mem f.names name then Hashtbl.replace f.used name ()
+  | None -> ()
+
+let check_unbound ctx fr line name =
+  if not (resolvable ctx fr name) then
+    if ctx.cfg.env_known then
+      diag ctx ?line "L101" "unbound variable %s%s" name (where fr)
+    else
+      diag ctx ~severity:Diag.Warning ?line "L101"
+        "variable %s is not defined in the design file%s — it must come from \
+         a parameter file or the host"
+        name (where fr)
+
+(* L105: shape misuse detectable from the declaration — an [Array_local]
+   written without an index, or a [Scalar_local] used with one. *)
+let check_shape ctx fr line (v : Ast.var) ~writing =
+  match fr with
+  | None -> ()
+  | Some (pname, f) -> (
+    match v with
+    | Ast.Simple n ->
+      if writing && Hashtbl.mem f.array_locals n then
+        diag ctx ?line "L105"
+          "%s: assigning a scalar over array local %s. (declared with a \
+           trailing dot)"
+          pname n
+    | Ast.Indexed (n, _) ->
+      if Hashtbl.mem f.scalar_locals n then
+        diag ctx ?line "L105"
+          "%s: indexing scalar local %s (declare it %s. to make it an array)"
+          pname n n)
+
+let rec check_expr ctx fr line (e : Ast.expr) =
+  ctx.checked <- ctx.checked + 1;
+  match e with
+  | Ast.At (l, inner) -> check_expr ctx fr (Some l) inner
+  | Ast.Int _ | Ast.Str _ | Ast.Bool _ | Ast.Read -> ()
+  | Ast.Var v -> check_var_read ctx fr line v
+  | Ast.Assign (v, rhs) ->
+    check_target ctx fr line v;
+    check_expr ctx fr line rhs
+  | Ast.Prog body -> List.iter (check_expr ctx fr line) body
+  | Ast.Cond clauses ->
+    List.iter
+      (fun (t, body) ->
+        check_expr ctx fr line t;
+        List.iter (check_expr ctx fr line) body)
+      clauses
+  | Ast.Do d ->
+    mark_used fr d.Ast.loop_var;
+    check_expr ctx fr line d.Ast.init;
+    check_expr ctx fr line d.Ast.next;
+    check_expr ctx fr line d.Ast.until;
+    List.iter (check_expr ctx fr line) d.Ast.body
+  | Ast.Print e -> check_expr ctx fr line e
+  | Ast.Call (name, args) ->
+    check_call ctx fr line name args;
+    List.iter (check_expr ctx fr line) args
+  | Ast.Mk_instance (v, cell) ->
+    check_target ctx fr line v;
+    check_expr ctx fr line cell
+  | Ast.Connect (a, b, i) ->
+    check_expr ctx fr line a;
+    check_expr ctx fr line b;
+    check_expr ctx fr line i
+  | Ast.Subcell (env_e, v) -> check_subcell ctx fr line env_e v
+  | Ast.Mk_cell (n, r) ->
+    check_expr ctx fr line n;
+    check_expr ctx fr line r
+  | Ast.Declare_interface d ->
+    check_expr ctx fr line d.Ast.di_cell1;
+    check_expr ctx fr line d.Ast.di_cell2;
+    check_expr ctx fr line d.Ast.di_new_index;
+    check_expr ctx fr line d.Ast.di_inst1;
+    check_expr ctx fr line d.Ast.di_inst2;
+    check_expr ctx fr line d.Ast.di_old_index
+
+and check_var_read ctx fr line (v : Ast.var) =
+  let name = Ast.var_name v in
+  mark_used fr name;
+  check_unbound ctx fr line name;
+  check_shape ctx fr line v ~writing:false;
+  match v with
+  | Ast.Simple _ -> ()
+  | Ast.Indexed (_, idx) -> List.iter (check_expr ctx fr line) idx
+
+and check_target ctx fr line (v : Ast.var) =
+  (* assignment defines the name (in the frame or, falling through, the
+     global), so the base is not an unbound reference *)
+  let name = Ast.var_name v in
+  mark_used fr name;
+  check_shape ctx fr line v ~writing:true;
+  match v with
+  | Ast.Simple _ -> ()
+  | Ast.Indexed (_, idx) -> List.iter (check_expr ctx fr line) idx
+
+and check_call ctx fr line name args =
+  Hashtbl.replace ctx.called name ();
+  match Hashtbl.find_opt ctx.procs name with
+  | Some p ->
+    let expected = List.length p.Ast.formals in
+    let got = List.length args in
+    if got <> expected then
+      diag ctx ?line "L104" "%s %s expects %d argument(s), got %d%s"
+        (if p.Ast.is_macro then "macro" else "function")
+        name expected got (where fr)
+  | None -> (
+    match List.assoc_opt name builtin_arity with
+    | Some expected ->
+      if List.length args <> expected then
+        diag ctx ?line "L104" "builtin %s takes %d argument(s), got %d%s" name
+          expected (List.length args) (where fr)
+    | None ->
+      if not (List.mem name variadic_builtins) then
+        diag ctx ?line "L108" "unknown function or macro %s%s" name (where fr))
+
+and check_subcell ctx fr line env_e (v : Ast.var) =
+  check_expr ctx fr line env_e;
+  (* index expressions evaluate in the caller's scope; the binding is
+     looked up in the returned environment (section 4.2) *)
+  (match v with
+  | Ast.Simple _ -> ()
+  | Ast.Indexed (_, idx) -> List.iter (check_expr ctx fr line) idx);
+  let binding = Ast.var_name v in
+  match Ast.strip env_e with
+  | Ast.Call (m, _) -> (
+    match Hashtbl.find_opt ctx.procs m with
+    | Some p when not p.Ast.is_macro ->
+      diag ctx ?line "L107"
+        "subcell of a function call: %s returns a value, not an environment%s"
+        m (where fr)
+    | Some p -> (
+      match Hashtbl.find_opt ctx.frames m with
+      | Some mf ->
+        if Hashtbl.mem mf.names binding then Hashtbl.replace mf.used binding ()
+        else if not (Hashtbl.mem ctx.globals binding) then
+          diag ctx ?line "L107"
+            "macro %s defines no binding %s for subcell to retrieve%s"
+            p.Ast.proc_name binding (where fr)
+      | None -> ())
+    | None ->
+      if String.equal m "array" && not (List.mem binding [ "c"; "n" ]) then
+        diag ctx ?line "L107"
+          "the array builtin binds only c and n, not %s%s" binding (where fr))
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let check_program ?file cfg (prog : Ast.toplevel list) =
+  Obs.span "lint.design" @@ fun () ->
+  let ctx =
+    { cfg;
+      file;
+      procs = Hashtbl.create 16;
+      frames = Hashtbl.create 16;
+      globals = Hashtbl.create 64;
+      called = Hashtbl.create 32;
+      diags = ref [];
+      checked = 0 }
+  in
+  collect ctx prog;
+  List.iter
+    (function
+      | Ast.Defproc p ->
+        let fr = Some (p.Ast.proc_name, Hashtbl.find ctx.frames p.Ast.proc_name) in
+        List.iter (check_expr ctx fr (Some p.Ast.proc_line)) p.Ast.body
+      | Ast.Expr e -> check_expr ctx None None e)
+    prog;
+  (* L102: declared locals never referenced in any role *)
+  Hashtbl.iter
+    (fun name (p : Ast.proc) ->
+      let fr = Hashtbl.find ctx.frames name in
+      List.iter
+        (fun decl ->
+          let n =
+            match decl with Ast.Scalar_local n | Ast.Array_local n -> n
+          in
+          if not (Hashtbl.mem fr.used n) then
+            diag ctx ~line:p.Ast.proc_line "L102" "%s: local %s is never used"
+              name n)
+        p.Ast.locals)
+    ctx.procs;
+  (* L103: procedures never called from any body or top-level form *)
+  Hashtbl.iter
+    (fun name (p : Ast.proc) ->
+      if not (Hashtbl.mem ctx.called name) then
+        diag ctx ~line:p.Ast.proc_line "L103" "%s %s is never called"
+          (if p.Ast.is_macro then "macro" else "function")
+          name)
+    ctx.procs;
+  let source =
+    match file with Some f -> f | None -> "<design>"
+  in
+  Diag.report ~source ~checked:ctx.checked !(ctx.diags)
+
+let check_string ?file cfg src =
+  match Parser.parse_program src with
+  | prog -> check_program ?file cfg prog
+  | exception e -> (
+    match Diag.of_exn ?file e with
+    | Some d ->
+      Diag.report
+        ~source:(match file with Some f -> f | None -> "<design>")
+        ~checked:0 [ d ]
+    | None -> raise e)

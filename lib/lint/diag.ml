@@ -1,0 +1,172 @@
+open Rsg_layout
+open Rsg_core
+open Rsg_lang
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  file : string option;
+  line : int option;
+  message : string;
+  section : string;
+}
+
+type report = {
+  r_source : string;
+  r_checked : int;
+  r_diags : t list;
+}
+
+(* The code table: (code, severity, title, thesis section).  Codes are
+   stable — tooling and the mutation self-checks key on them. *)
+let all_codes =
+  [ ("L100", Error, "syntax-error", "Appendix A");
+    ("L101", Error, "unbound-variable", "Table 4.1");
+    ("L102", Warning, "unused-local", "section 4.2");
+    ("L103", Warning, "unused-procedure", "section 4.2");
+    ("L104", Error, "arity-mismatch", "section 4.2");
+    ("L105", Warning, "scalar-array-misuse", "Appendix A");
+    ("L106", Warning, "duplicate-binding", "section 4.2");
+    ("L107", Warning, "subcell-binding", "section 4.2");
+    ("L108", Error, "unknown-callee", "section 4.5");
+    ("L109", Error, "duplicate-cell", "section 4.4.3");
+    ("L110", Error, "instance-cycle", "section 2.1");
+    ("L201", Error, "unreachable-node", "section 3.1");
+    ("L202", Warning, "redundant-edge", "section 3.1");
+    ("L203", Info, "undirected-ambiguity", "section 3.4");
+    ("L204", Error, "undeclared-interface", "section 2.4");
+    ("L205", Error, "overconstrained-cycle", "section 3.4");
+    ("L206", Warning, "duplicate-edge", "section 3.1");
+    ("L207", Error, "conflicting-declaration", "section 2.4") ]
+
+let lookup code =
+  List.find_opt (fun (c, _, _, _) -> String.equal c code) all_codes
+
+let severity_of_code code =
+  match lookup code with Some (_, s, _, _) -> s | None -> Error
+
+let section_of_code code =
+  match lookup code with Some (_, _, _, s) -> s | None -> "?"
+
+let title_of_code code =
+  match lookup code with Some (_, _, t, _) -> t | None -> "unknown"
+
+let make ?severity ?file ?line code fmt =
+  Format.kasprintf
+    (fun message ->
+      { code;
+        severity =
+          (match severity with
+          | Some s -> s
+          | None -> severity_of_code code);
+        file;
+        line;
+        message;
+        section = section_of_code code })
+    fmt
+
+let of_exn ?file = function
+  | Sexp.Parse_error { line; message } ->
+    Some (make ?file ~line "L100" "%s" message)
+  | Parser.Syntax_error msg -> Some (make ?file "L100" "%s" msg)
+  | Db.Duplicate_cell name ->
+    Some (make ?file "L109" "duplicate cell name %s in the cell table" name)
+  | Cell.Instance_cycle name ->
+    Some (make ?file "L110" "instance cycle through cell %s" name)
+  | Interface_table.Conflict { from; into; index } ->
+    Some
+      (make ?file "L207"
+         "conflicting declaration for interface (%s, %s, %d)" from into index)
+  | _ -> None
+
+let compare_diag a b =
+  let line d = match d.line with Some l -> l | None -> max_int in
+  let c = Int.compare (line a) (line b) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c else String.compare a.message b.message
+
+let count sev diags =
+  List.length (List.filter (fun d -> d.severity = sev) diags)
+
+let report ~source ~checked diags =
+  let r_diags = List.sort compare_diag diags in
+  Rsg_obs.Obs.count ~n:(List.length r_diags) "lint.diags";
+  Rsg_obs.Obs.count ~n:(count Error r_diags) "lint.errors";
+  { r_source = source; r_checked = checked; r_diags }
+
+let merge ~source reports =
+  { r_source = source;
+    r_checked = List.fold_left (fun acc r -> acc + r.r_checked) 0 reports;
+    r_diags =
+      List.sort compare_diag (List.concat_map (fun r -> r.r_diags) reports) }
+
+let errors r = List.filter (fun d -> d.severity = Error) r.r_diags
+
+let warnings r = List.filter (fun d -> d.severity = Warning) r.r_diags
+
+let clean r = errors r = []
+
+let codes r =
+  List.sort_uniq String.compare (List.map (fun d -> d.code) r.r_diags)
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pp_severity ppf s = Format.pp_print_string ppf (severity_name s)
+
+let pp ppf d =
+  (match (d.file, d.line) with
+  | Some f, Some l -> Format.fprintf ppf "%s:%d: " f l
+  | Some f, None -> Format.fprintf ppf "%s: " f
+  | None, Some l -> Format.fprintf ppf "line %d: " l
+  | None, None -> ());
+  Format.fprintf ppf "%a %s [%s] %s (%s)" pp_severity d.severity d.code
+    (title_of_code d.code) d.message d.section
+
+let pp_report ppf r =
+  Format.fprintf ppf "lint %s: %d checked, %d error(s), %d warning(s), %d note(s)"
+    r.r_source r.r_checked (count Error r.r_diags) (count Warning r.r_diags)
+    (count Info r.r_diags);
+  List.iter (fun d -> Format.fprintf ppf "@\n  %a" pp d) r.r_diags;
+  Format.fprintf ppf "@."
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let report_to_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"source\":\"%s\",\"checked\":%d,\"errors\":%d,\"warnings\":%d,\"infos\":%d,\"diagnostics\":["
+       (json_escape r.r_source) r.r_checked (count Error r.r_diags)
+       (count Warning r.r_diags) (count Info r.r_diags));
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"code\":\"%s\",\"severity\":\"%s\",\"file\":%s,\"line\":%s,\"message\":\"%s\",\"section\":\"%s\"}"
+           d.code (severity_name d.severity)
+           (match d.file with
+           | Some f -> Printf.sprintf "\"%s\"" (json_escape f)
+           | None -> "null")
+           (match d.line with Some l -> string_of_int l | None -> "null")
+           (json_escape d.message) (json_escape d.section)))
+    r.r_diags;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,85 @@
+(** The shared diagnostic core of the static analyzer.
+
+    Both lint front ends — {!Design_lint} over the design-file AST and
+    {!Graph_lint} over connectivity graphs — emit the same typed
+    diagnostic record: a stable code ([L1xx] for design-file findings,
+    [L2xx] for graph findings), a severity, an optional source
+    location, a message and a cross-reference to the thesis section
+    that defines the violated rule.  Reports render as text and JSON
+    following the [lib/drc] violation-report pattern, so tooling can
+    consume either checker uniformly. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;          (** stable diagnostic code, e.g. ["L101"] *)
+  severity : severity;
+  file : string option;
+  line : int option;      (** 1-based source line, when known *)
+  message : string;
+  section : string;       (** thesis section defining the rule *)
+}
+
+type report = {
+  r_source : string;   (** what was analyzed: file name or description *)
+  r_checked : int;     (** items examined (forms or edges) *)
+  r_diags : t list;    (** sorted: by line, then code, then message *)
+}
+
+val severity_of_code : string -> severity
+(** Severity from the code table; [Error] for unknown codes. *)
+
+val section_of_code : string -> string
+
+val title_of_code : string -> string
+(** Short rule name, e.g. ["unbound-variable"] for L101. *)
+
+val all_codes : (string * severity * string * string) list
+(** The full code table as [(code, severity, title, section)], in code
+    order — the contract documented in README/DESIGN. *)
+
+val make :
+  ?severity:severity -> ?file:string -> ?line:int -> string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+(** [make ?file ?line code fmt ...] builds a diagnostic; severity and
+    section come from the code table unless [severity] overrides it
+    (e.g. L101 downgrades to [Warning] when the parameter environment
+    is unknown, since the name may be supplied by a parameter file). *)
+
+val of_exn : ?file:string -> exn -> t option
+(** Convert the typed failures of the lint-adjacent paths into
+    diagnostics: {!Rsg_lang.Sexp.Parse_error} /
+    {!Rsg_lang.Parser.Syntax_error} (L100),
+    {!Rsg_layout.Db.Duplicate_cell} (L109),
+    {!Rsg_layout.Cell.Instance_cycle} (L110) and
+    {!Rsg_core.Interface_table.Conflict} (L207).  [None] for any other
+    exception. *)
+
+val report : source:string -> checked:int -> t list -> report
+(** Sort diagnostics deterministically and count them under Obs. *)
+
+val merge : source:string -> report list -> report
+
+val errors : report -> t list
+
+val warnings : report -> t list
+
+val clean : report -> bool
+(** No [Error]-severity diagnostics.  Warnings and notes (e.g. L203 on
+    every pitched regular structure) do not make a design unclean. *)
+
+val codes : report -> string list
+(** Distinct diagnostic codes present, sorted. *)
+
+val pp_severity : Format.formatter -> severity -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One line: [file:line: severity CODE message (section)]. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> string
+(** Machine-readable mirror of {!pp_report}:
+    [{"source":...,"checked":n,"errors":n,"warnings":n,"infos":n,
+      "diagnostics":[{"code":...,"severity":...,"file":...,"line":...,
+      "message":...,"section":...},...]}]. *)

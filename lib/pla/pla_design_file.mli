@@ -17,6 +17,11 @@ open Rsg_core
 val text : string
 (** The design-file source (macros [mrow], [mpla]). *)
 
+val param_file : ninputs:int -> noutputs:int -> nterms:int -> name:string -> string
+(** The parameter file personalising {!text} for the given sizes; the
+    encoding tables ([lits] / [outs]) are host-installed globals, not
+    parameters. *)
+
 val generate :
   ?sample:Sample.t -> Truth_table.t -> Rsg_lang.Interp.state * Rsg_layout.Cell.t
 (** Run the design file for a personality: parameters from the

@@ -120,7 +120,8 @@ let test_table_families () =
     (try
        Interface_table.declare tbl ~from:"a" ~into:"b" ~index:1 i2;
        false
-     with Failure _ -> true)
+     with Interface_table.Conflict { from = "a"; into = "b"; index = 1 } ->
+       true)
 
 let test_table_self_interface () =
   let tbl = Interface_table.create () in

@@ -33,7 +33,7 @@ let test_sexp_errors () =
 
 let parse_one s =
   match Parser.parse_program s with
-  | [ Ast.Expr e ] -> e
+  | [ Ast.Expr e ] -> Ast.strip_deep e
   | _ -> Alcotest.fail "expected a single expression"
 
 let test_indexed_variables () =
@@ -414,6 +414,16 @@ let test_error_call_trace () =
       "unbound variable nosuch\n  in f\n  in g" msg
   | _ -> Alcotest.fail "expected a runtime error"
 
+let test_error_located_file_line () =
+  let st = Interp.create ~file:"grid.def" () in
+  match
+    Interp.run_string st "(assign a 1)\n(print a)\n(print (+ a nosuch))"
+  with
+  | exception Interp.Runtime_error msg ->
+    Alcotest.(check string) "file:line prefix"
+      "grid.def:3: unbound variable nosuch" msg
+  | _ -> Alcotest.fail "expected a runtime error"
+
 let test_runaway_recursion_guard () =
   let st = Interp.create () in
   match Interp.run_string st "(defun f (x) (locals) (f (+ x 1))) (f 0)" with
@@ -508,6 +518,8 @@ let () =
          Alcotest.test_case "define_global table" `Quick
            test_define_global_table;
          Alcotest.test_case "error call trace" `Quick test_error_call_trace;
+         Alcotest.test_case "located errors" `Quick
+           test_error_located_file_line;
          Alcotest.test_case "runaway recursion guard" `Quick
            test_runaway_recursion_guard ]);
       ("codegen", [ prop_design_file_grid_matches_api ]);

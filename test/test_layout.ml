@@ -53,8 +53,7 @@ let test_instance_cycle_detected () =
   let b = Cell.create "b" in
   ignore (Cell.add_instance a ~at:Vec.zero b);
   ignore (Cell.add_instance b ~at:Vec.zero a);
-  Alcotest.check_raises "cycle"
-    (Failure "Cell.bbox: instance cycle through cell a") (fun () ->
+  Alcotest.check_raises "cycle" (Cell.Instance_cycle "a") (fun () ->
       ignore (Cell.bbox a))
 
 let test_flatten_counts () =
@@ -99,9 +98,8 @@ let test_db () =
   Alcotest.(check (list string)) "names" [ "duo"; "leaf"; "top" ] (Db.names db);
   Alcotest.(check bool) "mem" true (Db.mem db "duo");
   Alcotest.(check string) "fresh name" "leaf-2" (Db.fresh_name db "leaf");
-  Alcotest.check_raises "duplicate name"
-    (Failure "Db.add: duplicate cell name leaf") (fun () ->
-      Db.add db (Cell.create "leaf"))
+  Alcotest.check_raises "duplicate name" (Db.Duplicate_cell "leaf")
+    (fun () -> Db.add db (Cell.create "leaf"))
 
 (* ------------------------------------------------------------------ *)
 (* CIF round trips                                                    *)
