@@ -455,7 +455,40 @@ let e11 () =
           ("reverse-sorted", Rsg_compact.Bellman.Reverse_sorted) ])
     [ 50; 200 ];
   note "'exactly one relaxation step is required instead of the |E| ...";
-  note "required in the worst case' when edges are traversed sorted"
+  note "required in the worst case' when edges are traversed sorted";
+  row "";
+  row "worklist vs fixed-pass sweep on compactor constraint graphs";
+  row "%-12s %8s | %10s %10s %7s %5s" "layout" "edges" "fixed-scan"
+    "work-scan" "saved" "same";
+  List.iter
+    (fun (name, mk) ->
+      let items = Rsg_compact.Scanline.items_of_cell (mk ()) in
+      let gen =
+        Rsg_compact.Scanline.generate Rsg_compact.Rules.default
+          Rsg_compact.Scanline.Visibility items
+      in
+      let w = Rsg_compact.Bellman.solve gen.Rsg_compact.Scanline.graph in
+      let f = Rsg_compact.Bellman.solve_fixed gen.Rsg_compact.Scanline.graph in
+      row "%-12s %8d | %10d %10d %6.0f%% %5b" name
+        (Rsg_compact.Cgraph.n_constraints gen.Rsg_compact.Scanline.graph)
+        f.Rsg_compact.Bellman.scans w.Rsg_compact.Bellman.scans
+        (100.0
+        *. float_of_int (f.Rsg_compact.Bellman.scans - w.Rsg_compact.Bellman.scans)
+        /. float_of_int (max f.Rsg_compact.Bellman.scans 1))
+        (w.Rsg_compact.Bellman.values = f.Rsg_compact.Bellman.values))
+    [ ("mult 8x8",
+       fun () ->
+         (Rsg_mult.Layout_gen.generate ~xsize:8 ~ysize:8 ())
+           .Rsg_mult.Layout_gen.whole);
+      ("pla 8-term",
+       fun () ->
+         (Rsg_pla.Gen.generate (Rsg_pla.Gen.minterm_table 3)).Rsg_pla.Gen.cell);
+      ("ram 32x8",
+       fun () ->
+         (Rsg_ram.Ram_gen.generate ~words:32 ~bits:8 ()).Rsg_ram.Ram_gen.cell)
+    ];
+  note "the worklist rescans only out-edges of moved variables, so its";
+  note "edge examinations drop while the least solution is identical"
 
 (* ------------------------------------------------------------------ *)
 (* E12 (Figure 6.8): jogs under leftmost packing vs slack spread.      *)
@@ -916,12 +949,169 @@ let e25 () =
   note "both front ends are a constant number of linear passes, so cost";
   note "per form / per edge should stay flat as the input grows"
 
+(* ------------------------------------------------------------------ *)
+(* E26 (lib/store): content-addressed layout cache, cold vs warm, and  *)
+(* batch throughput across the domain pool.                            *)
+
+let e26 () =
+  section "E26" "lib/store: layout cache cold vs warm, batch throughput";
+  let module Store = Rsg_store.Store in
+  let module Batch = Rsg_store.Batch in
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rsg-bench-e26-%d" (Unix.getpid ()))
+  in
+  let with_store name f =
+    let st = Store.open_ (Filename.concat tmp name) in
+    Fun.protect
+      ~finally:(fun () ->
+        ignore (Store.clear st);
+        try Unix.rmdir (Store.dir st) with Unix.Unix_error _ -> ())
+      (fun () -> f st)
+  in
+  let cif cell = Cif.to_string cell in
+  row "cold (generate + flatten + save) vs warm (verified load), largest";
+  row "configs; +flat also decodes the stored flat view (for DRC/stats);";
+  row "same = warm CIF byte-identical and stored flat matches";
+  row "%-12s %8s | %9s %9s %9s %8s %5s" "layout" "boxes" "cold-s" "warm-s"
+    "+flat-s" "speedup" "same";
+  with_store "cold-warm" (fun st ->
+      List.iter
+        (fun (name, mk) ->
+          let key = Store.key ~design:name ~params:"" () in
+          let save () =
+            let cell = mk () in
+            let flat = Flatten.protos_flat (Flatten.prototypes cell) in
+            Store.save st key ~label:name ~flat cell;
+            (cell, flat)
+          in
+          let cold = seconds (fun () -> ignore (save ())) in
+          let cell, flat = save () in
+          let warm =
+            seconds (fun () ->
+                match Store.find st key with
+                | Store.Hit _ -> ()
+                | Store.Miss | Store.Corrupt _ -> assert false)
+          in
+          let warm_flat =
+            seconds (fun () ->
+                match Store.find st key with
+                | Store.Hit e -> ignore (Lazy.force e.Rsg_store.Codec.e_flat)
+                | Store.Miss | Store.Corrupt _ -> assert false)
+          in
+          let same =
+            match Store.find st key with
+            | Store.Hit e ->
+              cif e.Rsg_store.Codec.e_cell = cif cell
+              && Lazy.force e.Rsg_store.Codec.e_flat = Some flat
+            | Store.Miss | Store.Corrupt _ -> false
+          in
+          row "%-12s %8d | %9.4f %9.4f %9.4f %7.1fx %5b" name
+            (Array.length flat.Flatten.flat_boxes)
+            cold warm warm_flat
+            (cold /. max warm 1e-9)
+            same)
+        [ ("mult 16x16",
+           fun () ->
+             (Rsg_mult.Layout_gen.generate ~xsize:16 ~ysize:16 ())
+               .Rsg_mult.Layout_gen.whole);
+          ("mult 24x24",
+           fun () ->
+             (Rsg_mult.Layout_gen.generate ~xsize:24 ~ysize:24 ())
+               .Rsg_mult.Layout_gen.whole);
+          ("pla 32-term",
+           fun () ->
+             (Rsg_pla.Gen.generate (Rsg_pla.Gen.minterm_table 5))
+               .Rsg_pla.Gen.cell)
+        ]);
+  row "";
+  let jobs =
+    let job name kind gen =
+      { Batch.j_name = name;
+        j_kind = kind;
+        j_key = Store.key ~design:("bench:" ^ kind) ~params:name ();
+        j_label = name;
+        j_gen = gen
+      }
+    in
+    [ job "mult6" "multiplier" (fun () ->
+          (Rsg_mult.Layout_gen.generate ~xsize:6 ~ysize:6 ())
+            .Rsg_mult.Layout_gen.whole);
+      job "mult8" "multiplier" (fun () ->
+          (Rsg_mult.Layout_gen.generate ~xsize:8 ~ysize:8 ())
+            .Rsg_mult.Layout_gen.whole);
+      job "mult10" "multiplier" (fun () ->
+          (Rsg_mult.Layout_gen.generate ~xsize:10 ~ysize:10 ())
+            .Rsg_mult.Layout_gen.whole);
+      job "pla3" "pla" (fun () ->
+          (Rsg_pla.Gen.generate (Rsg_pla.Gen.minterm_table 3))
+            .Rsg_pla.Gen.cell);
+      job "pla4" "pla" (fun () ->
+          (Rsg_pla.Gen.generate (Rsg_pla.Gen.minterm_table 4))
+            .Rsg_pla.Gen.cell);
+      job "rom16" "rom" (fun () ->
+          (Rsg_pla.Rom.generate ~word_bits:4
+             [| 1; 9; 4; 13; 2; 6; 11; 7; 0; 15; 3; 14; 5; 10; 8; 12 |])
+            .Rsg_pla.Rom.pla
+            .Rsg_pla.Gen.cell);
+      job "dec4" "decoder" (fun () ->
+          (Rsg_pla.Gen.generate_decoder 4).Rsg_pla.Gen.cell);
+      job "ram32" "ram" (fun () ->
+          (Rsg_ram.Ram_gen.generate ~words:32 ~bits:8 ()).Rsg_ram.Ram_gen.cell)
+    ]
+  in
+  let nd = Rsg_par.Par.default_domains () in
+  let cifs rs =
+    List.map
+      (fun r ->
+        match r.Batch.r_cell with Some c -> cif c | None -> "")
+      rs
+  in
+  let hits rs =
+    List.length
+      (List.filter (fun r -> r.Batch.r_outcome = Batch.Hit) rs)
+  in
+  row "batch: %d-job manifest, cold (store cleared per run) vs warm"
+    (List.length jobs);
+  row "%-22s %8s %6s | %9s" "run" "domains" "hits" "seconds";
+  with_store "batch" (fun st ->
+      let batch domains = Batch.run ~domains ~store:st jobs in
+      let cold domains =
+        seconds (fun () ->
+            ignore (Store.clear st);
+            ignore (batch domains))
+      in
+      let c1 = cold 1 in
+      let r1 = (ignore (Store.clear st) : unit); batch 1 in
+      let cif1 = cifs r1 in
+      let cn = cold nd in
+      let rn = (ignore (Store.clear st) : unit); batch nd in
+      let cifn = cifs rn in
+      ignore (Store.clear st);
+      ignore (batch nd);
+      let rw = batch nd in
+      let warm = seconds (fun () -> ignore (batch nd)) in
+      row "%-22s %8d %6d | %9.4f" "cold" 1 (hits r1) c1;
+      row "%-22s %8d %6d | %9.4f (%.2fx)" "cold" nd (hits rn) cn
+        (c1 /. max cn 1e-9);
+      row "%-22s %8d %6d | %9.4f (%.1fx vs 1-dom cold)" "warm" nd (hits rw)
+        warm
+        (c1 /. max warm 1e-9);
+      row "1-dom and %d-dom outputs bit-identical: %b" nd (cif1 = cifn);
+      row "warm outputs bit-identical to cold:      %b" (cifs rw = cif1));
+  (try Unix.rmdir tmp with Unix.Unix_error _ -> ());
+  note "warm runs skip parse/expand/flatten entirely: the store hands";
+  note "back the checksummed hierarchy plus its flattened geometry, so";
+  note "the target is >= 10x on the largest configs; batch scaling";
+  note "depends on the machine (RSG_DOMAINS overrides the default)"
+
 let sections =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
-    ("E22", e22); ("E23", e23); ("E24", e24); ("E25", e25) ]
+    ("E22", e22); ("E23", e23); ("E24", e24); ("E25", e25); ("E26", e26) ]
 
 let () =
   let wanted =

@@ -99,13 +99,11 @@ let domains_term =
 
 (* gate a generator's output: clean passes silently with a one-line
    note, violations dump the report and abort before anything is
-   written.  The input geometry comes out of the prototype cache, so
-   the hierarchy is flattened once per distinct celltype rather than
-   once per instance. *)
-let drc_gate ?domains enabled cell =
+   written.  Takes already-flattened geometry so the warm cache path
+   can gate the stored flat view without re-flattening. *)
+let drc_gate_flat ?domains enabled flat =
   if enabled then begin
-    let protos = Flatten.prototypes cell in
-    let r = Rsg_drc.Drc.check_flat ?domains (Flatten.protos_flat protos) in
+    let r = Rsg_drc.Drc.check_flat ?domains flat in
     if Rsg_drc.Drc.clean r then
       Format.printf "drc: clean (%d boxes, %d regions, deck %s)@."
         r.Rsg_drc.Drc.r_boxes r.Rsg_drc.Drc.r_regions r.Rsg_drc.Drc.r_deck
@@ -114,6 +112,12 @@ let drc_gate ?domains enabled cell =
       exit 1
     end
   end
+
+(* the hierarchical entry point flattens through the prototype cache:
+   once per distinct celltype rather than once per instance *)
+let drc_gate ?domains enabled cell =
+  if enabled then
+    drc_gate_flat ?domains enabled (Flatten.protos_flat (Flatten.prototypes cell))
 
 (* ---- static lint gating -------------------------------------------- *)
 
@@ -164,33 +168,160 @@ let pla_lint_config ~ninputs ~noutputs ~nterms () =
       "lits" :: "outs" :: cfg.Rsg_lint.Design_lint.globals
   }
 
+(* ---- layout store wiring ------------------------------------------- *)
+
+module Store = Rsg_store.Store
+module Codec = Rsg_store.Codec
+module Batch = Rsg_store.Batch
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed layout cache.  The result is keyed by design \
+           text + parameters + rule deck + scale + codec version; a verified \
+           hit loads the stored hierarchy and flattened geometry and skips \
+           parse/expand/flatten entirely, a corrupt entry is reported and \
+           regenerated.  Manage with $(b,rsg cache).")
+
+let save_db_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-db" ] ~docv:"FILE"
+        ~doc:
+          "Also write the result as a binary layout database (hierarchy + \
+           flattened geometry, checksummed); $(b,rsg drc/stats/masks \
+           --from-db) reread it without regenerating.")
+
+let scale_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "scale" ] ~docv:"N"
+        ~doc:"Multiply every output coordinate by $(docv) (a positive int).")
+
+let store_term =
+  Term.(
+    const (fun cache save_db scale -> (cache, save_db, scale))
+    $ cache_arg $ save_db_arg $ scale_arg)
+
+let from_db_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "from-db" ] ~docv:"FILE"
+        ~doc:
+          "Read the layout from a binary database written by \
+           $(b,--save-db) instead of a CIF file.")
+
+let load_db path =
+  match Codec.read_file path with
+  | e -> e
+  | exception Codec.Error err ->
+    Format.eprintf "%s: %a@." path Codec.pp_error err;
+    exit 1
+  | exception Sys_error msg ->
+    Format.eprintf "%s@." msg;
+    exit 1
+
+(* Run one generator through the store.  Cold path: generate, gate,
+   scale, install; warm path: load the stored hierarchy + flat view
+   (gates already passed when the entry was created; --drc re-checks
+   the stored flat, still without flattening anything).  The flat view
+   is lazy so a plain uncached run never pays for it. *)
+let run_cached ?domains ~store:(cache, save_db, scale) ~design ~params ~label
+    ~stats:want_stats ~drc ~out gen =
+  if scale < 1 then begin
+    Format.eprintf "--scale must be >= 1@.";
+    exit 1
+  end;
+  let deck = if drc then Rsg_drc.Deck.to_string Rsg_drc.Deck.default else "" in
+  let key =
+    Store.key ~deck ~scale:(string_of_int scale) ~design ~params ()
+  in
+  let st = Option.map Store.open_ cache in
+  let flat_of cell = Flatten.protos_flat (Flatten.prototypes cell) in
+  let cold store =
+    let cell = gen () in
+    if drc then drc_gate_flat ?domains true (flat_of cell);
+    let cell = if scale = 1 then cell else Scale.cell ~num:scale cell in
+    let flat = lazy (flat_of cell) in
+    (match store with
+    | Some s ->
+      Store.save s key ~label ~flat:(Lazy.force flat) cell;
+      Format.printf "cache: saved %s@." (Store.short key)
+    | None -> ());
+    (cell, flat)
+  in
+  let cell, flat =
+    match st with
+    | None -> cold None
+    | Some s -> (
+      match Store.find s key with
+      | Store.Hit e ->
+        Format.printf "cache: hit %s@." (Store.short key);
+        let flat =
+          lazy
+            (match Lazy.force e.Codec.e_flat with
+            | Some f -> f
+            | None -> flat_of e.Codec.e_cell)
+        in
+        if drc then drc_gate_flat ?domains true (Lazy.force flat);
+        (e.Codec.e_cell, flat)
+      | Store.Miss ->
+        Format.printf "cache: miss %s@." (Store.short key);
+        cold (Some s)
+      | Store.Corrupt err ->
+        Format.printf "cache: corrupt entry (%a), regenerating@."
+          Codec.pp_error err;
+        cold (Some s))
+  in
+  if want_stats then print_stats cell;
+  (match save_db with
+  | Some path ->
+    Codec.write_file path (Codec.encode ~flat:(Lazy.force flat) ~label cell);
+    Format.printf "wrote %s@." path
+  | None -> ());
+  write_layout out cell
+
 (* ---- generate ------------------------------------------------------ *)
 
-let generate design params sample_path out stats lint drc domains obs =
+let generate design params sample_path out stats lint drc domains store obs =
   with_obs obs @@ fun () ->
-  let sample = sample_of_cif sample_path in
-  let param_tbl = Rsg_lang.Param.parse (read_file params) in
-  lint_gate lint ~source:design
-    (Rsg_lint.Design_lint.config_of_params
-       ~cells:(Db.names sample.Sample.db) param_tbl)
-    (read_file design);
-  let st = Rsg_lang.Interp.of_sample ~file:design sample in
-  Rsg_lang.Interp.load_params st param_tbl;
-  (try ignore (Rsg_lang.Interp.run_string st (read_file design)) with
-  | Rsg_lang.Interp.Runtime_error msg ->
-    Format.eprintf "runtime error: %s@." msg;
-    exit 1
-  | Rsg_lang.Parser.Syntax_error msg ->
-    Format.eprintf "syntax error: %s@." msg;
-    exit 1);
-  match Rsg_lang.Interp.last_created st with
-  | None ->
-    Format.eprintf "design file created no cell@.";
-    exit 1
-  | Some cell ->
-    if stats then print_stats cell;
-    drc_gate ?domains drc cell;
-    write_layout out cell
+  let design_text = read_file design in
+  let params_text = read_file params in
+  let sample_text = read_file sample_path in
+  let gen () =
+    let sample = fst (Sample.of_db (Cif.of_string sample_text).Cif.db) in
+    let param_tbl = Rsg_lang.Param.parse params_text in
+    lint_gate lint ~source:design
+      (Rsg_lint.Design_lint.config_of_params
+         ~cells:(Db.names sample.Sample.db) param_tbl)
+      design_text;
+    let st = Rsg_lang.Interp.of_sample ~file:design sample in
+    Rsg_lang.Interp.load_params st param_tbl;
+    (try ignore (Rsg_lang.Interp.run_string st design_text) with
+    | Rsg_lang.Interp.Runtime_error msg ->
+      Format.eprintf "runtime error: %s@." msg;
+      exit 1
+    | Rsg_lang.Parser.Syntax_error msg ->
+      Format.eprintf "syntax error: %s@." msg;
+      exit 1);
+    match Rsg_lang.Interp.last_created st with
+    | None ->
+      Format.eprintf "design file created no cell@.";
+      exit 1
+    | Some cell -> cell
+  in
+  run_cached ?domains ~store
+    (* the sample shapes the geometry just as much as the design file,
+       so both belong in the content key *)
+    ~design:(design_text ^ "\x00sample\x00" ^ sample_text)
+    ~params:params_text
+    ~label:("generate " ^ Filename.basename design)
+    ~stats ~drc ~out gen
 
 let design_arg =
   Arg.(
@@ -222,18 +353,24 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a layout from design/parameter/sample files")
     Term.(
       const generate $ design_arg $ params_arg $ sample_arg $ out_arg "out.cif"
-      $ stats_flag $ lint_flag $ drc_flag $ domains_term $ obs_term)
+      $ stats_flag $ lint_flag $ drc_flag $ domains_term $ store_term
+      $ obs_term)
 
 (* ---- multiplier ---------------------------------------------------- *)
 
-let multiplier size out stats lint drc domains obs =
+let multiplier size out stats lint drc domains store obs =
   with_obs obs @@ fun () ->
-  lint_gate lint ~source:"mult.def(builtin)" (mult_lint_config ~size ())
-    Rsg_mult.Design_file.text;
-  let g = Rsg_mult.Layout_gen.generate ~xsize:size ~ysize:size () in
-  if stats then print_stats g.Rsg_mult.Layout_gen.whole;
-  drc_gate ?domains drc g.Rsg_mult.Layout_gen.whole;
-  write_layout out g.Rsg_mult.Layout_gen.whole
+  let gen () =
+    lint_gate lint ~source:"mult.def(builtin)" (mult_lint_config ~size ())
+      Rsg_mult.Design_file.text;
+    (Rsg_mult.Layout_gen.generate ~xsize:size ~ysize:size ())
+      .Rsg_mult.Layout_gen.whole
+  in
+  run_cached ?domains ~store
+    ~design:("builtin:multiplier\n" ^ Rsg_mult.Design_file.text)
+    ~params:(Rsg_mult.Sample_lib.param_file ~xsize:size ~ysize:size)
+    ~label:(Printf.sprintf "multiplier %dx%d" size size)
+    ~stats ~drc ~out gen
 
 let size_arg =
   Arg.(value & opt int 8 & info [ "size" ] ~docv:"N" ~doc:"Multiplier bits.")
@@ -243,14 +380,15 @@ let multiplier_cmd =
     (Cmd.info "multiplier" ~doc:"Generate a pipelined array multiplier")
     Term.(
       const multiplier $ size_arg $ out_arg "mult.cif" $ stats_flag $ lint_flag
-      $ drc_flag $ domains_term $ obs_term)
+      $ drc_flag $ domains_term $ store_term $ obs_term)
 
 (* ---- pla ----------------------------------------------------------- *)
 
-let pla table out stats fold lint drc domains obs =
+let pla table out stats fold lint drc domains store obs =
   with_obs obs @@ fun () ->
+  let table_text = read_file table in
   let rows =
-    read_file table |> String.split_on_char '\n'
+    table_text |> String.split_on_char '\n'
     |> List.filter_map (fun line ->
            match String.split_on_char ' ' (String.trim line) with
            | [ i; o ] when i <> "" -> Some (i, o)
@@ -261,13 +399,13 @@ let pla table out stats fold lint drc domains obs =
     Format.eprintf "bad truth table: %s@." msg;
     exit 1
   | tt ->
-    lint_gate lint ~source:"pla.def(builtin)"
-      (pla_lint_config ~ninputs:tt.Rsg_pla.Truth_table.n_inputs
-         ~noutputs:tt.Rsg_pla.Truth_table.n_outputs
-         ~nterms:(List.length tt.Rsg_pla.Truth_table.terms)
-         ())
-      Rsg_pla.Pla_design_file.text;
-    let cell =
+    let gen () =
+      lint_gate lint ~source:"pla.def(builtin)"
+        (pla_lint_config ~ninputs:tt.Rsg_pla.Truth_table.n_inputs
+           ~noutputs:tt.Rsg_pla.Truth_table.n_outputs
+           ~nterms:(List.length tt.Rsg_pla.Truth_table.terms)
+           ())
+        Rsg_pla.Pla_design_file.text;
       if fold then begin
         let g = Rsg_pla.Folding.generate tt in
         if not (Rsg_pla.Folding.verify g) then begin
@@ -288,9 +426,14 @@ let pla table out stats fold lint drc domains obs =
         g.Rsg_pla.Gen.cell
       end
     in
-    if stats then print_stats cell;
-    drc_gate ?domains drc cell;
-    write_layout out cell
+    run_cached ?domains ~store
+      ~design:("builtin:pla\n" ^ Rsg_pla.Pla_design_file.text)
+      ~params:(Printf.sprintf "fold=%b\n%s" fold table_text)
+      ~label:
+        (Printf.sprintf "pla %dx%d%s" tt.Rsg_pla.Truth_table.n_inputs
+           tt.Rsg_pla.Truth_table.n_outputs
+           (if fold then " folded" else ""))
+      ~stats ~drc ~out gen
 
 let table_arg =
   Arg.(
@@ -307,14 +450,15 @@ let pla_cmd =
     (Cmd.info "pla" ~doc:"Generate a PLA from a truth table")
     Term.(
       const pla $ table_arg $ out_arg "pla.cif" $ stats_flag $ fold_flag
-      $ lint_flag $ drc_flag $ domains_term $ obs_term)
+      $ lint_flag $ drc_flag $ domains_term $ store_term $ obs_term)
 
 (* ---- rom ----------------------------------------------------------- *)
 
-let rom data_path word_bits out stats drc domains obs =
+let rom data_path word_bits out stats drc domains store obs =
   with_obs obs @@ fun () ->
+  let data_text = read_file data_path in
   let words =
-    read_file data_path |> String.split_on_char '\n'
+    data_text |> String.split_on_char '\n'
     |> List.filter_map (fun line ->
            let s = String.trim line in
            if s = "" then None
@@ -326,18 +470,22 @@ let rom data_path word_bits out stats drc domains obs =
                exit 1)
     |> Array.of_list
   in
-  match Rsg_pla.Rom.generate ~word_bits words with
-  | exception Invalid_argument msg ->
-    Format.eprintf "%s@." msg;
-    exit 1
-  | r ->
-    if not (Rsg_pla.Rom.verify r) then begin
-      Format.eprintf "internal error: ROM readback mismatch@.";
+  let gen () =
+    match Rsg_pla.Rom.generate ~word_bits words with
+    | exception Invalid_argument msg ->
+      Format.eprintf "%s@." msg;
       exit 1
-    end;
-    if stats then print_stats r.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell;
-    drc_gate ?domains drc r.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell;
-    write_layout out r.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell
+    | r ->
+      if not (Rsg_pla.Rom.verify r) then begin
+        Format.eprintf "internal error: ROM readback mismatch@.";
+        exit 1
+      end;
+      r.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell
+  in
+  run_cached ?domains ~store ~design:"builtin:rom"
+    ~params:(Printf.sprintf "word_bits=%d\n%s" word_bits data_text)
+    ~label:(Printf.sprintf "rom %d words x %d bits" (Array.length words) word_bits)
+    ~stats ~drc ~out gen
 
 let rom_cmd =
   Cmd.v
@@ -350,16 +498,18 @@ let rom_cmd =
           & info [ "data" ] ~docv:"FILE"
               ~doc:"One integer word per line; power-of-two count.")
       $ Arg.(value & opt int 8 & info [ "word-bits" ] ~docv:"N" ~doc:"Word width.")
-      $ out_arg "rom.cif" $ stats_flag $ drc_flag $ domains_term $ obs_term)
+      $ out_arg "rom.cif" $ stats_flag $ drc_flag $ domains_term $ store_term
+      $ obs_term)
 
 (* ---- decoder ------------------------------------------------------- *)
 
-let decoder n out stats drc domains obs =
+let decoder n out stats drc domains store obs =
   with_obs obs @@ fun () ->
-  let g = Rsg_pla.Gen.generate_decoder n in
-  if stats then print_stats g.Rsg_pla.Gen.cell;
-  drc_gate ?domains drc g.Rsg_pla.Gen.cell;
-  write_layout out g.Rsg_pla.Gen.cell
+  let gen () = (Rsg_pla.Gen.generate_decoder n).Rsg_pla.Gen.cell in
+  run_cached ?domains ~store ~design:"builtin:decoder"
+    ~params:(Printf.sprintf "n=%d" n)
+    ~label:(Printf.sprintf "decoder %d" n)
+    ~stats ~drc ~out gen
 
 let n_arg =
   Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Decoder input bits.")
@@ -369,7 +519,7 @@ let decoder_cmd =
     (Cmd.info "decoder" ~doc:"Generate an n-to-2^n decoder")
     Term.(
       const decoder $ n_arg $ out_arg "decoder.cif" $ stats_flag $ drc_flag
-      $ domains_term $ obs_term)
+      $ domains_term $ store_term $ obs_term)
 
 (* ---- sim ----------------------------------------------------------- *)
 
@@ -435,18 +585,31 @@ let top_cell_of_cif path =
     | [ c ] -> c
     | _ -> failwith "cannot determine the top cell")
 
+(* a layout utility's input: positional CIF or --from-db database *)
+let utility_cell what path from_db =
+  match (path, from_db) with
+  | Some p, None -> top_cell_of_cif p
+  | None, Some db -> (load_db db).Codec.e_cell
+  | Some _, Some _ ->
+    Format.eprintf "%s: give either a CIF file or --from-db, not both@." what;
+    exit 1
+  | None, None ->
+    Format.eprintf "%s: need a CIF file or --from-db@." what;
+    exit 1
+
 let stats_cmd =
-  let run path = print_stats (top_cell_of_cif path) in
+  let run path from_db = print_stats (utility_cell "stats" path from_db) in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print statistics for a CIF layout")
     Term.(
       const run
-      $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"))
+      $ Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
+      $ from_db_arg)
 
 (* ---- masks --------------------------------------------------------- *)
 
-let masks path out =
-  let cell = top_cell_of_cif path in
+let masks path from_db out =
+  let cell = utility_cell "masks" path from_db in
   let expanded =
     Rsg_compact.Expand_contact.expand_cell Rsg_compact.Rules.default cell
   in
@@ -461,8 +624,8 @@ let masks_cmd =
        ~doc:"Expand synthetic contact layers to lithographic masks")
     Term.(
       const masks
-      $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
-      $ out_arg "masks.cif")
+      $ Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
+      $ from_db_arg $ out_arg "masks.cif")
 
 (* ---- compact ------------------------------------------------------- *)
 
@@ -512,7 +675,7 @@ let drc_target = function
       other;
     exit 1
 
-let drc target rules json max_shown self_check compacted domains obs =
+let drc target from_db rules json max_shown self_check compacted domains obs =
   with_obs obs @@ fun () ->
   let deck =
     match rules with
@@ -523,11 +686,26 @@ let drc target rules json max_shown self_check compacted domains obs =
         Format.eprintf "%s:%d: %s@." path line msg;
         exit 1)
   in
-  let cell = drc_target target in
-  let cell =
+  (* the stored flat view lets a --from-db check skip flattening too,
+     unless compaction rewrites the geometry first *)
+  let cell, stored_flat =
+    match (target, from_db) with
+    | Some t, None -> (drc_target t, None)
+    | None, Some db ->
+      let e = load_db db in
+      (e.Codec.e_cell, Lazy.force e.Codec.e_flat)
+    | Some _, Some _ ->
+      Format.eprintf "drc: give either a target or --from-db, not both@.";
+      exit 1
+    | None, None ->
+      Format.eprintf "drc: need a target or --from-db@.";
+      exit 1
+  in
+  let cell, stored_flat =
     if compacted then
-      fst (Rsg_compact.Compactor.compact_cell Rsg_compact.Rules.default cell)
-    else cell
+      ( fst (Rsg_compact.Compactor.compact_cell Rsg_compact.Rules.default cell),
+        None )
+    else (cell, stored_flat)
   in
   if self_check then
     match Rsg_drc.Drc.self_check_cell ~deck ?domains cell with
@@ -536,8 +714,12 @@ let drc target rules json max_shown self_check compacted domains obs =
       Format.eprintf "self-check failed: %s@." msg;
       exit 1
   else begin
-    let protos = Flatten.prototypes cell in
-    let r = Rsg_drc.Drc.check_flat ~deck ?domains (Flatten.protos_flat protos) in
+    let flat =
+      match stored_flat with
+      | Some f -> f
+      | None -> Flatten.protos_flat (Flatten.prototypes cell)
+    in
+    let r = Rsg_drc.Drc.check_flat ~deck ?domains flat in
     if json then print_endline (Rsg_drc.Drc.report_to_json r)
     else begin
       let total = List.length r.Rsg_drc.Drc.r_violations in
@@ -565,10 +747,11 @@ let drc_cmd =
     Term.(
       const drc
       $ Arg.(
-          required
+          value
           & pos 0 (some string) None
           & info [] ~docv:"FILE|BUILTIN"
               ~doc:"CIF layout, or builtin: pla, ram, multiplier, decoder.")
+      $ from_db_arg
       $ Arg.(
           value
           & opt (some file) None
@@ -678,6 +861,340 @@ let lint_cmd =
       $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
       $ obs_term)
 
+(* ---- batch --------------------------------------------------------- *)
+
+(* manifest line: NAME KIND [key=value ...], '#' starts a comment.
+   Kinds and their keys:
+     multiplier size=N
+     pla        table=FILE | rows=IN:OUT,IN:OUT,...   [fold=true]
+     rom        data=FILE | words=W,W,...             [word-bits=N]
+     decoder    n=N
+     ram        words=N bits=N *)
+let manifest_fail lineno msg =
+  Format.eprintf "manifest line %d: %s@." lineno msg;
+  exit 1
+
+let parse_manifest_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> None
+  | [ _ ] -> manifest_fail lineno "expected NAME KIND [key=value ...]"
+  | name :: kind :: kvs ->
+    let assoc =
+      List.map
+        (fun kv ->
+          match String.index_opt kv '=' with
+          | Some i ->
+            ( String.sub kv 0 i,
+              String.sub kv (i + 1) (String.length kv - i - 1) )
+          | None -> manifest_fail lineno ("not key=value: " ^ kv))
+        kvs
+    in
+    Some (lineno, name, kind, assoc)
+
+let batch_job (lineno, name, kind, assoc) =
+  let geti key default =
+    match List.assoc_opt key assoc with
+    | None -> default
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> n
+      | None -> manifest_fail lineno (key ^ " is not an integer: " ^ v))
+  in
+  let ints_of key v =
+    String.split_on_char ',' v
+    |> List.map (fun s ->
+           match int_of_string_opt (String.trim s) with
+           | Some n -> n
+           | None -> manifest_fail lineno (key ^ " has a bad integer: " ^ s))
+  in
+  let design, params, label, gen =
+    match kind with
+    | "multiplier" ->
+      let size = geti "size" 8 in
+      ( "builtin:multiplier\n" ^ Rsg_mult.Design_file.text,
+        Rsg_mult.Sample_lib.param_file ~xsize:size ~ysize:size,
+        Printf.sprintf "multiplier %dx%d" size size,
+        fun () ->
+          (Rsg_mult.Layout_gen.generate ~xsize:size ~ysize:size ())
+            .Rsg_mult.Layout_gen.whole )
+    | "pla" ->
+      let rows_text =
+        match (List.assoc_opt "table" assoc, List.assoc_opt "rows" assoc) with
+        | Some path, None -> read_file path
+        | None, Some rows ->
+          String.split_on_char ',' rows
+          |> List.map (fun r ->
+                 match String.split_on_char ':' r with
+                 | [ i; o ] -> i ^ " " ^ o
+                 | _ -> manifest_fail lineno ("bad row: " ^ r))
+          |> String.concat "\n"
+        | _ -> manifest_fail lineno "pla needs table=FILE or rows=IN:OUT,..."
+      in
+      let fold = List.assoc_opt "fold" assoc = Some "true" in
+      let rows =
+        rows_text |> String.split_on_char '\n'
+        |> List.filter_map (fun line ->
+               match String.split_on_char ' ' (String.trim line) with
+               | [ i; o ] when i <> "" -> Some (i, o)
+               | _ -> None)
+      in
+      ( "builtin:pla\n" ^ Rsg_pla.Pla_design_file.text,
+        Printf.sprintf "fold=%b\n%s" fold rows_text,
+        Printf.sprintf "pla %s" name,
+        fun () ->
+          let tt = Rsg_pla.Truth_table.of_strings rows in
+          if fold then (Rsg_pla.Folding.generate tt).Rsg_pla.Folding.cell
+          else (Rsg_pla.Gen.generate tt).Rsg_pla.Gen.cell )
+    | "rom" ->
+      let words =
+        match (List.assoc_opt "data" assoc, List.assoc_opt "words" assoc) with
+        | Some path, None ->
+          read_file path |> String.split_on_char '\n'
+          |> List.filter_map (fun l ->
+                 let s = String.trim l in
+                 if s = "" then None else Some s)
+          |> List.map (fun s ->
+                 match int_of_string_opt s with
+                 | Some n -> n
+                 | None -> manifest_fail lineno ("bad word: " ^ s))
+        | None, Some ws -> ints_of "words" ws
+        | _ -> manifest_fail lineno "rom needs data=FILE or words=W,W,..."
+      in
+      let word_bits = geti "word-bits" 8 in
+      ( "builtin:rom",
+        Printf.sprintf "word_bits=%d\n%s" word_bits
+          (String.concat "\n" (List.map string_of_int words)),
+        Printf.sprintf "rom %d words x %d bits" (List.length words) word_bits,
+        fun () ->
+          (Rsg_pla.Rom.generate ~word_bits (Array.of_list words))
+            .Rsg_pla.Rom.pla.Rsg_pla.Gen.cell )
+    | "decoder" ->
+      let n = geti "n" 3 in
+      ( "builtin:decoder",
+        Printf.sprintf "n=%d" n,
+        Printf.sprintf "decoder %d" n,
+        fun () -> (Rsg_pla.Gen.generate_decoder n).Rsg_pla.Gen.cell )
+    | "ram" ->
+      let words = geti "words" 8 and bits = geti "bits" 4 in
+      ( "builtin:ram",
+        Printf.sprintf "words=%d bits=%d" words bits,
+        Printf.sprintf "ram %dx%d" words bits,
+        fun () ->
+          (Rsg_ram.Ram_gen.generate ~words ~bits ()).Rsg_ram.Ram_gen.cell )
+    | other -> manifest_fail lineno ("unknown kind: " ^ other)
+  in
+  {
+    Batch.j_name = name;
+    j_kind = kind;
+    j_key = Store.key ~design ~params ();
+    j_label = label;
+    j_gen = gen;
+  }
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let outcome_name = function
+  | Batch.Hit -> "hit"
+  | Batch.Generated -> "generated"
+  | Batch.Regenerated _ -> "regenerated"
+  | Batch.Failed _ -> "failed"
+
+let batch manifest cache out_dir domains json obs =
+  with_obs obs @@ fun () ->
+  let jobs =
+    read_file manifest |> String.split_on_char '\n'
+    |> List.mapi (fun i line -> parse_manifest_line (i + 1) line)
+    |> List.filter_map Fun.id |> List.map batch_job
+  in
+  if jobs = [] then begin
+    Format.eprintf "manifest has no jobs@.";
+    exit 1
+  end;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun j ->
+      if Hashtbl.mem seen j.Batch.j_name then begin
+        Format.eprintf "duplicate job name: %s@." j.Batch.j_name;
+        exit 1
+      end;
+      Hashtbl.add seen j.Batch.j_name ())
+    jobs;
+  let store = Option.map Store.open_ cache in
+  let t0 = Unix.gettimeofday () in
+  let results = Batch.run ?domains ?store jobs in
+  let wall = Unix.gettimeofday () -. t0 in
+  (* outputs and summaries follow manifest order: bit-identical for
+     any domain count *)
+  (match out_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    List.iter
+      (fun r ->
+        match r.Batch.r_cell with
+        | Some cell ->
+          Cif.write_file
+            (Filename.concat dir (r.Batch.r_job.Batch.j_name ^ ".cif"))
+            cell
+        | None -> ())
+      results);
+  let count p = List.length (List.filter p results) in
+  let hits = count (fun r -> r.Batch.r_outcome = Batch.Hit) in
+  let failed = count (fun r -> match r.Batch.r_outcome with Batch.Failed _ -> true | _ -> false) in
+  if json then begin
+    (* no timings here: the JSON summary is byte-stable across runs
+       and domain counts *)
+    let job_json r =
+      Printf.sprintf
+        "    {\"name\": \"%s\", \"kind\": \"%s\", \"outcome\": \"%s\", \
+         \"boxes\": %d, \"key\": \"%s\"}"
+        (json_escape r.Batch.r_job.Batch.j_name)
+        (json_escape r.Batch.r_job.Batch.j_kind)
+        (outcome_name r.Batch.r_outcome)
+        r.Batch.r_boxes
+        (Store.key_hex r.Batch.r_job.Batch.j_key)
+    in
+    Printf.printf
+      "{\n  \"jobs\": [\n%s\n  ],\n  \"total\": %d,\n  \"hits\": %d,\n  \
+       \"failed\": %d\n}\n"
+      (String.concat ",\n" (List.map job_json results))
+      (List.length results) hits failed
+  end
+  else begin
+    List.iter
+      (fun r ->
+        Format.printf "%-16s %-10s %-11s %8.3fs %8d boxes%s@."
+          r.Batch.r_job.Batch.j_name r.Batch.r_job.Batch.j_kind
+          (outcome_name r.Batch.r_outcome)
+          r.Batch.r_seconds r.Batch.r_boxes
+          (match r.Batch.r_outcome with
+          | Batch.Failed msg -> ": " ^ msg
+          | Batch.Regenerated err ->
+            Format.asprintf " (was corrupt: %a)" Codec.pp_error err
+          | _ -> "");
+        ())
+      results;
+    Format.printf "%d jobs, %d hits, %d failed in %.3fs@."
+      (List.length results) hits failed wall
+  end;
+  if failed > 0 then exit 1
+
+let batch_cmd =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a manifest of generation jobs (one NAME KIND key=value... per \
+          line; kinds: multiplier, pla, rom, decoder, ram) across the \
+          domain pool, sharing a layout cache.  Output files and summaries \
+          are in manifest order — bit-identical for any domain count.")
+    Term.(
+      const batch
+      $ Arg.(
+          required
+          & pos 0 (some file) None
+          & info [] ~docv:"MANIFEST" ~doc:"Job manifest file.")
+      $ cache_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out-dir" ] ~docv:"DIR"
+              ~doc:"Write each job's layout to $(docv)/NAME.cif.")
+      $ domains_term
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.")
+      $ obs_term)
+
+(* ---- cache --------------------------------------------------------- *)
+
+let cache_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Store directory.")
+
+let cache_stats dir json =
+  let s = Store.stats (Store.open_ dir) in
+  if json then begin
+    let entry e =
+      Printf.sprintf "    {\"key\": \"%s\", \"label\": \"%s\", \"bytes\": %d}"
+        (json_escape e.Store.es_key)
+        (json_escape e.Store.es_label)
+        e.Store.es_bytes
+    in
+    Printf.printf
+      "{\n  \"entries\": %d,\n  \"bytes\": %d,\n  \"list\": [\n%s\n  ]\n}\n"
+      s.Store.st_entries s.Store.st_bytes
+      (String.concat ",\n" (List.map entry s.Store.st_list))
+  end
+  else begin
+    List.iter
+      (fun e ->
+        Format.printf "%s  %8d  %s@."
+          (String.sub e.Store.es_key 0 8)
+          e.Store.es_bytes e.Store.es_label)
+      s.Store.st_list;
+    Format.printf "%d entries, %d bytes@." s.Store.st_entries s.Store.st_bytes
+  end
+
+let cache_stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"List cache entries (sorted by key) and totals")
+    Term.(
+      const cache_stats $ cache_dir_arg
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the stats as JSON."))
+
+let cache_clear_cmd =
+  let run dir =
+    Format.printf "removed %d entries@." (Store.clear (Store.open_ dir))
+  in
+  Cmd.v
+    (Cmd.info "clear" ~doc:"Delete every cache entry")
+    Term.(const run $ cache_dir_arg)
+
+let cache_gc_cmd =
+  let run dir max_age max_bytes =
+    let removed = Store.gc ?max_age ?max_bytes (Store.open_ dir) in
+    Format.printf "removed %d entries@." removed
+  in
+  Cmd.v
+    (Cmd.info "gc" ~doc:"Delete entries by age, then oldest-first by size")
+    Term.(
+      const run $ cache_dir_arg
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "max-age" ] ~docv:"SECONDS"
+              ~doc:"Delete entries older than $(docv).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "max-bytes" ] ~docv:"N"
+              ~doc:"Delete oldest entries until at most $(docv) bytes remain."))
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect and manage a layout cache directory")
+    [ cache_stats_cmd; cache_clear_cmd; cache_gc_cmd ]
+
 (* ---- doctor -------------------------------------------------------- *)
 
 (* A guided demonstration of the diagnosable, transactional expansion
@@ -751,4 +1268,4 @@ let () =
        (Cmd.group info
           [ generate_cmd; multiplier_cmd; pla_cmd; rom_cmd; decoder_cmd;
             sim_cmd; stats_cmd; compact_cmd; masks_cmd; drc_cmd; lint_cmd;
-            doctor_cmd ]))
+            batch_cmd; cache_cmd; doctor_cmd ]))

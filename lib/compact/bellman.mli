@@ -10,7 +10,14 @@
     abscissa makes the initial ordering a good estimate of the final
     one, often reducing the relaxation to a single pass (plus one to
     detect quiescence) instead of the worst-case [|V|]; the [order]
-    parameter reproduces that experiment. *)
+    parameter reproduces that experiment.
+
+    {!solve} is a worklist (SPFA-style) solver: each generation
+    rescans only the out-edges of variables that moved in the
+    previous one, in edge-array order, so on the compactor's
+    constraint graphs far fewer edges are examined than the
+    fixed-pass sweep ({!solve_fixed}, kept as the benchmarked
+    reference) while producing the identical least solution. *)
 
 type order =
   | Insertion          (** as the generator emitted them *)
@@ -19,9 +26,12 @@ type order =
 
 type result = {
   values : int array;
-  passes : int;       (** sweeps over the edge list, incl. the final
-                          no-change sweep *)
+  passes : int;       (** relaxation generations (fixed-pass: sweeps
+                          over the edge list), incl. the final
+                          no-change one *)
   relaxations : int;  (** total value updates *)
+  scans : int;        (** edges examined across all passes — the
+                          work metric the worklist solver shrinks *)
 }
 
 exception Infeasible
@@ -32,3 +42,8 @@ exception Unbounded of int
     carries the variable. *)
 
 val solve : ?order:order -> Cgraph.t -> result
+(** Worklist relaxation; the least solution. *)
+
+val solve_fixed : ?order:order -> Cgraph.t -> result
+(** The original fixed-pass sweep.  Same solution, same exceptions;
+    examines every edge every pass. *)

@@ -12,19 +12,19 @@ and edge = { dir : direction; index : int; peer : node }
 
 and direction = Emanating | Terminating
 
-type generator = { mutable next : int }
+(* Atomic so graphs may be built from parallel domains (rsg batch
+   fans generator jobs across the Par pool): concurrent draws still
+   hand out unique ids. *)
+type generator = { next : int Atomic.t }
 
-let generator ?(first = 1) () = { next = first }
+let generator ?(first = 1) () = { next = Atomic.make first }
 
 (* The shared generator behind plain [mk_instance] calls.  Every graph
    built without an explicit generator draws from it, which keeps ids
    unique across all such graphs in the process. *)
 let default_generator = generator ()
 
-let fresh_id g =
-  let id = g.next in
-  g.next <- id + 1;
-  id
+let fresh_id g = Atomic.fetch_and_add g.next 1
 
 let mk_instance ?(gen = default_generator) def =
   { id = fresh_id gen; def; placement = None; edges = [] }

@@ -58,11 +58,22 @@ let of_cell cell =
     r_layers = layers;
     r_hierarchy = tree_of cell }
 
-let rec pp_tree_indent ppf indent tree =
-  Format.fprintf ppf "%s%s" indent tree.t_name;
-  if tree.t_count > 1 then Format.fprintf ppf " x%d" tree.t_count;
-  Format.pp_print_newline ppf ();
-  List.iter (pp_tree_indent ppf (indent ^ "  ")) tree.t_children
+(* one shared pad buffer, extended two spaces per level on the way
+   down and truncated on the way up: deep hierarchies cost one buffer,
+   not a fresh ever-longer indent string per level *)
+let pp_tree_indent ppf base tree =
+  let pad = Buffer.create 32 in
+  Buffer.add_string pad base;
+  let rec walk tree =
+    Format.fprintf ppf "%s%s" (Buffer.contents pad) tree.t_name;
+    if tree.t_count > 1 then Format.fprintf ppf " x%d" tree.t_count;
+    Format.pp_print_newline ppf ();
+    let depth = Buffer.length pad in
+    Buffer.add_string pad "  ";
+    List.iter walk tree.t_children;
+    Buffer.truncate pad depth
+  in
+  walk tree
 
 let pp_tree ppf tree = pp_tree_indent ppf "" tree
 

@@ -95,17 +95,23 @@ let pp ppf () =
   let tops = spans () in
   if tops <> [] then begin
     Format.fprintf ppf "-- phases ------------------------------------------@.";
-    let rec walk indent enclosing s =
+    (* one shared pad buffer grown/truncated around recursion, instead
+       of a fresh ever-longer indent string per level *)
+    let pad = Buffer.create 32 in
+    let rec walk enclosing s =
       let pct =
         if enclosing > 0. then 100. *. s.sp_total /. enclosing else 100.
       in
-      Format.fprintf ppf "%s%-*s %9.4fs %5.1f%% %8dx@." indent
-        (max 1 (32 - String.length indent))
+      Format.fprintf ppf "%s%-*s %9.4fs %5.1f%% %8dx@." (Buffer.contents pad)
+        (max 1 (32 - Buffer.length pad))
         s.sp_name s.sp_total pct s.sp_count;
-      List.iter (walk (indent ^ "  ") s.sp_total) s.sp_children
+      let depth = Buffer.length pad in
+      Buffer.add_string pad "  ";
+      List.iter (walk s.sp_total) s.sp_children;
+      Buffer.truncate pad depth
     in
     let whole = List.fold_left (fun a s -> a +. s.sp_total) 0. tops in
-    List.iter (walk "" whole) tops
+    List.iter (walk whole) tops
   end;
   let cs = counters () in
   if cs <> [] then begin

@@ -1,0 +1,93 @@
+open Rsg_layout
+module Obs = Rsg_obs.Obs
+module Par = Rsg_par.Par
+
+type job = {
+  j_name : string;
+  j_kind : string;
+  j_key : Store.key;
+  j_label : string;
+  j_gen : unit -> Cell.t;
+}
+
+type outcome =
+  | Hit
+  | Generated
+  | Regenerated of Codec.error
+  | Failed of string
+
+type result = {
+  r_job : job;
+  r_outcome : outcome;
+  r_seconds : float;
+  r_cell : Cell.t option;
+  r_flat : Flatten.flat option;
+  r_boxes : int;
+}
+
+let generate store job =
+  let cell = job.j_gen () in
+  let flat = Flatten.protos_flat (Flatten.prototypes cell) in
+  (match store with
+  | Some st -> Store.save st job.j_key ~label:job.j_label ~flat cell
+  | None -> ());
+  (cell, flat)
+
+let run_one store job =
+  let t0 = Unix.gettimeofday () in
+  let outcome, cell, flat =
+    match
+      match store with
+      | None -> (Generated, generate None job)
+      | Some st -> (
+          match Store.find st job.j_key with
+          | Store.Hit e ->
+              let flat =
+                match Lazy.force e.Codec.e_flat with
+                | Some f -> f
+                | None -> Flatten.protos_flat (Flatten.prototypes e.Codec.e_cell)
+              in
+              (Hit, (e.Codec.e_cell, flat))
+          | Store.Miss -> (Generated, generate store job)
+          | Store.Corrupt err -> (Regenerated err, generate store job))
+    with
+    | outcome, (cell, flat) -> (outcome, Some cell, Some flat)
+    | exception exn -> (Failed (Printexc.to_string exn), None, None)
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  {
+    r_job = job;
+    r_outcome = outcome;
+    r_seconds = seconds;
+    r_cell = cell;
+    r_flat = flat;
+    r_boxes =
+      (match flat with Some f -> Array.length f.Flatten.flat_boxes | None -> 0);
+  }
+
+let run ?domains ?store jobs =
+  let domains =
+    match domains with Some d -> d | None -> Par.default_domains ()
+  in
+  let arr = Array.of_list jobs in
+  (* Workers must not touch the process-global Obs state: suspend
+     recording for the parallel section and replay per-job timings
+     from this domain after the join. *)
+  let was_enabled = Obs.is_enabled () in
+  if was_enabled then Obs.disable ();
+  let results =
+    Fun.protect
+      ~finally:(fun () -> if was_enabled then Obs.enable ())
+      (fun () -> Par.chunked_map ~domains ~chunk:1 (run_one store) arr)
+  in
+  if was_enabled then
+    Array.iter
+      (fun r ->
+        Obs.record ("batch." ^ r.r_job.j_name) r.r_seconds;
+        match r.r_outcome with
+        | Hit -> Obs.count "batch.hit"
+        | Generated -> Obs.count "batch.miss"
+        | Regenerated _ -> Obs.count "batch.corrupt"
+        | Failed _ -> Obs.count "batch.failed")
+      results;
+  Array.to_list results

@@ -1,0 +1,48 @@
+(** Parallel batch runner over a shared layout store.
+
+    Takes a manifest of independent generation jobs — each a name, a
+    cache key and a closure that produces the layout from scratch —
+    and fans them across the {!Rsg_par.Par} domain pool.  Each job
+    first consults the store: a verified hit loads the stored
+    hierarchy and flattened geometry, a miss (or corrupt entry) runs
+    the closure, flattens through the prototype cache and installs the
+    result.  Results come back in manifest order regardless of
+    scheduling, so summaries and outputs are bit-identical for any
+    domain count.
+
+    Observability: the {!Rsg_obs.Obs} span tree is process-global and
+    single-domain, so recording is suspended while workers run; each
+    worker times itself and [run] records a per-job span
+    ([batch.<name>]) plus hit/miss counters after joining, from the
+    calling domain. *)
+
+open Rsg_layout
+
+type job = {
+  j_name : string;  (** unique within the manifest; orders output *)
+  j_kind : string;  (** generator family, informational *)
+  j_key : Store.key;
+  j_label : string;  (** label stored in the cache entry *)
+  j_gen : unit -> Cell.t;  (** cold path: generate from scratch *)
+}
+
+type outcome =
+  | Hit  (** loaded from the store *)
+  | Generated  (** cold-generated (and saved when a store is given) *)
+  | Regenerated of Codec.error
+      (** entry was corrupt; regenerated and re-saved *)
+  | Failed of string  (** [j_gen] raised *)
+
+type result = {
+  r_job : job;
+  r_outcome : outcome;
+  r_seconds : float;  (** wall-clock for this job, timed in-worker *)
+  r_cell : Cell.t option;  (** [None] iff [Failed] *)
+  r_flat : Flatten.flat option;
+  r_boxes : int;  (** flattened box count, 0 on failure *)
+}
+
+val run : ?domains:int -> ?store:Store.t -> job list -> result list
+(** Execute the manifest.  [domains] defaults to
+    [Par.default_domains ()]; without [store] every job runs cold and
+    nothing is saved.  Results are in manifest order. *)

@@ -1,0 +1,502 @@
+open Rsg_geom
+open Rsg_layout
+
+let format_version = 1
+
+let magic = "RSGL"
+
+type error =
+  | Bad_magic
+  | Bad_version of { found : int; expected : int }
+  | Truncated of string
+  | Checksum_mismatch of { stored : int32; computed : int32 }
+  | Malformed of string
+
+exception Error of error
+
+let pp_error ppf = function
+  | Bad_magic -> Format.fprintf ppf "not a layout database (bad magic)"
+  | Bad_version { found; expected } ->
+    Format.fprintf ppf "format version %d, this build reads %d" found expected
+  | Truncated what -> Format.fprintf ppf "truncated while reading %s" what
+  | Checksum_mismatch { stored; computed } ->
+    Format.fprintf ppf "checksum mismatch (stored %08lx, computed %08lx)"
+      stored computed
+  | Malformed what -> Format.fprintf ppf "malformed payload: %s" what
+
+type entry = {
+  e_label : string;
+  e_cell : Cell.t;
+  e_flat : Flatten.flat option Lazy.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected), table-driven                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Computed over native ints — the running value never exceeds 32 bits,
+   and unboxed arithmetic keeps the checksum out of the warm-load
+   profile (boxed Int32 steps cost several allocations per byte).
+   Slicing-by-4: four derived tables let the loop fold one 32-bit word
+   per step instead of one byte. *)
+let crc_tables =
+  lazy
+    (let t0 =
+       Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 0 to 7 do
+             c :=
+               if !c land 1 <> 0 then 0xedb88320 lxor (!c lsr 1)
+               else !c lsr 1
+           done;
+           !c)
+     in
+     let next t n = t0.(t.(n) land 0xff) lxor (t.(n) lsr 8) in
+     let t1 = Array.init 256 (next t0) in
+     let t2 = Array.init 256 (next t1) in
+     let t3 = Array.init 256 (next t2) in
+     (t0, t1, t2, t3))
+
+let crc32 s =
+  let t0, t1, t2, t3 = Lazy.force crc_tables in
+  let len = String.length s in
+  let c = ref 0xffffffff in
+  let i = ref 0 in
+  while !i + 4 <= len do
+    let b0 = Char.code (String.unsafe_get s !i)
+    and b1 = Char.code (String.unsafe_get s (!i + 1))
+    and b2 = Char.code (String.unsafe_get s (!i + 2))
+    and b3 = Char.code (String.unsafe_get s (!i + 3)) in
+    let x = !c lxor (b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)) in
+    c :=
+      t3.(x land 0xff)
+      lxor t2.((x lsr 8) land 0xff)
+      lxor t1.((x lsr 16) land 0xff)
+      lxor t0.(x lsr 24);
+    i := !i + 4
+  done;
+  while !i < len do
+    c :=
+      t0.((!c lxor Char.code (String.unsafe_get s !i)) land 0xff)
+      lxor (!c lsr 8);
+    incr i
+  done;
+  Int32.of_int (!c lxor 0xffffffff)
+
+(* ------------------------------------------------------------------ *)
+(* Primitive writers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.logand v 0xffl)));
+  Buffer.add_char buf
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 8) 0xffl)));
+  Buffer.add_char buf
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 16) 0xffl)));
+  Buffer.add_char buf
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 24) 0xffl)))
+
+(* LEB128 on non-negative ints *)
+let rec put_uint buf v =
+  if v < 0 then invalid_arg "Codec.put_uint"
+  else if v < 0x80 then Buffer.add_char buf (Char.chr v)
+  else begin
+    Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+    put_uint buf (v lsr 7)
+  end
+
+(* zigzag: small magnitudes of either sign stay short *)
+let put_int buf v = put_uint buf ((v lsl 1) lxor (v asr (Sys.int_size - 1)))
+
+let put_str buf s =
+  put_uint buf (String.length s);
+  Buffer.add_string buf s
+
+let put_vec buf (v : Vec.t) =
+  put_int buf v.Vec.x;
+  put_int buf v.Vec.y
+
+let put_box buf (b : Box.t) =
+  put_int buf b.Box.xmin;
+  put_int buf b.Box.ymin;
+  put_int buf b.Box.xmax;
+  put_int buf b.Box.ymax
+
+(* ------------------------------------------------------------------ *)
+(* Primitive readers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type reader = { src : string; mutable pos : int }
+
+let byte r what =
+  if r.pos >= String.length r.src then raise (Error (Truncated what))
+  else begin
+    let c = Char.code r.src.[r.pos] in
+    r.pos <- r.pos + 1;
+    c
+  end
+
+(* Hot in warm loads (five varints per flattened box), so the common
+   single-byte case takes one bounds check and no calls. *)
+let get_uint r what =
+  let src = r.src in
+  let len = String.length src in
+  let pos = r.pos in
+  if pos >= len then raise (Error (Truncated what));
+  let b = Char.code (String.unsafe_get src pos) in
+  if b < 0x80 then begin
+    r.pos <- pos + 1;
+    b
+  end
+  else begin
+    let acc = ref (b land 0x7f) in
+    let shift = ref 7 in
+    let p = ref (pos + 1) in
+    let more = ref true in
+    while !more do
+      if !shift > Sys.int_size - 8 then
+        raise (Error (Malformed (what ^ ": varint too wide")));
+      if !p >= len then raise (Error (Truncated what));
+      let b = Char.code (String.unsafe_get src !p) in
+      incr p;
+      acc := !acc lor ((b land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      if b land 0x80 = 0 then more := false
+    done;
+    r.pos <- !p;
+    !acc
+  end
+
+let get_int r what =
+  let z = get_uint r what in
+  (z lsr 1) lxor (-(z land 1))
+
+let get_str r what =
+  let n = get_uint r what in
+  if r.pos + n > String.length r.src then raise (Error (Truncated what))
+  else begin
+    let s = String.sub r.src r.pos n in
+    r.pos <- r.pos + n;
+    s
+  end
+
+let get_vec r what =
+  let x = get_int r what in
+  let y = get_int r what in
+  Vec.make x y
+
+let get_box r what =
+  let xmin = get_int r what in
+  let ymin = get_int r what in
+  let xmax = get_int r what in
+  let ymax = get_int r what in
+  if xmin > xmax || ymin > ymax then raise (Error (Malformed (what ^ ": inverted box")))
+  else Box.make ~xmin ~ymin ~xmax ~ymax
+
+let get_layer r what =
+  let i = get_uint r what in
+  match Layer.of_index_exn i with
+  | l -> l
+  | exception Invalid_argument _ ->
+    raise (Error (Malformed (Printf.sprintf "%s: layer index %d" what i)))
+
+let get_orient r what =
+  let i = get_uint r what in
+  match Orient.of_index i with
+  | o -> o
+  | exception Invalid_argument _ ->
+    raise (Error (Malformed (Printf.sprintf "%s: orientation index %d" what i)))
+
+(* ------------------------------------------------------------------ *)
+(* Payload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Distinct cells children-before-parents (physical identity, so two
+   same-named cells are kept apart and instance sharing survives the
+   round trip), mirroring the CIF writer's definition-before-use
+   order. *)
+let ordered_cells root =
+  let seen : (Cell.t * int) list ref = ref [] in
+  let order = ref [] and count = ref 0 in
+  let rec visit c =
+    if not (List.mem_assq c !seen) then begin
+      (* reserve the slot only after the children, postorder *)
+      List.iter (fun (i : Cell.instance) -> visit i.Cell.def) (Cell.instances c);
+      seen := (c, !count) :: !seen;
+      incr count;
+      order := c :: !order
+    end
+  in
+  visit root;
+  (List.rev !order, fun c -> List.assq c !seen)
+
+let tag_box = 0
+and tag_label = 1
+and tag_instance = 2
+
+let put_cell buf index_of (c : Cell.t) =
+  put_str buf c.Cell.cname;
+  let objs = Cell.objects c in
+  put_uint buf (List.length objs);
+  List.iter
+    (fun obj ->
+      match obj with
+      | Cell.Obj_box (layer, b) ->
+        put_uint buf tag_box;
+        put_uint buf (Layer.to_index layer);
+        put_box buf b
+      | Cell.Obj_label l ->
+        put_uint buf tag_label;
+        put_str buf l.Cell.text;
+        put_vec buf l.Cell.at
+      | Cell.Obj_instance i ->
+        put_uint buf tag_instance;
+        put_uint buf (index_of i.Cell.def);
+        put_uint buf (Orient.to_index i.Cell.orientation);
+        put_vec buf i.Cell.point_of_call)
+    objs
+
+(* Flattened boxes are written as coordinate deltas against the
+   previous box (zigzag keeps either sign short): the flattener emits
+   them with strong spatial locality, so most deltas fit one varint
+   byte, roughly halving the section and keeping warm loads on the
+   decoder's inline fast path. *)
+let put_flat buf (f : Flatten.flat) =
+  put_uint buf (Array.length f.Flatten.flat_boxes);
+  let pxmin = ref 0 and pymin = ref 0 and pxmax = ref 0 and pymax = ref 0 in
+  Array.iter
+    (fun (layer, (b : Box.t)) ->
+      put_uint buf (Layer.to_index layer);
+      put_int buf (b.Box.xmin - !pxmin);
+      put_int buf (b.Box.ymin - !pymin);
+      put_int buf (b.Box.xmax - !pxmax);
+      put_int buf (b.Box.ymax - !pymax);
+      pxmin := b.Box.xmin;
+      pymin := b.Box.ymin;
+      pxmax := b.Box.xmax;
+      pymax := b.Box.ymax)
+    f.Flatten.flat_boxes;
+  put_uint buf (Array.length f.Flatten.flat_labels);
+  Array.iter
+    (fun (text, at) ->
+      put_str buf text;
+      put_vec buf at)
+    f.Flatten.flat_labels;
+  match f.Flatten.flat_bbox with
+  | None -> put_uint buf 0
+  | Some b ->
+    put_uint buf 1;
+    put_box buf b
+
+let encode ?flat ~label cell =
+  let payload = Buffer.create 4096 in
+  put_str payload label;
+  let cells, index_of = ordered_cells cell in
+  put_uint payload (List.length cells);
+  List.iter (put_cell payload index_of) cells;
+  (match flat with
+  | None -> put_uint payload 0
+  | Some f ->
+    put_uint payload 1;
+    (* length-prefixed so decode can skip the section and hand back a
+       lazy view: runs that never touch the flat geometry (plain CIF
+       writes) skip the bulk of the payload entirely *)
+    let fbuf = Buffer.create 4096 in
+    put_flat fbuf f;
+    put_uint payload (Buffer.length fbuf);
+    Buffer.add_buffer payload fbuf);
+  let payload = Buffer.contents payload in
+  let out = Buffer.create (String.length payload + 16) in
+  Buffer.add_string out magic;
+  put_u32 out (Int32.of_int format_version);
+  put_u32 out (Int32.of_int (String.length payload));
+  put_u32 out (crc32 payload);
+  Buffer.add_string out payload;
+  Buffer.contents out
+
+let get_cell r cells idx =
+  let name = get_str r "cell name" in
+  let c = Cell.create name in
+  let n_objs = get_uint r "object count" in
+  for _ = 1 to n_objs do
+    match get_uint r "object tag" with
+    | 0 ->
+      let layer = get_layer r "box layer" in
+      let b = get_box r "box" in
+      Cell.add_box c layer b
+    | 1 ->
+      let text = get_str r "label text" in
+      let at = get_vec r "label position" in
+      Cell.add_label c text at
+    | 2 ->
+      let def_idx = get_uint r "instance def" in
+      if def_idx >= idx then
+        raise (Error (Malformed (Printf.sprintf "forward instance reference %d in cell %d" def_idx idx)));
+      let orient = get_orient r "instance orientation" in
+      let at = get_vec r "instance position" in
+      ignore (Cell.add_instance c ~orient ~at cells.(def_idx))
+    | t -> raise (Error (Malformed (Printf.sprintf "object tag %d" t)))
+  done;
+  c
+
+let layer_table = lazy (Array.of_list Layer.all)
+
+(* The flattened box array is the bulk of an entry (five varints per
+   box), so it gets a specialised loop: one- and two-byte varints —
+   every coordinate a layout this size produces — decode inline with a
+   single bounds check, and only wider values fall back to the general
+   reader. *)
+let get_flat r =
+  let n_boxes = get_uint r "flat box count" in
+  let layers = Lazy.force layer_table in
+  let n_layers = Array.length layers in
+  let src = r.src in
+  let len = String.length src in
+  let pos = ref r.pos in
+  let uint () =
+    let p = !pos in
+    if p >= len then raise (Error (Truncated "flat box"));
+    let b0 = Char.code (String.unsafe_get src p) in
+    if b0 < 0x80 then begin
+      pos := p + 1;
+      b0
+    end
+    else begin
+      if p + 1 >= len then raise (Error (Truncated "flat box"));
+      let b1 = Char.code (String.unsafe_get src (p + 1)) in
+      if b1 < 0x80 then begin
+        pos := p + 2;
+        b0 land 0x7f lor (b1 lsl 7)
+      end
+      else begin
+        r.pos <- p;
+        let v = get_uint r "flat box" in
+        pos := r.pos;
+        v
+      end
+    end
+  in
+  let int () =
+    let z = uint () in
+    (z lsr 1) lxor (-(z land 1))
+  in
+  let pxmin = ref 0 and pymin = ref 0 and pxmax = ref 0 and pymax = ref 0 in
+  let boxes =
+    Array.init n_boxes (fun _ ->
+        let li = uint () in
+        if li >= n_layers then
+          raise
+            (Error (Malformed (Printf.sprintf "flat box: layer index %d" li)));
+        let layer = Array.unsafe_get layers li in
+        let xmin = !pxmin + int () in
+        let ymin = !pymin + int () in
+        let xmax = !pxmax + int () in
+        let ymax = !pymax + int () in
+        if xmin > xmax || ymin > ymax then
+          raise (Error (Malformed "flat box: inverted box"));
+        pxmin := xmin;
+        pymin := ymin;
+        pxmax := xmax;
+        pymax := ymax;
+        (layer, { Box.xmin; ymin; xmax; ymax }))
+  in
+  r.pos <- !pos;
+  let n_labels = get_uint r "flat label count" in
+  let labels =
+    Array.init n_labels (fun _ ->
+        let text = get_str r "flat label text" in
+        let at = get_vec r "flat label position" in
+        (text, at))
+  in
+  let bbox =
+    match get_uint r "flat bbox flag" with
+    | 0 -> None
+    | 1 -> Some (get_box r "flat bbox")
+    | f -> raise (Error (Malformed (Printf.sprintf "flat bbox flag %d" f)))
+  in
+  { Flatten.flat_boxes = boxes; flat_labels = labels; flat_bbox = bbox }
+
+let get_u32 r what =
+  let b0 = byte r what in
+  let b1 = byte r what in
+  let b2 = byte r what in
+  let b3 = byte r what in
+  Int32.logor
+    (Int32.of_int (b0 lor (b1 lsl 8) lor (b2 lsl 16)))
+    (Int32.shift_left (Int32.of_int b3) 24)
+
+(* Verify the container and return a reader positioned on the payload. *)
+let open_payload s =
+  if String.length s < 4 then raise (Error (Truncated "magic"));
+  if String.sub s 0 4 <> magic then raise (Error Bad_magic);
+  let r = { src = s; pos = 4 } in
+  let version = Int32.to_int (get_u32 r "version") in
+  if version <> format_version then
+    raise (Error (Bad_version { found = version; expected = format_version }));
+  let len = Int32.to_int (get_u32 r "payload length") in
+  let stored = get_u32 r "checksum" in
+  if len < 0 || r.pos + len <> String.length s then
+    raise (Error (Truncated "payload"));
+  let payload = String.sub s r.pos len in
+  let computed = crc32 payload in
+  if stored <> computed then
+    raise (Error (Checksum_mismatch { stored; computed }));
+  { src = payload; pos = 0 }
+
+let decode s =
+  let r = open_payload s in
+  let label = get_str r "label" in
+  let n_cells = get_uint r "cell count" in
+  if n_cells = 0 then raise (Error (Malformed "empty cell table"));
+  let cells = Array.make n_cells (Cell.create "") in
+  for i = 0 to n_cells - 1 do
+    cells.(i) <- get_cell r cells i
+  done;
+  let flat =
+    match get_uint r "flat flag" with
+    | 0 ->
+      if r.pos <> String.length r.src then
+        raise (Error (Malformed "trailing bytes after payload"));
+      Lazy.from_val None
+    | 1 ->
+      (* the whole payload is already checksum-verified, so deferring
+         the (large) flat section costs no integrity; only the framing
+         is checked eagerly *)
+      let flat_len = get_uint r "flat section length" in
+      let start = r.pos in
+      if flat_len < 0 || start + flat_len <> String.length r.src then
+        raise (Error (Malformed "flat section length"));
+      let src = r.src in
+      lazy
+        (let fr = { src; pos = start } in
+         let f = get_flat fr in
+         if fr.pos <> start + flat_len then
+           raise (Error (Malformed "flat section length"));
+         Some f)
+    | f -> raise (Error (Malformed (Printf.sprintf "flat flag %d" f)))
+  in
+  { e_label = label; e_cell = cells.(n_cells - 1); e_flat = flat }
+
+let decode_label s =
+  let r = open_payload s in
+  get_str r "label"
+
+let write_file path data =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".rsgdb-" ".tmp" in
+  let ok = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !ok then try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc data);
+      Sys.rename tmp path;
+      ok := true)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> decode (really_input_string ic (in_channel_length ic)))

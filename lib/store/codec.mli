@@ -1,0 +1,83 @@
+(** Versioned binary codec for layout databases.
+
+    Serialises one cell hierarchy — every distinct cell reachable from
+    a root, children before parents, with its boxes, labels and
+    instance calls — plus (optionally) the root's flattened geometry,
+    so a reader gets back both the hierarchical layout (for CIF/DEF
+    writing, byte-identical to the original) and the prototype-built
+    flat view (for DRC/extraction/stats) without re-expanding or
+    re-flattening anything.
+
+    The format is deliberately {e not} [Marshal]: OCaml's marshaller is
+    not stable across compiler versions, silently accepts any value,
+    and gives no integrity guarantee.  This codec instead writes an
+    explicit container
+
+    {v magic "RSGL" | u32 version | u32 payload length | u32 CRC-32 | payload v}
+
+    (fixed-width fields little-endian; payload integers as LEB128
+    varints, signed values zigzag-encoded; strings length-prefixed;
+    the flattened-box section stores coordinate deltas against the
+    previous box and is itself length-prefixed, so {!decode} can skip
+    it and hand back a lazy view).
+    Every decode verifies magic, version, length and checksum and
+    raises the typed {!Error} on any mismatch, so a truncated or
+    bit-flipped file is detected instead of producing garbage
+    geometry.  {!write_file} writes to a temp file in the target
+    directory and renames it into place, so readers never observe a
+    partial entry. *)
+
+open Rsg_layout
+
+val format_version : int
+(** Bumped on any incompatible change to the payload layout.  Part of
+    the cache key in {!Store}, so stale-format entries are simply
+    never looked up — and a direct {!decode} of one fails with
+    [Bad_version] rather than misparsing. *)
+
+type error =
+  | Bad_magic
+  | Bad_version of { found : int; expected : int }
+  | Truncated of string           (** which field ran out of bytes *)
+  | Checksum_mismatch of { stored : int32; computed : int32 }
+  | Malformed of string           (** structurally invalid payload *)
+
+exception Error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+type entry = {
+  e_label : string;  (** human description, e.g. ["multiplier 8x8"] *)
+  e_cell : Cell.t;   (** the root of the decoded hierarchy *)
+  e_flat : Flatten.flat option Lazy.t;
+      (** the root's flattened geometry, when the writer stored it;
+          identical to [Flatten.flatten e_cell] box for box.  Lazy:
+          the section is length-prefixed and checksum-verified up
+          front but only decoded on force, so loads that just rewrite
+          the hierarchy (CIF output) skip the bulk of the entry *)
+}
+
+val encode : ?flat:Flatten.flat -> label:string -> Cell.t -> string
+(** Serialise [cell] (and, when given, its flattened view) into a
+    self-contained byte string. *)
+
+val decode : string -> entry
+(** Parse and verify a byte string produced by {!encode}.  Raises
+    {!Error} on any corruption, version or framing problem. *)
+
+val decode_label : string -> string
+(** Cheap peek at the entry's label: verifies the container framing
+    (magic, version, length, checksum) but decodes only the label —
+    used by cache listings.  Raises {!Error} like {!decode}. *)
+
+val write_file : string -> string -> unit
+(** [write_file path data] writes atomically: a fresh temp file in
+    [path]'s directory, then [rename] onto [path]. *)
+
+val read_file : string -> entry
+(** [decode] of the file's contents.  Raises {!Error} on corruption
+    and [Sys_error] on I/O failure. *)
+
+val crc32 : string -> int32
+(** The CRC-32 (IEEE 802.3 polynomial) used for the payload checksum;
+    exposed for tests. *)

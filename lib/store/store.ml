@@ -1,0 +1,159 @@
+module Obs = Rsg_obs.Obs
+
+type t = { sdir : string }
+
+let schema_tag = "rsg-store-v1"
+let suffix = ".rsgdb"
+
+let mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && not (Sys.file_exists parent) then
+      (try Unix.mkdir parent 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ dir =
+  mkdir_p dir;
+  { sdir = dir }
+
+let dir t = t.sdir
+
+type key = string
+
+(* Components are length-prefixed before digesting so no two distinct
+   component lists can concatenate to the same byte string (e.g.
+   ["ab";"c"] vs ["a";"bc"]). *)
+let key ?(deck = "") ?(scale = "1") ~design ~params () =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      Buffer.add_string b (string_of_int (String.length s));
+      Buffer.add_char b ':';
+      Buffer.add_string b s)
+    [
+      schema_tag;
+      string_of_int Codec.format_version;
+      design;
+      params;
+      deck;
+      scale;
+    ];
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let key_hex k = k
+let short k = if String.length k >= 8 then String.sub k 0 8 else k
+let path_of t k = Filename.concat t.sdir (k ^ suffix)
+
+type lookup = Hit of Codec.entry | Miss | Corrupt of Codec.error
+
+let find t k =
+  let path = path_of t k in
+  if not (Sys.file_exists path) then begin
+    Obs.count "store.miss";
+    Miss
+  end
+  else
+    match Codec.read_file path with
+    | entry ->
+        Obs.count "store.hit";
+        Hit entry
+    | exception Codec.Error e ->
+        Obs.count "store.corrupt";
+        (try Sys.remove path with Sys_error _ -> ());
+        Corrupt e
+    | exception Sys_error _ ->
+        Obs.count "store.miss";
+        Miss
+
+let save t k ~label ?flat cell =
+  let data = Codec.encode ?flat ~label cell in
+  Codec.write_file (path_of t k) data;
+  Obs.count "store.save"
+
+type entry_stat = { es_key : string; es_label : string; es_bytes : int }
+
+type stats = {
+  st_entries : int;
+  st_bytes : int;
+  st_list : entry_stat list;
+}
+
+let entries t =
+  let files = try Sys.readdir t.sdir with Sys_error _ -> [||] in
+  Array.to_list files
+  |> List.filter_map (fun f ->
+         if Filename.check_suffix f suffix then
+           Some (Filename.chop_suffix f suffix)
+         else None)
+  |> List.sort String.compare
+
+let stats t =
+  let ks = entries t in
+  let list =
+    List.map
+      (fun k ->
+        let path = path_of t k in
+        let bytes = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+        let label =
+          match Codec.decode_label (In_channel.with_open_bin path In_channel.input_all) with
+          | l -> l
+          | exception _ -> "(corrupt)"
+        in
+        { es_key = k; es_label = label; es_bytes = bytes })
+      ks
+  in
+  {
+    st_entries = List.length list;
+    st_bytes = List.fold_left (fun a e -> a + e.es_bytes) 0 list;
+    st_list = list;
+  }
+
+let clear t =
+  let ks = entries t in
+  List.iter (fun k -> try Sys.remove (path_of t k) with Sys_error _ -> ()) ks;
+  List.length ks
+
+let gc ?max_age ?max_bytes t =
+  let now = Unix.gettimeofday () in
+  let stat k =
+    let path = path_of t k in
+    match Unix.stat path with
+    | st -> Some (k, st.Unix.st_mtime, st.Unix.st_size)
+    | exception Unix.Unix_error _ -> None
+  in
+  let all = List.filter_map stat (entries t) in
+  let removed = ref 0 in
+  let remove k =
+    (try Sys.remove (path_of t k) with Sys_error _ -> ());
+    incr removed
+  in
+  let survivors =
+    match max_age with
+    | None -> all
+    | Some age ->
+        List.filter
+          (fun (k, mtime, _) ->
+            if now -. mtime > age then (remove k; false) else true)
+          all
+  in
+  (match max_bytes with
+  | None -> ()
+  | Some limit ->
+      (* oldest first; keys tie-break for determinism *)
+      let by_age =
+        List.sort
+          (fun (ka, ma, _) (kb, mb, _) ->
+            match compare ma mb with 0 -> String.compare ka kb | c -> c)
+          survivors
+      in
+      let total = List.fold_left (fun a (_, _, sz) -> a + sz) 0 by_age in
+      let excess = ref (total - limit) in
+      List.iter
+        (fun (k, _, sz) ->
+          if !excess > 0 then begin
+            remove k;
+            excess := !excess - sz
+          end)
+        by_age);
+  !removed

@@ -1,0 +1,81 @@
+(** Content-addressed on-disk cache of generated layouts.
+
+    Every pipeline stage of the RSG is a pure function of its inputs:
+    a connectivity graph plus a parameter set deterministically expands
+    into a placed layout, so the generated database is fully determined
+    by (design text, parameters, rule deck, scale, codec version).
+    The store exploits that: entries are {!Codec}-encoded layout
+    databases filed under a {!key} — a stable digest of exactly those
+    inputs — so a warm run loads the finished (and already flattened)
+    layout in O(file read) instead of re-parsing, re-expanding,
+    re-flattening and re-checking.
+
+    Corrupt or stale entries can never poison a run: {!find} verifies
+    the codec checksum and version and reports damage as {!Corrupt}
+    (counted under [store.corrupt] in {!Rsg_obs.Obs}), and callers fall
+    back to regeneration, which overwrites the bad entry.  Writes are
+    atomic (temp file + rename, see {!Codec.write_file}), so concurrent
+    batch jobs may share one store directory freely. *)
+
+open Rsg_layout
+
+type t
+(** An opened store directory. *)
+
+val open_ : string -> t
+(** [open_ dir] uses [dir] as the store, creating it (and missing
+    parents one level deep) if needed. *)
+
+val dir : t -> string
+
+type key = private string
+(** 32-hex-digit content address. *)
+
+val key :
+  ?deck:string -> ?scale:string -> design:string -> params:string -> unit -> key
+(** Digest of every generation input: the full design text (for
+    design-file flows, concatenate the sample's text too — anything
+    that shapes geometry belongs here), the canonical parameter
+    listing, the rule deck the output was gated against ([""] when
+    ungated), the output scale (default ["1"]), plus
+    {!Codec.format_version} and a store schema tag.  Any input change
+    yields a new key. *)
+
+val key_hex : key -> string
+
+val short : key -> string
+(** First 8 hex digits, for human-facing messages. *)
+
+type lookup =
+  | Hit of Codec.entry
+  | Miss
+  | Corrupt of Codec.error
+      (** entry existed but failed verification; it has been removed *)
+
+val find : t -> key -> lookup
+(** Look a key up, verifying the entry end to end.  Counts
+    [store.hit] / [store.miss] / [store.corrupt] in Obs. *)
+
+val save : t -> key -> label:string -> ?flat:Flatten.flat -> Cell.t -> unit
+(** Encode and atomically install an entry (last writer wins). *)
+
+val path_of : t -> key -> string
+
+type entry_stat = { es_key : string; es_label : string; es_bytes : int }
+
+type stats = {
+  st_entries : int;
+  st_bytes : int;
+  st_list : entry_stat list;  (** sorted by key, deterministic *)
+}
+
+val stats : t -> stats
+(** Unreadable entries are listed with the label ["(corrupt)"]. *)
+
+val clear : t -> int
+(** Delete every entry; returns how many were removed. *)
+
+val gc : ?max_age:float -> ?max_bytes:int -> t -> int
+(** Delete entries older than [max_age] seconds, then — oldest first —
+    until at most [max_bytes] remain.  Returns how many were
+    removed. *)

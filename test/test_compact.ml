@@ -51,6 +51,43 @@ let test_bellman_negative_weights () =
   Alcotest.(check int) "left" 2 sol.Bellman.values.(l);
   Alcotest.(check int) "right" 9 sol.Bellman.values.(r)
 
+(* the worklist solver must agree with the fixed-pass reference on
+   random feasible systems, for every edge ordering, while never
+   examining more edges *)
+let prop_worklist_matches_fixed =
+  let gen_graph =
+    QCheck.make
+      QCheck.Gen.(
+        fun st ->
+          let n = int_range 2 20 st in
+          let g = Cgraph.create () in
+          let v =
+            Array.init n (fun _ -> Cgraph.fresh_var g ~init:(int_range 0 100 st) ())
+          in
+          Array.iter
+            (fun vi -> Cgraph.add_ge g ~from:Cgraph.origin ~to_:vi ~gap:0)
+            v;
+          let m = int_range 0 (3 * n) st in
+          for _ = 1 to m do
+            (* forward edges only: always feasible *)
+            let i = int_range 0 (n - 2) st in
+            let j = int_range (i + 1) (n - 1) st in
+            Cgraph.add_ge g ~from:v.(i) ~to_:v.(j) ~gap:(int_range (-4) 12 st)
+          done;
+          g)
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"worklist matches fixed-pass solver"
+       gen_graph (fun g ->
+         List.for_all
+           (fun order ->
+             let w = Bellman.solve ~order g in
+             let f = Bellman.solve_fixed ~order g in
+             w.Bellman.values = f.Bellman.values
+             && w.Bellman.scans <= f.Bellman.scans)
+           [ Bellman.Sorted_by_abscissa; Bellman.Insertion;
+             Bellman.Reverse_sorted ]))
+
 let test_sorted_edge_speedup () =
   (* Section 6.4.2: with edges sorted by initial abscissa, a long
      already-ordered chain relaxes in one effective pass. *)
@@ -553,7 +590,8 @@ let () =
          Alcotest.test_case "negative weights" `Quick
            test_bellman_negative_weights;
          Alcotest.test_case "sorted edge speedup" `Quick
-           test_sorted_edge_speedup ]);
+           test_sorted_edge_speedup;
+         prop_worklist_matches_fixed ]);
       ("constraints",
        [ Alcotest.test_case "fragmented bus (fig 6.5)" `Quick
            test_fragmented_bus;

@@ -1,0 +1,409 @@
+(* Tests for lib/store: codec round-trips (every generator family plus
+   QCheck-random hierarchies), typed corruption errors, cache-key
+   sensitivity, store lookup/gc semantics, and the parallel batch
+   runner's determinism and corrupt-entry fallback. *)
+
+open Rsg_geom
+open Rsg_layout
+open Rsg_store
+
+(* ---- temp store directories ---------------------------------------- *)
+
+let temp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "rsg-store-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+(* ---- one layout per generator family -------------------------------- *)
+
+let pla_tt () =
+  Rsg_pla.Truth_table.of_strings [ ("10-", "10"); ("0-1", "01"); ("11-", "11") ]
+
+let families =
+  [
+    ( "multiplier",
+      fun () ->
+        (Rsg_mult.Layout_gen.generate ~xsize:4 ~ysize:4 ())
+          .Rsg_mult.Layout_gen.whole );
+    ("pla", fun () -> (Rsg_pla.Gen.generate (pla_tt ())).Rsg_pla.Gen.cell);
+    ( "rom",
+      fun () ->
+        (Rsg_pla.Rom.generate ~word_bits:4 [| 1; 9; 4; 13 |]).Rsg_pla.Rom.pla
+          .Rsg_pla.Gen.cell );
+    ("decoder", fun () -> (Rsg_pla.Gen.generate_decoder 3).Rsg_pla.Gen.cell);
+    ( "ram",
+      fun () ->
+        (Rsg_ram.Ram_gen.generate ~words:8 ~bits:4 ()).Rsg_ram.Ram_gen.cell );
+  ]
+
+let flat_equal (a : Flatten.flat) (b : Flatten.flat) =
+  a.Flatten.flat_boxes = b.Flatten.flat_boxes
+  && a.Flatten.flat_labels = b.Flatten.flat_labels
+  && a.Flatten.flat_bbox = b.Flatten.flat_bbox
+
+(* ---- codec round-trips ---------------------------------------------- *)
+
+let test_roundtrip_families () =
+  List.iter
+    (fun (name, build) ->
+      let cell = build () in
+      let flat = Flatten.flatten cell in
+      let data = Codec.encode ~flat ~label:name cell in
+      let entry = Codec.decode data in
+      Alcotest.(check string) (name ^ " label") name entry.Codec.e_label;
+      Alcotest.(check string)
+        (name ^ " cif identical")
+        (Cif.to_string cell)
+        (Cif.to_string entry.Codec.e_cell);
+      (match Lazy.force entry.Codec.e_flat with
+      | None -> Alcotest.fail (name ^ ": flat section lost")
+      | Some f ->
+        Alcotest.(check bool) (name ^ " flat identical") true (flat_equal flat f));
+      (* decoded hierarchy re-flattens to the same geometry *)
+      Alcotest.(check bool)
+        (name ^ " reflatten identical")
+        true
+        (flat_equal flat (Flatten.flatten entry.Codec.e_cell));
+      Alcotest.(check string)
+        (name ^ " label peek")
+        name (Codec.decode_label data))
+    families
+
+let test_roundtrip_no_flat () =
+  let cell = (Rsg_pla.Gen.generate_decoder 2).Rsg_pla.Gen.cell in
+  let entry = Codec.decode (Codec.encode ~label:"bare" cell) in
+  Alcotest.(check bool)
+    "no flat stored" true
+    (Lazy.force entry.Codec.e_flat = None);
+  Alcotest.(check string)
+    "cif identical"
+    (Cif.to_string cell)
+    (Cif.to_string entry.Codec.e_cell)
+
+(* A random hierarchy: a pool of cells where cell [i] may only
+   instantiate cells [j < i] — acyclic by construction — with random
+   boxes, labels and D4-oriented instance calls. *)
+let gen_random_cell st =
+  let open QCheck.Gen in
+  let n_layers = List.length Layer.all in
+  let coord st = int_range (-1000) 1000 st in
+  let rand_box st =
+    let x = coord st and y = coord st in
+    let w = int_range 0 300 st and h = int_range 0 300 st in
+    Box.make ~xmin:x ~ymin:y ~xmax:(x + w) ~ymax:(y + h)
+  in
+  let n_cells = int_range 1 8 st in
+  let pool =
+    Array.init n_cells (fun i -> Cell.create (Printf.sprintf "rc%d" i))
+  in
+  Array.iteri
+    (fun i c ->
+      let n_objs = int_range 1 12 st in
+      for _ = 1 to n_objs do
+        match int_range 0 2 st with
+        | 0 ->
+          Cell.add_box c
+            (Layer.of_index_exn (int_range 0 (n_layers - 1) st))
+            (rand_box st)
+        | 1 ->
+          Cell.add_label c
+            (Printf.sprintf "l%d" (int_range 0 99 st))
+            (Vec.make (coord st) (coord st))
+        | _ ->
+          if i = 0 then Cell.add_box c Layer.Metal (rand_box st)
+          else begin
+            let j = int_range 0 (i - 1) st in
+            let orient = Orient.of_index (int_range 0 7 st) in
+            ignore
+              (Cell.add_instance c ~orient
+                 ~at:(Vec.make (coord st) (coord st))
+                 pool.(j))
+          end
+      done)
+    pool;
+  pool.(n_cells - 1)
+
+let qcheck_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"random hierarchies round-trip"
+       (QCheck.make gen_random_cell)
+       (fun cell ->
+         let flat = Flatten.flatten cell in
+         let entry = Codec.decode (Codec.encode ~flat ~label:"rand" cell) in
+         Cif.to_string cell = Cif.to_string entry.Codec.e_cell
+         && (match Lazy.force entry.Codec.e_flat with
+            | Some f -> flat_equal flat f
+            | None -> false)
+         && flat_equal flat (Flatten.flatten entry.Codec.e_cell)))
+
+(* ---- corruption ------------------------------------------------------ *)
+
+let test_corruption_detected () =
+  let cell = (Rsg_pla.Gen.generate_decoder 3).Rsg_pla.Gen.cell in
+  let flat = Flatten.flatten cell in
+  let data = Codec.encode ~flat ~label:"decoder 3" cell in
+  let expect_error what s =
+    match Codec.decode s with
+    | _ -> Alcotest.fail (what ^ ": corruption not detected")
+    | exception Codec.Error _ -> ()
+  in
+  (* truncation at a spread of prefixes *)
+  List.iter
+    (fun frac ->
+      let len = String.length data * frac / 10 in
+      expect_error
+        (Printf.sprintf "truncated to %d/%d" len (String.length data))
+        (String.sub data 0 len))
+    [ 0; 1; 3; 5; 7; 9 ];
+  (* single-byte flips across the whole file, header included *)
+  let step = max 1 (String.length data / 97) in
+  let i = ref 0 in
+  while !i < String.length data do
+    let b = Bytes.of_string data in
+    Bytes.set b !i (Char.chr (Char.code (Bytes.get b !i) lxor 0x41));
+    expect_error (Printf.sprintf "flip at byte %d" !i) (Bytes.to_string b);
+    i := !i + step
+  done
+
+let test_error_kinds () =
+  let cell = Cell.create "unit" in
+  Cell.add_box cell Layer.Metal (Box.make ~xmin:0 ~ymin:0 ~xmax:4 ~ymax:4);
+  let data = Codec.encode ~label:"unit" cell in
+  (match Codec.decode ("XXXX" ^ String.sub data 4 (String.length data - 4)) with
+  | _ -> Alcotest.fail "bad magic accepted"
+  | exception Codec.Error Codec.Bad_magic -> ()
+  | exception Codec.Error e ->
+    Alcotest.failf "wanted Bad_magic, got %a" Codec.pp_error e);
+  (let b = Bytes.of_string data in
+   Bytes.set b 4 (Char.chr (Char.code (Bytes.get b 4) lxor 0xff));
+   match Codec.decode (Bytes.to_string b) with
+   | _ -> Alcotest.fail "bad version accepted"
+   | exception Codec.Error (Codec.Bad_version _) -> ()
+   | exception Codec.Error e ->
+     Alcotest.failf "wanted Bad_version, got %a" Codec.pp_error e);
+  (* flip one payload byte: length still right, checksum must catch it *)
+  let b = Bytes.of_string data in
+  let last = Bytes.length b - 1 in
+  Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x01));
+  match Codec.decode (Bytes.to_string b) with
+  | _ -> Alcotest.fail "payload flip accepted"
+  | exception Codec.Error (Codec.Checksum_mismatch _) -> ()
+  | exception Codec.Error e ->
+    Alcotest.failf "wanted Checksum_mismatch, got %a" Codec.pp_error e
+
+(* ---- cache keys ------------------------------------------------------ *)
+
+let test_key_sensitivity () =
+  let base = Store.key ~deck:"deck" ~scale:"1" ~design:"design" ~params:"p" () in
+  let same = Store.key ~deck:"deck" ~scale:"1" ~design:"design" ~params:"p" () in
+  Alcotest.(check string) "stable" (Store.key_hex base) (Store.key_hex same);
+  List.iter
+    (fun (what, k) ->
+      Alcotest.(check bool)
+        (what ^ " changes key")
+        false
+        (Store.key_hex k = Store.key_hex base))
+    [
+      ("design", Store.key ~deck:"deck" ~scale:"1" ~design:"design2" ~params:"p" ());
+      ("params", Store.key ~deck:"deck" ~scale:"1" ~design:"design" ~params:"q" ());
+      ("deck", Store.key ~deck:"deck2" ~scale:"1" ~design:"design" ~params:"p" ());
+      ("scale", Store.key ~deck:"deck" ~scale:"2" ~design:"design" ~params:"p" ());
+    ];
+  (* components must not concatenate ambiguously *)
+  let a = Store.key ~design:"ab" ~params:"c" ()
+  and b = Store.key ~design:"a" ~params:"bc" () in
+  Alcotest.(check bool) "no component bleed" false
+    (Store.key_hex a = Store.key_hex b)
+
+(* ---- store ----------------------------------------------------------- *)
+
+let test_store_lookup () =
+  let st = Store.open_ (temp_dir ()) in
+  let cell = (Rsg_pla.Gen.generate_decoder 3).Rsg_pla.Gen.cell in
+  let flat = Flatten.flatten cell in
+  let k = Store.key ~design:"decoder" ~params:"n=3" () in
+  (match Store.find st k with
+  | Store.Miss -> ()
+  | _ -> Alcotest.fail "expected Miss before save");
+  Store.save st k ~label:"decoder 3" ~flat cell;
+  (match Store.find st k with
+  | Store.Hit e ->
+    Alcotest.(check string) "hit label" "decoder 3" e.Codec.e_label;
+    Alcotest.(check string)
+      "hit cif" (Cif.to_string cell)
+      (Cif.to_string e.Codec.e_cell)
+  | _ -> Alcotest.fail "expected Hit after save");
+  (* corrupt the file on disk: find must report Corrupt and remove it *)
+  let path = Store.path_of st k in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string data in
+  Bytes.set b (Bytes.length b - 2)
+    (Char.chr (Char.code (Bytes.get b (Bytes.length b - 2)) lxor 0x10));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Bytes.to_string b));
+  (match Store.find st k with
+  | Store.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt after byte flip");
+  (match Store.find st k with
+  | Store.Miss -> ()
+  | _ -> Alcotest.fail "corrupt entry should have been removed");
+  ignore (Store.clear st)
+
+let test_store_stats_gc () =
+  let st = Store.open_ (temp_dir ()) in
+  let cell = Cell.create "c" in
+  Cell.add_box cell Layer.Poly (Box.make ~xmin:0 ~ymin:0 ~xmax:2 ~ymax:2);
+  let keys =
+    List.map
+      (fun i ->
+        let k = Store.key ~design:"d" ~params:(string_of_int i) () in
+        Store.save st k ~label:(Printf.sprintf "entry %d" i) cell;
+        k)
+      [ 0; 1; 2; 3 ]
+  in
+  let s = Store.stats st in
+  Alcotest.(check int) "entries" 4 s.Store.st_entries;
+  Alcotest.(check bool) "bytes > 0" true (s.Store.st_bytes > 0);
+  let listed = List.map (fun e -> e.Store.es_key) s.Store.st_list in
+  Alcotest.(check (list string))
+    "sorted deterministic" (List.sort String.compare listed) listed;
+  Alcotest.(check int) "listed all" 4 (List.length listed);
+  (* gc by size down to roughly half must remove something but not all *)
+  let per = s.Store.st_bytes / 4 in
+  let removed = Store.gc ~max_bytes:(per * 2) st in
+  Alcotest.(check bool) "gc removed some" true (removed >= 1 && removed < 4);
+  let s2 = Store.stats st in
+  Alcotest.(check bool) "gc under budget" true (s2.Store.st_bytes <= per * 2);
+  (* gc by age: everything is fresh, so a 1-hour horizon removes nothing *)
+  Alcotest.(check int) "age gc keeps fresh" 0 (Store.gc ~max_age:3600.0 st);
+  let n = Store.clear st in
+  Alcotest.(check int) "clear removes rest" s2.Store.st_entries n;
+  Alcotest.(check int) "empty after clear" 0 (Store.stats st).Store.st_entries;
+  ignore keys
+
+(* ---- batch ----------------------------------------------------------- *)
+
+let batch_jobs () =
+  List.mapi
+    (fun i (name, build) ->
+      {
+        Batch.j_name = Printf.sprintf "%02d-%s" i name;
+        j_kind = name;
+        j_key = Store.key ~design:name ~params:(string_of_int i) ();
+        j_label = name;
+        j_gen = build;
+      })
+    (families @ families)
+
+let outcome_tag = function
+  | Batch.Hit -> "hit"
+  | Batch.Generated -> "gen"
+  | Batch.Regenerated _ -> "regen"
+  | Batch.Failed _ -> "failed"
+
+let cif_of_results rs =
+  List.map
+    (fun r ->
+      match r.Batch.r_cell with
+      | Some c -> Cif.to_string c
+      | None -> "<failed>")
+    rs
+
+let test_batch_hits_and_determinism () =
+  let st = Store.open_ (temp_dir ()) in
+  let jobs = batch_jobs () in
+  let cold = Batch.run ~domains:2 ~store:st jobs in
+  Alcotest.(check int) "all ran" (List.length jobs) (List.length cold);
+  List.iter
+    (fun r ->
+      Alcotest.(check string)
+        (r.Batch.r_job.Batch.j_name ^ " cold outcome")
+        "gen"
+        (outcome_tag r.Batch.r_outcome);
+      Alcotest.(check bool)
+        (r.Batch.r_job.Batch.j_name ^ " has boxes")
+        true (r.Batch.r_boxes > 0))
+    cold;
+  (* manifest order is preserved *)
+  Alcotest.(check (list string))
+    "result order = manifest order"
+    (List.map (fun j -> j.Batch.j_name) jobs)
+    (List.map (fun r -> r.Batch.r_job.Batch.j_name) cold);
+  let warm = Batch.run ~domains:2 ~store:st jobs in
+  List.iter
+    (fun r ->
+      Alcotest.(check string)
+        (r.Batch.r_job.Batch.j_name ^ " warm outcome")
+        "hit"
+        (outcome_tag r.Batch.r_outcome))
+    warm;
+  Alcotest.(check (list string))
+    "warm layouts identical to cold" (cif_of_results cold)
+    (cif_of_results warm);
+  (* any domain count produces the same outputs *)
+  let d1 = Batch.run ~domains:1 ~store:st jobs in
+  Alcotest.(check (list string))
+    "domains=1 identical" (cif_of_results cold) (cif_of_results d1);
+  ignore (Store.clear st)
+
+let test_batch_corrupt_fallback () =
+  let st = Store.open_ (temp_dir ()) in
+  let jobs = batch_jobs () in
+  let cold = Batch.run ~domains:1 ~store:st jobs in
+  (* smash the first job's entry *)
+  let first = List.hd jobs in
+  let path = Store.path_of st first.Batch.j_key in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "RSGLgarbage");
+  let warm = Batch.run ~domains:2 ~store:st jobs in
+  let r0 = List.hd warm in
+  Alcotest.(check string) "first regenerated" "regen"
+    (outcome_tag r0.Batch.r_outcome);
+  (* fallback regeneration is box-for-box identical *)
+  Alcotest.(check (list string))
+    "fallback layouts identical" (cif_of_results cold) (cif_of_results warm);
+  (match (r0.Batch.r_flat, (List.hd cold).Batch.r_flat) with
+  | Some a, Some b ->
+    Alcotest.(check bool) "fallback flat identical" true (flat_equal a b)
+  | _ -> Alcotest.fail "missing flat");
+  (* and the re-save healed the entry *)
+  match Store.find st first.Batch.j_key with
+  | Store.Hit _ -> ignore (Store.clear st)
+  | _ -> Alcotest.fail "entry not healed after regeneration"
+
+let () =
+  Alcotest.run "rsg_store"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip all families" `Quick
+            test_roundtrip_families;
+          Alcotest.test_case "roundtrip without flat" `Quick
+            test_roundtrip_no_flat;
+          Alcotest.test_case "corruption detected" `Quick
+            test_corruption_detected;
+          Alcotest.test_case "typed error kinds" `Quick test_error_kinds;
+          qcheck_roundtrip;
+        ] );
+      ( "key",
+        [ Alcotest.test_case "sensitivity" `Quick test_key_sensitivity ] );
+      ( "store",
+        [
+          Alcotest.test_case "lookup lifecycle" `Quick test_store_lookup;
+          Alcotest.test_case "stats and gc" `Quick test_store_stats_gc;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "hits and determinism" `Quick
+            test_batch_hits_and_determinism;
+          Alcotest.test_case "corrupt fallback" `Quick
+            test_batch_corrupt_fallback;
+        ] );
+    ]
