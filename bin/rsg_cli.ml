@@ -56,6 +56,20 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 (* A sample CIF holds leaf cells plus labelled assembly cells; every
    symbol that contains both instances and labels is extracted. *)
 let sample_of_cif path =
@@ -226,32 +240,135 @@ let load_db path =
     Format.eprintf "%s@." msg;
     exit 1
 
-(* Run one generator through the store.  Cold path: generate, gate,
-   scale, install; warm path: load the stored hierarchy + flat view
-   (gates already passed when the entry was created; --drc re-checks
-   the stored flat, still without flattening anything).  The flat view
-   is lazy so a plain uncached run never pays for it. *)
-let run_cached ?domains ~store:(cache, save_db, scale) ~design ~params ~label
-    ~stats:want_stats ~drc ~out gen =
+(* Hierarchical design-rule gate of the generator flow: each distinct
+   prototype is checked once ({!Rsg_drc.Drc.check_protos}); [cached]
+   replays levels computed by an earlier run when the subtree digest
+   and deck digest both match.  Same pass/fail behaviour as
+   [drc_gate_flat] — the hier-vs-flat agreement tests pin that — but
+   incremental runs skip every clean prototype. *)
+let drc_gate_protos ?domains ~cached protos =
+  let r = Rsg_drc.Drc.check_protos ?domains ~cached protos in
+  if Rsg_drc.Drc.hier_clean r then begin
+    Format.printf
+      "drc: clean (%d prototypes, %d replayed, %d boxes checked, deck %s)@."
+      (List.length r.Rsg_drc.Drc.h_levels)
+      r.Rsg_drc.Drc.h_cached r.Rsg_drc.Drc.h_boxes r.Rsg_drc.Drc.h_deck;
+    r
+  end
+  else begin
+    Format.eprintf "%a" Rsg_drc.Drc.pp_hier_report r;
+    exit 1
+  end
+
+let proto_index table =
+  let h = Hashtbl.create 64 in
+  Array.iter
+    (fun (p : Codec.proto) -> Hashtbl.replace h (Digest.to_hex p.Codec.p_hash) p)
+    table;
+  h
+
+(* Run one generator through the store.
+
+   Warm path: load the stored hierarchy + flat view; --drc replays the
+   entry's own per-prototype levels, recomputing nothing.
+
+   Cold path: generate, then harvest the {e previous} entry for this
+   design ([stem] names the design independently of its content, so an
+   edit still finds it): every prototype whose subtree digest is
+   unchanged replays its stored DRC level and is marked reused in the
+   new entry; only the dirty prototypes — the edited celltypes and
+   their ancestors — are actually checked, fanned across the domain
+   pool.  The installed entry carries the prototype table (digests,
+   reused flags, per-deck levels) so the next edit harvests it in
+   turn.  The flat view is lazy so a plain uncached run never pays for
+   it. *)
+let run_cached ?domains ~store:(cache, save_db, scale) ~stem ~design ~params
+    ~label ~stats:want_stats ~drc ~out gen =
   if scale < 1 then begin
     Format.eprintf "--scale must be >= 1@.";
     exit 1
   end;
   let deck = if drc then Rsg_drc.Deck.to_string Rsg_drc.Deck.default else "" in
+  let deck_digest = Rsg_drc.Deck.digest Rsg_drc.Deck.default in
   let key =
     Store.key ~deck ~scale:(string_of_int scale) ~design ~params ()
   in
   let st = Option.map Store.open_ cache in
-  let flat_of cell = Flatten.protos_flat (Flatten.prototypes cell) in
   let cold store =
     let cell = gen () in
-    if drc then drc_gate_flat ?domains true (flat_of cell);
-    let cell = if scale = 1 then cell else Scale.cell ~num:scale cell in
-    let flat = lazy (flat_of cell) in
+    let protos = Flatten.prototypes cell in
+    let harvested =
+      match store with
+      | Some s -> (
+        match Store.harvest s ~stem with
+        | Some (k, table) when Array.length table > 0 ->
+          Format.printf "cache: harvesting %s (%d prototypes)@."
+            (Store.short k) (Array.length table);
+          Some (proto_index table)
+        | _ -> None)
+      | None -> None
+    in
+    let old_proto hex =
+      match harvested with None -> None | Some h -> Hashtbl.find_opt h hex
+    in
+    let hier =
+      if drc then begin
+        let cached hex =
+          Option.bind (old_proto hex) (fun (p : Codec.proto) ->
+              List.assoc_opt deck_digest p.Codec.p_reports)
+        in
+        Some (drc_gate_protos ?domains ~cached protos)
+      end
+      else None
+    in
+    let cell, protos =
+      if scale = 1 then (cell, protos)
+      else begin
+        let c = Scale.cell ~num:scale cell in
+        (c, Flatten.prototypes c)
+      end
+    in
+    let flat = lazy (Flatten.protos_flat protos) in
     (match store with
     | Some s ->
-      Store.save s key ~label ~flat:(Lazy.force flat) cell;
-      Format.printf "cache: saved %s@." (Store.short key)
+      (* scaling changes every digest, so reused flags and DRC reports
+         (both computed pre-scale) only annotate scale-1 entries — the
+         table itself always describes the stored geometry *)
+      let reused hex = scale = 1 && old_proto hex <> None in
+      let reports =
+        match hier with
+        | Some r when scale = 1 ->
+          let by_hex =
+            List.map
+              (fun (l : Rsg_drc.Drc.level) ->
+                ( l.Rsg_drc.Drc.l_hash,
+                  { Rsg_drc.Drc.cl_violations = l.Rsg_drc.Drc.l_violations;
+                    cl_contexts = l.Rsg_drc.Drc.l_contexts;
+                    cl_distinct = l.Rsg_drc.Drc.l_distinct;
+                    cl_boxes = l.Rsg_drc.Drc.l_boxes } ))
+              r.Rsg_drc.Drc.h_levels
+          in
+          fun hex ->
+            (match List.assoc_opt hex by_hex with
+            | Some cl -> [ (deck_digest, cl) ]
+            | None -> [])
+        | _ -> fun _ -> []
+      in
+      let table = Codec.proto_table protos ~reused ~reports in
+      let n_reused =
+        Array.fold_left
+          (fun a (p : Codec.proto) -> if p.Codec.p_reused then a + 1 else a)
+          0 table
+      in
+      Array.iter
+        (fun (p : Codec.proto) ->
+          Obs.count
+            (if p.Codec.p_reused then "cache.proto.reused"
+             else "cache.proto.fresh"))
+        table;
+      Store.save s key ~stem ~label ~flat:(Lazy.force flat) ~protos:table cell;
+      Format.printf "cache: saved %s (%d prototypes, %d reused)@."
+        (Store.short key) (Array.length table) n_reused
     | None -> ());
     (cell, flat)
   in
@@ -262,13 +379,21 @@ let run_cached ?domains ~store:(cache, save_db, scale) ~design ~params ~label
       match Store.find s key with
       | Store.Hit e ->
         Format.printf "cache: hit %s@." (Store.short key);
+        let protos = lazy (Flatten.prototypes e.Codec.e_cell) in
         let flat =
           lazy
             (match Lazy.force e.Codec.e_flat with
             | Some f -> f
-            | None -> flat_of e.Codec.e_cell)
+            | None -> Flatten.protos_flat (Lazy.force protos))
         in
-        if drc then drc_gate_flat ?domains true (Lazy.force flat);
+        if drc then begin
+          let h = proto_index e.Codec.e_protos in
+          let cached hex =
+            Option.bind (Hashtbl.find_opt h hex) (fun (p : Codec.proto) ->
+                List.assoc_opt deck_digest p.Codec.p_reports)
+          in
+          ignore (drc_gate_protos ?domains ~cached (Lazy.force protos))
+        end;
         (e.Codec.e_cell, flat)
       | Store.Miss ->
         Format.printf "cache: miss %s@." (Store.short key);
@@ -316,6 +441,10 @@ let generate design params sample_path out stats lint drc domains store obs =
     | Some cell -> cell
   in
   run_cached ?domains ~store
+    (* the stem is the design's identity (its path), not its content:
+       an edited design misses the key but still harvests the previous
+       entry through the stem's .latest pointer *)
+    ~stem:("generate:" ^ design)
     (* the sample shapes the geometry just as much as the design file,
        so both belong in the content key *)
     ~design:(design_text ^ "\x00sample\x00" ^ sample_text)
@@ -366,7 +495,7 @@ let multiplier size out stats lint drc domains store obs =
     (Rsg_mult.Layout_gen.generate ~xsize:size ~ysize:size ())
       .Rsg_mult.Layout_gen.whole
   in
-  run_cached ?domains ~store
+  run_cached ?domains ~store ~stem:"multiplier"
     ~design:("builtin:multiplier\n" ^ Rsg_mult.Design_file.text)
     ~params:(Rsg_mult.Sample_lib.param_file ~xsize:size ~ysize:size)
     ~label:(Printf.sprintf "multiplier %dx%d" size size)
@@ -427,6 +556,7 @@ let pla table out stats fold lint drc domains store obs =
       end
     in
     run_cached ?domains ~store
+      ~stem:(Printf.sprintf "pla:%s%s" table (if fold then "+fold" else ""))
       ~design:("builtin:pla\n" ^ Rsg_pla.Pla_design_file.text)
       ~params:(Printf.sprintf "fold=%b\n%s" fold table_text)
       ~label:
@@ -482,7 +612,7 @@ let rom data_path word_bits out stats drc domains store obs =
       end;
       r.Rsg_pla.Rom.pla.Rsg_pla.Gen.cell
   in
-  run_cached ?domains ~store ~design:"builtin:rom"
+  run_cached ?domains ~store ~stem:("rom:" ^ data_path) ~design:"builtin:rom"
     ~params:(Printf.sprintf "word_bits=%d\n%s" word_bits data_text)
     ~label:(Printf.sprintf "rom %d words x %d bits" (Array.length words) word_bits)
     ~stats ~drc ~out gen
@@ -506,7 +636,7 @@ let rom_cmd =
 let decoder n out stats drc domains store obs =
   with_obs obs @@ fun () ->
   let gen () = (Rsg_pla.Gen.generate_decoder n).Rsg_pla.Gen.cell in
-  run_cached ?domains ~store ~design:"builtin:decoder"
+  run_cached ?domains ~store ~stem:"decoder" ~design:"builtin:decoder"
     ~params:(Printf.sprintf "n=%d" n)
     ~label:(Printf.sprintf "decoder %d" n)
     ~stats ~drc ~out gen
@@ -781,8 +911,40 @@ let drc_cmd =
    parameter file makes the host environment fully known (unresolved
    names become errors); without one they stay warnings, since the
    name may arrive from a parameter file at generate time. *)
-let lint target params_path sample_path assumes json_out obs =
+let lint target params_path sample_path assumes hashes json_out obs =
   with_obs obs @@ fun () ->
+  let source_text =
+    match target with
+    | "mult" -> Rsg_mult.Design_file.text
+    | "pla" -> Rsg_pla.Pla_design_file.text
+    | path when Sys.file_exists path -> read_file path
+    | other ->
+      Format.eprintf "%s is neither a file nor a builtin (mult, pla)@." other;
+      exit 1
+  in
+  if hashes then begin
+    (* content digests of every procedure (calls embed the callee's
+       digest) — diff two runs to see which celltypes an edit dirties *)
+    (match Rsg_lang.Parser.parse_program source_text with
+    | exception Rsg_lang.Parser.Syntax_error msg ->
+      Format.eprintf "syntax error: %s@." msg;
+      exit 1
+    | program ->
+      let t = Rsg_lang.Subtree.of_program program in
+      if json_out then begin
+        let line (name, d) =
+          Printf.sprintf "  {\"proc\": \"%s\", \"hash\": \"%s\"}"
+            (json_escape name) d
+        in
+        Printf.printf "[\n%s\n]\n"
+          (String.concat ",\n" (List.map line (Rsg_lang.Subtree.digests t)))
+      end
+      else
+        List.iter
+          (fun (name, d) -> Format.printf "%s  %s@." d name)
+          (Rsg_lang.Subtree.digests t));
+    exit 0
+  end;
   let report =
     match target with
     | "mult" ->
@@ -858,6 +1020,13 @@ let lint_cmd =
               ~doc:
                 "Treat $(docv) as a host-installed global (repeatable), \
                  e.g. the PLA's lits/outs encoding tables.")
+      $ Arg.(
+          value & flag
+          & info [ "hashes" ]
+              ~doc:
+                "Instead of linting, print each procedure's transitive \
+                 content digest (calls embed the callee's digest); diff \
+                 two runs to see which procedures an edit dirties.")
       $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
       $ obs_term)
 
@@ -999,20 +1168,6 @@ let batch_job (lineno, name, kind, assoc) =
     j_gen = gen;
   }
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let outcome_name = function
   | Batch.Hit -> "hit"
   | Batch.Generated -> "generated"
@@ -1135,10 +1290,12 @@ let cache_stats dir json =
   let s = Store.stats (Store.open_ dir) in
   if json then begin
     let entry e =
-      Printf.sprintf "    {\"key\": \"%s\", \"label\": \"%s\", \"bytes\": %d}"
+      Printf.sprintf
+        "    {\"key\": \"%s\", \"label\": \"%s\", \"bytes\": %d, \"protos\": \
+         %d, \"reused\": %d}"
         (json_escape e.Store.es_key)
         (json_escape e.Store.es_label)
-        e.Store.es_bytes
+        e.Store.es_bytes e.Store.es_protos e.Store.es_reused
     in
     Printf.printf
       "{\n  \"entries\": %d,\n  \"bytes\": %d,\n  \"list\": [\n%s\n  ]\n}\n"
@@ -1148,9 +1305,10 @@ let cache_stats dir json =
   else begin
     List.iter
       (fun e ->
-        Format.printf "%s  %8d  %s@."
+        Format.printf "%s  %8d  %3d protos (%3d reused)  %s@."
           (String.sub e.Store.es_key 0 8)
-          e.Store.es_bytes e.Store.es_label)
+          e.Store.es_bytes e.Store.es_protos e.Store.es_reused
+          e.Store.es_label)
       s.Store.st_list;
     Format.printf "%d entries, %d bytes@." s.Store.st_entries s.Store.st_bytes
   end

@@ -196,6 +196,22 @@ let to_string t =
     t.rules;
   Buffer.contents buf
 
+(* The largest distance any rule of the deck can see across: geometry
+   farther apart than this can never interact under the deck.  This is
+   the halo of the hierarchical checker's context windows. *)
+let halo t =
+  List.fold_left
+    (fun acc r ->
+      max acc
+        (match r with
+        | Width (_, w) -> w
+        | Spacing (_, _, s) -> s
+        | Enclosure (_, _, m) -> m
+        | Overlap (_, _, k) -> k))
+    1 t.rules
+
+let digest t = Digest.string (to_string t)
+
 (* Stable rule identifier, the key of a violation report. *)
 let rule_id = function
   | Width (l, _) -> "width." ^ Layer.name l

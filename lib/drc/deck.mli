@@ -73,6 +73,17 @@ val read_file : string -> t
 val to_string : t -> string
 (** Canonical DSL text; [of_string (to_string t)] is [t]. *)
 
+val halo : t -> int
+(** The interaction range of the deck: the largest distance any of its
+    rules measures across (at least 1).  Geometry farther apart than
+    the halo can never violate a rule together — the window margin of
+    the hierarchical checker ({!Rsg_drc.Drc.check_protos}). *)
+
+val digest : t -> string
+(** Raw 16-byte MD5 of the canonical DSL text — the key under which
+    per-prototype check results are cached, so results from a
+    different deck are never reused. *)
+
 val pp_rule : Format.formatter -> rule -> unit
 
 val rule_id : rule -> string

@@ -379,6 +379,438 @@ let check_flat ?deck ?domains flat =
 
 let clean r = r.r_violations = []
 
+(* ---- hierarchical per-prototype checking --------------------------- *)
+
+module Cell = Rsg_layout.Cell
+module Flatten = Rsg_layout.Flatten
+
+type cached_level = {
+  cl_violations : (violation * int) list;
+  cl_contexts : int;
+  cl_distinct : int;
+  cl_boxes : int;
+}
+
+type level = {
+  l_cell : string;
+  l_hash : string;
+  l_placements : int;
+  l_violations : (violation * int) list;
+  l_contexts : int;
+  l_distinct : int;
+  l_boxes : int;
+  l_cached : bool;
+}
+
+type hier_report = {
+  h_deck : string;
+  h_halo : int;
+  h_levels : level list;
+  h_boxes : int;
+  h_cached : int;
+}
+
+let box_within (outer : Box.t) (b : Box.t) =
+  b.Box.xmin >= outer.Box.xmin
+  && b.Box.ymin >= outer.Box.ymin
+  && b.Box.xmax <= outer.Box.xmax
+  && b.Box.ymax <= outer.Box.ymax
+
+(* [None] when shrinking by [m] would invert the box. *)
+let erode_opt m (b : Box.t) =
+  let xmin = b.Box.xmin + m
+  and ymin = b.Box.ymin + m
+  and xmax = b.Box.xmax - m
+  and ymax = b.Box.ymax - m in
+  if xmin > xmax || ymin > ymax then None
+  else Some { Box.xmin; ymin; xmax; ymax }
+
+let witness_bbox v =
+  match v.v_boxes with
+  | [] -> None
+  | b :: tl -> Some (List.fold_left Box.union b tl)
+
+let compare_violation a b =
+  let c = String.compare a.v_rule b.v_rule in
+  if c <> 0 then c
+  else
+    compare
+      ( List.map
+          (fun (x : Box.t) -> (x.Box.xmin, x.Box.ymin, x.Box.xmax, x.Box.ymax))
+          a.v_boxes,
+        a.v_required,
+        a.v_actual )
+      ( List.map
+          (fun (x : Box.t) -> (x.Box.xmin, x.Box.ymin, x.Box.xmax, x.Box.ymax))
+          b.v_boxes,
+        b.v_required,
+        b.v_actual )
+
+(* The hierarchical checker exploits the same regularity as the
+   prototype flattener: a design with thousands of instances of a
+   handful of celltypes has only a handful of {e distinct local
+   situations} a design rule can see, because no rule of the deck
+   measures farther than its halo.  Responsibility is partitioned by
+   depth from each prototype's bounding box:
+
+   - a prototype's own level answers for witnesses at least one halo
+     {e inside} its bbox (the parent cannot perturb them), child
+     interiors excluded;
+   - the ring within one halo of a child instance's bbox belongs to
+     the {e parent}'s context check of that instance: a window of the
+     child's boundary band (depth two halos) plus every neighbouring
+     instance's and the parent's own geometry clipped to the inflated
+     bbox.  Congruent windows — same child subtree hash, orientation,
+     neighbour pattern and nearby parent geometry — are checked once
+     and multiplied, so a regular array costs O(distinct contexts),
+     not O(instances);
+   - parent geometry away from every child is checked directly.
+
+   Witnesses are filtered to each check's zone, so no violation is
+   reported at two levels; within a level, overlapping context
+   windows can each see a shared witness, so totals are upper bounds.
+   Soundness leans on the regular-structure discipline the generators
+   obey — instances abut or overlap shallowly, and geometry deep
+   inside one subtree is not perturbed by another (see DESIGN.md);
+   the hier-vs-flat agreement tests pin this empirically. *)
+let check_protos ?(deck = Deck.default) ?domains ?(cached = fun _ -> None)
+    protos =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Par.default_domains ()
+  in
+  Obs.span "drc.hier" @@ fun () ->
+  let halo = Deck.halo deck in
+  let margin = 2 * halo in
+  let order = Array.of_list (Flatten.protos_order protos) in
+  let n = Array.length order in
+  let root_idx = n - 1 in
+  (* per-prototype flats (and the bands below) are lazy: a level
+     replayed from [cached] never touches its geometry, so a run where
+     everything (or nearly everything) replays skips the O(design)
+     materialisation entirely *)
+  let flats = Array.map (fun c -> lazy (Flatten.proto_flat protos c)) order in
+  let bboxes = Array.map (Flatten.cell_bbox protos) order in
+  let hexes = Array.map (Flatten.subtree_hex protos) order in
+  (* physical-identity index of each distinct cell *)
+  let index : (string, (Cell.t * int) list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (c : Cell.t) ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt index c.Cell.cname) in
+      Hashtbl.replace index c.Cell.cname ((c, i) :: l))
+    order;
+  let idx_of (c : Cell.t) = List.assq c (Hashtbl.find index c.Cell.cname) in
+  (* whole-design placement count of each prototype; parents follow
+     children in postorder, so a downward sweep sees every parent's
+     final count before distributing it *)
+  let placements = Array.make n 0 in
+  placements.(root_idx) <- 1;
+  for i = n - 1 downto 0 do
+    if placements.(i) > 0 then
+      List.iter
+        (fun (inst : Cell.instance) ->
+          let j = idx_of inst.Cell.def in
+          placements.(j) <- placements.(j) + placements.(i))
+        (Cell.instances order.(i))
+  done;
+  (* boundary bands: a prototype's boxes within [margin] of its bbox
+     edge, local coordinates — the only part of a child a parent-level
+     window ever needs *)
+  let bands =
+    Array.init n (fun i ->
+        lazy
+          (match bboxes.(i) with
+          | None -> [||]
+          | Some bb -> (
+            let boxes = (Lazy.force flats.(i)).Flatten.flat_boxes in
+            match erode_opt margin bb with
+            | None -> boxes
+            | Some core ->
+              Array.of_list
+                (Array.fold_right
+                   (fun (l, b) acc ->
+                     if box_within core b then acc else (l, b) :: acc)
+                   boxes []))))
+  in
+  let place orient (off : Rsg_geom.Vec.t) b = Box.translate off (Box.transform orient b) in
+  let compute i =
+    let c = order.(i) in
+    let own = Cell.boxes c in
+    let insts =
+      Array.of_list
+        (List.filter_map
+           (fun (inst : Cell.instance) ->
+             let j = idx_of inst.Cell.def in
+             match bboxes.(j) with
+             | None -> None
+             | Some bb ->
+               let ti = Cell.transform_of_instance inst in
+               let off = ti.Rsg_geom.Transform.offset in
+               let orient = inst.Cell.orientation in
+               Some (j, orient, off, place orient off bb))
+           (Cell.instances c))
+    in
+    let violations = ref [] in
+    let boxes_checked = ref 0 in
+    let run items =
+      boxes_checked := !boxes_checked + Array.length items;
+      (check ~deck ~domains:1 items).r_violations
+    in
+    (* witnesses near this prototype's own boundary belong to whoever
+       instantiates it; the root has no caller, so it keeps them *)
+    let in_parent_zone =
+      if i = root_idx then fun _ -> true
+      else
+        match bboxes.(i) with
+        | None -> fun _ -> false
+        | Some bb -> (
+          match erode_opt halo bb with
+          | None -> fun _ -> false
+          | Some z -> fun w -> box_within z w)
+    in
+    let n_inst = Array.length insts in
+    let distinct = ref 0 in
+    if n_inst = 0 then begin
+      let items =
+        Array.map
+          (fun (l, b) -> { Scanline.layer = l; box = b })
+          (Lazy.force flats.(i)).Flatten.flat_boxes
+      in
+      List.iter
+        (fun v ->
+          match witness_bbox v with
+          | Some w when in_parent_zone w -> violations := (v, 1) :: !violations
+          | _ -> ())
+        (run items)
+    end
+    else begin
+      let nbrs = Array.make n_inst [] in
+      Scanline.sweep_pairs ~halo:margin
+        (Array.map (fun (_, _, _, bb) -> bb) insts)
+        (fun a b ->
+          nbrs.(a) <- b :: nbrs.(a);
+          nbrs.(b) <- a :: nbrs.(b));
+      (* group instances by congruent context: same child subtree,
+         orientation, neighbour pattern and nearby own geometry, all
+         relative to the point of call *)
+      let classes : (string, int ref) Hashtbl.t = Hashtbl.create 32 in
+      let reps = ref [] in
+      for k = 0 to n_inst - 1 do
+        let j, orient, off, bb = insts.(k) in
+        let w = Box.inflate margin bb in
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf hexes.(j);
+        Buffer.add_char buf '@';
+        Buffer.add_string buf (string_of_int (Orient.to_index orient));
+        List.iter
+          (fun (dx, dy, hx, oi) ->
+            Buffer.add_string buf (Printf.sprintf "|%d,%d,%s,%d" dx dy hx oi))
+          (List.sort compare
+             (List.map
+                (fun k' ->
+                  let j', o', off', _ = insts.(k') in
+                  ( off'.Rsg_geom.Vec.x - off.Rsg_geom.Vec.x,
+                    off'.Rsg_geom.Vec.y - off.Rsg_geom.Vec.y,
+                    hexes.(j'),
+                    Orient.to_index o' ))
+                nbrs.(k)));
+        List.iter
+          (fun (l, (b : Box.t)) ->
+            if Box.overlaps w b then
+              Buffer.add_string buf
+                (Printf.sprintf "|o%d:%d,%d,%d,%d" (Layer.to_index l)
+                   (b.Box.xmin - off.Rsg_geom.Vec.x)
+                   (b.Box.ymin - off.Rsg_geom.Vec.y)
+                   (b.Box.xmax - off.Rsg_geom.Vec.x)
+                   (b.Box.ymax - off.Rsg_geom.Vec.y)))
+          own;
+        let sg = Digest.string (Buffer.contents buf) in
+        match Hashtbl.find_opt classes sg with
+        | Some r -> incr r
+        | None ->
+          let r = ref 1 in
+          Hashtbl.add classes sg r;
+          reps := (sg, k) :: !reps
+      done;
+      List.iter
+        (fun (sg, k) ->
+          incr distinct;
+          let count = !(Hashtbl.find classes sg) in
+          let j, orient, off, bb = insts.(k) in
+          let w = Box.inflate margin bb in
+          let acc = ref [] in
+          Array.iter
+            (fun (l, b) ->
+              acc := { Scanline.layer = l; box = place orient off b } :: !acc)
+            (Lazy.force bands.(j));
+          List.iter
+            (fun k' ->
+              let j', o', off', _ = insts.(k') in
+              Array.iter
+                (fun (l, b) ->
+                  let b = place o' off' b in
+                  if Box.overlaps w b then
+                    acc := { Scanline.layer = l; box = b } :: !acc)
+                (Lazy.force flats.(j')).Flatten.flat_boxes)
+            nbrs.(k);
+          List.iter
+            (fun (l, b) ->
+              if Box.overlaps w b then
+                acc := { Scanline.layer = l; box = b } :: !acc)
+            own;
+          let items = Array.of_list (List.rev !acc) in
+          let ring_outer = Box.inflate halo bb in
+          let ring_inner = erode_opt halo bb in
+          (* intersection, not containment: a witness can be far larger
+             than the ring (a narrow bus run merged across many seams),
+             and any part of it inside the ring makes it this window's
+             finding.  Windows hold whole boxes, so a run that reaches
+             the ring is never artificially short: extending geometry
+             is only omitted beyond the window margin, and a run
+             spanning ring to margin already measures at least one
+             halo, which no rule exceeds. *)
+          List.iter
+            (fun v ->
+              match witness_bbox v with
+              | Some wb
+                when Box.overlaps ring_outer wb
+                     && not
+                          (match ring_inner with
+                          | Some z -> box_within z wb
+                          | None -> false)
+                     && in_parent_zone wb ->
+                violations := (v, count) :: !violations
+              | _ -> ())
+            (run items))
+        (List.rev !reps);
+      (* own geometry away from every instance *)
+      (match own with
+      | [] -> ()
+      | (_, b0) :: tl ->
+        let support =
+          List.fold_left (fun acc (_, b) -> Box.union acc b) b0 tl
+        in
+        let reach = Box.inflate margin support in
+        let acc =
+          ref
+            (List.rev_map (fun (l, b) -> { Scanline.layer = l; box = b }) own)
+        in
+        Array.iter
+          (fun (j, orient, off, bb) ->
+            if Box.overlaps reach bb then
+              Array.iter
+                (fun (l, b) ->
+                  acc := { Scanline.layer = l; box = place orient off b } :: !acc)
+                (Lazy.force bands.(j)))
+          insts;
+        let items = Array.of_list (List.rev !acc) in
+        List.iter
+          (fun v ->
+            match witness_bbox v with
+            | Some wb
+              when in_parent_zone wb
+                   && not
+                        (Array.exists
+                           (fun (_, _, _, bb) ->
+                             box_within (Box.inflate halo bb) wb)
+                           insts) ->
+              violations := (v, 1) :: !violations
+            | _ -> ())
+          (run items))
+    end;
+    let vs =
+      List.sort
+        (fun (a, ca) (b, cb) ->
+          match compare_violation a b with 0 -> compare ca cb | c -> c)
+        (List.rev !violations)
+    in
+    { l_cell = c.Cell.cname;
+      l_hash = hexes.(i);
+      l_placements = placements.(i);
+      l_violations = vs;
+      l_contexts = n_inst;
+      l_distinct = !distinct;
+      l_boxes = !boxes_checked;
+      l_cached = false }
+  in
+  let cached_levels =
+    Array.init n (fun i ->
+        match cached hexes.(i) with
+        | None -> None
+        | Some cl ->
+          Some
+            { l_cell = order.(i).Cell.cname;
+              l_hash = hexes.(i);
+              l_placements = placements.(i);
+              l_violations = cl.cl_violations;
+              l_contexts = cl.cl_contexts;
+              l_distinct = cl.cl_distinct;
+              l_boxes = cl.cl_boxes;
+              l_cached = true })
+  in
+  let todo =
+    Array.of_list
+      (List.filter
+         (fun i -> cached_levels.(i) = None)
+         (List.init n Fun.id))
+  in
+  (* force every flat and band a fresh level will touch on this
+     domain, before the fan-out: Lazy.force is not domain-safe, and
+     the computations are only independent once their inputs exist *)
+  Array.iter
+    (fun i ->
+      match Cell.instances order.(i) with
+      | [] -> ignore (Lazy.force flats.(i))
+      | insts ->
+        List.iter
+          (fun (inst : Cell.instance) ->
+            ignore (Lazy.force bands.(idx_of inst.Cell.def)))
+          insts)
+    todo;
+  (* the per-prototype computations are independent once the local
+     flats and bands exist (built above, on this domain); Obs is
+     process-global, so recording is suspended across the fan-out and
+     aggregates are counted after the join *)
+  let was_enabled = Obs.is_enabled () in
+  if was_enabled then Obs.disable ();
+  let computed =
+    Fun.protect
+      ~finally:(fun () -> if was_enabled then Obs.enable ())
+      (fun () ->
+        if domains = 1 || Array.length todo <= 1 then Array.map compute todo
+        else Par.chunked_map ~domains ~chunk:1 compute todo)
+  in
+  Array.iteri (fun k i -> cached_levels.(i) <- Some computed.(k)) todo;
+  let levels =
+    List.init n (fun i ->
+        match cached_levels.(i) with Some l -> l | None -> assert false)
+  in
+  let boxes = List.fold_left (fun a l -> a + if l.l_cached then 0 else l.l_boxes) 0 levels in
+  let n_cached = List.fold_left (fun a l -> a + if l.l_cached then 1 else 0) 0 levels in
+  Obs.count ~n "drc.hier.levels";
+  Obs.count ~n:n_cached "drc.hier.cached";
+  Obs.count ~n:boxes "drc.hier.boxes";
+  Obs.count
+    ~n:
+      (List.fold_left
+         (fun a l -> a + List.length l.l_violations)
+         0 levels)
+    "drc.hier.violations";
+  { h_deck = Deck.name deck;
+    h_halo = halo;
+    h_levels = levels;
+    h_boxes = boxes;
+    h_cached = n_cached }
+
+let hier_clean r = List.for_all (fun l -> l.l_violations = []) r.h_levels
+
+let hier_violations r =
+  List.fold_left
+    (fun a l ->
+      a
+      + l.l_placements
+        * List.fold_left (fun a (_, c) -> a + c) 0 l.l_violations)
+    0 r.h_levels
+
 (* ---- rendering ----------------------------------------------------- *)
 
 let pp_violation ppf v =
@@ -431,6 +863,60 @@ let report_to_json r =
                      b.Box.xmax b.Box.ymax)
                  v.v_boxes))))
     r.r_violations;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let pp_hier_report ppf r =
+  let dirty = List.filter (fun l -> l.l_violations <> []) r.h_levels in
+  Format.fprintf ppf
+    "DRC (%s, hierarchical, halo %d): %d violation%s across %d prototype level%s (%d cached), %d boxes checked@."
+    r.h_deck r.h_halo (hier_violations r)
+    (if hier_violations r = 1 then "" else "s")
+    (List.length r.h_levels)
+    (if List.length r.h_levels = 1 then "" else "s")
+    r.h_cached r.h_boxes;
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "  %s (%s, placed %d):@." l.l_cell
+        (String.sub l.l_hash 0 8)
+        l.l_placements;
+      List.iter
+        (fun (v, c) ->
+          Format.fprintf ppf "    %a (x%d)@." pp_violation v c)
+        l.l_violations)
+    dirty
+
+let hier_report_to_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"deck\":\"%s\",\"halo\":%d,\"violations\":%d,\"boxes\":%d,\"cached\":%d,\"levels\":["
+       (json_escape r.h_deck) r.h_halo (hier_violations r) r.h_boxes
+       r.h_cached);
+  List.iteri
+    (fun i l ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"cell\":\"%s\",\"hash\":\"%s\",\"placements\":%d,\"contexts\":%d,\"distinct\":%d,\"boxes\":%d,\"cached\":%b,\"violations\":["
+           (json_escape l.l_cell) l.l_hash l.l_placements l.l_contexts
+           l.l_distinct l.l_boxes l.l_cached);
+      List.iteri
+        (fun k (v, c) ->
+          if k > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"rule\":\"%s\",\"required\":%d,\"actual\":%d,\"count\":%d,\"boxes\":[%s]}"
+               (json_escape v.v_rule) v.v_required v.v_actual c
+               (String.concat ","
+                  (List.map
+                     (fun (b : Box.t) ->
+                       Printf.sprintf "[%d,%d,%d,%d]" b.Box.xmin b.Box.ymin
+                         b.Box.xmax b.Box.ymax)
+                     v.v_boxes))))
+        l.l_violations;
+      Buffer.add_string buf "]}")
+    r.h_levels;
   Buffer.add_string buf "]}";
   Buffer.contents buf
 

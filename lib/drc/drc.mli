@@ -66,6 +66,95 @@ val check_flat :
 
 val clean : report -> bool
 
+(** {1 Hierarchical per-prototype checking}
+
+    A regular structure has thousands of instances of a handful of
+    celltypes, and no design rule measures farther than the deck's
+    {!Deck.halo} — so it has only a handful of {e distinct local
+    situations} a rule can see.  {!check_protos} checks each distinct
+    prototype once, in local coordinates, partitioning responsibility
+    by depth from each bounding box:
+
+    - witnesses at least one halo inside a prototype's bbox (child
+      interiors excluded) belong to that prototype's {e level};
+    - the ring within one halo of a child instance belongs to the
+      parent's {e context window} for that instance — the child's
+      boundary band plus neighbouring instances' and the parent's own
+      geometry, clipped to the inflated bbox.  Congruent windows (same
+      child subtree hash, orientation, neighbour pattern, nearby own
+      geometry) are checked once and multiplied;
+    - own geometry away from every child is checked directly.
+
+    Work is O(distinct prototypes x distinct contexts), independent of
+    the instance count, and level results are reusable across runs:
+    a level keyed by (subtree hash, deck digest) is valid as long as
+    neither changes — the [cached] hook is how {!Rsg_store.Store}
+    entries short-circuit re-checks of clean subtrees.
+
+    Soundness leans on the regular-structure discipline the
+    generators obey (shallow abutment: geometry deep inside one
+    subtree is not perturbed by a sibling); the hier-vs-flat
+    agreement tests pin the equivalence empirically on every layout
+    family. *)
+
+type cached_level = {
+  cl_violations : (violation * int) list;
+  cl_contexts : int;
+  cl_distinct : int;
+  cl_boxes : int;
+}
+(** A previously computed level, as replayed from a cache. *)
+
+type level = {
+  l_cell : string;  (** prototype cell name *)
+  l_hash : string;  (** hex subtree digest ({!Rsg_layout.Flatten.subtree_hex}) *)
+  l_placements : int;  (** times this prototype occurs in the design *)
+  l_violations : (violation * int) list;
+      (** violations in the prototype's local coordinates, each with
+          the number of congruent placements that exhibit it at this
+          level *)
+  l_contexts : int;  (** child instances at this level *)
+  l_distinct : int;  (** distinct context windows actually checked *)
+  l_boxes : int;  (** boxes fed to this level's window checks *)
+  l_cached : bool;  (** replayed via [cached] instead of recomputed *)
+}
+
+type hier_report = {
+  h_deck : string;
+  h_halo : int;
+  h_levels : level list;  (** children before parents, root last *)
+  h_boxes : int;  (** boxes checked across non-cached levels *)
+  h_cached : int;  (** levels replayed from the cache *)
+}
+
+val check_protos :
+  ?deck:Deck.t ->
+  ?domains:int ->
+  ?cached:(string -> cached_level option) ->
+  Rsg_layout.Flatten.protos ->
+  hier_report
+(** Check every distinct prototype of the hierarchy.  [cached] is
+    consulted with each prototype's hex subtree digest; a [Some]
+    replays that level verbatim (the caller warrants it was computed
+    with the same deck — key cached levels by (subtree hash, deck
+    digest)).  Dirty levels fan out across [domains] workers
+    ({!Rsg_par.Par.default_domains} when omitted) with Obs recording
+    suspended; results are merged in postorder, so the report is
+    bit-identical for every domain count.  Counters:
+    [drc.hier.levels], [drc.hier.cached], [drc.hier.boxes],
+    [drc.hier.violations]. *)
+
+val hier_clean : hier_report -> bool
+
+val hier_violations : hier_report -> int
+(** Total violation count weighted by prototype placements — an upper
+    bound, since overlapping context windows within a level can each
+    see a shared witness. *)
+
+val pp_hier_report : Format.formatter -> hier_report -> unit
+
+val hier_report_to_json : hier_report -> string
+
 val pp_violation : Format.formatter -> violation -> unit
 
 val pp_report : Format.formatter -> report -> unit

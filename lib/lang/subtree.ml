@@ -1,0 +1,162 @@
+type t = { digests : (string * string) list }
+
+(* Canonical byte form of an expression.  Every constructor gets a
+   distinct tag and every variable-length field a length or delimiter,
+   so two different trees can never serialise to the same bytes.
+   [resolve] turns a call-site name into the token that represents the
+   callee — the callee's digest for a defined procedure, so the hash
+   covers the transitive call graph. *)
+let rec put_expr b resolve (e : Ast.expr) =
+  match e with
+  | Ast.At (_, inner) -> put_expr b resolve inner
+  | Ast.Int n ->
+    Buffer.add_char b 'i';
+    Buffer.add_string b (string_of_int n);
+    Buffer.add_char b ' '
+  | Ast.Str s ->
+    Buffer.add_char b 's';
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+  | Ast.Bool v -> Buffer.add_string b (if v then "bt" else "bf")
+  | Ast.Read -> Buffer.add_char b 'r'
+  | Ast.Var v ->
+    Buffer.add_char b 'v';
+    put_var b resolve v
+  | Ast.Call (f, args) ->
+    Buffer.add_char b 'c';
+    put_name b (resolve f);
+    put_list b resolve args
+  | Ast.Cond clauses ->
+    Buffer.add_char b 'k';
+    Buffer.add_string b (string_of_int (List.length clauses));
+    List.iter
+      (fun (test, body) ->
+        Buffer.add_char b '(';
+        put_expr b resolve test;
+        put_list b resolve body)
+      clauses
+  | Ast.Do d ->
+    Buffer.add_char b 'd';
+    put_name b d.Ast.loop_var;
+    put_expr b resolve d.Ast.init;
+    put_expr b resolve d.Ast.next;
+    put_expr b resolve d.Ast.until;
+    put_list b resolve d.Ast.body
+  | Ast.Assign (v, rhs) ->
+    Buffer.add_char b 'a';
+    put_var b resolve v;
+    put_expr b resolve rhs
+  | Ast.Prog body ->
+    Buffer.add_char b 'p';
+    put_list b resolve body
+  | Ast.Print e ->
+    Buffer.add_char b 'o';
+    put_expr b resolve e
+  | Ast.Mk_instance (v, e) ->
+    Buffer.add_char b 'M';
+    put_var b resolve v;
+    put_expr b resolve e
+  | Ast.Connect (x, y, i) ->
+    Buffer.add_char b 'C';
+    put_expr b resolve x;
+    put_expr b resolve y;
+    put_expr b resolve i
+  | Ast.Subcell (e, v) ->
+    Buffer.add_char b 'S';
+    put_expr b resolve e;
+    put_var b resolve v
+  | Ast.Mk_cell (n, r) ->
+    Buffer.add_char b 'K';
+    put_expr b resolve n;
+    put_expr b resolve r
+  | Ast.Declare_interface d ->
+    Buffer.add_char b 'I';
+    List.iter (put_expr b resolve)
+      [ d.Ast.di_cell1; d.Ast.di_cell2; d.Ast.di_new_index;
+        d.Ast.di_inst1; d.Ast.di_inst2; d.Ast.di_old_index ]
+
+and put_var b resolve = function
+  | Ast.Simple n -> put_name b n
+  | Ast.Indexed (n, idx) ->
+    put_name b n;
+    put_list b resolve idx
+
+and put_list b resolve es =
+  Buffer.add_char b '[';
+  Buffer.add_string b (string_of_int (List.length es));
+  List.iter (put_expr b resolve) es;
+  Buffer.add_char b ']'
+
+and put_name b n =
+  Buffer.add_string b (string_of_int (String.length n));
+  Buffer.add_char b '!';
+  Buffer.add_string b n
+
+type state = In_progress | Done of string
+
+let of_program program =
+  let procs =
+    (* later definition of a name shadows an earlier one, matching the
+       interpreter's environment *)
+    List.fold_left
+      (fun acc tl ->
+        match tl with
+        | Ast.Defproc p -> (p.Ast.proc_name, p) :: List.remove_assoc p.Ast.proc_name acc
+        | Ast.Expr _ -> acc)
+      [] program
+  in
+  let states : (string, state) Hashtbl.t = Hashtbl.create 16 in
+  let rec digest_of name (p : Ast.proc) =
+    match Hashtbl.find_opt states name with
+    | Some (Done d) -> d
+    | Some In_progress ->
+      (* a cycle: the callee's digest is still being computed, so the
+         call site embeds an opaque recursion token instead.  The name
+         is part of the token — renaming a recursive procedure does
+         dirty it, the one place names leak into the hash *)
+      "rec:" ^ name
+    | None ->
+      Hashtbl.replace states name In_progress;
+      let resolve f =
+        match List.assoc_opt f procs with
+        | Some callee -> digest_of f callee
+        | None -> "prim:" ^ f
+      in
+      let b = Buffer.create 512 in
+      Buffer.add_string b (if p.Ast.is_macro then "macro" else "defun");
+      Buffer.add_string b (string_of_int (List.length p.Ast.formals));
+      List.iter (put_name b) p.Ast.formals;
+      Buffer.add_string b (string_of_int (List.length p.Ast.locals));
+      List.iter
+        (fun l ->
+          match l with
+          | Ast.Scalar_local n ->
+            Buffer.add_char b 'l';
+            put_name b n
+          | Ast.Array_local n ->
+            Buffer.add_char b 'L';
+            put_name b n)
+        p.Ast.locals;
+      List.iter (fun e -> put_expr b resolve (Ast.strip_deep e)) p.Ast.body;
+      let d = Digest.to_hex (Digest.string (Buffer.contents b)) in
+      Hashtbl.replace states name (Done d);
+      d
+  in
+  let digests =
+    List.map (fun (name, p) -> (name, digest_of name p)) procs
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { digests }
+
+let digest t name = List.assoc_opt name t.digests
+
+let digests t = t.digests
+
+let dirty ~before ~after =
+  List.filter_map
+    (fun (name, d) ->
+      match digest before name with
+      | Some d' when d' = d -> None
+      | _ -> Some name)
+    after.digests

@@ -1,0 +1,38 @@
+(** Transitive content digests of design-file procedures.
+
+    The geometry side of incremental regeneration content-addresses
+    each celltype's flattened subtree
+    ({!Rsg_layout.Flatten.subtree_digest}); this is the source-side
+    mirror: every procedure of a parsed program gets an MD5 digest of
+    its own definition — formals, locals, macro-ness, body with
+    source locations stripped — in which each call to another defined
+    procedure embeds the {e callee's digest}.  Editing one procedure
+    therefore changes exactly its own digest and those of its
+    transitive callers, so {!dirty} names the procedures (and hence
+    the celltypes they build) whose cached artifacts an edit
+    invalidates, before anything is re-evaluated.
+
+    Procedure names stay out of their own digests (a rename dirties
+    nothing), with one exception: a call site inside a cycle embeds an
+    opaque [rec:name] token, since the callee's digest is still being
+    computed — renaming a recursive procedure does dirty it.  Calls to
+    undefined names (interpreter builtins) hash by name. *)
+
+type t
+
+val of_program : Ast.toplevel list -> t
+(** Digest every procedure of the program.  When a name is defined
+    more than once the later definition wins, matching the
+    interpreter's environment. *)
+
+val digest : t -> string -> string option
+(** Hex digest of the named procedure, if defined. *)
+
+val digests : t -> (string * string) list
+(** All (name, hex digest) pairs, sorted by name. *)
+
+val dirty : before:t -> after:t -> string list
+(** Procedures of [after] that are new or whose digest differs from
+    [before] — the edit's invalidation set, sorted by name.
+    Procedures deleted by the edit are not listed (they have no
+    artifacts to recompute). *)

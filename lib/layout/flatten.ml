@@ -137,8 +137,14 @@ type protos = {
   pt_order : Cell.t list; (* distinct cells, children before parents *)
   pt_summaries : summary Idmap.t;
   pt_variants : (int * Orient.t, (Layer.t * Box.t) array) Hashtbl.t;
-  mutable pt_protos : proto Idmap.t option; (* built on demand *)
+  mutable pt_protos : proto Idmap.t option; (* memoized, filled on demand *)
+  mutable pt_pids : int Idmap.t option; (* cell -> postorder index *)
   mutable pt_flat : flat option;
+  mutable pt_hashes : string Idmap.t option; (* raw subtree digests *)
+  pt_seeds :
+    (string, (Layer.t * Box.t) array * (string * Vec.t) array) Hashtbl.t;
+      (* subtree digest -> pre-flattened local arrays, consulted by
+         [proto_of] so clean subtrees skip recomposition *)
 }
 
 (* Distinct cells reachable from [root], children before parents.
@@ -233,9 +239,85 @@ let prototypes ?(max_depth = 64) cell =
     pt_summaries = summarize order;
     pt_variants = Hashtbl.create 16;
     pt_protos = None;
-    pt_flat = None }
+    pt_pids = None;
+    pt_flat = None;
+    pt_hashes = None;
+    pt_seeds = Hashtbl.create 16 }
 
 let distinct_cells p = List.length p.pt_order
+
+let protos_order p = p.pt_order
+
+let protos_root p = p.pt_root
+
+(* ------------------------------------------------------------------ *)
+(* Subtree content hashing                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Digest of a celltype's full geometric content: its own objects in
+   object order, with every instance contributing its child's digest
+   (chained postorder, so the hash covers the transitive subtree).
+   The cell {e name} is deliberately excluded — renaming a cell, or
+   two differently-named cells with identical content, hash alike, so
+   cached per-prototype artifacts survive renames and are shared
+   across congruent celltypes.  Coordinates are written in decimal
+   with separators; tags keep object kinds from colliding. *)
+let compute_hashes order =
+  let hashes : string Idmap.t = Idmap.create () in
+  List.iter
+    (fun (c : Cell.t) ->
+      let buf = Buffer.create 512 in
+      let int v =
+        Buffer.add_string buf (string_of_int v);
+        Buffer.add_char buf ' '
+      in
+      List.iter
+        (fun obj ->
+          match obj with
+          | Cell.Obj_box (l, b) ->
+            Buffer.add_char buf 'B';
+            int (Layer.to_index l);
+            int b.Box.xmin;
+            int b.Box.ymin;
+            int b.Box.xmax;
+            int b.Box.ymax
+          | Cell.Obj_label l ->
+            Buffer.add_char buf 'L';
+            int (String.length l.Cell.text);
+            Buffer.add_string buf l.Cell.text;
+            int l.Cell.at.Vec.x;
+            int l.Cell.at.Vec.y
+          | Cell.Obj_instance i ->
+            Buffer.add_char buf 'I';
+            Buffer.add_string buf (Idmap.find hashes i.Cell.def);
+            int (Orient.to_index i.Cell.orientation);
+            int i.Cell.point_of_call.Vec.x;
+            int i.Cell.point_of_call.Vec.y)
+        (Cell.objects c);
+      Idmap.add hashes c (Digest.string (Buffer.contents buf)))
+    order;
+  hashes
+
+let hashes_of p =
+  match p.pt_hashes with
+  | Some h -> h
+  | None ->
+    let h = compute_hashes p.pt_order in
+    p.pt_hashes <- Some h;
+    h
+
+let subtree_digest p c = Idmap.find (hashes_of p) c
+
+let subtree_hex p c = Digest.to_hex (subtree_digest p c)
+
+let subtree_hashes p =
+  let h = hashes_of p in
+  List.map (fun c -> (c, Digest.to_hex (Idmap.find h c))) p.pt_order
+
+let seed_proto p ~hash ~boxes ~labels =
+  if p.pt_protos <> None then
+    invalid_arg "Flatten.seed_proto: prototype arrays already built";
+  Hashtbl.replace p.pt_seeds hash (boxes, labels)
 
 let variant p (child : proto) orient =
   if Orient.equal orient Orient.north then child.p_boxes
@@ -250,13 +332,43 @@ let variant p (child : proto) orient =
       Hashtbl.add p.pt_variants key a;
       a
 
-let build_protos p =
-  match p.pt_protos with
-  | Some flats -> flats
+let pids_of p =
+  match p.pt_pids with
+  | Some m -> m
   | None ->
-    let flats : proto Idmap.t = Idmap.create () in
-    List.iteri
-      (fun idx (c : Cell.t) ->
+    let m : int Idmap.t = Idmap.create () in
+    List.iteri (fun idx c -> Idmap.add m c idx) p.pt_order;
+    p.pt_pids <- Some m;
+    m
+
+(* Compose one celltype's prototype arrays, memoized.  Children
+   compose first (recursively — depth is bounded by [max_depth]); a
+   cell whose subtree digest was seeded adopts the seeded arrays
+   without visiting its children at all.  Demand-driven on purpose:
+   after an incremental edit the DRC only asks for the dirty spine
+   plus its immediate children, and composing everything else —
+   including the root's O(design) flat — would dominate the run. *)
+let rec proto_of p (c : Cell.t) =
+  let flats =
+    match p.pt_protos with
+    | Some m -> m
+    | None ->
+      let m : proto Idmap.t = Idmap.create () in
+      p.pt_protos <- Some m;
+      m
+  in
+  match Idmap.find_opt flats c with
+  | Some pr -> pr
+  | None ->
+    let pid = Idmap.find (pids_of p) c in
+    let seeded =
+      if Hashtbl.length p.pt_seeds = 0 then None
+      else Hashtbl.find_opt p.pt_seeds (Idmap.find (hashes_of p) c)
+    in
+    let pr =
+      match seeded with
+      | Some (boxes, labels) -> { pid; p_boxes = boxes; p_labels = labels }
+      | None ->
         let boxes = Gbuf.create () and labels = Gbuf.create () in
         List.iter
           (fun obj ->
@@ -264,7 +376,7 @@ let build_protos p =
             | Cell.Obj_box (l, b) -> Gbuf.push boxes (l, b)
             | Cell.Obj_label l -> Gbuf.push labels (l.Cell.text, l.Cell.at)
             | Cell.Obj_instance i ->
-              let child = Idmap.find flats i.Cell.def in
+              let child = proto_of p i.Cell.def in
               let ti = Cell.transform_of_instance i in
               let off = ti.Transform.offset in
               Array.iter
@@ -275,19 +387,16 @@ let build_protos p =
                   Gbuf.push labels (text, Transform.apply ti at))
                 child.p_labels)
           (Cell.objects c);
-        Idmap.add flats c
-          { pid = idx;
-            p_boxes = Gbuf.contents boxes;
-            p_labels = Gbuf.contents labels })
-      p.pt_order;
-    p.pt_protos <- Some flats;
-    flats
+        { pid; p_boxes = Gbuf.contents boxes; p_labels = Gbuf.contents labels }
+    in
+    Idmap.add flats c pr;
+    pr
 
 let protos_flat p =
   match p.pt_flat with
   | Some f -> f
   | None ->
-    let pr = Idmap.find (build_protos p) p.pt_root in
+    let pr = proto_of p p.pt_root in
     let s = Idmap.find p.pt_summaries p.pt_root in
     let f =
       { flat_boxes = pr.p_boxes;
@@ -296,6 +405,15 @@ let protos_flat p =
     in
     p.pt_flat <- Some f;
     f
+
+let proto_flat p c =
+  let pr = proto_of p c in
+  let s = Idmap.find p.pt_summaries c in
+  { flat_boxes = pr.p_boxes;
+    flat_labels = pr.p_labels;
+    flat_bbox = s.s_bbox }
+
+let cell_bbox p c = (Idmap.find p.pt_summaries c).s_bbox
 
 let protos_stats p =
   let s = Idmap.find p.pt_summaries p.pt_root in

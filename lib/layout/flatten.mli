@@ -79,6 +79,65 @@ val protos_stats : protos -> stats
 val distinct_cells : protos -> int
 (** Number of distinct celltypes in the hierarchy (root included). *)
 
+val protos_order : protos -> Cell.t list
+(** The distinct celltypes, children before parents (the root last).
+    This is the postorder every per-prototype artifact — flat arrays,
+    subtree digests, hierarchical DRC levels, the codec's prototype
+    table — is keyed to. *)
+
+val protos_root : protos -> Cell.t
+
+val proto_flat : protos -> Cell.t -> flat
+(** The fully flattened {e local-coordinate} geometry of one distinct
+    celltype (any cell of {!protos_order}); the root's equals
+    {!protos_flat}.  Builds the prototype arrays on first demand;
+    returned arrays are shared and must be treated as read-only.
+    Raises [Not_found] for a cell outside the hierarchy. *)
+
+val cell_bbox : protos -> Cell.t -> Box.t option
+(** Local-coordinate bounding box of a distinct celltype's flattened
+    geometry, from the summaries — no geometry is materialised. *)
+
+(** {1 Subtree content hashing}
+
+    Every distinct celltype gets a digest of its full geometric
+    content: its own boxes and labels in object order, plus, for each
+    instance call, the {e child's digest} with the call's orientation
+    and position — a chained postorder hash, so a digest covers the
+    transitive subtree and editing one celltype changes exactly its
+    own digest and its ancestors'.  Cell names are excluded: renames
+    keep caches warm, and congruent celltypes share artifacts.  This
+    is the content address of the {!Rsg_store.Store} prototype
+    cache. *)
+
+val subtree_digest : protos -> Cell.t -> string
+(** Raw 16-byte MD5 digest of the cell's subtree content.  Computed
+    for the whole hierarchy on first call, then O(1). *)
+
+val subtree_hex : protos -> Cell.t -> string
+(** {!subtree_digest} in hexadecimal (32 characters). *)
+
+val subtree_hashes : protos -> (Cell.t * string) list
+(** All distinct celltypes with their hex digests, in
+    {!protos_order}. *)
+
+val seed_proto :
+  protos ->
+  hash:string ->
+  boxes:(Layer.t * Box.t) array ->
+  labels:(string * Vec.t) array ->
+  unit
+(** Pre-load the flattened local arrays of every celltype whose raw
+    {!subtree_digest} equals [hash] — the incremental-regeneration
+    hook: seeded subtrees are adopted as-is during the prototype
+    build, so only dirty celltypes (and their ancestors, whose
+    composition consumes the seeded arrays) are recomposed.  The
+    caller warrants the arrays are exactly what flattening the
+    matching subtree would produce (content-addressing makes this
+    safe when the arrays come from a verified cache entry).  Must be
+    called before any geometry-building accessor; raises
+    [Invalid_argument] once arrays were built. *)
+
 val instance_placements :
   ?max_depth:int -> Cell.t -> (string * Transform.t) list
 (** Absolute placement of every instance at every level, as

@@ -1,7 +1,8 @@
 open Rsg_geom
 open Rsg_layout
+module Drc = Rsg_drc.Drc
 
-let format_version = 1
+let format_version = 2
 
 let magic = "RSGL"
 
@@ -24,10 +25,18 @@ let pp_error ppf = function
       stored computed
   | Malformed what -> Format.fprintf ppf "malformed payload: %s" what
 
+type proto = {
+  p_hash : string;
+  p_cell : Cell.t;
+  p_reused : bool;
+  p_reports : (string * Drc.cached_level) list;
+}
+
 type entry = {
   e_label : string;
   e_cell : Cell.t;
   e_flat : Flatten.flat option Lazy.t;
+  e_protos : proto array;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -110,6 +119,12 @@ let put_int buf v = put_uint buf ((v lsl 1) lxor (v asr (Sys.int_size - 1)))
 
 let put_str buf s =
   put_uint buf (String.length s);
+  Buffer.add_string buf s
+
+(* MD5 digests (subtree hashes, deck digests) are a fixed 16 bytes, so
+   they are written raw, without a length prefix. *)
+let put_raw16 buf s =
+  if String.length s <> 16 then invalid_arg "Codec.put_raw16";
   Buffer.add_string buf s
 
 let put_vec buf (v : Vec.t) =
@@ -234,9 +249,10 @@ let tag_box = 0
 and tag_label = 1
 and tag_instance = 2
 
-let put_cell buf index_of (c : Cell.t) =
-  put_str buf c.Cell.cname;
-  let objs = Cell.objects c in
+(* One cell's (or prototype's) object list; [index_of] resolves an
+   instance's definition to its table index — the cell table and the
+   prototype table share this shape. *)
+let put_objs buf index_of objs =
   put_uint buf (List.length objs);
   List.iter
     (fun obj ->
@@ -255,6 +271,96 @@ let put_cell buf index_of (c : Cell.t) =
         put_uint buf (Orient.to_index i.Cell.orientation);
         put_vec buf i.Cell.point_of_call)
     objs
+
+let put_cell buf index_of (c : Cell.t) =
+  put_str buf c.Cell.cname;
+  put_objs buf index_of (Cell.objects c)
+
+(* ---- the prototype table ----------------------------------------- *)
+(*
+   The content-addressed section of a v2 entry: one record per
+   distinct subtree digest, children before parents.  Each record
+   carries the prototype's own objects only — instance calls reference
+   the child's record by table index (i.e. by subtree hash), never
+   inlined geometry — so the table stays proportional to the design's
+   celltype definitions while still letting a reader recompose any
+   prototype's full flat via Flatten.prototypes.  Per-deck cached DRC
+   levels ride on each record, keyed by the deck digest.
+*)
+
+let put_violation buf (v : Drc.violation) =
+  put_str buf v.Drc.v_rule;
+  put_uint buf (List.length v.Drc.v_layers);
+  List.iter (fun l -> put_uint buf (Layer.to_index l)) v.Drc.v_layers;
+  put_uint buf (List.length v.Drc.v_boxes);
+  List.iter (put_box buf) v.Drc.v_boxes;
+  put_int buf v.Drc.v_required;
+  (* measured values use zigzag: -1 marks unmet enclosure *)
+  put_int buf v.Drc.v_actual
+
+let put_level buf (l : Drc.cached_level) =
+  put_uint buf (List.length l.Drc.cl_violations);
+  List.iter
+    (fun (v, n) ->
+      put_violation buf v;
+      put_uint buf n)
+    l.Drc.cl_violations;
+  put_uint buf l.Drc.cl_contexts;
+  put_uint buf l.Drc.cl_distinct;
+  put_uint buf l.Drc.cl_boxes
+
+let put_proto buf index_of (p : proto) =
+  put_raw16 buf p.p_hash;
+  put_uint buf (if p.p_reused then 1 else 0);
+  put_objs buf index_of (Cell.objects p.p_cell);
+  put_uint buf (List.length p.p_reports);
+  List.iter
+    (fun (deck, lvl) ->
+      put_raw16 buf deck;
+      put_level buf lvl)
+    p.p_reports
+
+let put_protos buf protos =
+  put_uint buf (Array.length protos);
+  (* proto instances reference the rebuilt cells of earlier records;
+     resolve them by physical identity, exactly like the cell table *)
+  let index = ref [] in
+  Array.iteri (fun i p -> index := (p.p_cell, i) :: !index) protos;
+  let index_of c = List.assq c !index in
+  Array.iter (put_proto buf index_of) protos
+
+let proto_table ?(reused = fun _ -> false) ?(reports = fun _ -> [])
+    (protos : Flatten.protos) =
+  let tbl : (string, Cell.t) Hashtbl.t = Hashtbl.create 32 in
+  let out = ref [] in
+  List.iter
+    (fun c ->
+      let h = Flatten.subtree_digest protos c in
+      (* congruent celltypes share a digest and hence one record *)
+      if not (Hashtbl.mem tbl h) then begin
+        let hex = Digest.to_hex h in
+        let copy = Cell.create hex in
+        List.iter
+          (fun obj ->
+            match obj with
+            | Cell.Obj_box (l, b) -> Cell.add_box copy l b
+            | Cell.Obj_label l -> Cell.add_label copy l.Cell.text l.Cell.at
+            | Cell.Obj_instance i ->
+              let child =
+                Hashtbl.find tbl (Flatten.subtree_digest protos i.Cell.def)
+              in
+              ignore
+                (Cell.add_instance copy ~orient:i.Cell.orientation
+                   ~at:i.Cell.point_of_call child))
+          (Cell.objects c);
+        Hashtbl.add tbl h copy;
+        out :=
+          { p_hash = h; p_cell = copy; p_reused = reused hex;
+            p_reports = reports hex }
+          :: !out
+      end)
+    (Flatten.protos_order protos);
+  Array.of_list (List.rev !out)
 
 (* Flattened boxes are written as coordinate deltas against the
    previous box (zigzag keeps either sign short): the flattener emits
@@ -288,9 +394,13 @@ let put_flat buf (f : Flatten.flat) =
     put_uint buf 1;
     put_box buf b
 
-let encode ?flat ~label cell =
+let encode ?flat ?(protos = [||]) ~label cell =
   let payload = Buffer.create 4096 in
   put_str payload label;
+  (* the prototype table precedes the cell table so harvesting and
+     cache statistics can stop after it, never touching the (large)
+     remainder of the payload *)
+  put_protos payload protos;
   let cells, index_of = ordered_cells cell in
   put_uint payload (List.length cells);
   List.iter (put_cell payload index_of) cells;
@@ -314,9 +424,10 @@ let encode ?flat ~label cell =
   Buffer.add_string out payload;
   Buffer.contents out
 
-let get_cell r cells idx =
-  let name = get_str r "cell name" in
-  let c = Cell.create name in
+(* Read one object list into [c]; instance definitions resolve to
+   earlier entries of [cells] (children before parents, so a forward
+   reference is malformed). *)
+let get_objs r cells idx c =
   let n_objs = get_uint r "object count" in
   for _ = 1 to n_objs do
     match get_uint r "object tag" with
@@ -336,8 +447,76 @@ let get_cell r cells idx =
       let at = get_vec r "instance position" in
       ignore (Cell.add_instance c ~orient ~at cells.(def_idx))
     | t -> raise (Error (Malformed (Printf.sprintf "object tag %d" t)))
-  done;
+  done
+
+let get_cell r cells idx =
+  let name = get_str r "cell name" in
+  let c = Cell.create name in
+  get_objs r cells idx c;
   c
+
+let get_raw16 r what =
+  if r.pos + 16 > String.length r.src then raise (Error (Truncated what));
+  let s = String.sub r.src r.pos 16 in
+  r.pos <- r.pos + 16;
+  s
+
+(* [f] reads from the mutable reader, so elements must be produced
+   strictly left to right — List.init's application order is not part
+   of its contract. *)
+let read_list n f =
+  let rec go acc i = if i = n then List.rev acc else go (f () :: acc) (i + 1) in
+  go [] 0
+
+let get_bool r what =
+  match get_uint r what with
+  | 0 -> false
+  | 1 -> true
+  | f -> raise (Error (Malformed (Printf.sprintf "%s: flag %d" what f)))
+
+let get_violation r =
+  let v_rule = get_str r "violation rule" in
+  let n_layers = get_uint r "violation layer count" in
+  let v_layers = read_list n_layers (fun () -> get_layer r "violation layer") in
+  let n_boxes = get_uint r "violation box count" in
+  let v_boxes = read_list n_boxes (fun () -> get_box r "violation box") in
+  let v_required = get_int r "violation required" in
+  let v_actual = get_int r "violation actual" in
+  { Drc.v_rule; v_layers; v_boxes; v_required; v_actual }
+
+let get_level r =
+  let n = get_uint r "level violation count" in
+  let cl_violations =
+    read_list n (fun () ->
+        let v = get_violation r in
+        let count = get_uint r "violation placement count" in
+        (v, count))
+  in
+  let cl_contexts = get_uint r "level contexts" in
+  let cl_distinct = get_uint r "level distinct" in
+  let cl_boxes = get_uint r "level boxes" in
+  { Drc.cl_violations; cl_contexts; cl_distinct; cl_boxes }
+
+let get_protos r =
+  let n = get_uint r "proto count" in
+  let cells = Array.make (max n 1) (Cell.create "") in
+  let out = Array.make n None in
+  for i = 0 to n - 1 do
+    let hash = get_raw16 r "proto hash" in
+    let reused = get_bool r "proto reused" in
+    let c = Cell.create (Digest.to_hex hash) in
+    get_objs r cells i c;
+    cells.(i) <- c;
+    let n_reports = get_uint r "proto report count" in
+    let reports =
+      read_list n_reports (fun () ->
+          let deck = get_raw16 r "report deck digest" in
+          (deck, get_level r))
+    in
+    out.(i) <-
+      Some { p_hash = hash; p_cell = c; p_reused = reused; p_reports = reports }
+  done;
+  Array.map Option.get out
 
 let layer_table = lazy (Array.of_list Layer.all)
 
@@ -446,6 +625,7 @@ let open_payload s =
 let decode s =
   let r = open_payload s in
   let label = get_str r "label" in
+  let protos = get_protos r in
   let n_cells = get_uint r "cell count" in
   if n_cells = 0 then raise (Error (Malformed "empty cell table"));
   let cells = Array.make n_cells (Cell.create "") in
@@ -475,11 +655,27 @@ let decode s =
          Some f)
     | f -> raise (Error (Malformed (Printf.sprintf "flat flag %d" f)))
   in
-  { e_label = label; e_cell = cells.(n_cells - 1); e_flat = flat }
+  { e_label = label; e_cell = cells.(n_cells - 1); e_flat = flat;
+    e_protos = protos }
 
 let decode_label s =
   let r = open_payload s in
   get_str r "label"
+
+let decode_protos s =
+  let r = open_payload s in
+  let label = get_str r "label" in
+  (label, get_protos r)
+
+(* Some filesystems reject fsync on a directory fd; losing that sync
+   only weakens crash durability, never atomicity, so it is advisory. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
 
 let write_file path data =
   let dir = Filename.dirname path in
@@ -491,9 +687,18 @@ let write_file path data =
       let oc = open_out_bin tmp in
       Fun.protect
         ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc data);
+        (fun () ->
+          output_string oc data;
+          (* flush + fsync before the rename: once the new name is
+             visible it must refer to fully persisted bytes, or a crash
+             between rename and writeback could leave a torn entry
+             under the final name *)
+          flush oc;
+          Unix.fsync (Unix.descr_of_out_channel oc));
       Sys.rename tmp path;
-      ok := true)
+      ok := true);
+  (* persist the directory entry itself so the rename survives a crash *)
+  fsync_dir dir
 
 let read_file path =
   let ic = open_in_bin path in

@@ -24,8 +24,23 @@
     raises the typed {!Error} on any mismatch, so a truncated or
     bit-flipped file is detected instead of producing garbage
     geometry.  {!write_file} writes to a temp file in the target
-    directory and renames it into place, so readers never observe a
-    partial entry. *)
+    directory, fsyncs it, and renames it into place, so readers never
+    observe a partial entry even across a crash.
+
+    Version 2 adds the {e prototype table} between the label and the
+    cell table: one record per distinct subtree digest
+    ({!Rsg_layout.Flatten.subtree_digest}), children before parents.
+    A record holds the prototype's own boxes and labels plus instance
+    calls that reference the child's record {e by table index} — by
+    subtree hash, never inlined geometry — together with a [reused]
+    marker (did the run that wrote the entry recompute this prototype
+    or adopt it from a previous entry?) and the hierarchical DRC
+    levels computed for it, keyed by rule-deck digest.  The table is
+    the content-addressed face of an entry: {!decode_protos} reads it
+    without touching the cell table or the flat section, which is what
+    makes incremental-regeneration harvesting and [cache stats]
+    cheap.  Version-1 files fail decoding with [Bad_version] — the
+    store treats them as stale misses, never mis-decodes them. *)
 
 open Rsg_layout
 
@@ -46,6 +61,23 @@ exception Error of error
 
 val pp_error : Format.formatter -> error -> unit
 
+type proto = {
+  p_hash : string;
+      (** raw 16-byte subtree digest
+          ({!Rsg_layout.Flatten.subtree_digest}) *)
+  p_cell : Cell.t;
+      (** the prototype's own objects; instance calls point at other
+          protos' [p_cell]s (children precede parents in the table).
+          Named by the hex digest — celltype names are not part of the
+          content address *)
+  p_reused : bool;
+      (** the writing run adopted this prototype from a previous
+          entry instead of recomputing it *)
+  p_reports : (string * Rsg_drc.Drc.cached_level) list;
+      (** hierarchical DRC results for this prototype, keyed by raw
+          16-byte rule-deck digest ({!Rsg_drc.Deck.digest}) *)
+}
+
 type entry = {
   e_label : string;  (** human description, e.g. ["multiplier 8x8"] *)
   e_cell : Cell.t;   (** the root of the decoded hierarchy *)
@@ -55,11 +87,25 @@ type entry = {
           the section is length-prefixed and checksum-verified up
           front but only decoded on force, so loads that just rewrite
           the hierarchy (CIF output) skip the bulk of the entry *)
+  e_protos : proto array;
+      (** the prototype table, children before parents; empty when the
+          writer supplied none *)
 }
 
-val encode : ?flat:Flatten.flat -> label:string -> Cell.t -> string
-(** Serialise [cell] (and, when given, its flattened view) into a
-    self-contained byte string. *)
+val proto_table :
+  ?reused:(string -> bool) ->
+  ?reports:(string -> (string * Rsg_drc.Drc.cached_level) list) ->
+  Flatten.protos ->
+  proto array
+(** Build the prototype table of a flattening cache: one record per
+    distinct subtree digest in postorder (congruent celltypes
+    collapse into one record).  [reused] and [reports] are consulted
+    with each hex digest to fill the record's metadata; both default
+    to nothing. *)
+
+val encode : ?flat:Flatten.flat -> ?protos:proto array -> label:string -> Cell.t -> string
+(** Serialise [cell] (and, when given, its flattened view and
+    prototype table) into a self-contained byte string. *)
 
 val decode : string -> entry
 (** Parse and verify a byte string produced by {!encode}.  Raises
@@ -70,9 +116,18 @@ val decode_label : string -> string
     (magic, version, length, checksum) but decodes only the label —
     used by cache listings.  Raises {!Error} like {!decode}. *)
 
+val decode_protos : string -> string * proto array
+(** The label and the prototype table, skipping the cell table and
+    the flat section entirely — the harvesting path of incremental
+    regeneration and the [cache stats] listing.  Raises {!Error} like
+    {!decode}. *)
+
 val write_file : string -> string -> unit
-(** [write_file path data] writes atomically: a fresh temp file in
-    [path]'s directory, then [rename] onto [path]. *)
+(** [write_file path data] writes atomically and durably: a fresh
+    temp file in [path]'s directory, [fsync], [rename] onto [path],
+    then fsync of the directory — a reader (or a post-crash mount)
+    sees either the old entry or the complete new one, never a
+    prefix. *)
 
 val read_file : string -> entry
 (** [decode] of the file's contents.  Raises {!Error} on corruption

@@ -4,6 +4,11 @@ type t = { sdir : string }
 
 let schema_tag = "rsg-store-v1"
 let suffix = ".rsgdb"
+let latest_suffix = ".latest"
+
+(* A temp file this old belongs to a writer that crashed mid-save; a
+   live writer renames (or unlinks) its temp within milliseconds. *)
+let tmp_max_age = 900.
 
 let mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -45,6 +50,16 @@ let key_hex k = k
 let short k = if String.length k >= 8 then String.sub k 0 8 else k
 let path_of t k = Filename.concat t.sdir (k ^ suffix)
 
+(* Removal that tolerates losing the race to a concurrent process:
+   ENOENT means someone else already unlinked the file, which is the
+   state we wanted.  Returns whether {e this} call did the removal, so
+   clear/gc counts stay accurate under contention. *)
+let unlink_existing path =
+  match Unix.unlink path with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> false
+  | exception Unix.Unix_error _ -> false
+
 type lookup = Hit of Codec.entry | Miss | Corrupt of Codec.error
 
 let find t k =
@@ -58,20 +73,85 @@ let find t k =
     | entry ->
         Obs.count "store.hit";
         Hit entry
+    | exception Codec.Error (Codec.Bad_version _) ->
+        (* written by a different codec generation: not damage, just
+           stale — remove it so the miss is clean and one-time *)
+        Obs.count "store.stale";
+        ignore (unlink_existing path);
+        Miss
     | exception Codec.Error e ->
+        (* count first, then delete: the bad file must cost exactly one
+           corrupt report and one regeneration, never one per run *)
         Obs.count "store.corrupt";
-        (try Sys.remove path with Sys_error _ -> ());
+        ignore (unlink_existing path);
         Corrupt e
     | exception Sys_error _ ->
         Obs.count "store.miss";
         Miss
 
-let save t k ~label ?flat cell =
-  let data = Codec.encode ?flat ~label cell in
+(* ---- per-design latest pointer ----------------------------------- *)
+(*
+   Incremental regeneration needs the {e previous} entry for a design
+   even though an edit changed its key (the key digests the design
+   text).  The pointer file <digest(stem)>.latest holds the key hex of
+   the last entry saved for the stem — a generator-family + design
+   identity that deliberately excludes the content that edits change.
+*)
+
+let stem_path t stem =
+  Filename.concat t.sdir (Digest.to_hex (Digest.string stem) ^ latest_suffix)
+
+let is_hex32 s =
+  String.length s = 32
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s
+
+let latest t ~stem =
+  match In_channel.with_open_bin (stem_path t stem) In_channel.input_all with
+  | s ->
+      let s = String.trim s in
+      if is_hex32 s then Some s else None
+  | exception Sys_error _ -> None
+
+let save t k ?stem ~label ?flat ?protos cell =
+  let data = Codec.encode ?flat ?protos ~label cell in
   Codec.write_file (path_of t k) data;
+  (match stem with
+  | Some stem -> Codec.write_file (stem_path t stem) (key_hex k)
+  | None -> ());
   Obs.count "store.save"
 
-type entry_stat = { es_key : string; es_label : string; es_bytes : int }
+let harvest t ~stem =
+  match latest t ~stem with
+  | None -> None
+  | Some k -> (
+      let path = path_of t k in
+      match In_channel.with_open_bin path In_channel.input_all with
+      | data -> (
+          match Codec.decode_protos data with
+          | _label, protos ->
+              Obs.count "store.harvest";
+              Some (k, protos)
+          | exception Codec.Error (Codec.Bad_version _) ->
+              Obs.count "store.stale";
+              ignore (unlink_existing path);
+              None
+          | exception Codec.Error _ ->
+              Obs.count "store.corrupt";
+              ignore (unlink_existing path);
+              None)
+      | exception Sys_error _ -> None)
+
+(* ---- listing, stats, maintenance --------------------------------- *)
+
+type entry_stat = {
+  es_key : string;
+  es_label : string;
+  es_bytes : int;
+  es_protos : int;
+  es_reused : int;
+}
 
 type stats = {
   st_entries : int;
@@ -95,12 +175,21 @@ let stats t =
       (fun k ->
         let path = path_of t k in
         let bytes = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
-        let label =
-          match Codec.decode_label (In_channel.with_open_bin path In_channel.input_all) with
-          | l -> l
-          | exception _ -> "(corrupt)"
+        let label, protos, reused =
+          match
+            Codec.decode_protos
+              (In_channel.with_open_bin path In_channel.input_all)
+          with
+          | l, ps ->
+              ( l,
+                Array.length ps,
+                Array.fold_left
+                  (fun a (p : Codec.proto) -> if p.Codec.p_reused then a + 1 else a)
+                  0 ps )
+          | exception _ -> ("(corrupt)", 0, 0)
         in
-        { es_key = k; es_label = label; es_bytes = bytes })
+        { es_key = k; es_label = label; es_bytes = bytes;
+          es_protos = protos; es_reused = reused })
       ks
   in
   {
@@ -109,10 +198,46 @@ let stats t =
     st_list = list;
   }
 
+(* write_file's temp names: ".rsgdb-" prefix, ".tmp" suffix *)
+let is_tmp_file f =
+  String.length f > 11
+  && String.sub f 0 7 = ".rsgdb-"
+  && Filename.check_suffix f ".tmp"
+
+let is_pointer_file f = Filename.check_suffix f latest_suffix
+
+let sweep_tmp ?(max_age = tmp_max_age) t =
+  let now = Unix.gettimeofday () in
+  let files = try Sys.readdir t.sdir with Sys_error _ -> [||] in
+  let swept = ref 0 in
+  Array.iter
+    (fun f ->
+      if is_tmp_file f then begin
+        let path = Filename.concat t.sdir f in
+        match Unix.stat path with
+        | st when now -. st.Unix.st_mtime >= max_age ->
+            if unlink_existing path then begin
+              Obs.count "store.tmp_swept";
+              incr swept
+            end
+        | _ -> ()
+        | exception Unix.Unix_error _ -> ()
+      end)
+    files;
+  !swept
+
 let clear t =
-  let ks = entries t in
-  List.iter (fun k -> try Sys.remove (path_of t k) with Sys_error _ -> ()) ks;
-  List.length ks
+  let files = try Sys.readdir t.sdir with Sys_error _ -> [||] in
+  let removed = ref 0 in
+  Array.iter
+    (fun f ->
+      let entry = Filename.check_suffix f suffix in
+      if entry || is_pointer_file f || is_tmp_file f then begin
+        let did = unlink_existing (Filename.concat t.sdir f) in
+        if did && entry then incr removed
+      end)
+    files;
+  !removed
 
 let gc ?max_age ?max_bytes t =
   let now = Unix.gettimeofday () in
@@ -124,10 +249,7 @@ let gc ?max_age ?max_bytes t =
   in
   let all = List.filter_map stat (entries t) in
   let removed = ref 0 in
-  let remove k =
-    (try Sys.remove (path_of t k) with Sys_error _ -> ());
-    incr removed
-  in
+  let remove k = if unlink_existing (path_of t k) then incr removed in
   let survivors =
     match max_age with
     | None -> all
@@ -153,7 +275,29 @@ let gc ?max_age ?max_bytes t =
         (fun (k, _, sz) ->
           if !excess > 0 then begin
             remove k;
+            (* the file is gone either way, so the space is reclaimed
+               even when a concurrent gc did the unlink *)
             excess := !excess - sz
           end)
         by_age);
+  ignore (sweep_tmp t);
+  (* drop pointers whose entry no longer exists (gc'd above, cleared,
+     or never completed); a truncated pointer file is dropped too *)
+  let files = try Sys.readdir t.sdir with Sys_error _ -> [||] in
+  Array.iter
+    (fun f ->
+      if is_pointer_file f then begin
+        let path = Filename.concat t.sdir f in
+        let target =
+          match In_channel.with_open_bin path In_channel.input_all with
+          | s ->
+              let s = String.trim s in
+              if is_hex32 s then Some s else None
+          | exception Sys_error _ -> None
+        in
+        match target with
+        | Some k when Sys.file_exists (path_of t k) -> ()
+        | _ -> ignore (unlink_existing path)
+      end)
+    files;
   !removed

@@ -10,12 +10,26 @@
     layout in O(file read) instead of re-parsing, re-expanding,
     re-flattening and re-checking.
 
+    The v2 codec makes entries useful even after an edit misses the
+    key: the prototype table inside each entry is content-addressed by
+    subtree digest, so an incremental run {!harvest}s the {e previous}
+    entry for the same design (found through a per-design [.latest]
+    pointer, see {!save}'s [stem]) and reuses every prototype whose
+    digest is unchanged — cached hierarchical-DRC levels replay, and
+    only the dirty prototypes and their ancestors are recomputed.
+
     Corrupt or stale entries can never poison a run: {!find} verifies
     the codec checksum and version and reports damage as {!Corrupt}
-    (counted under [store.corrupt] in {!Rsg_obs.Obs}), and callers fall
-    back to regeneration, which overwrites the bad entry.  Writes are
-    atomic (temp file + rename, see {!Codec.write_file}), so concurrent
-    batch jobs may share one store directory freely. *)
+    (counted under [store.corrupt] in {!Rsg_obs.Obs}); the damaged
+    file is deleted after reporting, so a bad entry costs exactly one
+    regeneration — the next run re-warms instead of tripping over it
+    again.  Entries from an older codec generation are not damage:
+    they fail with [Bad_version], count as [store.stale] and are
+    removed as a clean {!Miss}.  Writes are atomic and durable (temp
+    file + fsync + rename, see {!Codec.write_file}), so concurrent
+    batch jobs may share one store directory freely; maintenance
+    ({!clear}, {!gc}, {!sweep_tmp}) tolerates losing removal races to
+    other processes and reports only what it actually deleted. *)
 
 open Rsg_layout
 
@@ -54,14 +68,49 @@ type lookup =
 
 val find : t -> key -> lookup
 (** Look a key up, verifying the entry end to end.  Counts
-    [store.hit] / [store.miss] / [store.corrupt] in Obs. *)
+    [store.hit] / [store.miss] / [store.corrupt] in Obs.  An entry in
+    an older codec format is deleted and reported as a plain {!Miss}
+    (counted [store.stale]) — it is never mis-decoded and never
+    surfaces as {!Corrupt}. *)
 
-val save : t -> key -> label:string -> ?flat:Flatten.flat -> Cell.t -> unit
-(** Encode and atomically install an entry (last writer wins). *)
+val save :
+  t ->
+  key ->
+  ?stem:string ->
+  label:string ->
+  ?flat:Flatten.flat ->
+  ?protos:Codec.proto array ->
+  Cell.t ->
+  unit
+(** Encode and atomically install an entry (last writer wins).
+    [stem] names the design {e independently of its content} —
+    generator family plus design identity, excluding parameters and
+    text that edits change — and installs a per-stem [.latest]
+    pointer to this key, which is what lets a later run of an edited
+    design {!harvest} this entry. *)
+
+val latest : t -> stem:string -> key option
+(** The key most recently {!save}d under [stem], if its pointer file
+    exists and is well-formed. *)
+
+val harvest : t -> stem:string -> (key * Codec.proto array) option
+(** The previous entry for [stem]: follows the [.latest] pointer and
+    decodes only the prototype table (the cell table and flat section
+    are never touched).  Returns [None] — removing the bad entry, as
+    {!find} would — when the pointer dangles or the entry is stale or
+    corrupt.  Counts [store.harvest] on success. *)
 
 val path_of : t -> key -> string
 
-type entry_stat = { es_key : string; es_label : string; es_bytes : int }
+type entry_stat = {
+  es_key : string;
+  es_label : string;
+  es_bytes : int;
+  es_protos : int;  (** prototype-table records in the entry *)
+  es_reused : int;
+      (** records whose prototype the writing run adopted from a
+          previous entry instead of recomputing *)
+}
 
 type stats = {
   st_entries : int;
@@ -73,9 +122,19 @@ val stats : t -> stats
 (** Unreadable entries are listed with the label ["(corrupt)"]. *)
 
 val clear : t -> int
-(** Delete every entry; returns how many were removed. *)
+(** Delete every entry, pointer file and leftover temp file; returns
+    how many {e entries} this call removed (not counting files a
+    concurrent process deleted first). *)
+
+val sweep_tmp : ?max_age:float -> t -> int
+(** Delete orphaned [.rsgdb-*.tmp] files — writers that crashed
+    between temp creation and rename — older than [max_age] seconds
+    (default 900).  Returns how many were removed (counted
+    [store.tmp_swept]).  Run by {!gc}; callable directly for eager
+    cleanup. *)
 
 val gc : ?max_age:float -> ?max_bytes:int -> t -> int
 (** Delete entries older than [max_age] seconds, then — oldest first —
-    until at most [max_bytes] remain.  Returns how many were
-    removed. *)
+    until at most [max_bytes] remain; afterwards sweep orphaned temp
+    files and pointer files whose entry no longer exists.  Returns how
+    many entries were removed. *)

@@ -346,6 +346,78 @@ let test_domains_identical_dirty () =
     [ 2; 3; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* Hierarchical checking                                              *)
+
+module Flatten = Rsg_layout.Flatten
+module Cell = Rsg_layout.Cell
+
+let flat_rule_set (r : Drc.report) =
+  List.sort_uniq String.compare (rules r.Drc.r_violations)
+
+let hier_rule_set (r : Drc.hier_report) =
+  r.Drc.h_levels
+  |> List.concat_map (fun l ->
+         List.map (fun (v, _) -> v.Drc.v_rule) l.Drc.l_violations)
+  |> List.sort_uniq String.compare
+
+(* The per-prototype check must reach the same verdict as flattening
+   everything — on the clean generated layouts and on layouts with a
+   violation buried inside a leaf celltype (where only the context
+   windows can see cross-boundary interactions). *)
+let test_hier_agrees_with_flat () =
+  List.iter
+    (fun (name, cell) ->
+      let flat = Drc.check_cell cell in
+      let hier = Drc.check_protos (Flatten.prototypes cell) in
+      Alcotest.(check bool)
+        (name ^ " verdict agrees")
+        (flat.Drc.r_violations = [])
+        (Drc.hier_clean hier);
+      Alcotest.(check (list string))
+        (name ^ " rule sets agree") (flat_rule_set flat) (hier_rule_set hier))
+    (Lazy.force generated)
+
+let mutated_families () =
+  let tt = Rsg_pla.Truth_table.of_strings [ ("10-", "10"); ("0-1", "01") ] in
+  [ ("pla", (Rsg_pla.Gen.generate tt).Rsg_pla.Gen.cell);
+    ("mult4",
+     (Rsg_mult.Layout_gen.generate ~xsize:4 ~ysize:4 ())
+       .Rsg_mult.Layout_gen.whole) ]
+  |> List.map (fun (name, cell) ->
+         (* smash a leaf celltype: protos_order lists children first *)
+         let leaf = List.hd (Flatten.protos_order (Flatten.prototypes cell)) in
+         Cell.add_box leaf Layer.Metal (box 2000 2000 1 8);
+         (name, cell))
+
+let test_hier_agrees_on_mutants () =
+  List.iter
+    (fun (name, cell) ->
+      let flat = Drc.check_cell cell in
+      let hier = Drc.check_protos (Flatten.prototypes cell) in
+      Alcotest.(check bool)
+        (name ^ " mutant is dirty") false (Drc.hier_clean hier);
+      Alcotest.(check bool)
+        (name ^ " mutant counted") true (Drc.hier_violations hier > 0);
+      Alcotest.(check (list string))
+        (name ^ " mutant rule sets agree")
+        (flat_rule_set flat) (hier_rule_set hier))
+    (mutated_families ())
+
+let test_hier_domains_identical () =
+  List.iter
+    (fun (name, cell) ->
+      let protos = Flatten.prototypes cell in
+      let seq = Drc.check_protos ~domains:1 protos in
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s hier report identical at %d domains" name d)
+            true
+            (Drc.check_protos ~domains:d protos = seq))
+        [ 2; 3 ])
+    (mutated_families () @ Lazy.force generated)
+
+(* ------------------------------------------------------------------ *)
 (* Report rendering                                                   *)
 
 let test_json_report () =
@@ -408,4 +480,11 @@ let () =
            test_domains_identical_clean;
          Alcotest.test_case "identical on dirty" `Quick
            test_domains_identical_dirty ]);
+      ("hierarchical",
+       [ Alcotest.test_case "agrees with flat (clean)" `Quick
+           test_hier_agrees_with_flat;
+         Alcotest.test_case "agrees with flat (mutants)" `Quick
+           test_hier_agrees_on_mutants;
+         Alcotest.test_case "domains identical" `Quick
+           test_hier_domains_identical ]);
       ("report", [ Alcotest.test_case "json" `Quick test_json_report ]) ]

@@ -493,6 +493,69 @@ let test_define_global_table () =
   in
   Alcotest.(check value) "diagonal hits" (Value.Vint 2) v
 
+(* ---- procedure content digests (incremental dirtiness) -------------- *)
+
+let subtree_of text = Subtree.of_program (Parser.parse_program text)
+
+let chain_prog leaf_body =
+  Printf.sprintf
+    "(macro mleaf (n) (locals c) %s)\n\
+     (macro mmid (n) (locals x) (assign x (mleaf n)))\n\
+     (macro mtop (n) (locals y) (assign y (mmid n)))\n\
+     (macro msolo (n) (locals z) (assign z (+ n 1)))"
+    leaf_body
+
+let test_subtree_edit_dirties_chain () =
+  let before = subtree_of (chain_prog "(mk_instance c basiccell)") in
+  let after = subtree_of (chain_prog "(mk_instance c othercell)") in
+  Alcotest.(check (list string))
+    "edited leaf dirties itself and its transitive callers only"
+    [ "mleaf"; "mmid"; "mtop" ]
+    (Subtree.dirty ~before ~after);
+  Alcotest.(check bool)
+    "unrelated procedure keeps its digest" true
+    (Subtree.digest before "msolo" = Subtree.digest after "msolo");
+  Alcotest.(check (list string))
+    "identical program dirties nothing" []
+    (Subtree.dirty ~before ~after:before)
+
+let test_subtree_source_noise_is_clean () =
+  let a = subtree_of (chain_prog "(mk_instance c basiccell)") in
+  (* whitespace and comments do not change any digest *)
+  let b =
+    subtree_of
+      ("  ;; a comment\n" ^ chain_prog "(mk_instance   c   basiccell)")
+  in
+  Alcotest.(check (list string)) "formatting is clean" [] (Subtree.dirty ~before:a ~after:b);
+  (* renaming a (non-recursive) procedure leaves its digest intact: the
+     new name appears, callers that mention it change, the body hash
+     itself is name-independent *)
+  let renamed =
+    subtree_of
+      "(macro mleaf2 (n) (locals c) (mk_instance c basiccell))\n\
+       (macro mmid (n) (locals x) (assign x (mleaf2 n)))"
+  in
+  Alcotest.(check bool)
+    "rename preserves the body digest" true
+    (Subtree.digest a "mleaf" = Subtree.digest renamed "mleaf2")
+
+let test_subtree_recursion () =
+  let p name =
+    Printf.sprintf
+      "(defun %s (n) (cond ((> n 0) (%s (- n 1))) (true 0)))" name name
+  in
+  let a = subtree_of (p "fcount") in
+  let b = subtree_of (p "fcount") in
+  Alcotest.(check bool)
+    "recursive digest is stable" true
+    (Subtree.digest a "fcount" = Subtree.digest b "fcount");
+  (* renaming a recursive procedure is the one name leak: the rec token
+     embeds the name, so the digest moves *)
+  let c = subtree_of (p "fcount2") in
+  Alcotest.(check bool)
+    "renaming a recursive procedure dirties it" false
+    (Subtree.digest a "fcount" = Subtree.digest c "fcount2")
+
 let () =
   Alcotest.run "rsg_lang"
     [ ("parse",
@@ -528,6 +591,12 @@ let () =
          Alcotest.test_case "errors" `Quick test_param_errors;
          Alcotest.test_case "lookup chain (table 4.1)" `Quick test_lookup_chain;
          Alcotest.test_case "symbol cycles" `Quick test_symbol_cycle_detected ]);
+      ("subtree",
+       [ Alcotest.test_case "edit dirties the call chain" `Quick
+           test_subtree_edit_dirties_chain;
+         Alcotest.test_case "formatting and renames are clean" `Quick
+           test_subtree_source_noise_is_clean;
+         Alcotest.test_case "recursion" `Quick test_subtree_recursion ]);
       ("rsg-primitives",
        [ Alcotest.test_case "mk_instance/connect/mk_cell" `Quick
            test_mk_instance_connect_mk_cell;

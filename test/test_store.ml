@@ -288,6 +288,353 @@ let test_store_stats_gc () =
   Alcotest.(check int) "empty after clear" 0 (Store.stats st).Store.st_entries;
   ignore keys
 
+(* ---- v2 prototype table --------------------------------------------- *)
+
+module Drc = Rsg_drc.Drc
+module Deck = Rsg_drc.Deck
+
+let deck_digest = Deck.digest Deck.default
+
+(* Package a hierarchical DRC report as the per-prototype cache the
+   codec stores: hex subtree digest -> [(deck digest, cached level)]. *)
+let reports_of_hier (r : Drc.hier_report) =
+  let by_hex =
+    List.map
+      (fun (l : Drc.level) ->
+        ( l.Drc.l_hash,
+          {
+            Drc.cl_violations = l.Drc.l_violations;
+            cl_contexts = l.Drc.l_contexts;
+            cl_distinct = l.Drc.l_distinct;
+            cl_boxes = l.Drc.l_boxes;
+          } ))
+      r.Drc.h_levels
+  in
+  fun hex ->
+    match List.assoc_opt hex by_hex with
+    | Some cl -> [ (deck_digest, cl) ]
+    | None -> []
+
+let cached_of_table (table : Codec.proto array) =
+  let h = Hashtbl.create 32 in
+  Array.iter
+    (fun (p : Codec.proto) -> Hashtbl.replace h (Digest.to_hex p.Codec.p_hash) p)
+    table;
+  fun hex ->
+    Option.bind (Hashtbl.find_opt h hex) (fun (p : Codec.proto) ->
+        List.assoc_opt deck_digest p.Codec.p_reports)
+
+let test_proto_roundtrip () =
+  let cell =
+    (Rsg_mult.Layout_gen.generate ~xsize:4 ~ysize:4 ()).Rsg_mult.Layout_gen.whole
+  in
+  let protos = Flatten.prototypes cell in
+  let hier = Drc.check_protos ~domains:1 protos in
+  let table =
+    Codec.proto_table protos ~reused:(fun _ -> false)
+      ~reports:(reports_of_hier hier)
+  in
+  Alcotest.(check bool) "table non-empty" true (Array.length table > 0);
+  let flat = Flatten.protos_flat protos in
+  let data = Codec.encode ~flat ~protos:table ~label:"mult 4x4" cell in
+  let entry = Codec.decode data in
+  Alcotest.(check int)
+    "proto count survives" (Array.length table)
+    (Array.length entry.Codec.e_protos);
+  Array.iter2
+    (fun (a : Codec.proto) (b : Codec.proto) ->
+      Alcotest.(check string)
+        "hash survives"
+        (Digest.to_hex a.Codec.p_hash)
+        (Digest.to_hex b.Codec.p_hash);
+      Alcotest.(check bool) "reused survives" a.Codec.p_reused b.Codec.p_reused;
+      Alcotest.(check int)
+        "report count survives"
+        (List.length a.Codec.p_reports)
+        (List.length b.Codec.p_reports);
+      (* the decoded proto cell's content digest must equal its stored
+         hash — the table is self-consistently content-addressed *)
+      let ps = Flatten.prototypes b.Codec.p_cell in
+      Alcotest.(check string)
+        "decoded cell digest = stored hash"
+        (Digest.to_hex b.Codec.p_hash)
+        (Flatten.subtree_hex ps (Flatten.protos_root ps)))
+    table entry.Codec.e_protos;
+  (* decode_protos reads only the table, and agrees with full decode *)
+  let label, table' = Codec.decode_protos data in
+  Alcotest.(check string) "decode_protos label" "mult 4x4" label;
+  Alcotest.(check int)
+    "decode_protos count" (Array.length table) (Array.length table');
+  (* replaying every stored level recomputes nothing and reproduces the
+     verdict *)
+  let replay = Drc.check_protos ~domains:1 ~cached:(cached_of_table table') protos in
+  Alcotest.(check int)
+    "all levels replayed"
+    (List.length replay.Drc.h_levels)
+    replay.Drc.h_cached;
+  Alcotest.(check bool)
+    "replayed verdict agrees" (Drc.hier_clean hier) (Drc.hier_clean replay)
+
+(* Cold, fully-cached and partially-cached (one edited row) checks must
+   agree on the verdict at every domain count. *)
+let test_incremental_agreement () =
+  let cell_a = (Rsg_pla.Gen.generate (pla_tt ())).Rsg_pla.Gen.cell in
+  let tt_b =
+    Rsg_pla.Truth_table.of_strings
+      [ ("10-", "10"); ("0-1", "01"); ("111", "11") ]
+  in
+  let cell_b = (Rsg_pla.Gen.generate tt_b).Rsg_pla.Gen.cell in
+  let protos_a = Flatten.prototypes cell_a in
+  let hier_a = Drc.check_protos ~domains:1 protos_a in
+  let table =
+    Codec.proto_table protos_a ~reused:(fun _ -> false)
+      ~reports:(reports_of_hier hier_a)
+  in
+  let cached = cached_of_table table in
+  List.iter
+    (fun domains ->
+      let protos_b = Flatten.prototypes cell_b in
+      let fresh = Drc.check_protos ~domains protos_b in
+      let incr = Drc.check_protos ~domains ~cached protos_b in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d replay reuses something" domains)
+        true (incr.Drc.h_cached > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d not everything cached" domains)
+        true
+        (incr.Drc.h_cached < List.length incr.Drc.h_levels);
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d verdict agrees" domains)
+        (Drc.hier_clean fresh) (Drc.hier_clean incr);
+      List.iter2
+        (fun (f : Drc.level) (i : Drc.level) ->
+          Alcotest.(check string)
+            (Printf.sprintf "domains=%d level hash" domains)
+            f.Drc.l_hash i.Drc.l_hash;
+          Alcotest.(check int)
+            (Printf.sprintf "domains=%d level violations" domains)
+            (List.length f.Drc.l_violations)
+            (List.length i.Drc.l_violations))
+        fresh.Drc.h_levels incr.Drc.h_levels)
+    [ 1; 2 ]
+
+(* Seeding pre-flattened arrays from a previous run's table must
+   recompose to bit-identical geometry. *)
+let test_seed_recompose () =
+  let cell_a = (Rsg_pla.Gen.generate (pla_tt ())).Rsg_pla.Gen.cell in
+  let tt_b =
+    Rsg_pla.Truth_table.of_strings
+      [ ("10-", "10"); ("0-1", "01"); ("111", "11") ]
+  in
+  let make_b () = (Rsg_pla.Gen.generate tt_b).Rsg_pla.Gen.cell in
+  let protos_a = Flatten.prototypes cell_a in
+  let fresh = Flatten.protos_flat (Flatten.prototypes (make_b ())) in
+  let seeded_protos = Flatten.prototypes (make_b ()) in
+  List.iter
+    (fun (c, _hex) ->
+      let f = Flatten.proto_flat protos_a c in
+      Flatten.seed_proto seeded_protos
+        ~hash:(Flatten.subtree_digest protos_a c)
+        ~boxes:f.Flatten.flat_boxes ~labels:f.Flatten.flat_labels)
+    (Flatten.subtree_hashes protos_a);
+  Alcotest.(check bool)
+    "seeded flat identical to fresh" true
+    (flat_equal fresh (Flatten.protos_flat seeded_protos))
+
+(* ---- store maintenance and incremental lookup ------------------------ *)
+
+(* A v1-era entry must be a clean miss — deleted, never mis-decoded —
+   and the re-save must warm the slot again. *)
+let test_v1_stale_miss () =
+  let st = Store.open_ (temp_dir ()) in
+  let cell = (Rsg_pla.Gen.generate_decoder 3).Rsg_pla.Gen.cell in
+  let k = Store.key ~design:"decoder" ~params:"n=3" () in
+  Store.save st k ~label:"decoder 3" cell;
+  let path = Store.path_of st k in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string data in
+  (* the version field is the u32 after the 4-byte magic: find the
+     byte holding the 2 and patch it to 1, whatever the endianness *)
+  let patched = ref false in
+  for i = 4 to 7 do
+    if Bytes.get b i = '\002' then begin
+      Bytes.set b i '\001';
+      patched := true
+    end
+  done;
+  Alcotest.(check bool) "version byte found" true !patched;
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+  (match Store.find st k with
+  | Store.Miss -> ()
+  | Store.Hit _ -> Alcotest.fail "v1 entry mis-decoded as hit"
+  | Store.Corrupt _ -> Alcotest.fail "v1 entry reported corrupt, not stale");
+  Alcotest.(check bool) "stale entry deleted" false (Sys.file_exists path);
+  Store.save st k ~label:"decoder 3" cell;
+  (match Store.find st k with
+  | Store.Hit _ -> ()
+  | _ -> Alcotest.fail "re-save did not re-warm");
+  ignore (Store.clear st)
+
+let touch path =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc "x")
+
+let test_tmp_sweep () =
+  let st = Store.open_ (temp_dir ()) in
+  let old_tmp = Filename.concat (Store.dir st) ".rsgdb-dead.tmp" in
+  let fresh_tmp = Filename.concat (Store.dir st) ".rsgdb-live.tmp" in
+  touch old_tmp;
+  touch fresh_tmp;
+  let ago = Unix.gettimeofday () -. 3600.0 in
+  Unix.utimes old_tmp ago ago;
+  Alcotest.(check int) "sweeps only the old orphan" 1 (Store.sweep_tmp st);
+  Alcotest.(check bool) "old orphan gone" false (Sys.file_exists old_tmp);
+  Alcotest.(check bool) "fresh temp kept" true (Sys.file_exists fresh_tmp);
+  (* gc runs the sweep too *)
+  Unix.utimes fresh_tmp ago ago;
+  let _ = Store.gc st in
+  Alcotest.(check bool) "gc swept the aged temp" false (Sys.file_exists fresh_tmp)
+
+(* Maintenance must survive (and not double-count) files a concurrent
+   process removed first. *)
+let test_removal_races () =
+  let st = Store.open_ (temp_dir ()) in
+  let cell = Cell.create "c" in
+  Cell.add_box cell Layer.Poly (Box.make ~xmin:0 ~ymin:0 ~xmax:2 ~ymax:2);
+  let k1 = Store.key ~design:"d" ~params:"1" () in
+  let k2 = Store.key ~design:"d" ~params:"2" () in
+  Store.save st k1 ~label:"one" cell;
+  Store.save st k2 ~label:"two" cell;
+  Sys.remove (Store.path_of st k1);
+  Alcotest.(check int) "clear counts only real removals" 1 (Store.clear st);
+  Store.save st k1 ~label:"one" cell;
+  Store.save st k2 ~label:"two" cell;
+  Sys.remove (Store.path_of st k2);
+  Alcotest.(check int)
+    "gc counts only real removals" 1
+    (Store.gc ~max_bytes:0 st);
+  ignore (Store.clear st)
+
+let test_latest_and_harvest () =
+  let st = Store.open_ (temp_dir ()) in
+  let cell = (Rsg_pla.Gen.generate_decoder 3).Rsg_pla.Gen.cell in
+  let protos = Flatten.prototypes cell in
+  let table = Codec.proto_table protos in
+  let k = Store.key ~design:"decoder" ~params:"n=3" () in
+  Alcotest.(check bool) "no pointer yet" true (Store.latest st ~stem:"dec" = None);
+  Alcotest.(check bool) "nothing to harvest" true (Store.harvest st ~stem:"dec" = None);
+  Store.save st k ~stem:"dec" ~label:"decoder 3" ~protos:table cell;
+  (match Store.latest st ~stem:"dec" with
+  | Some k' -> Alcotest.(check string) "pointer names the key" (Store.key_hex k) (Store.key_hex k')
+  | None -> Alcotest.fail "pointer not written");
+  (match Store.harvest st ~stem:"dec" with
+  | Some (k', table') ->
+    Alcotest.(check string) "harvest key" (Store.key_hex k) (Store.key_hex k');
+    Alcotest.(check int) "harvest table size" (Array.length table) (Array.length table');
+    Array.iter2
+      (fun (a : Codec.proto) (b : Codec.proto) ->
+        Alcotest.(check string) "harvest hash"
+          (Digest.to_hex a.Codec.p_hash) (Digest.to_hex b.Codec.p_hash))
+      table table'
+  | None -> Alcotest.fail "harvest failed after save");
+  (* an unrelated stem sees nothing *)
+  Alcotest.(check bool) "stems are isolated" true (Store.harvest st ~stem:"other" = None);
+  (* dangling pointer (entry deleted behind our back) harvests nothing *)
+  Sys.remove (Store.path_of st k);
+  Alcotest.(check bool) "dangling pointer" true (Store.harvest st ~stem:"dec" = None);
+  ignore (Store.clear st)
+
+(* ---- geometric dirtiness --------------------------------------------- *)
+
+(* Construction plan for a random acyclic pool: cell [i] may only
+   instantiate cells [j < i].  Building from a plan (instead of hashing
+   one mutable pool twice) lets the property compare a pristine build
+   against one with a single edited cell. *)
+type plan_op =
+  | P_box of Layer.t * Box.t
+  | P_label of string * Vec.t
+  | P_inst of int * Orient.t * Vec.t
+
+let gen_plan st =
+  let open QCheck.Gen in
+  let n_layers = List.length Layer.all in
+  let coord st = int_range (-500) 500 st in
+  let rand_box st =
+    let x = coord st and y = coord st in
+    let w = int_range 0 200 st and h = int_range 0 200 st in
+    Box.make ~xmin:x ~ymin:y ~xmax:(x + w) ~ymax:(y + h)
+  in
+  let n_cells = int_range 2 7 st in
+  let plan =
+    Array.init n_cells (fun i ->
+        List.init (int_range 1 8 st) (fun _ ->
+            match int_range 0 2 st with
+            | 0 ->
+              P_box
+                ( Layer.of_index_exn (int_range 0 (n_layers - 1) st),
+                  rand_box st )
+            | 1 ->
+              P_label (Printf.sprintf "l%d" (int_range 0 99 st),
+                       Vec.make (coord st) (coord st))
+            | _ ->
+              if i = 0 then P_box (Layer.Metal, rand_box st)
+              else
+                P_inst
+                  ( int_range 0 (i - 1) st,
+                    Orient.of_index (int_range 0 7 st),
+                    Vec.make (coord st) (coord st) )))
+  in
+  let edited = int_range 0 (n_cells - 1) st in
+  (plan, edited)
+
+let build_pool ?edit plan =
+  let pool =
+    Array.mapi (fun i _ -> Cell.create (Printf.sprintf "pc%d" i)) plan
+  in
+  Array.iteri
+    (fun i ops ->
+      List.iter
+        (fun op ->
+          match op with
+          | P_box (l, bx) -> Cell.add_box pool.(i) l bx
+          | P_label (s, v) -> Cell.add_label pool.(i) s v
+          | P_inst (j, orient, at) ->
+            ignore (Cell.add_instance pool.(i) ~orient ~at pool.(j)))
+        ops;
+      if edit = Some i then
+        Cell.add_box pool.(i) Layer.Implant
+          (Box.make ~xmin:9000 ~ymin:9000 ~xmax:9004 ~ymax:9004))
+    plan;
+  pool
+
+(* cell [i]'s subtree digest, hashing [i] as its own root *)
+let digest_of pool i =
+  let p = Flatten.prototypes pool.(i) in
+  Flatten.subtree_hex p (Flatten.protos_root p)
+
+let reaches plan i k =
+  let rec go i =
+    i = k
+    || List.exists
+         (function P_inst (j, _, _) -> go j | _ -> false)
+         plan.(i)
+  in
+  go i
+
+let qcheck_edit_dirtiness =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:120
+       ~name:"one edit dirties exactly the edited cell and its ancestors"
+       (QCheck.make gen_plan)
+       (fun (plan, edited) ->
+         let base = build_pool plan in
+         let touched = build_pool ~edit:edited plan in
+         Array.for_all Fun.id
+           (Array.mapi
+              (fun i _ ->
+                let changed = digest_of base i <> digest_of touched i in
+                changed = reaches plan i edited)
+              plan)))
+
 (* ---- batch ----------------------------------------------------------- *)
 
 let batch_jobs () =
@@ -357,11 +704,17 @@ let test_batch_corrupt_fallback () =
   let st = Store.open_ (temp_dir ()) in
   let jobs = batch_jobs () in
   let cold = Batch.run ~domains:1 ~store:st jobs in
-  (* smash the first job's entry *)
+  (* smash the first job's entry: flip a payload byte so the container
+     still frames (a version mismatch would be a stale miss, not
+     corruption) but the checksum fails *)
   let first = List.hd jobs in
   let path = Store.path_of st first.Batch.j_key in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string data in
+  let mid = 16 + ((Bytes.length b - 16) / 2) in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0xff));
   Out_channel.with_open_bin path (fun oc ->
-      Out_channel.output_string oc "RSGLgarbage");
+      Out_channel.output_bytes oc b);
   let warm = Batch.run ~domains:2 ~store:st jobs in
   let r0 = List.hd warm in
   Alcotest.(check string) "first regenerated" "regen"
@@ -398,6 +751,22 @@ let () =
         [
           Alcotest.test_case "lookup lifecycle" `Quick test_store_lookup;
           Alcotest.test_case "stats and gc" `Quick test_store_stats_gc;
+          Alcotest.test_case "stale v1 is a clean miss" `Quick
+            test_v1_stale_miss;
+          Alcotest.test_case "orphaned temp sweep" `Quick test_tmp_sweep;
+          Alcotest.test_case "removal races" `Quick test_removal_races;
+          Alcotest.test_case "latest pointer and harvest" `Quick
+            test_latest_and_harvest;
+        ] );
+      ( "protos",
+        [
+          Alcotest.test_case "table roundtrip and replay" `Quick
+            test_proto_roundtrip;
+          Alcotest.test_case "incremental agreement" `Quick
+            test_incremental_agreement;
+          Alcotest.test_case "seeded recomposition" `Quick
+            test_seed_recompose;
+          qcheck_edit_dirtiness;
         ] );
       ( "batch",
         [
