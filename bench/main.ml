@@ -1285,13 +1285,232 @@ let e27 () =
   note "(edited leaf + ancestors) pays for geometry windows and checks;";
   note "'total' adds composing the output flat, a cost both paths share"
 
+(* ------------------------------------------------------------------ *)
+(* E28: the resident serve daemon — request latency vs a per-request   *)
+(* CLI process, throughput vs concurrency, coalescing, and graceful    *)
+(* saturation (queue_full rejections, not unbounded queueing).         *)
+
+let e28 () =
+  section "E28" "lib/serve: daemon latency/throughput, coalescing, saturation";
+  let module Serve = Rsg_serve.Serve in
+  let module Client = Rsg_serve.Client in
+  let module Load = Rsg_serve.Load in
+  let module Json = Rsg_serve.Json in
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rsg-bench-e28-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir tmp 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let sock_of name = Filename.concat tmp (name ^ ".sock") in
+  let start cfg =
+    let ready = Atomic.make false in
+    let th =
+      Thread.create
+        (fun () -> Serve.run ~on_ready:(fun () -> Atomic.set ready true) cfg)
+        ()
+    in
+    while not (Atomic.get ready) do
+      Thread.delay 0.002
+    done;
+    th
+  in
+  let connect sock =
+    match Client.connect ~attempts:10 sock with
+    | Ok c -> c
+    | Error msg -> failwith msg
+  in
+  let shutdown sock th =
+    let c = connect sock in
+    ignore
+      (Client.request c
+         (Json.Obj [ ("id", Json.String "bye"); ("op", Json.String "shutdown") ]));
+    Client.close c;
+    Thread.join th
+  in
+  let obj fields = Json.Obj fields in
+  let str s = Json.String s in
+  let gen ?(cif = false) spec =
+    obj
+      ([ ("id", str "g"); ("op", str "generate"); ("spec", str spec) ]
+      @ if cif then [ ("cif", Json.Bool true) ] else [])
+  in
+  let ms v = v *. 1000. in
+  let replay ~sock ~concurrency ~repeat reqs =
+    match Load.run ~socket:sock ~concurrency ~repeat reqs with
+    | Ok r -> r
+    | Error msg -> failwith ("replay failed: " ^ msg)
+  in
+  let err_count code (r : Load.result) =
+    Option.value ~default:0 (List.assoc_opt code r.Load.l_errors)
+  in
+
+  (* -- main daemon: a worker pool over a disk store ------------------- *)
+  let store_dir = Filename.concat tmp "store" in
+  let sock = sock_of "main" in
+  let th =
+    start
+      {
+        (Serve.default_config ~socket_path:sock) with
+        Serve.workers = 2;
+        queue_depth = 16;
+        store_dir = Some store_dir;
+      }
+  in
+  let specs =
+    [ "m12 multiplier size=12"; "m16 multiplier size=16"; "d6 decoder n=6";
+      "ram84 ram words=8 bits=4" ]
+  in
+  let reqs = List.map gen specs in
+  let cold = replay ~sock ~concurrency:1 ~repeat:1 reqs in
+  row "four designs (mult 12/16, decoder 6, ram 8x4), %d cold generates:"
+    cold.Load.l_sent;
+  row "  cold p50 %.1f ms, total %.2f s (populates memory + disk store)"
+    (ms (Load.percentile cold.Load.l_latencies 50.))
+    cold.Load.l_seconds;
+  row "";
+  row "warm replay (every request a memory hit), mixed keys:";
+  row "%5s | %6s %6s | %9s %9s %9s | %9s" "conc" "sent" "ok" "p50-ms"
+    "p95-ms" "p99-ms" "req/s";
+  List.iter
+    (fun concurrency ->
+      let r = replay ~sock ~concurrency ~repeat:16 reqs in
+      row "%5d | %6d %6d | %9.3f %9.3f %9.3f | %9.0f" concurrency
+        r.Load.l_sent r.Load.l_ok
+        (ms (Load.percentile r.Load.l_latencies 50.))
+        (ms (Load.percentile r.Load.l_latencies 95.))
+        (ms (Load.percentile r.Load.l_latencies 99.))
+        (float_of_int r.Load.l_sent /. r.Load.l_seconds))
+    [ 1; 2; 4; 8 ];
+  let warm = replay ~sock ~concurrency:1 ~repeat:8 reqs in
+  let daemon_p50 = Load.percentile warm.Load.l_latencies 50. in
+
+  (* -- the same warm request as a fresh CLI process ------------------- *)
+  let cli = Filename.concat (Sys.getcwd ()) "_build/default/bin/rsg_cli.exe" in
+  (if Sys.file_exists cli then begin
+     let run () =
+       let cmd =
+         Printf.sprintf
+           "%s multiplier --size 12 --cache %s -o /dev/null >/dev/null 2>&1"
+           (Filename.quote cli) (Filename.quote store_dir)
+       in
+       if Sys.command cmd <> 0 then failwith "warm CLI run failed"
+     in
+     run ();
+     (* once to warm *)
+     let cli_warm = seconds run in
+     row "";
+     row "one warm request, daemon vs fresh CLI process on the same store:";
+     row "  daemon p50 %.3f ms | CLI %.1f ms | %.0fx (process start, parse,"
+       (ms daemon_p50) (ms cli_warm)
+       (cli_warm /. max daemon_p50 1e-9);
+     row "  store decode and render are paid once by the daemon, not per call"
+   end
+   else begin
+     row "";
+     row "warm CLI baseline skipped (%s not built)" cli
+   end);
+
+  (* -- bit identity: repeated and concurrent answers never drift ------ *)
+  let cif_of r =
+    match
+      Option.bind (Json.member "result" r) (Json.mem_string "cif")
+    with
+    | Some s -> s
+    | None -> failwith "no cif in response"
+  in
+  let c = connect sock in
+  let rq v =
+    match Client.request c v with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  let a = cif_of (rq (gen ~cif:true "m12 multiplier size=12")) in
+  let b = cif_of (rq (gen ~cif:true "m12 multiplier size=12")) in
+  let direct =
+    Cif.to_string
+      (Rsg_mult.Layout_gen.generate ~xsize:12 ~ysize:12 ())
+        .Rsg_mult.Layout_gen.whole
+  in
+  row "";
+  row "warm answers byte-identical to each other: %b; to direct generation: %b"
+    (a = b) (a = direct);
+  Client.close c;
+  shutdown sock th;
+
+  (* -- coalescing and saturation on a deliberately small daemon ------- *)
+  let sock = sock_of "small" in
+  let th =
+    start
+      {
+        (Serve.default_config ~socket_path:sock) with
+        Serve.workers = 1;
+        queue_depth = 2;
+      }
+  in
+  let c = connect sock in
+  let counter name =
+    match Client.request c (obj [ ("id", str "s"); ("op", str "stats") ]) with
+    | Ok r ->
+      Option.value ~default:0
+        (Option.bind (Json.member "result" r) (fun res ->
+             Option.bind (Json.member "counters" res) (fun cs ->
+                 Option.bind (Json.member name cs) Json.to_int_opt)))
+    | Error msg -> failwith msg
+  in
+  let before = counter "serve.coalesced" in
+  (* pin the one worker, then send identical generates back to back:
+     all but the leader must attach to the in-flight computation *)
+  (match
+     Client.pipeline c
+       [
+         obj [ ("id", str "pin"); ("op", str "sleep"); ("ms", Json.Int 200) ];
+         gen "d4 decoder n=4";
+         gen "d4 decoder n=4";
+         gen "d4 decoder n=4";
+       ]
+   with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  row "";
+  row "coalescing (1 worker pinned, 3 identical generates pipelined):";
+  row "  riders attached to the in-flight computation: %d (expected 2)"
+    (counter "serve.coalesced" - before);
+  Client.close c;
+  (* offered load ~4x what one worker can clear: 8 threads of 25 ms
+     jobs against a capacity of 40 jobs/s, all with generous deadlines
+     so every rejection is admission control, not a deadline miss *)
+  let sat =
+    replay ~sock ~concurrency:8 ~repeat:6
+      [
+        obj
+          [
+            ("id", str "w"); ("op", str "sleep"); ("ms", Json.Int 25);
+            ("deadline_ms", Json.Int 60_000);
+          ];
+      ]
+  in
+  row "";
+  row "saturation, 1 worker / queue 2, 8 threads x 25 ms jobs:";
+  row "  sent %d | ok %d | queue_full %d | deadline_expired %d"
+    sat.Load.l_sent sat.Load.l_ok (err_count "queue_full" sat)
+    (err_count "deadline_expired" sat);
+  row "  p99 %.1f ms (bounded: excess load is rejected at admission,"
+    (ms (Load.percentile sat.Load.l_latencies 99.));
+  row "  never queued without limit)";
+  shutdown sock th;
+  note "a resident service answers warm requests at memory-cache cost;";
+  note "per-request CLI processes pay startup + store decode every time.";
+  note "admission control keeps tail latency flat under overload: the";
+  note "daemon says queue_full immediately instead of queueing unboundedly"
+
 let sections =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
     ("E22", e22); ("E23", e23); ("E24", e24); ("E25", e25); ("E26", e26);
-    ("E27", e27) ]
+    ("E27", e27); ("E28", e28) ]
 
 let () =
   let wanted =

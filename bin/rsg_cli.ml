@@ -1032,141 +1032,10 @@ let lint_cmd =
 
 (* ---- batch --------------------------------------------------------- *)
 
-(* manifest line: NAME KIND [key=value ...], '#' starts a comment.
-   Kinds and their keys:
-     multiplier size=N
-     pla        table=FILE | rows=IN:OUT,IN:OUT,...   [fold=true]
-     rom        data=FILE | words=W,W,...             [word-bits=N]
-     decoder    n=N
-     ram        words=N bits=N *)
-let manifest_fail lineno msg =
-  Format.eprintf "manifest line %d: %s@." lineno msg;
-  exit 1
-
-let parse_manifest_line lineno line =
-  let line =
-    match String.index_opt line '#' with
-    | Some i -> String.sub line 0 i
-    | None -> line
-  in
-  match
-    String.split_on_char ' ' (String.trim line)
-    |> List.filter (fun s -> s <> "")
-  with
-  | [] -> None
-  | [ _ ] -> manifest_fail lineno "expected NAME KIND [key=value ...]"
-  | name :: kind :: kvs ->
-    let assoc =
-      List.map
-        (fun kv ->
-          match String.index_opt kv '=' with
-          | Some i ->
-            ( String.sub kv 0 i,
-              String.sub kv (i + 1) (String.length kv - i - 1) )
-          | None -> manifest_fail lineno ("not key=value: " ^ kv))
-        kvs
-    in
-    Some (lineno, name, kind, assoc)
-
-let batch_job (lineno, name, kind, assoc) =
-  let geti key default =
-    match List.assoc_opt key assoc with
-    | None -> default
-    | Some v -> (
-      match int_of_string_opt v with
-      | Some n -> n
-      | None -> manifest_fail lineno (key ^ " is not an integer: " ^ v))
-  in
-  let ints_of key v =
-    String.split_on_char ',' v
-    |> List.map (fun s ->
-           match int_of_string_opt (String.trim s) with
-           | Some n -> n
-           | None -> manifest_fail lineno (key ^ " has a bad integer: " ^ s))
-  in
-  let design, params, label, gen =
-    match kind with
-    | "multiplier" ->
-      let size = geti "size" 8 in
-      ( "builtin:multiplier\n" ^ Rsg_mult.Design_file.text,
-        Rsg_mult.Sample_lib.param_file ~xsize:size ~ysize:size,
-        Printf.sprintf "multiplier %dx%d" size size,
-        fun () ->
-          (Rsg_mult.Layout_gen.generate ~xsize:size ~ysize:size ())
-            .Rsg_mult.Layout_gen.whole )
-    | "pla" ->
-      let rows_text =
-        match (List.assoc_opt "table" assoc, List.assoc_opt "rows" assoc) with
-        | Some path, None -> read_file path
-        | None, Some rows ->
-          String.split_on_char ',' rows
-          |> List.map (fun r ->
-                 match String.split_on_char ':' r with
-                 | [ i; o ] -> i ^ " " ^ o
-                 | _ -> manifest_fail lineno ("bad row: " ^ r))
-          |> String.concat "\n"
-        | _ -> manifest_fail lineno "pla needs table=FILE or rows=IN:OUT,..."
-      in
-      let fold = List.assoc_opt "fold" assoc = Some "true" in
-      let rows =
-        rows_text |> String.split_on_char '\n'
-        |> List.filter_map (fun line ->
-               match String.split_on_char ' ' (String.trim line) with
-               | [ i; o ] when i <> "" -> Some (i, o)
-               | _ -> None)
-      in
-      ( "builtin:pla\n" ^ Rsg_pla.Pla_design_file.text,
-        Printf.sprintf "fold=%b\n%s" fold rows_text,
-        Printf.sprintf "pla %s" name,
-        fun () ->
-          let tt = Rsg_pla.Truth_table.of_strings rows in
-          if fold then (Rsg_pla.Folding.generate tt).Rsg_pla.Folding.cell
-          else (Rsg_pla.Gen.generate tt).Rsg_pla.Gen.cell )
-    | "rom" ->
-      let words =
-        match (List.assoc_opt "data" assoc, List.assoc_opt "words" assoc) with
-        | Some path, None ->
-          read_file path |> String.split_on_char '\n'
-          |> List.filter_map (fun l ->
-                 let s = String.trim l in
-                 if s = "" then None else Some s)
-          |> List.map (fun s ->
-                 match int_of_string_opt s with
-                 | Some n -> n
-                 | None -> manifest_fail lineno ("bad word: " ^ s))
-        | None, Some ws -> ints_of "words" ws
-        | _ -> manifest_fail lineno "rom needs data=FILE or words=W,W,..."
-      in
-      let word_bits = geti "word-bits" 8 in
-      ( "builtin:rom",
-        Printf.sprintf "word_bits=%d\n%s" word_bits
-          (String.concat "\n" (List.map string_of_int words)),
-        Printf.sprintf "rom %d words x %d bits" (List.length words) word_bits,
-        fun () ->
-          (Rsg_pla.Rom.generate ~word_bits (Array.of_list words))
-            .Rsg_pla.Rom.pla.Rsg_pla.Gen.cell )
-    | "decoder" ->
-      let n = geti "n" 3 in
-      ( "builtin:decoder",
-        Printf.sprintf "n=%d" n,
-        Printf.sprintf "decoder %d" n,
-        fun () -> (Rsg_pla.Gen.generate_decoder n).Rsg_pla.Gen.cell )
-    | "ram" ->
-      let words = geti "words" 8 and bits = geti "bits" 4 in
-      ( "builtin:ram",
-        Printf.sprintf "words=%d bits=%d" words bits,
-        Printf.sprintf "ram %dx%d" words bits,
-        fun () ->
-          (Rsg_ram.Ram_gen.generate ~words ~bits ()).Rsg_ram.Ram_gen.cell )
-    | other -> manifest_fail lineno ("unknown kind: " ^ other)
-  in
-  {
-    Batch.j_name = name;
-    j_kind = kind;
-    j_key = Store.key ~design ~params ();
-    j_label = label;
-    j_gen = gen;
-  }
+(* The manifest grammar (NAME KIND [key=value ...], '#' comments) and
+   the per-kind generators live in {!Rsg_serve.Jobspec}, shared with
+   the serve daemon so both agree byte-for-byte on specs and cache
+   keys. *)
 
 let outcome_name = function
   | Batch.Hit -> "hit"
@@ -1177,23 +1046,12 @@ let outcome_name = function
 let batch manifest cache out_dir domains json obs =
   with_obs obs @@ fun () ->
   let jobs =
-    read_file manifest |> String.split_on_char '\n'
-    |> List.mapi (fun i line -> parse_manifest_line (i + 1) line)
-    |> List.filter_map Fun.id |> List.map batch_job
+    match Rsg_serve.Jobspec.parse_manifest (read_file manifest) with
+    | Ok jobs -> jobs
+    | Error msg ->
+      Format.eprintf "%s: %s@." manifest msg;
+      exit 1
   in
-  if jobs = [] then begin
-    Format.eprintf "manifest has no jobs@.";
-    exit 1
-  end;
-  let seen = Hashtbl.create 16 in
-  List.iter
-    (fun j ->
-      if Hashtbl.mem seen j.Batch.j_name then begin
-        Format.eprintf "duplicate job name: %s@." j.Batch.j_name;
-        exit 1
-      end;
-      Hashtbl.add seen j.Batch.j_name ())
-    jobs;
   let store = Option.map Store.open_ cache in
   let t0 = Unix.gettimeofday () in
   let results = Batch.run ?domains ?store jobs in
@@ -1353,6 +1211,216 @@ let cache_cmd =
     (Cmd.info "cache" ~doc:"Inspect and manage a layout cache directory")
     [ cache_stats_cmd; cache_clear_cmd; cache_gc_cmd ]
 
+(* ---- serve / client ------------------------------------------------ *)
+
+module Serve = Rsg_serve.Serve
+module Sclient = Rsg_serve.Client
+module Sjson = Rsg_serve.Json
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve socket workers queue mem_mb cache max_request_kb =
+  let workers =
+    match workers with Some w -> w | None -> Rsg_par.Par.default_domains ()
+  in
+  let cfg =
+    { (Serve.default_config ~socket_path:socket) with
+      Serve.workers;
+      queue_depth = queue;
+      mem_budget = mem_mb * 1024 * 1024;
+      store_dir = cache;
+      max_request = max_request_kb * 1024;
+      handle_signals = true
+    }
+  in
+  Serve.run
+    ~on_ready:(fun () ->
+      Format.printf "serving on %s (%d workers, queue %d, %d MiB memory%s)@."
+        socket workers queue mem_mb
+        (match cache with Some d -> ", store " ^ d | None -> "");
+      Format.print_flush ())
+    cfg;
+  Format.printf "drained@."
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident generation service: accept generate/drc/extract/\
+          lint/batch jobs as newline-delimited JSON over a Unix-domain \
+          socket, multiplexed onto a bounded worker pool with per-job \
+          deadlines, coalescing of identical in-flight generations, and a \
+          hot in-memory cache over the layout store.  SIGTERM drains \
+          gracefully: admitted jobs complete, new work is refused.")
+    Term.(
+      const serve $ socket_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "workers" ] ~docv:"N"
+              ~doc:
+                "Worker domains executing jobs (default: RSG_DOMAINS or the \
+                 machine's recommended domain count).")
+      $ Arg.(
+          value & opt int 16
+          & info [ "queue" ] ~docv:"N"
+              ~doc:
+                "Admission queue depth: jobs queued beyond the running ones \
+                 before requests are answered with queue_full.")
+      $ Arg.(
+          value & opt int 64
+          & info [ "mem-budget" ] ~docv:"MIB"
+              ~doc:"In-memory result cache budget, mebibytes.")
+      $ cache_arg
+      $ Arg.(
+          value & opt int 1024
+          & info [ "max-request" ] ~docv:"KIB"
+              ~doc:"Byte cap on one request line, kibibytes."))
+
+(* one-shot scripting client: build the request(s), pipeline them,
+   print each response as a JSON line, exit 0 iff every response is ok *)
+let client socket op arg drc cif out deadline attempts =
+  let fields ?spec extra =
+    ("id", Sjson.String "c1")
+    :: ("op", Sjson.String op)
+    :: ((match spec with Some s -> [ ("spec", Sjson.String s) ] | None -> [])
+       @ extra
+       @
+       match deadline with
+       | Some ms -> [ ("deadline_ms", Sjson.Int ms) ]
+       | None -> [])
+  in
+  let usage msg =
+    Format.eprintf "%s@." msg;
+    exit 2
+  in
+  let reqs =
+    match (op, arg) with
+    | ("stats" | "health" | "shutdown"), None -> [ `Json (Sjson.Obj (fields [])) ]
+    | ("stats" | "health" | "shutdown"), Some _ ->
+      usage (op ^ " takes no argument")
+    | "generate", Some spec ->
+      let flags =
+        (if drc then [ ("drc", Sjson.Bool true) ] else [])
+        @ (if cif then [ ("cif", Sjson.Bool true) ] else [])
+        @ match out with Some p -> [ ("out", Sjson.String p) ] | None -> []
+      in
+      [ `Json (Sjson.Obj (fields ~spec flags)) ]
+    | ("drc" | "extract" | "lint"), Some spec ->
+      [ `Json (Sjson.Obj (fields ~spec [])) ]
+    | "batch", Some path ->
+      [ `Json (Sjson.Obj (fields ~spec:(read_file path) [])) ]
+    | "sleep", Some ms -> (
+      match int_of_string_opt ms with
+      | Some ms -> [ `Json (Sjson.Obj (fields [ ("ms", Sjson.Int ms) ])) ]
+      | None -> usage "sleep needs milliseconds")
+    | "raw", None ->
+      (* pipeline stdin verbatim, one request per line — the harness
+         entry point for malformed-frame and coalescing experiments *)
+      let rec lines acc =
+        match In_channel.input_line stdin with
+        | Some l -> lines (if String.trim l = "" then acc else `Raw l :: acc)
+        | None -> List.rev acc
+      in
+      lines []
+    | "raw", Some _ -> usage "raw reads requests from stdin"
+    | _, None -> usage (op ^ " needs an argument")
+    | other, _ ->
+      usage
+        (other
+       ^ ": unknown op (generate, drc, extract, lint, batch, sleep, stats, \
+          health, shutdown, raw)")
+  in
+  if reqs = [] then usage "no requests";
+  match Sclient.connect ~attempts socket with
+  | Error msg ->
+    Format.eprintf "%s@." msg;
+    exit 1
+  | Ok c ->
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Sclient.close c)
+        (fun () ->
+          let rec send_all = function
+            | [] -> Ok ()
+            | `Json v :: rest ->
+              Result.bind (Sclient.send c v) (fun () -> send_all rest)
+            | `Raw l :: rest ->
+              Result.bind (Sclient.send_line c l) (fun () -> send_all rest)
+          in
+          Result.bind (send_all reqs) (fun () ->
+              let rec recv_n acc n =
+                if n = 0 then Ok (List.rev acc)
+                else
+                  match Sclient.recv c with
+                  | Ok v -> recv_n (v :: acc) (n - 1)
+                  | Error _ when acc <> [] ->
+                    (* daemon closed after an error response (e.g.
+                       too_large): report what we got *)
+                    Ok (List.rev acc)
+                  | Error _ as e -> e
+              in
+              recv_n [] (List.length reqs)))
+    in
+    (match result with
+    | Error msg ->
+      Format.eprintf "%s@." msg;
+      exit 1
+    | Ok resps ->
+      List.iter (fun r -> print_endline (Sjson.to_string r)) resps;
+      if List.for_all Sclient.response_ok resps then () else exit 1)
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running $(b,rsg serve) daemon.  OP is generate, drc, \
+          extract, lint, batch, sleep, stats, health, shutdown, or raw \
+          (pipeline JSON request lines from stdin).  Responses are printed \
+          one JSON line each; exits 0 iff every response is ok.")
+    Term.(
+      const client $ socket_arg
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"OP" ~doc:"Operation.")
+      $ Arg.(
+          value
+          & pos 1 (some string) None
+          & info [] ~docv:"ARG"
+              ~doc:
+                "Op argument: a manifest line (generate), a builtin or CIF \
+                 path (drc, extract), a builtin or design file (lint), a \
+                 manifest file (batch), milliseconds (sleep).")
+      $ Arg.(
+          value & flag
+          & info [ "drc" ] ~doc:"generate: also design-rule check the result.")
+      $ Arg.(
+          value & flag
+          & info [ "cif" ] ~doc:"generate: include the CIF text in the response.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~docv:"FILE"
+              ~doc:"generate: write the layout to $(docv) (daemon-side path).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "deadline" ] ~docv:"MS"
+              ~doc:
+                "Deadline: the job must start within $(docv) milliseconds or \
+                 is answered deadline_expired.")
+      $ Arg.(
+          value & opt int 1
+          & info [ "connect-retries" ] ~docv:"N"
+              ~doc:
+                "Retry the connect up to $(docv) times (50 ms apart) — for \
+                 scripts that start the daemon and connect immediately."))
+
 (* ---- doctor -------------------------------------------------------- *)
 
 (* A guided demonstration of the diagnosable, transactional expansion
@@ -1426,4 +1494,4 @@ let () =
        (Cmd.group info
           [ generate_cmd; multiplier_cmd; pla_cmd; rom_cmd; decoder_cmd;
             sim_cmd; stats_cmd; compact_cmd; masks_cmd; drc_cmd; lint_cmd;
-            batch_cmd; cache_cmd; doctor_cmd ]))
+            batch_cmd; cache_cmd; serve_cmd; client_cmd; doctor_cmd ]))

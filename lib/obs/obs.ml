@@ -21,6 +21,17 @@ let stack = ref []
 
 let table : (string, int) Hashtbl.t = Hashtbl.create 64
 
+(* Counters are bumped from worker domains (the serve job pool, the
+   batch runner) while the span tree stays single-domain, so the
+   counter table gets its own lock.  Uncontended Mutex.lock is a
+   couple of atomic operations — noise next to a Hashtbl.replace —
+   and counting is a no-op while disabled anyway. *)
+let table_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock table_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock table_mutex) f
+
 let enable () = enabled := true
 
 let disable () = enabled := false
@@ -30,12 +41,13 @@ let is_enabled () = !enabled
 let reset () =
   root := mk_root ();
   stack := [];
-  Hashtbl.reset table
+  locked (fun () -> Hashtbl.reset table)
 
 let count ?(n = 1) name =
   if !enabled then
-    Hashtbl.replace table name
-      (n + Option.value ~default:0 (Hashtbl.find_opt table name))
+    locked (fun () ->
+        Hashtbl.replace table name
+          (n + Option.value ~default:0 (Hashtbl.find_opt table name)))
 
 let child_named parent name =
   match List.find_opt (fun c -> String.equal c.name name) parent.children with
@@ -71,7 +83,7 @@ let record ?(count = 1) name seconds =
   end
 
 let counters () =
-  Hashtbl.fold (fun name n acc -> (name, n) :: acc) table []
+  locked (fun () -> Hashtbl.fold (fun name n acc -> (name, n) :: acc) table [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 type span_node = {

@@ -31,7 +31,10 @@ val reset : unit -> unit
 (** Drop all recorded spans and counters; recording state unchanged. *)
 
 val count : ?n:int -> string -> unit
-(** Add [n] (default 1) to the named counter.  No-op when disabled. *)
+(** Add [n] (default 1) to the named counter.  No-op when disabled.
+    Unlike spans, counters are domain-safe: the table is guarded by a
+    lock, so pool workers (lib/par, the serve job pool) may count
+    directly instead of handing deltas back to the coordinator. *)
 
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] times [f ()] under [name] in the span tree rooted at

@@ -66,3 +66,104 @@ let map ?domains f xs =
 let chunked_map ?domains ?(chunk = 1) f xs =
   let d = match domains with Some d -> d | None -> default_domains () in
   map_in ~domains:d ~chunk:(max 1 chunk) "par.chunked_map" f xs
+
+(* A resident pool: [map] spawns and joins domains per call, which is
+   the right shape for a one-shot CLI but not for a daemon that fields
+   thousands of small jobs — there the spawn/join cost and the domain
+   churn dominate.  [Pool] keeps the workers alive and feeds them off
+   one locked queue; the queue bound is the admission-control surface
+   the serve layer builds on. *)
+module Pool = struct
+  type t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;  (* signalled on submit and on shutdown *)
+    idle : Condition.t;      (* signalled when a worker finishes a task *)
+    queue : (unit -> unit) Queue.t;
+    max_pending : int;
+    mutable running : int;   (* tasks currently executing *)
+    mutable stopping : bool;
+    workers : unit Domain.t array Lazy.t;
+    mutable joined : bool;
+  }
+
+  let worker_loop t () =
+    let rec next () =
+      Mutex.lock t.mutex;
+      while Queue.is_empty t.queue && not t.stopping do
+        Condition.wait t.nonempty t.mutex
+      done;
+      if Queue.is_empty t.queue then begin
+        (* stopping and drained *)
+        Mutex.unlock t.mutex;
+        ()
+      end
+      else begin
+        let task = Queue.pop t.queue in
+        t.running <- t.running + 1;
+        Mutex.unlock t.mutex;
+        (* a raising task must not take the worker down with it: the
+           submitter owns error reporting, the pool only owns threads *)
+        (try task () with _ -> ());
+        Mutex.lock t.mutex;
+        t.running <- t.running - 1;
+        Condition.broadcast t.idle;
+        Mutex.unlock t.mutex;
+        next ()
+      end
+    in
+    next ()
+
+  let create ?(max_pending = 0) ~domains () =
+    let d = max 1 domains in
+    let rec t =
+      { mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        idle = Condition.create ();
+        queue = Queue.create ();
+        max_pending;
+        running = 0;
+        stopping = false;
+        workers = lazy (Array.init d (fun _ -> Domain.spawn (worker_loop t)));
+        joined = false }
+    in
+    ignore (Lazy.force t.workers);
+    t
+
+  let size t = Array.length (Lazy.force t.workers)
+
+  let try_submit t task =
+    Mutex.lock t.mutex;
+    let accepted =
+      (not t.stopping)
+      && (t.max_pending <= 0 || Queue.length t.queue < t.max_pending)
+    in
+    if accepted then begin
+      Queue.push task t.queue;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.mutex;
+    accepted
+
+  let pending t =
+    Mutex.lock t.mutex;
+    let n = Queue.length t.queue in
+    Mutex.unlock t.mutex;
+    n
+
+  let wait_idle t =
+    Mutex.lock t.mutex;
+    while not (Queue.is_empty t.queue && t.running = 0) do
+      Condition.wait t.idle t.mutex
+    done;
+    Mutex.unlock t.mutex
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.stopping <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    if not t.joined then begin
+      t.joined <- true;
+      Array.iter Domain.join (Lazy.force t.workers)
+    end
+end

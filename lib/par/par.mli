@@ -42,3 +42,43 @@ val chunked_map : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b arr
     (default 1) is the number of consecutive elements claimed per
     atomic fetch — use 1 when per-element cost is large or very
     uneven (e.g. one DRC rule per element). *)
+
+(** A resident worker pool for long-running processes.
+
+    {!map} spawns and joins domains per call — right for a one-shot
+    CLI, wrong for a daemon fielding thousands of small jobs.  A
+    [Pool.t] keeps [domains] worker domains alive, feeding them tasks
+    off one locked queue.  [max_pending] bounds the queue: a full
+    queue makes {!Pool.try_submit} return [false] instead of letting
+    latency grow without bound, which is exactly the admission-control
+    surface a service needs for graceful saturation.
+
+    Tasks are [unit -> unit] closures that must not raise for control
+    flow (a raised exception is swallowed so it cannot take the worker
+    down; report errors through the closure's own channel) and must
+    not touch {!Rsg_obs.Obs} spans (counters are fine — they are
+    domain-safe). *)
+module Pool : sig
+  type t
+
+  val create : ?max_pending:int -> domains:int -> unit -> t
+  (** Spawn [max 1 domains] resident workers.  [max_pending] [<= 0]
+      (the default) leaves the queue unbounded. *)
+
+  val size : t -> int
+  (** Number of worker domains. *)
+
+  val try_submit : t -> (unit -> unit) -> bool
+  (** Enqueue a task; [false] when the queue is at [max_pending] or
+      the pool is shutting down — the task was {e not} accepted. *)
+
+  val pending : t -> int
+  (** Tasks queued but not yet started. *)
+
+  val wait_idle : t -> unit
+  (** Block until the queue is empty and no task is executing. *)
+
+  val shutdown : t -> unit
+  (** Drain: workers finish every queued task, then exit and are
+      joined.  Subsequent {!try_submit}s return [false].  Idempotent. *)
+end

@@ -1,0 +1,35 @@
+(** Manifest-line job specifications, shared by [rsg batch] and the
+    serve daemon.
+
+    A job spec is one line of the batch-manifest grammar:
+    {v NAME KIND key=value ... v}
+    with kinds [multiplier] ([size=N]), [pla] ([table=FILE] or
+    [rows=IN:OUT,...], [fold=true]), [rom] ([data=FILE] or
+    [words=W,W,...], [word-bits=N]), [decoder] ([n=N]) and [ram]
+    ([words=N bits=N]); [#] starts a comment and blank lines are
+    skipped.  Parsing yields a {!Rsg_store.Batch.job} — name, kind,
+    content-addressed store key, human label and a generator thunk —
+    so the CLI and the daemon agree byte-for-byte on what a spec means
+    and on the cache key it hits.
+
+    Everything here is [result]-valued: a daemon must turn a bad spec
+    into a structured error response, never an [exit] (the CLI's
+    original parser exited, which a resident service cannot).  The
+    generator thunks themselves may still raise (generation bugs are
+    {!Protocol.Job_failed}, not bad requests); only {e parsing} is
+    total. *)
+
+val parse_line : int -> string -> (Rsg_store.Batch.job option, string) result
+(** Parse one manifest line (1-based [lineno] for error messages).
+    [Ok None] for blank or comment-only lines.  File references
+    ([table=], [data=]) are read eagerly so unreadable files are
+    parse errors, not generation-time surprises. *)
+
+val parse_manifest : string -> (Rsg_store.Batch.job list, string) result
+(** Parse a whole manifest (any number of lines).  Rejects an empty
+    job list and duplicate job names, as [rsg batch] does. *)
+
+val target_cell : string -> (Rsg_layout.Cell.t, string) result
+(** Resolve a drc/extract target: a builtin generator name ([pla],
+    [ram], [multiplier], [decoder] — the same fixed examples the CLI
+    offers) or a path to a CIF file whose top cell is wanted. *)

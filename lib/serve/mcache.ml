@@ -1,0 +1,81 @@
+module Obs = Rsg_obs.Obs
+
+type entry = {
+  me_cell : Rsg_layout.Cell.t;
+  me_flat : Rsg_layout.Flatten.flat;
+  me_cif : string;
+  me_bytes : int;
+}
+
+type slot = { entry : entry; mutable tick : int }
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, slot) Hashtbl.t;
+  budget : int;
+  mutable bytes : int;
+  mutable clock : int;
+}
+
+let create ~budget_bytes =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    budget = max 0 budget_bytes;
+    bytes = 0;
+    clock = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock t.mutex)
+
+let find t key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.table key with
+  | Some slot ->
+    t.clock <- t.clock + 1;
+    slot.tick <- t.clock;
+    Obs.count "serve.mem_hit";
+    Some slot.entry
+  | None ->
+    Obs.count "serve.mem_miss";
+    None
+
+(* O(n) scan for the oldest tick; n is small (tens of entries) and
+   eviction only runs on insert, never on the hit path *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun k slot acc ->
+        match acc with
+        | Some (_, best) when best.tick <= slot.tick -> acc
+        | _ -> Some (k, slot))
+      t.table None
+  in
+  match victim with
+  | None -> false
+  | Some (k, slot) ->
+    Hashtbl.remove t.table k;
+    t.bytes <- t.bytes - slot.entry.me_bytes;
+    Obs.count "serve.mem_evict";
+    true
+
+let add t key entry =
+  locked t @@ fun () ->
+  (match Hashtbl.find_opt t.table key with
+  | Some old ->
+    Hashtbl.remove t.table key;
+    t.bytes <- t.bytes - old.entry.me_bytes
+  | None -> ());
+  (* evict down to budget; an entry larger than the whole budget is
+     still admitted once the cache is empty, so the most recent result
+     stays warm even under a tiny budget *)
+  while t.bytes + entry.me_bytes > t.budget && evict_one t do
+    ()
+  done;
+  t.clock <- t.clock + 1;
+  Hashtbl.replace t.table key { entry; tick = t.clock };
+  t.bytes <- t.bytes + entry.me_bytes
+
+let stats t = locked t @@ fun () -> (Hashtbl.length t.table, t.bytes)

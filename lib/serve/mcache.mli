@@ -1,0 +1,38 @@
+(** Hot in-memory cache of decoded store entries, for the serve
+    daemon's warm path.
+
+    {!Rsg_store.Store.find} verifies and decodes an entry from disk on
+    every hit — exactly right for a one-shot CLI, wasteful for a
+    resident daemon answering the same key hundreds of times.  This
+    layer keeps recently served entries {e decoded} in memory under a
+    byte budget (approximated by the on-disk entry size, which the
+    codec makes a faithful proxy for the decoded footprint), evicting
+    least-recently-used entries when inserting would exceed it.
+
+    Thread-safety: every operation takes the cache's own mutex, so
+    connection threads and worker completions may call it freely.
+    Counters [serve.mem_hit], [serve.mem_miss] and [serve.mem_evict]
+    are kept in {!Rsg_obs.Obs}. *)
+
+type t
+
+type entry = {
+  me_cell : Rsg_layout.Cell.t;
+  me_flat : Rsg_layout.Flatten.flat;
+  me_cif : string;  (** serialised once at insert; reused by every hit *)
+  me_bytes : int;  (** budget charge (on-disk entry size) *)
+}
+
+val create : budget_bytes:int -> t
+(** A cache that holds at most [budget_bytes] worth of entries (one
+    oversized entry is still admitted alone, so a tiny budget degrades
+    to caching the most recent entry rather than nothing). *)
+
+val find : t -> string -> entry option
+(** Lookup by store-key hex; a hit refreshes recency. *)
+
+val add : t -> string -> entry -> unit
+(** Insert (or refresh) an entry, evicting LRU entries as needed. *)
+
+val stats : t -> int * int
+(** [(entries, bytes)] currently resident. *)

@@ -50,6 +50,38 @@ let key_hex k = k
 let short k = if String.length k >= 8 then String.sub k 0 8 else k
 let path_of t k = Filename.concat t.sdir (k ^ suffix)
 
+(* ---- advisory store lock ------------------------------------------ *)
+(*
+   Mutators (save, clear, gc, sweep_tmp) and whole-directory readers
+   (stats) take a best-effort fcntl lock on <dir>/.lock so maintenance
+   walking the directory does not race a resident writer in another
+   process: gc/stats see a consistent snapshot across cooperating rsg
+   processes.  Everything stays correct without the lock — entries are
+   installed by atomic rename and removal tolerates losing races — so
+   any locking failure (exotic filesystem, permissions) just falls
+   back to the unlocked behaviour.  Single-entry reads (find, harvest)
+   stay unlocked: they touch one file, the rename makes that safe, and
+   they are the latency-critical path.
+
+   fcntl caveats, by design: locks are per-process (two domains of one
+   daemon do not exclude each other — in-process callers synchronise
+   at a higher level), and closing any fd on the lock file drops the
+   process's locks, so nothing here may nest with_lock on one store
+   (gc uses the unlocked sweep internally for exactly that reason).
+*)
+
+let lock_path t = Filename.concat t.sdir ".lock"
+
+let with_lock ?(shared = false) t f =
+  match Unix.openfile (lock_path t) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 with
+  | exception Unix.Unix_error _ -> f ()
+  | fd ->
+    (try Unix.lockf fd (if shared then Unix.F_RLOCK else Unix.F_LOCK) 0
+     with Unix.Unix_error _ -> ());
+    Fun.protect f ~finally:(fun () ->
+        (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ())
+
 (* Removal that tolerates losing the race to a concurrent process:
    ENOENT means someone else already unlinked the file, which is the
    state we wanted.  Returns whether {e this} call did the removal, so
@@ -108,18 +140,32 @@ let is_hex32 s =
        s
 
 let latest t ~stem =
-  match In_channel.with_open_bin (stem_path t stem) In_channel.input_all with
+  let path = stem_path t stem in
+  match In_channel.with_open_bin path In_channel.input_all with
   | s ->
       let s = String.trim s in
-      if is_hex32 s then Some s else None
+      if is_hex32 s then Some s
+      else begin
+        (* truncated or garbled pointer — a writer from before pointers
+           went through the atomic temp+rename path, or tampering.  A
+           clean miss: remove it so it costs one report, not one per
+           run, and the next save installs a fresh pointer. *)
+        Obs.count "store.bad_pointer";
+        ignore (unlink_existing path);
+        None
+      end
   | exception Sys_error _ -> None
 
 let save t k ?stem ~label ?flat ?protos cell =
   let data = Codec.encode ?flat ?protos ~label cell in
-  Codec.write_file (path_of t k) data;
-  (match stem with
-  | Some stem -> Codec.write_file (stem_path t stem) (key_hex k)
-  | None -> ());
+  with_lock t (fun () ->
+      Codec.write_file (path_of t k) data;
+      (* the pointer goes through the same atomic temp+rename+fsync
+         path as entries: a crash mid-save leaves either the previous
+         pointer or the new one, never a truncated file *)
+      match stem with
+      | Some stem -> Codec.write_file (stem_path t stem) (key_hex k)
+      | None -> ());
   Obs.count "store.save"
 
 let harvest t ~stem =
@@ -169,6 +215,7 @@ let entries t =
   |> List.sort String.compare
 
 let stats t =
+  with_lock ~shared:true t @@ fun () ->
   let ks = entries t in
   let list =
     List.map
@@ -206,7 +253,7 @@ let is_tmp_file f =
 
 let is_pointer_file f = Filename.check_suffix f latest_suffix
 
-let sweep_tmp ?(max_age = tmp_max_age) t =
+let sweep_tmp_unlocked ?(max_age = tmp_max_age) t =
   let now = Unix.gettimeofday () in
   let files = try Sys.readdir t.sdir with Sys_error _ -> [||] in
   let swept = ref 0 in
@@ -226,7 +273,12 @@ let sweep_tmp ?(max_age = tmp_max_age) t =
     files;
   !swept
 
+(* gc calls the unlocked body: re-entering with_lock on the same store
+   would close a second fd on .lock and drop the outer lock (fcntl) *)
+let sweep_tmp ?max_age t = with_lock t (fun () -> sweep_tmp_unlocked ?max_age t)
+
 let clear t =
+  with_lock t @@ fun () ->
   let files = try Sys.readdir t.sdir with Sys_error _ -> [||] in
   let removed = ref 0 in
   Array.iter
@@ -240,6 +292,7 @@ let clear t =
   !removed
 
 let gc ?max_age ?max_bytes t =
+  with_lock t @@ fun () ->
   let now = Unix.gettimeofday () in
   let stat k =
     let path = path_of t k in
@@ -280,7 +333,7 @@ let gc ?max_age ?max_bytes t =
             excess := !excess - sz
           end)
         by_age);
-  ignore (sweep_tmp t);
+  ignore (sweep_tmp_unlocked t);
   (* drop pointers whose entry no longer exists (gc'd above, cleared,
      or never completed); a truncated pointer file is dropped too *)
   let files = try Sys.readdir t.sdir with Sys_error _ -> [||] in

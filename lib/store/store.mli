@@ -42,6 +42,22 @@ val open_ : string -> t
 
 val dir : t -> string
 
+val with_lock : ?shared:bool -> t -> (unit -> 'a) -> 'a
+(** Run [f] under a best-effort advisory [fcntl] lock on
+    [<dir>/.lock] — exclusive by default, [~shared:true] for a read
+    lock.  Mutators ({!save}, {!clear}, {!gc}, {!sweep_tmp}) take the
+    exclusive lock and the whole-directory reader ({!stats}) the
+    shared one, so maintenance walking the store does not race a
+    resident writer in {e another process}.  The guarantee is
+    deliberately advisory and best-effort: correctness never depends
+    on it (entries are installed by atomic rename; removals tolerate
+    losing races), locking failures silently fall back to running
+    unlocked, fcntl locks do not exclude callers within one process,
+    and single-entry reads ({!find}, {!harvest}) stay unlocked on the
+    latency-critical path.  Do not nest [with_lock] calls on one
+    store: closing any descriptor of the lock file drops the
+    process's locks. *)
+
 type key = private string
 (** 32-hex-digit content address. *)
 
@@ -91,7 +107,12 @@ val save :
 
 val latest : t -> stem:string -> key option
 (** The key most recently {!save}d under [stem], if its pointer file
-    exists and is well-formed. *)
+    exists and is well-formed.  Pointers are installed by the same
+    atomic temp+rename+fsync path as entries, so a crash mid-save
+    never leaves a truncated pointer; if one is found anyway
+    (pre-atomic writers, tampering) it is removed, counted as
+    [store.bad_pointer], and reported as a clean [None] — never an
+    error. *)
 
 val harvest : t -> stem:string -> (key * Codec.proto array) option
 (** The previous entry for [stem]: follows the [.latest] pointer and

@@ -1,0 +1,482 @@
+(* Tests for lib/serve: the JSON codec, the manifest grammar shared
+   with the CLI, and — against a real in-process daemon — protocol
+   robustness (malformed frames, oversized requests, half-closed
+   sockets), admission control (deadlines, queue_full), request
+   coalescing, and graceful drain.  Every hostile input must come back
+   as a structured error with the daemon still alive. *)
+
+open Rsg_serve
+
+(* ---- in-process daemon harness -------------------------------------- *)
+
+let temp_sock =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rsg-serve-%d-%d.sock" (Unix.getpid ()) !n)
+
+type server = { s_thread : Thread.t; s_socket : string }
+
+let start ?(workers = 1) ?(queue = 4) ?(max_request = 1024 * 1024) () =
+  let socket = temp_sock () in
+  let cfg =
+    {
+      (Serve.default_config ~socket_path:socket) with
+      workers;
+      queue_depth = queue;
+      max_request;
+      handle_signals = false;
+    }
+  in
+  let ready = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () -> Serve.run ~on_ready:(fun () -> Atomic.set ready true) cfg)
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.005
+  done;
+  if not (Atomic.get ready) then Alcotest.fail "daemon did not become ready";
+  { s_thread = th; s_socket = socket }
+
+let connect srv =
+  match Client.connect ~attempts:10 srv.s_socket with
+  | Ok c -> c
+  | Error msg -> Alcotest.fail msg
+
+let obj fields = Json.Obj fields
+let str s = Json.String s
+
+let request ?deadline ~id op fields =
+  obj
+    ([ ("id", str id); ("op", str op) ]
+    @ fields
+    @ match deadline with None -> [] | Some d -> [ ("deadline_ms", d) ])
+
+let rq c v =
+  match Client.request c v with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail ("request failed: " ^ msg)
+
+let check_ok what r =
+  Alcotest.(check bool) (what ^ " ok") true (Client.response_ok r)
+
+let check_err what code r =
+  Alcotest.(check bool) (what ^ " not ok") false (Client.response_ok r);
+  Alcotest.(check (option string))
+    (what ^ " error code") (Some code)
+    (Json.mem_string "error" r)
+
+let id_of r = Json.member "id" r
+
+let stop srv =
+  (let c = connect srv in
+   let r = rq c (request ~id:"bye" "shutdown" []) in
+   check_ok "shutdown" r;
+   Client.close c);
+  Thread.join srv.s_thread;
+  Alcotest.(check bool)
+    "socket removed after drain" false
+    (Sys.file_exists srv.s_socket)
+
+let health_ok what c = check_ok what (rq c (request ~id:"h" "health" []))
+
+(* result.counters.<name> from a stats response, 0 when absent *)
+let counter c name =
+  let r = rq c (request ~id:"st" "stats" []) in
+  check_ok "stats" r;
+  match
+    Option.bind (Json.member "result" r) (fun res ->
+        Option.bind (Json.member "counters" res) (fun cs ->
+            Option.bind (Json.member name cs) Json.to_int_opt))
+  with
+  | Some n -> n
+  | None -> 0
+
+(* ---- JSON codec ------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      ({|{"a":1,"b":[true,false,null],"c":"x"}|}, true);
+      ({|"plain string"|}, true);
+      ({|[1,-2,3.5,1e3]|}, true);
+      ({|{"esc":"a\"b\\c\nd\tuA"}|}, true);
+      ({|{"pair":"😀"}|}, true);
+      ({|{"a":1} trailing|}, false);
+      ({|{"a":}|}, false);
+      ({|[1,2|}, false);
+      ({|{"a" 1}|}, false);
+      ("", false);
+    ]
+  in
+  List.iter
+    (fun (text, ok) ->
+      match Json.parse text with
+      | Ok v ->
+        Alcotest.(check bool) (text ^ " accepted") true ok;
+        (* reprint and reparse: the compact form is a fixed point *)
+        let printed = Json.to_string v in
+        (match Json.parse printed with
+        | Ok v2 ->
+          Alcotest.(check string)
+            (text ^ " print fixpoint") printed (Json.to_string v2)
+        | Error m -> Alcotest.fail (printed ^ " reparse failed: " ^ m))
+      | Error _ -> Alcotest.(check bool) (text ^ " rejected") false ok)
+    cases;
+  (* \u escapes — BMP and a surrogate pair — decode to UTF-8 bytes *)
+  (match Json.parse {|"A\u00e9\u4e2d\ud83d\ude00"|} with
+  | Ok (Json.String s) ->
+    Alcotest.(check string)
+      "utf-8 escapes" "A\xc3\xa9\xe4\xb8\xad\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "escape string did not parse");
+  (* pathological nesting is rejected, not a stack overflow *)
+  let deep = String.make 500 '[' ^ String.make 500 ']' in
+  match Json.parse deep with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "500-deep nesting accepted"
+
+let test_json_accessors () =
+  let v =
+    Result.get_ok (Json.parse {|{"s":"x","i":7,"b":true,"l":[1],"n":null}|})
+  in
+  Alcotest.(check (option string)) "string" (Some "x") (Json.mem_string "s" v);
+  Alcotest.(check (option int)) "int" (Some 7) (Json.mem_int "i" v);
+  Alcotest.(check (option bool)) "bool" (Some true) (Json.mem_bool "b" v);
+  Alcotest.(check bool) "list" true (Json.member "l" v <> None);
+  Alcotest.(check bool) "null present" true (Json.member "n" v = Some Json.Null);
+  Alcotest.(check bool) "absent" true (Json.member "zz" v = None);
+  Alcotest.(check (option int)) "wrong type" None (Json.mem_int "s" v)
+
+(* ---- manifest grammar ------------------------------------------------ *)
+
+let test_jobspec_grammar () =
+  (match Jobspec.parse_manifest "m4 multiplier size=4\n# comment\n\nd3 decoder n=3\n" with
+  | Ok jobs ->
+    Alcotest.(check (list string))
+      "names parsed" [ "m4"; "d3" ]
+      (List.map (fun j -> j.Rsg_store.Batch.j_name) jobs)
+  | Error msg -> Alcotest.fail msg);
+  let expect_err what text =
+    match Jobspec.parse_manifest text with
+    | Ok _ -> Alcotest.fail (what ^ ": accepted")
+    | Error _ -> ()
+  in
+  expect_err "empty manifest" "# only comments\n";
+  expect_err "duplicate names" "a multiplier size=4\na multiplier size=8\n";
+  expect_err "unknown kind" "a frobnicator size=4\n";
+  expect_err "bad param" "a multiplier size=banana\n";
+  expect_err "size out of range" "a multiplier size=0\n";
+  expect_err "decoder too wide" "a decoder n=40\n";
+  expect_err "rom without words" "a rom\n";
+  expect_err "pla without rows" "a pla\n";
+  expect_err "missing table file" "a pla table=/nonexistent/tt\n";
+  (* params have CLI-compatible defaults: a bare decoder is n=3 *)
+  match Jobspec.parse_manifest "a decoder\n" with
+  | Ok [ j ] ->
+    Alcotest.(check string) "default label" "decoder 3" j.Rsg_store.Batch.j_label
+  | Ok _ -> Alcotest.fail "expected one job"
+  | Error msg -> Alcotest.fail ("defaults rejected: " ^ msg)
+
+(* ---- protocol robustness --------------------------------------------- *)
+
+let test_malformed_frames () =
+  let srv = start () in
+  let c = connect srv in
+  let raw what line code =
+    (match Client.send_line c line with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail m);
+    let r = match Client.recv c with Ok r -> r | Error m -> Alcotest.fail m in
+    check_err what code r;
+    r
+  in
+  let r = raw "garbage" "this is not json {" "bad_request" in
+  Alcotest.(check bool) "garbage id null" true (id_of r = Some Json.Null);
+  ignore (raw "non-object" "[1,2,3]" "bad_request");
+  let r = raw "unknown op" {|{"id":7,"op":"frobnicate"}|} "bad_request" in
+  Alcotest.(check bool) "id echoed on error" true (id_of r = Some (Json.Int 7));
+  ignore (raw "missing op" {|{"id":"x","spec":"m multiplier size=4"}|} "bad_request");
+  ignore (raw "missing spec" {|{"id":"y","op":"generate"}|} "bad_request");
+  ignore (raw "bad spec" {|{"id":"z","op":"generate","spec":"m frob size=4"}|} "bad_request");
+  ignore (raw "negative sleep" {|{"id":"s","op":"sleep","ms":-1}|} "bad_request");
+  (* after all that abuse, the daemon is healthy on the same connection *)
+  health_ok "still alive" c;
+  Client.close c;
+  stop srv
+
+let test_oversized_request () =
+  let srv = start ~max_request:4096 () in
+  let c = connect srv in
+  (* an 8 KiB line can never frame under a 4 KiB cap: the daemon must
+     answer too_large and close, because it cannot resynchronise *)
+  let huge =
+    {|{"id":"big","op":"generate","spec":"|} ^ String.make 8192 'x' ^ {|"}|}
+  in
+  (match Client.send_line c huge with Ok () -> () | Error m -> Alcotest.fail m);
+  let r = match Client.recv c with Ok r -> r | Error m -> Alcotest.fail m in
+  check_err "oversized" "too_large" r;
+  (match Client.recv c with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "connection not closed after too_large");
+  Client.close c;
+  (* the daemon itself is fine; fresh connections work *)
+  let c2 = connect srv in
+  health_ok "fresh connection" c2;
+  Client.close c2;
+  stop srv
+
+let test_half_closed_socket () =
+  let srv = start () in
+  (* speak raw Unix so we can send a final line with no newline and
+     half-close: EOF must flush the unterminated request, the response
+     must still be delivered, then the daemon closes its side *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX srv.s_socket);
+  let line = {|{"id":"hc","op":"health"}|} in
+  let n = String.length line in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd line !off (n - !off)
+  done;
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | k ->
+      Buffer.add_subbytes buf chunk 0 k;
+      drain ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+  in
+  drain ();
+  Unix.close fd;
+  let text = String.trim (Buffer.contents buf) in
+  (match Json.parse text with
+  | Ok r ->
+    check_ok "half-closed final line answered" r;
+    Alcotest.(check bool) "id echoed" true (id_of r = Some (Json.String "hc"))
+  | Error m -> Alcotest.fail ("unparseable response: " ^ m));
+  (* a half-close that sends nothing at all is just a quiet goodbye *)
+  let fd2 = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd2 (Unix.ADDR_UNIX srv.s_socket);
+  Unix.shutdown fd2 Unix.SHUTDOWN_SEND;
+  (match Unix.read fd2 chunk 0 16 with
+  | 0 -> ()
+  | _ -> Alcotest.fail "daemon wrote to a silent connection");
+  Unix.close fd2;
+  let c = connect srv in
+  health_ok "daemon alive" c;
+  Client.close c;
+  stop srv
+
+(* ---- admission: deadlines and queue_full ----------------------------- *)
+
+let test_deadline_expired () =
+  let srv = start () in
+  let c = connect srv in
+  let r =
+    rq c (request ~id:"d0" ~deadline:(Json.Int 0) "sleep" [ ("ms", Json.Int 50) ])
+  in
+  check_err "deadline 0" "deadline_expired" r;
+  let r =
+    rq c
+      (request ~id:"dneg" ~deadline:(Json.Int (-5)) "sleep"
+         [ ("ms", Json.Int 50) ])
+  in
+  check_err "negative deadline" "deadline_expired" r;
+  (* a non-integer deadline is expired on arrival, deterministically *)
+  let r =
+    rq c
+      (request ~id:"dstr" ~deadline:(str "soon") "sleep" [ ("ms", Json.Int 50) ])
+  in
+  check_err "non-integer deadline" "deadline_expired" r;
+  (* a generous deadline admits and runs *)
+  let r =
+    rq c
+      (request ~id:"dok" ~deadline:(Json.Int 30_000) "sleep"
+         [ ("ms", Json.Int 10) ])
+  in
+  check_ok "generous deadline" r;
+  health_ok "daemon alive" c;
+  Client.close c;
+  stop srv
+
+let test_queue_full () =
+  let srv = start ~workers:1 ~queue:1 () in
+  let c = connect srv in
+  let send v =
+    match Client.send c v with Ok () -> () | Error m -> Alcotest.fail m
+  in
+  (* occupy the one worker, and give it time to pick the job up so the
+     queue is empty when the burst lands *)
+  send (request ~id:"busy" "sleep" [ ("ms", Json.Int 600) ]);
+  Thread.delay 0.2;
+  (* burst of three: one fills the queue slot, two must be rejected *)
+  List.iter
+    (fun id -> send (request ~id "sleep" [ ("ms", Json.Int 20) ]))
+    [ "q1"; "q2"; "q3" ];
+  let responses =
+    List.init 4 (fun _ ->
+        match Client.recv c with Ok r -> r | Error m -> Alcotest.fail m)
+  in
+  let outcome id =
+    match
+      List.find_opt (fun r -> id_of r = Some (Json.String id)) responses
+    with
+    | Some r ->
+      if Client.response_ok r then "ok"
+      else Option.value ~default:"?" (Json.mem_string "error" r)
+    | None -> "missing"
+  in
+  Alcotest.(check string) "busy job ran" "ok" (outcome "busy");
+  let burst = List.map outcome [ "q1"; "q2"; "q3" ] in
+  Alcotest.(check int)
+    "one burst job admitted" 1
+    (List.length (List.filter (( = ) "ok") burst));
+  Alcotest.(check int)
+    "rest rejected with queue_full" 2
+    (List.length (List.filter (( = ) "queue_full") burst));
+  (* rejection is a response, not a penalty: the daemon serves on *)
+  Alcotest.(check bool) "queue_full counted" true (counter c "serve.queue_full" >= 2);
+  health_ok "daemon alive" c;
+  Client.close c;
+  stop srv
+
+(* ---- coalescing ------------------------------------------------------ *)
+
+let test_coalescing () =
+  let srv = start ~workers:1 ~queue:8 () in
+  let c = connect srv in
+  let before = counter c "serve.coalesced" in
+  let gen id =
+    request ~id "generate"
+      [ ("spec", str "cm multiplier size=4"); ("cif", Json.Bool true) ]
+  in
+  (* one worker: the sleep pins it, so both identical generates are
+     parsed while the leader is still queued — the second must attach
+     to the first, not enqueue its own computation *)
+  let responses =
+    match
+      Client.pipeline c
+        [
+          request ~id:"pin" "sleep" [ ("ms", Json.Int 300) ];
+          gen "g1";
+          gen "g2";
+        ]
+    with
+    | Ok rs -> rs
+    | Error m -> Alcotest.fail m
+  in
+  let find id =
+    match
+      List.find_opt (fun r -> id_of r = Some (Json.String id)) responses
+    with
+    | Some r -> r
+    | None -> Alcotest.fail ("no response for " ^ id)
+  in
+  check_ok "pin" (find "pin");
+  let g1 = find "g1" and g2 = find "g2" in
+  check_ok "g1" g1;
+  check_ok "g2" g2;
+  let field r name =
+    match Option.bind (Json.member "result" r) (Json.mem_string name) with
+    | Some s -> s
+    | None -> Alcotest.fail (name ^ " missing")
+  in
+  (* both riders got the same computation: same key, same bytes *)
+  Alcotest.(check string) "same key" (field g1 "key") (field g2 "key");
+  Alcotest.(check string) "same cif_sha" (field g1 "cif_sha") (field g2 "cif_sha");
+  Alcotest.(check string) "same cif text" (field g1 "cif") (field g2 "cif");
+  Alcotest.(check bool)
+    "coalesce counted" true
+    (counter c "serve.coalesced" > before);
+  (* a later identical request is a memory hit, bit-identical *)
+  let g3 = rq c (gen "g3") in
+  check_ok "g3" g3;
+  Alcotest.(check string) "warm source" "memory" (field g3 "source");
+  Alcotest.(check string) "warm identical" (field g1 "cif_sha") (field g3 "cif_sha");
+  Client.close c;
+  stop srv
+
+(* ---- drain ----------------------------------------------------------- *)
+
+let test_drain_completes_inflight () =
+  let srv = start ~workers:1 () in
+  let c = connect srv in
+  (* shutdown lands while the sleep is running: the drain must let the
+     job finish and deliver its response before the socket dies *)
+  let responses =
+    match
+      Client.pipeline c
+        [
+          request ~id:"slow" "sleep" [ ("ms", Json.Int 250) ];
+          request ~id:"bye" "shutdown" [];
+        ]
+    with
+    | Ok rs -> rs
+    | Error m -> Alcotest.fail m
+  in
+  let find id =
+    List.find_opt (fun r -> id_of r = Some (Json.String id)) responses
+  in
+  (match find "bye" with
+  | Some r -> check_ok "shutdown acknowledged" r
+  | None -> Alcotest.fail "no shutdown response");
+  (match find "slow" with
+  | Some r ->
+    check_ok "in-flight job completed" r;
+    Alcotest.(check (option int))
+      "slept the full duration" (Some 250)
+      (Option.bind (Json.member "result" r) (Json.mem_int "slept_ms"))
+  | None -> Alcotest.fail "in-flight response lost in drain");
+  Client.close c;
+  Thread.join srv.s_thread;
+  Alcotest.(check bool)
+    "socket removed" false
+    (Sys.file_exists srv.s_socket);
+  (* new work after the drain began would have been refused; here the
+     daemon is fully gone, so connecting fails cleanly *)
+  match Client.connect srv.s_socket with
+  | Error _ -> ()
+  | Ok c2 ->
+    Client.close c2;
+    Alcotest.fail "connected to a drained daemon"
+
+let () =
+  Alcotest.run "rsg_serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip and rejection" `Quick
+            test_json_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "jobspec",
+        [ Alcotest.test_case "manifest grammar" `Quick test_jobspec_grammar ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "malformed frames" `Quick test_malformed_frames;
+          Alcotest.test_case "oversized request" `Quick test_oversized_request;
+          Alcotest.test_case "half-closed socket" `Quick
+            test_half_closed_socket;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "deadline expired" `Quick test_deadline_expired;
+          Alcotest.test_case "queue full" `Quick test_queue_full;
+        ] );
+      ( "coalesce",
+        [ Alcotest.test_case "identical generates share" `Quick test_coalescing ]
+      );
+      ( "drain",
+        [
+          Alcotest.test_case "in-flight completes" `Quick
+            test_drain_completes_inflight;
+        ] );
+    ]

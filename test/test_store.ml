@@ -543,6 +543,85 @@ let test_latest_and_harvest () =
   Alcotest.(check bool) "dangling pointer" true (Store.harvest st ~stem:"dec" = None);
   ignore (Store.clear st)
 
+(* A garbled [.latest] pointer — truncated write from a pre-atomic
+   era, or tampering — must read as a clean [None], be deleted so it
+   costs one report, and be counted on [store.bad_pointer]. *)
+let test_bad_pointer () =
+  let module Obs = Rsg_obs.Obs in
+  let st = Store.open_ (temp_dir ()) in
+  let cell = (Rsg_pla.Gen.generate_decoder 3).Rsg_pla.Gen.cell in
+  let k = Store.key ~design:"decoder" ~params:"n=3" () in
+  Store.save st k ~stem:"dec" ~label:"decoder 3" cell;
+  let pointer_file () =
+    Array.to_list (Sys.readdir (Store.dir st))
+    |> List.filter (fun f -> Filename.check_suffix f ".latest")
+    |> function
+    | [ f ] -> Filename.concat (Store.dir st) f
+    | l -> Alcotest.failf "expected one pointer file, found %d" (List.length l)
+  in
+  let path = pointer_file () in
+  let garble s =
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+  in
+  let was_enabled = Obs.is_enabled () in
+  Obs.enable ();
+  let bad_count () =
+    Option.value ~default:0 (List.assoc_opt "store.bad_pointer" (Obs.counters ()))
+  in
+  List.iter
+    (fun junk ->
+      garble junk;
+      let before = bad_count () in
+      (match Store.latest st ~stem:"dec" with
+      | None -> ()
+      | Some _ -> Alcotest.failf "garbled pointer %S decoded" junk);
+      Alcotest.(check int) "bad pointer counted" (before + 1) (bad_count ());
+      Alcotest.(check bool) "pointer file removed" false (Sys.file_exists path);
+      (* with the pointer gone, the miss is silent — no second report *)
+      Alcotest.(check bool) "miss after removal" true
+        (Store.latest st ~stem:"dec" = None);
+      Alcotest.(check int) "no double count" (before + 1) (bad_count ());
+      (* harvest follows the same path and stays a clean None *)
+      Alcotest.(check bool) "harvest clean miss" true
+        (Store.harvest st ~stem:"dec" = None);
+      (* and a fresh save re-installs a working pointer *)
+      Store.save st k ~stem:"dec" ~label:"decoder 3" cell;
+      match Store.latest st ~stem:"dec" with
+      | Some k' ->
+        Alcotest.(check string) "pointer healed" (Store.key_hex k)
+          (Store.key_hex k')
+      | None -> Alcotest.fail "re-save did not restore the pointer")
+    [ ""; "deadbeef"; "not hex at all"; String.make 31 'a';
+      String.make 32 'Z'; String.make 64 'a' ];
+  if not was_enabled then Obs.disable ();
+  ignore (Store.clear st)
+
+(* The advisory lock: value passthrough, exception safety, shared
+   mode, and actual mutual exclusion against a second process image
+   (two store handles on one directory in the same process would
+   deadlock by design, so exclusion is observed via file effects). *)
+let test_with_lock () =
+  let st = Store.open_ (temp_dir ()) in
+  Alcotest.(check int) "value passes through" 42
+    (Store.with_lock st (fun () -> 42));
+  Alcotest.(check int) "shared mode too" 7
+    (Store.with_lock ~shared:true st (fun () -> 7));
+  (match Store.with_lock st (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure _ -> ());
+  (* the lock was released by the raise: this would hang otherwise *)
+  Alcotest.(check int) "lock released after raise" 1
+    (Store.with_lock st (fun () -> 1));
+  (* mutators still work under an explicit outer lock's directory *)
+  let cell = Cell.create "c" in
+  Cell.add_box cell Layer.Poly (Box.make ~xmin:0 ~ymin:0 ~xmax:2 ~ymax:2);
+  let k = Store.key ~design:"d" ~params:"1" () in
+  Store.save st k ~label:"one" cell;
+  (match Store.find st k with
+  | Store.Hit _ -> ()
+  | _ -> Alcotest.fail "save under locking regime lost");
+  ignore (Store.clear st)
+
 (* ---- geometric dirtiness --------------------------------------------- *)
 
 (* Construction plan for a random acyclic pool: cell [i] may only
@@ -757,6 +836,9 @@ let () =
           Alcotest.test_case "removal races" `Quick test_removal_races;
           Alcotest.test_case "latest pointer and harvest" `Quick
             test_latest_and_harvest;
+          Alcotest.test_case "garbled pointer is a clean miss" `Quick
+            test_bad_pointer;
+          Alcotest.test_case "advisory lock" `Quick test_with_lock;
         ] );
       ( "protos",
         [
