@@ -44,3 +44,59 @@ let section id title =
 let note fmt = Format.printf "  paper: " ; Format.printf (fmt ^^ "@.")
 
 let row fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+
+(* ---- machine-readable results (--json) ---------------------------- *)
+
+(* When the harness runs with [--json], sections record named values
+   with [json_num]/[json_int]/[json_bool]/[json_str] and the driver
+   writes [BENCH_E<id>.json] after each section — a flat object whose
+   keys the CI trend job greps.  Disabled (the default), every
+   recorder is a no-op, so instrumentation costs the human-readable
+   run nothing. *)
+
+let json_enabled = ref false
+
+let json_fields : (string * string) list ref = ref []
+
+let json_put key rendered =
+  if !json_enabled then json_fields := (key, rendered) :: !json_fields
+
+let json_num key v = json_put key (Printf.sprintf "%.6g" v)
+
+let json_int key v = json_put key (string_of_int v)
+
+let json_bool key v = json_put key (if v then "true" else "false")
+
+let json_str key v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    v;
+  json_put key (Printf.sprintf "\"%s\"" (Buffer.contents b))
+
+(* Write BENCH_<id>.json into the current directory if the finished
+   section recorded anything; always reset the collector so one
+   section's fields never bleed into the next. *)
+let flush_json id =
+  let fields = List.rev !json_fields in
+  json_fields := [];
+  if !json_enabled && fields <> [] then begin
+    let file = Printf.sprintf "BENCH_%s.json" id in
+    let oc = open_out file in
+    output_string oc "{\n";
+    let n = List.length fields in
+    List.iteri
+      (fun i (k, v) ->
+        Printf.fprintf oc "  \"%s\": %s%s\n" k v (if i < n - 1 then "," else ""))
+      fields;
+    output_string oc "}\n";
+    close_out oc;
+    Format.printf "  [json: %s]@." file
+  end

@@ -282,8 +282,9 @@ let proto_index table =
    reused flags, per-deck levels) so the next edit harvests it in
    turn.  The flat view is lazy so a plain uncached run never pays for
    it. *)
-let run_cached ?domains ~store:(cache, save_db, scale) ~stem ~design ~params
-    ~label ~stats:want_stats ~drc ~out gen =
+let run_cached ?domains ?(post = fun (c : Cell.t) -> c)
+    ~store:(cache, save_db, scale) ~stem ~design ~params ~label
+    ~stats:want_stats ~drc ~out gen =
   if scale < 1 then begin
     Format.eprintf "--scale must be >= 1@.";
     exit 1
@@ -409,11 +410,15 @@ let run_cached ?domains ~store:(cache, save_db, scale) ~stem ~design ~params
     Codec.write_file path (Codec.encode ~flat:(Lazy.force flat) ~label cell);
     Format.printf "wrote %s@." path
   | None -> ());
-  write_layout out cell
+  (* [post] transforms only the written layout (e.g. generate
+     --compact); the cache and --save-db keep the generator's
+     output so harvesting stays keyed on generated geometry *)
+  write_layout out (post cell)
 
 (* ---- generate ------------------------------------------------------ *)
 
-let generate design params sample_path out stats lint drc domains store obs =
+let generate design params sample_path out stats lint drc domains store
+    compact obs =
   with_obs obs @@ fun () ->
   let design_text = read_file design in
   let params_text = read_file params in
@@ -440,7 +445,22 @@ let generate design params sample_path out stats lint drc domains store obs =
       exit 1
     | Some cell -> cell
   in
-  run_cached ?domains ~store
+  let post c =
+    if not compact then c
+    else
+      match Rsg_compact.Hcompact.hier ?domains Rsg_compact.Rules.default c with
+      | r ->
+        Format.printf "hier: area %d -> %d (%d prototypes)@."
+          r.Rsg_compact.Hcompact.hr_stats.Rsg_compact.Hcompact.hs_area_before
+          r.Rsg_compact.Hcompact.hr_stats.Rsg_compact.Hcompact.hs_area_after
+          r.Rsg_compact.Hcompact.hr_stats.Rsg_compact.Hcompact.hs_protos;
+        r.Rsg_compact.Hcompact.hr_cell
+      | exception Rsg_compact.Bellman.Infeasible cycle ->
+        Format.eprintf "compaction infeasible: %a@."
+          Rsg_compact.Bellman.pp_witness cycle;
+        exit 1
+  in
+  run_cached ?domains ~post ~store
     (* the stem is the design's identity (its path), not its content:
        an edited design misses the key but still harvests the previous
        entry through the stem's .latest pointer *)
@@ -477,13 +497,22 @@ let out_arg default =
 let stats_flag =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print layout statistics.")
 
+let generate_compact_flag =
+  Arg.(
+    value & flag
+    & info [ "compact" ]
+        ~doc:
+          "Hierarchically compact the generated layout (see $(b,rsg compact \
+           --hier)) before writing the output CIF.  The cache and --save-db \
+           keep the uncompacted generator output.")
+
 let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a layout from design/parameter/sample files")
     Term.(
       const generate $ design_arg $ params_arg $ sample_arg $ out_arg "out.cif"
       $ stats_flag $ lint_flag $ drc_flag $ domains_term $ store_term
-      $ obs_term)
+      $ generate_compact_flag $ obs_term)
 
 (* ---- multiplier ---------------------------------------------------- *)
 
@@ -759,30 +788,137 @@ let masks_cmd =
 
 (* ---- compact ------------------------------------------------------- *)
 
-let compact path out slack drc domains obs =
-  with_obs obs @@ fun () ->
-  let cell = top_cell_of_cif path in
-  let compacted, r =
-    Rsg_compact.Compactor.compact_cell ~distribute_slack:slack
-      Rsg_compact.Rules.default cell
+module Hcompact = Rsg_compact.Hcompact
+
+(* Hierarchical compaction with the per-prototype artifact cache: a
+   previous entry under the same stem is harvested and its condensed
+   constraint graphs (matching this rule deck's digest) replayed, so
+   only prototypes whose subtree digest changed are re-generated; the
+   run's own artifacts are saved back for the next edit. *)
+let hier_compact ?domains ~cache ~slack ~source cell =
+  let rules = Rsg_compact.Rules.default in
+  let rules_digest = Rsg_compact.Rules.digest rules in
+  let stem = "compact:" ^ source in
+  let st = Option.map Store.open_ cache in
+  let cached =
+    match st with
+    | Some s -> (
+      match Store.harvest s ~stem with
+      | Some (k, table) when Array.length table > 0 ->
+        Format.printf "cache: harvesting %s (%d prototypes)@." (Store.short k)
+          (Array.length table);
+        let h = proto_index table in
+        fun hex ->
+          Option.bind (Hashtbl.find_opt h hex) (fun (p : Codec.proto) ->
+              List.assoc_opt rules_digest p.Codec.p_compacts)
+      | _ -> fun _ -> None)
+    | None -> fun _ -> None
   in
-  Format.printf "width %d -> %d (%d constraints, %d passes)@."
-    r.Rsg_compact.Compactor.width_before r.Rsg_compact.Compactor.width_after
-    r.Rsg_compact.Compactor.n_constraints r.Rsg_compact.Compactor.passes;
-  drc_gate ?domains drc compacted;
-  write_layout out compacted
+  let r = Hcompact.hier ?domains ~distribute_slack:slack ~cached rules cell in
+  let s = r.Hcompact.hr_stats in
+  Format.printf
+    "hier: %d prototypes (%d reused), %d internal + %d stitch constraints@."
+    s.Hcompact.hs_protos s.Hcompact.hs_reused s.Hcompact.hs_internal_constraints
+    s.Hcompact.hs_stitch_constraints;
+  Format.printf "hier: area %d -> %d (%d elements, %d clusters, %d rounds)@."
+    s.Hcompact.hs_area_before s.Hcompact.hs_area_after s.Hcompact.hs_elements
+    s.Hcompact.hs_clusters s.Hcompact.hs_rounds;
+  (match st with
+  | Some store ->
+    let by_hex = Hashtbl.create 32 in
+    List.iter
+      (fun (hex, pa, reused) -> Hashtbl.replace by_hex hex (pa, reused))
+      r.Hcompact.hr_artifacts;
+    let protos = Flatten.prototypes cell in
+    (* the key is content-addressed on the input geometry (root
+       subtree digest), not the file path — the path is the stem *)
+    let root_hex = Flatten.subtree_hex protos (Flatten.protos_root protos) in
+    let table =
+      Codec.proto_table protos
+        ~reused:(fun hex ->
+          match Hashtbl.find_opt by_hex hex with
+          | Some (_, reused) -> reused
+          | None -> false)
+        ~compacts:(fun hex ->
+          match Hashtbl.find_opt by_hex hex with
+          | Some (pa, _) -> [ (rules_digest, pa) ]
+          | None -> [])
+    in
+    let key =
+      Store.key ~deck:(Digest.to_hex rules_digest) ~design:root_hex
+        ~params:"hier-compact" ()
+    in
+    Store.save store key ~stem
+      ~label:("compact " ^ Filename.basename source)
+      ~protos:table cell;
+    Format.printf "cache: saved %s (%d prototypes)@." (Store.short key)
+      (Array.length table)
+  | None -> ());
+  r
+
+let compact path from_db out slack hier cache domains drc obs =
+  with_obs obs @@ fun () ->
+  let cell = utility_cell "compact" path from_db in
+  let source =
+    match (path, from_db) with
+    | Some p, _ | None, Some p -> p
+    | None, None -> "-"
+  in
+  match
+    if hier then
+      (hier_compact ?domains ~cache ~slack ~source cell).Hcompact.hr_cell
+    else begin
+      let compacted, r =
+        Rsg_compact.Compactor.compact_cell ~distribute_slack:slack
+          Rsg_compact.Rules.default cell
+      in
+      Format.printf "width %d -> %d (%d constraints, %d passes)@."
+        r.Rsg_compact.Compactor.width_before
+        r.Rsg_compact.Compactor.width_after
+        r.Rsg_compact.Compactor.n_constraints r.Rsg_compact.Compactor.passes;
+      compacted
+    end
+  with
+  | compacted ->
+    drc_gate ?domains drc compacted;
+    write_layout out compacted
+  | exception Rsg_compact.Bellman.Infeasible cycle ->
+    Format.eprintf "compaction infeasible: %a@." Rsg_compact.Bellman.pp_witness
+      cycle;
+    exit 1
 
 let slack_flag =
   Arg.(value & flag & info [ "slack" ] ~doc:"Distribute slack after packing.")
 
+let hier_flag =
+  Arg.(
+    value & flag
+    & info [ "hier" ]
+        ~doc:
+          "Whole-structure hierarchical compaction: condense each distinct \
+           prototype's constraint graphs once (in parallel across the domain \
+           pool), then stitch the instance abstractions with inter-instance \
+           spacing constraints.  Bit-identical at every --domains value.")
+
+let compact_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "With --hier: persist each prototype's condensed constraint graphs \
+           keyed by subtree hash + rule deck, and replay artifacts harvested \
+           from the previous run of the same input, so an edit recompacts \
+           only the dirty prototypes.")
+
 let compact_cmd =
   Cmd.v
-    (Cmd.info "compact" ~doc:"One-dimensional compaction of a CIF layout")
+    (Cmd.info "compact" ~doc:"Constraint-graph compaction of a CIF layout")
     Term.(
       const compact
-      $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
-      $ out_arg "compacted.cif" $ slack_flag $ drc_flag $ domains_term
-      $ obs_term)
+      $ Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
+      $ from_db_arg $ out_arg "compacted.cif" $ slack_flag $ hier_flag
+      $ compact_cache_arg $ domains_term $ drc_flag $ obs_term)
 
 (* ---- drc ----------------------------------------------------------- *)
 
@@ -1155,10 +1291,17 @@ let cache_stats dir json =
         (json_escape e.Store.es_label)
         e.Store.es_bytes e.Store.es_protos e.Store.es_reused
     in
+    let section (x : Codec.section) =
+      Printf.sprintf "    {\"name\": \"%s\", \"bytes\": %d, \"entries\": %d}"
+        (json_escape x.Codec.s_name)
+        x.Codec.s_bytes x.Codec.s_entries
+    in
     Printf.printf
-      "{\n  \"entries\": %d,\n  \"bytes\": %d,\n  \"list\": [\n%s\n  ]\n}\n"
+      "{\n  \"entries\": %d,\n  \"bytes\": %d,\n  \"list\": [\n%s\n  ],\n  \
+       \"sections\": [\n%s\n  ]\n}\n"
       s.Store.st_entries s.Store.st_bytes
       (String.concat ",\n" (List.map entry s.Store.st_list))
+      (String.concat ",\n" (List.map section s.Store.st_sections))
   end
   else begin
     List.iter
@@ -1168,6 +1311,11 @@ let cache_stats dir json =
           e.Store.es_bytes e.Store.es_protos e.Store.es_reused
           e.Store.es_label)
       s.Store.st_list;
+    List.iter
+      (fun (x : Codec.section) ->
+        Format.printf "section %-18s %8d bytes  %6d entries@." x.Codec.s_name
+          x.Codec.s_bytes x.Codec.s_entries)
+      s.Store.st_sections;
     Format.printf "%d entries, %d bytes@." s.Store.st_entries s.Store.st_bytes
   end
 

@@ -7,7 +7,9 @@ type result = {
   scans : int;
 }
 
-exception Infeasible
+type witness_edge = { w_from : string; w_to : string; w_gap : int }
+
+exception Infeasible of witness_edge list
 
 exception Unbounded of int
 
@@ -31,6 +33,73 @@ let sorted_edges order g =
       edges);
   edges
 
+(* ---- negative-cycle witness extraction ----------------------------- *)
+(*
+   [pred.(v)] is the index of the edge that last tightened [v].  When
+   the pass bound trips, some recently-relaxed variable's predecessor
+   chain is longer than the variable count, so by pigeonhole it
+   revisits a variable; the edges between the two visits form a cycle,
+   and any cycle that appears in a predecessor chain of a longest-path
+   relaxation has positive total gap — exactly the contradiction that
+   makes the system infeasible.  Walking is bounded and purely
+   diagnostic: if no seed yields a cycle (a chain ends at the origin
+   first), the exception carries an empty witness rather than looping.
+*)
+let extract_cycle (edges : Cgraph.constr array) pred n seeds =
+  let find_from v =
+    let seen = Array.make n (-1) in
+    let rec walk u step =
+      if u < 0 || u >= n || pred.(u) < 0 then None
+      else if seen.(u) >= 0 then begin
+        (* collect the cycle: edges from the first visit of [u] back
+           to [u], in traversal order *)
+        let cycle = ref [] in
+        let rec collect w =
+          let e = edges.(pred.(w)) in
+          cycle := e :: !cycle;
+          if e.Cgraph.c_from <> u then collect e.Cgraph.c_from
+        in
+        collect u;
+        Some !cycle
+      end
+      else begin
+        seen.(u) <- step;
+        walk edges.(pred.(u)).Cgraph.c_from (step + 1)
+      end
+    in
+    walk v 0
+  in
+  let rec try_seeds = function
+    | [] -> []
+    | v :: tl -> (match find_from v with Some c -> c | None -> try_seeds tl)
+  in
+  try_seeds seeds
+
+(* The witness names its endpoints at raise time, while the graph is
+   still in hand — catchers (the CLI, a server worker) need no access
+   to the solver's graph to print it. *)
+let name_cycle g cycle =
+  List.map
+    (fun (c : Cgraph.constr) ->
+      { w_from = Cgraph.name g c.Cgraph.c_from;
+        w_to = Cgraph.name g c.Cgraph.c_to;
+        w_gap = c.Cgraph.c_gap })
+    cycle
+
+let cycle_gain cycle = List.fold_left (fun a w -> a + w.w_gap) 0 cycle
+
+let pp_witness ppf cycle =
+  match cycle with
+  | [] -> Format.fprintf ppf "constraints are contradictory (no cycle witness)"
+  | _ ->
+    Format.fprintf ppf
+      "positive constraint cycle (net gain %+d over %d constraints):"
+      (cycle_gain cycle) (List.length cycle);
+    List.iter
+      (fun w ->
+        Format.fprintf ppf "@\n  %s -> %s  (gap %+d)" w.w_from w.w_to w.w_gap)
+      cycle
+
 (* Worklist relaxation: only the out-edges of variables that moved in
    the previous generation are rescanned, instead of every edge every
    pass.  Candidate edges are visited in edge-array index order, so
@@ -52,12 +121,14 @@ let solve ?(order = Sorted_by_abscissa) g =
   done;
   let x = Array.make n min_int in
   x.(Cgraph.origin) <- 0;
+  let pred = Array.make n (-1) in
   let passes = ref 0 and relaxations = ref 0 and scans = ref 0 in
   let in_next = Array.make n false in
   let frontier = ref [ Cgraph.origin ] in
   while !frontier <> [] do
     incr passes;
-    if !passes > n + 1 then raise Infeasible;
+    if !passes > n + 1 then
+      raise (Infeasible (name_cycle g (extract_cycle edges pred n !frontier)));
     let cand =
       List.sort_uniq Int.compare
         (List.concat_map (fun v -> out.(v)) !frontier)
@@ -72,6 +143,7 @@ let solve ?(order = Sorted_by_abscissa) g =
           let bound = xf + c.Cgraph.c_gap in
           if bound > x.(c.Cgraph.c_to) then begin
             x.(c.Cgraph.c_to) <- bound;
+            pred.(c.Cgraph.c_to) <- i;
             incr relaxations;
             if not in_next.(c.Cgraph.c_to) then begin
               in_next.(c.Cgraph.c_to) <- true;
@@ -95,20 +167,25 @@ let solve_fixed ?(order = Sorted_by_abscissa) g =
   let edges = sorted_edges order g in
   let x = Array.make n min_int in
   x.(Cgraph.origin) <- 0;
+  let pred = Array.make n (-1) in
+  let last_moved = ref Cgraph.origin in
   let passes = ref 0 and relaxations = ref 0 and scans = ref 0 in
   let changed = ref true in
   while !changed do
-    if !passes > n + 1 then raise Infeasible;
+    if !passes > n + 1 then
+      raise (Infeasible (name_cycle g (extract_cycle edges pred n [ !last_moved ])));
     changed := false;
     incr passes;
-    Array.iter
-      (fun (c : Cgraph.constr) ->
+    Array.iteri
+      (fun i (c : Cgraph.constr) ->
         incr scans;
         let xf = x.(c.Cgraph.c_from) in
         if xf > min_int then begin
           let bound = xf + c.Cgraph.c_gap in
           if bound > x.(c.Cgraph.c_to) then begin
             x.(c.Cgraph.c_to) <- bound;
+            pred.(c.Cgraph.c_to) <- i;
+            last_moved := c.Cgraph.c_to;
             incr relaxations;
             changed := true
           end

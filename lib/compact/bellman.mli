@@ -34,12 +34,30 @@ type result = {
                           work metric the worklist solver shrinks *)
 }
 
-exception Infeasible
-(** A positive cycle: the constraints admit no solution. *)
+(** One constraint of an infeasibility witness, with its endpoints
+    already resolved to the graph's variable names ([b12.l],
+    [ramcell#3], …) — captured at raise time so a catcher needs no
+    access to the solver's graph. *)
+type witness_edge = { w_from : string; w_to : string; w_gap : int }
+
+exception Infeasible of witness_edge list
+(** A positive cycle: the constraints admit no solution.  Carries a
+    witness — the offending constraint chain, in traversal order, whose
+    gaps sum to a positive gain (so no assignment can satisfy all of
+    them).  The list is empty only when diagnostic extraction could not
+    close a cycle (or the raiser detected infeasibility by other
+    means, e.g. {!Leaf}'s interval contradiction). *)
 
 exception Unbounded of int
 (** A variable with no lower bound (not reachable from the origin);
     carries the variable. *)
+
+val cycle_gain : witness_edge list -> int
+(** Sum of the gaps around a witness cycle; positive for a genuine
+    infeasibility witness. *)
+
+val pp_witness : Format.formatter -> witness_edge list -> unit
+(** Render an {!Infeasible} witness, one constraint per line. *)
 
 val solve : ?order:order -> Cgraph.t -> result
 (** Worklist relaxation; the least solution. *)

@@ -114,7 +114,7 @@ let min_lambdas lam_cons nk x =
       else lo.(lc.k) <- max lo.(lc.k) (lc.gap - d))
     lam_cons;
   Array.init nk (fun k ->
-      if lo.(k) > hi.(k) then raise Bellman.Infeasible else lo.(k))
+      if lo.(k) > hi.(k) then raise (Bellman.Infeasible []) else lo.(k))
 
 let compact ?(use_simplex = true) ?(max_iterations = 50) rules cell ~pitches =
   let items = Scanline.items_of_cell cell in

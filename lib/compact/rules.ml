@@ -54,6 +54,25 @@ let tight =
 let min_width t layer =
   match List.assoc_opt layer t.widths with Some w -> w | None -> 1
 
+let max_spacing t =
+  List.fold_left (fun a (_, s) -> max a s) 0 t.spacings
+
+(* Canonical rendering of every field, so two decks digest equal iff
+   they constrain identically; the layer pair keys are already
+   normalised by [make].  This is the rule-deck half of the
+   constraint-cache key (subtree hash + rule deck). *)
+let digest t =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  List.iter
+    (fun (l, w) -> add "w:%s=%d;" (Layer.name l) w)
+    (List.sort compare t.widths);
+  List.iter
+    (fun ((a, bl), s) -> add "s:%s,%s=%d;" (Layer.name a) (Layer.name bl) s)
+    (List.sort compare t.spacings);
+  add "cut:%d,%d,%d" t.cut_size t.cut_spacing t.cut_overlap;
+  Digest.string (Buffer.contents b)
+
 let spacing t a b = List.assoc_opt (norm_pair a b) t.spacings
 
 let connects _ a b =

@@ -23,6 +23,17 @@ val min_width : t -> Layer.t -> int
 val spacing : t -> Layer.t -> Layer.t -> int option
 (** [None] when the two layers do not interact (no spacing rule). *)
 
+val max_spacing : t -> int
+(** Largest spacing value in the deck — the interaction horizon: two
+    boxes farther apart than this can never violate a spacing rule of
+    this deck (the shell depth of {!Hcompact}'s interface
+    abstractions). *)
+
+val digest : t -> string
+(** Raw 16-byte MD5 of the deck's full rule content, canonically
+    ordered: equal digests mean identical constraint behaviour.  Keys
+    the per-prototype constraint cache alongside the subtree hash. *)
+
 val connects : t -> Layer.t -> Layer.t -> bool
 (** True when overlapping geometry on the two layers is electrical
     connection rather than a violation (same layer, or contact over

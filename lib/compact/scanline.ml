@@ -199,7 +199,11 @@ let items_of_flat (f : Rsg_layout.Flatten.flat) =
 
 let items_of_cell cell = items_of_flat (Rsg_layout.Flatten.flatten cell)
 
-let generate ?(stretchable = fun _ -> false) rules method_ items =
+let generate ?(obs = true) ?(stretchable = fun _ -> false) rules method_ items =
+  (* the span tree is single-domain; parallel callers (Hcompact's
+     prototype pool) pass ~obs:false and time themselves.  Counters
+     stay on — they are domain-safe. *)
+  let span name f = if obs then Obs.span name f else f () in
   let n = Array.length items in
   let g = Cgraph.create () in
   let left = Array.make n 0 and right = Array.make n 0 in
@@ -226,7 +230,7 @@ let generate ?(stretchable = fun _ -> false) rules method_ items =
     order;
   (match method_ with
   | Naive ->
-    Obs.span "scanline.pairs" (fun () ->
+    span "scanline.pairs" (fun () ->
         for oi = 0 to n - 1 do
           for oj = oi + 1 to n - 1 do
             let ia = order.(oi) and ib = order.(oj) in
@@ -236,8 +240,8 @@ let generate ?(stretchable = fun _ -> false) rules method_ items =
           done
         done)
   | Visibility ->
-    let nets = Obs.span "scanline.nets" (fun () -> nets_of rules items) in
-    Obs.span "scanline.pairs" (fun () ->
+    let nets = span "scanline.nets" (fun () -> nets_of rules items) in
+    span "scanline.pairs" (fun () ->
         for oi = 0 to n - 1 do
           for oj = oi + 1 to n - 1 do
             let ia = order.(oi) and ib = order.(oj) in

@@ -12,7 +12,7 @@
       {"id": "r1", "op": "generate", "spec": "m8 multiplier size=8",
        "deadline_ms": 2000, "drc": false, "cif": false, "out": "m8.cif"}
     v}
-    - [op] — one of [generate], [drc], [extract], [lint], [batch]
+    - [op] — one of [generate], [drc], [compact], [extract], [lint], [batch]
       (queued jobs); [sleep] (queued; load-bench plumbing); [stats],
       [health], [shutdown] (answered inline, never queued).
     - [spec] — op-dependent: a batch-manifest line for [generate]
@@ -60,6 +60,7 @@ val error_message : error -> string
 type op =
   | Generate of { spec : string; drc : bool; cif : bool; out : string option }
   | Drc of { spec : string }
+  | Compact of { spec : string }
   | Extract of { spec : string }
   | Lint of { spec : string }
   | Batch of { spec : string }
@@ -84,5 +85,5 @@ val ok_response : id:Json.t -> Json.t -> string
 val error_response : id:Json.t -> error -> string
 
 val queueable : op -> bool
-(** True for ops that go through admission (generate/drc/extract/
-    lint/batch/sleep); false for the inline control ops. *)
+(** True for ops that go through admission (generate/drc/compact/
+    extract/lint/batch/sleep); false for the inline control ops. *)

@@ -364,6 +364,38 @@ let drc_work srv spec () =
   | Ok cell ->
     Ok (drc_json (Drc.check_flat ~domains:srv.cfg.job_domains (flat_of_cell cell)))
 
+(* hierarchical compaction of a builtin or batch-spec target; the
+   witness of an infeasible system is the job error, not a crash *)
+let compact_work srv spec () =
+  match Jobspec.target_cell spec with
+  | Error msg -> Error (Protocol.Bad_request msg)
+  | Ok cell -> (
+    match
+      Rsg_compact.Hcompact.hier ~domains:srv.cfg.job_domains
+        Rsg_compact.Rules.default cell
+    with
+    | r ->
+      let s = r.Rsg_compact.Hcompact.hr_stats in
+      Ok
+        (Json.Obj
+           [
+             ("protos", Json.Int s.Rsg_compact.Hcompact.hs_protos);
+             ("reused", Json.Int s.Rsg_compact.Hcompact.hs_reused);
+             ( "internal_constraints",
+               Json.Int s.Rsg_compact.Hcompact.hs_internal_constraints );
+             ( "stitch_constraints",
+               Json.Int s.Rsg_compact.Hcompact.hs_stitch_constraints );
+             ("elements", Json.Int s.Rsg_compact.Hcompact.hs_elements);
+             ("rounds", Json.Int s.Rsg_compact.Hcompact.hs_rounds);
+             ("area_before", Json.Int s.Rsg_compact.Hcompact.hs_area_before);
+             ("area_after", Json.Int s.Rsg_compact.Hcompact.hs_area_after);
+           ])
+    | exception Rsg_compact.Bellman.Infeasible cycle ->
+      Error
+        (Protocol.Job_failed
+           (Format.asprintf "compaction infeasible: %a"
+              Rsg_compact.Bellman.pp_witness cycle)))
+
 let extract_work srv spec () =
   match Jobspec.target_cell spec with
   | Error msg -> Error (Protocol.Bad_request msg)
@@ -549,6 +581,8 @@ let dispatch srv conn (req : Protocol.request) =
             { w with w_drc = drc; w_cif = cif; w_out = out }
             spec
         | Protocol.Drc { spec } -> dispatch_direct srv w (drc_work srv spec)
+        | Protocol.Compact { spec } ->
+          dispatch_direct srv w (compact_work srv spec)
         | Protocol.Extract { spec } ->
           dispatch_direct srv w (extract_work srv spec)
         | Protocol.Lint { spec } -> dispatch_direct srv w (lint_work spec)

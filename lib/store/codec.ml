@@ -1,8 +1,10 @@
 open Rsg_geom
 open Rsg_layout
 module Drc = Rsg_drc.Drc
+module Hcompact = Rsg_compact.Hcompact
+module Cgraph = Rsg_compact.Cgraph
 
-let format_version = 2
+let format_version = 3
 
 let magic = "RSGL"
 
@@ -30,6 +32,7 @@ type proto = {
   p_cell : Cell.t;
   p_reused : bool;
   p_reports : (string * Drc.cached_level) list;
+  p_compacts : (string * Hcompact.pabs) list;
 }
 
 type entry = {
@@ -309,6 +312,34 @@ let put_level buf (l : Drc.cached_level) =
   put_uint buf l.Drc.cl_distinct;
   put_uint buf l.Drc.cl_boxes
 
+(* ---- condensed compaction artifacts (version 3) ------------------ *)
+(*
+   A serialised difference-constraint system plus its solved pitch
+   bounds, keyed by rule-deck digest: what Hcompact.hier needs to skip
+   constraint generation on a warm run.  Variable 0 is the origin, so
+   inits start at variable 1; constraint endpoints are plain variable
+   indices, gaps are signed (rigid-width back edges).
+*)
+
+let put_cgraph buf (cg : Hcompact.cgraph) =
+  put_uint buf cg.Hcompact.cg_nv;
+  for v = 1 to cg.Hcompact.cg_nv - 1 do
+    put_int buf cg.Hcompact.cg_inits.(v)
+  done;
+  put_uint buf (Array.length cg.Hcompact.cg_cons);
+  Array.iter
+    (fun (c : Cgraph.constr) ->
+      put_uint buf c.Cgraph.c_from;
+      put_uint buf c.Cgraph.c_to;
+      put_int buf c.Cgraph.c_gap)
+    cg.Hcompact.cg_cons
+
+let put_pabs buf (p : Hcompact.pabs) =
+  put_uint buf p.Hcompact.pa_wmin;
+  put_uint buf p.Hcompact.pa_hmin;
+  put_cgraph buf p.Hcompact.pa_cx;
+  put_cgraph buf p.Hcompact.pa_cy
+
 let put_proto buf index_of (p : proto) =
   put_raw16 buf p.p_hash;
   put_uint buf (if p.p_reused then 1 else 0);
@@ -318,7 +349,13 @@ let put_proto buf index_of (p : proto) =
     (fun (deck, lvl) ->
       put_raw16 buf deck;
       put_level buf lvl)
-    p.p_reports
+    p.p_reports;
+  put_uint buf (List.length p.p_compacts);
+  List.iter
+    (fun (rules, pa) ->
+      put_raw16 buf rules;
+      put_pabs buf pa)
+    p.p_compacts
 
 let put_protos buf protos =
   put_uint buf (Array.length protos);
@@ -330,7 +367,7 @@ let put_protos buf protos =
   Array.iter (put_proto buf index_of) protos
 
 let proto_table ?(reused = fun _ -> false) ?(reports = fun _ -> [])
-    (protos : Flatten.protos) =
+    ?(compacts = fun _ -> []) (protos : Flatten.protos) =
   let tbl : (string, Cell.t) Hashtbl.t = Hashtbl.create 32 in
   let out = ref [] in
   List.iter
@@ -356,7 +393,7 @@ let proto_table ?(reused = fun _ -> false) ?(reports = fun _ -> [])
         Hashtbl.add tbl h copy;
         out :=
           { p_hash = h; p_cell = copy; p_reused = reused hex;
-            p_reports = reports hex }
+            p_reports = reports hex; p_compacts = compacts hex }
           :: !out
       end)
     (Flatten.protos_order protos);
@@ -497,24 +534,70 @@ let get_level r =
   let cl_boxes = get_uint r "level boxes" in
   { Drc.cl_violations; cl_contexts; cl_distinct; cl_boxes }
 
-let get_protos r =
+let get_cgraph r =
+  let nv = get_uint r "cgraph variable count" in
+  if nv < 1 then raise (Error (Malformed "cgraph without origin"));
+  let inits = Array.make nv 0 in
+  for v = 1 to nv - 1 do
+    inits.(v) <- get_int r "cgraph init"
+  done;
+  let nc = get_uint r "cgraph constraint count" in
+  let cons =
+    Array.init nc (fun _ ->
+        let c_from = get_uint r "constraint from" in
+        let c_to = get_uint r "constraint to" in
+        if c_from >= nv || c_to >= nv then
+          raise (Error (Malformed "constraint variable out of range"));
+        let c_gap = get_int r "constraint gap" in
+        { Cgraph.c_from; c_to; c_gap })
+  in
+  { Hcompact.cg_nv = nv; cg_inits = inits; cg_cons = cons }
+
+let get_pabs r =
+  let pa_wmin = get_uint r "pabs wmin" in
+  let pa_hmin = get_uint r "pabs hmin" in
+  let pa_cx = get_cgraph r in
+  let pa_cy = get_cgraph r in
+  { Hcompact.pa_wmin; pa_hmin; pa_cx; pa_cy }
+
+(* [on_record] feeds the section accounting of {!sections}: byte spans
+   of each record's geometry / DRC-report / constraint-graph parts,
+   measured from the reader position. *)
+let get_protos ?on_record r =
   let n = get_uint r "proto count" in
   let cells = Array.make (max n 1) (Cell.create "") in
   let out = Array.make n None in
   for i = 0 to n - 1 do
+    let p0 = r.pos in
     let hash = get_raw16 r "proto hash" in
     let reused = get_bool r "proto reused" in
     let c = Cell.create (Digest.to_hex hash) in
     get_objs r cells i c;
     cells.(i) <- c;
+    let p1 = r.pos in
     let n_reports = get_uint r "proto report count" in
     let reports =
       read_list n_reports (fun () ->
           let deck = get_raw16 r "report deck digest" in
           (deck, get_level r))
     in
+    let p2 = r.pos in
+    let n_compacts = get_uint r "proto compact count" in
+    let compacts =
+      read_list n_compacts (fun () ->
+          let rules = get_raw16 r "compact rules digest" in
+          (rules, get_pabs r))
+    in
+    let p3 = r.pos in
+    (match on_record with
+    | Some f ->
+      f ~geometry:(p1 - p0) ~reports:(p2 - p1, n_reports)
+        ~compacts:(p3 - p2, n_compacts)
+    | None -> ());
     out.(i) <-
-      Some { p_hash = hash; p_cell = c; p_reused = reused; p_reports = reports }
+      Some
+        { p_hash = hash; p_cell = c; p_reused = reused; p_reports = reports;
+          p_compacts = compacts }
   done;
   Array.map Option.get out
 
@@ -666,6 +749,66 @@ let decode_protos s =
   let r = open_payload s in
   let label = get_str r "label" in
   (label, get_protos r)
+
+type section = { s_name : string; s_bytes : int; s_entries : int }
+
+(* Per-section byte/entry accounting of one encoded entry.  The proto
+   table interleaves geometry, DRC reports and constraint graphs per
+   record, so the split is measured from reader positions while
+   decoding; the cell table has no length prefix and must be walked;
+   the flat section is length-prefixed, so only its box count is
+   peeked at. *)
+let sections s =
+  let r = open_payload s in
+  let p0 = r.pos in
+  ignore (get_str r "label");
+  let label_bytes = r.pos - p0 in
+  let geo = ref 0 and rep = ref 0 and comp = ref 0 in
+  let n_rep = ref 0 and n_comp = ref 0 in
+  let p1 = r.pos in
+  let protos =
+    get_protos
+      ~on_record:(fun ~geometry ~reports:(rb, rn) ~compacts:(cb, cn) ->
+        geo := !geo + geometry;
+        rep := !rep + rb;
+        n_rep := !n_rep + rn;
+        comp := !comp + cb;
+        n_comp := !n_comp + cn)
+      r
+  in
+  (* the proto-count varint itself *)
+  let table_overhead = r.pos - p1 - !geo - !rep - !comp in
+  let p2 = r.pos in
+  let n_cells = get_uint r "cell count" in
+  let cells = Array.make (max n_cells 1) (Cell.create "") in
+  for i = 0 to n_cells - 1 do
+    cells.(i) <- get_cell r cells i
+  done;
+  let cell_bytes = r.pos - p2 in
+  let p3 = r.pos in
+  let flat_boxes =
+    match get_uint r "flat flag" with
+    | 0 -> 0
+    | 1 ->
+      let flat_len = get_uint r "flat section length" in
+      let start = r.pos in
+      if flat_len < 0 || start + flat_len <> String.length r.src then
+        raise (Error (Malformed "flat section length"));
+      let n = get_uint r "flat box count" in
+      r.pos <- start + flat_len;
+      n
+    | f -> raise (Error (Malformed (Printf.sprintf "flat flag %d" f)))
+  in
+  let flat_bytes = r.pos - p3 in
+  [ { s_name = "container"; s_bytes = 16; s_entries = 1 };
+    { s_name = "label"; s_bytes = label_bytes; s_entries = 1 };
+    { s_name = "proto geometry";
+      s_bytes = !geo + table_overhead;
+      s_entries = Array.length protos };
+    { s_name = "drc reports"; s_bytes = !rep; s_entries = !n_rep };
+    { s_name = "constraint graphs"; s_bytes = !comp; s_entries = !n_comp };
+    { s_name = "cell table"; s_bytes = cell_bytes; s_entries = n_cells };
+    { s_name = "flat"; s_bytes = flat_bytes; s_entries = flat_boxes } ]
 
 (* Some filesystems reject fsync on a directory fd; losing that sync
    only weakens crash durability, never atomicity, so it is advisory. *)

@@ -40,7 +40,14 @@
     without touching the cell table or the flat section, which is what
     makes incremental-regeneration harvesting and [cache stats]
     cheap.  Version-1 files fail decoding with [Bad_version] — the
-    store treats them as stale misses, never mis-decodes them. *)
+    store treats them as stale misses, never mis-decodes them.
+
+    Version 3 extends each prototype record with its {e condensed
+    compaction artifacts} ({!Rsg_compact.Hcompact.pabs}): the internal
+    x/y difference-constraint systems and solved pitch bounds, keyed
+    by rule-deck digest ({!Rsg_compact.Rules.digest}).  A warm
+    [rsg compact --hier --cache] run harvests them and skips
+    constraint generation for every unchanged prototype. *)
 
 open Rsg_layout
 
@@ -76,6 +83,10 @@ type proto = {
   p_reports : (string * Rsg_drc.Drc.cached_level) list;
       (** hierarchical DRC results for this prototype, keyed by raw
           16-byte rule-deck digest ({!Rsg_drc.Deck.digest}) *)
+  p_compacts : (string * Rsg_compact.Hcompact.pabs) list;
+      (** condensed compaction artifacts — internal constraint graphs
+          and pitch bounds — keyed by raw 16-byte compaction rule-deck
+          digest ({!Rsg_compact.Rules.digest}) *)
 }
 
 type entry = {
@@ -95,13 +106,14 @@ type entry = {
 val proto_table :
   ?reused:(string -> bool) ->
   ?reports:(string -> (string * Rsg_drc.Drc.cached_level) list) ->
+  ?compacts:(string -> (string * Rsg_compact.Hcompact.pabs) list) ->
   Flatten.protos ->
   proto array
 (** Build the prototype table of a flattening cache: one record per
     distinct subtree digest in postorder (congruent celltypes
-    collapse into one record).  [reused] and [reports] are consulted
-    with each hex digest to fill the record's metadata; both default
-    to nothing. *)
+    collapse into one record).  [reused], [reports] and [compacts] are
+    consulted with each hex digest to fill the record's metadata; all
+    default to nothing. *)
 
 val encode : ?flat:Flatten.flat -> ?protos:proto array -> label:string -> Cell.t -> string
 (** Serialise [cell] (and, when given, its flattened view and
@@ -121,6 +133,16 @@ val decode_protos : string -> string * proto array
     the flat section entirely — the harvesting path of incremental
     regeneration and the [cache stats] listing.  Raises {!Error} like
     {!decode}. *)
+
+(** One payload section's byte/entry accounting, from {!sections}. *)
+type section = { s_name : string; s_bytes : int; s_entries : int }
+
+val sections : string -> section list
+(** Per-section breakdown of an encoded entry — container framing,
+    label, prototype geometry, cached DRC reports, cached constraint
+    graphs, cell table, flat geometry — in payload order.  Entries
+    are records / reports / graphs / cells / flattened boxes as
+    appropriate to the section.  Raises {!Error} like {!decode}. *)
 
 val write_file : string -> string -> unit
 (** [write_file path data] writes atomically and durably: a fresh

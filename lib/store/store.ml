@@ -203,6 +203,7 @@ type stats = {
   st_entries : int;
   st_bytes : int;
   st_list : entry_stat list;
+  st_sections : Codec.section list;
 }
 
 let entries t =
@@ -217,22 +218,43 @@ let entries t =
 let stats t =
   with_lock ~shared:true t @@ fun () ->
   let ks = entries t in
+  (* aggregated per-section accounting, in payload order; corrupt
+     entries contribute nothing *)
+  let sec_order : string list ref = ref [] in
+  let sec_tbl : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+  let add_sections data =
+    match Codec.sections data with
+    | secs ->
+      List.iter
+        (fun (s : Codec.section) ->
+          (match Hashtbl.find_opt sec_tbl s.Codec.s_name with
+          | None ->
+            sec_order := s.Codec.s_name :: !sec_order;
+            Hashtbl.add sec_tbl s.Codec.s_name
+              (s.Codec.s_bytes, s.Codec.s_entries)
+          | Some (b, e) ->
+            Hashtbl.replace sec_tbl s.Codec.s_name
+              (b + s.Codec.s_bytes, e + s.Codec.s_entries)))
+        secs
+    | exception _ -> ()
+  in
   let list =
     List.map
       (fun k ->
         let path = path_of t k in
         let bytes = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
         let label, protos, reused =
-          match
-            Codec.decode_protos
-              (In_channel.with_open_bin path In_channel.input_all)
-          with
-          | l, ps ->
-              ( l,
-                Array.length ps,
-                Array.fold_left
-                  (fun a (p : Codec.proto) -> if p.Codec.p_reused then a + 1 else a)
-                  0 ps )
+          match In_channel.with_open_bin path In_channel.input_all with
+          | data -> (
+            add_sections data;
+            match Codec.decode_protos data with
+            | l, ps ->
+                ( l,
+                  Array.length ps,
+                  Array.fold_left
+                    (fun a (p : Codec.proto) -> if p.Codec.p_reused then a + 1 else a)
+                    0 ps )
+            | exception _ -> ("(corrupt)", 0, 0))
           | exception _ -> ("(corrupt)", 0, 0)
         in
         { es_key = k; es_label = label; es_bytes = bytes;
@@ -243,6 +265,12 @@ let stats t =
     st_entries = List.length list;
     st_bytes = List.fold_left (fun a e -> a + e.es_bytes) 0 list;
     st_list = list;
+    st_sections =
+      List.rev_map
+        (fun name ->
+          let b, e = Hashtbl.find sec_tbl name in
+          { Codec.s_name = name; s_bytes = b; s_entries = e })
+        !sec_order;
   }
 
 (* write_file's temp names: ".rsgdb-" prefix, ".tmp" suffix *)

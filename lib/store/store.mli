@@ -137,6 +137,9 @@ type stats = {
   st_entries : int;
   st_bytes : int;
   st_list : entry_stat list;  (** sorted by key, deterministic *)
+  st_sections : Codec.section list;
+      (** per-section byte/entry totals aggregated over every readable
+          entry ({!Codec.sections}), in payload order *)
 }
 
 val stats : t -> stats

@@ -33,7 +33,46 @@ let test_bellman_infeasible () =
   Cgraph.add_ge g ~from:b ~to_:a ~gap:(-2);
   (* a >= b - 2 and b >= a + 5: positive cycle *)
   Alcotest.(check bool) "infeasible" true
-    (try ignore (Bellman.solve g); false with Bellman.Infeasible -> true)
+    (try ignore (Bellman.solve g); false with Bellman.Infeasible _ -> true)
+
+let test_infeasible_witness () =
+  (* the exception names the offending constraint chain so a CLI (or a
+     server worker) can print it without access to the solver's graph *)
+  let g = Cgraph.create () in
+  let a = Cgraph.fresh_var g ~name:"a" ~init:0 () in
+  let b = Cgraph.fresh_var g ~name:"b" ~init:1 () in
+  Cgraph.add_ge g ~from:Cgraph.origin ~to_:a ~gap:0;
+  Cgraph.add_ge g ~from:a ~to_:b ~gap:5;
+  Cgraph.add_ge g ~from:b ~to_:a ~gap:(-2);
+  let check_witness what w =
+    Alcotest.(check bool) (what ^ ": non-empty") true (w <> []);
+    Alcotest.(check bool)
+      (what ^ ": positive gain") true
+      (Bellman.cycle_gain w > 0);
+    let names =
+      List.concat_map (fun e -> [ e.Bellman.w_from; e.Bellman.w_to ]) w
+    in
+    Alcotest.(check bool) (what ^ ": names a") true (List.mem "a" names);
+    Alcotest.(check bool) (what ^ ": names b") true (List.mem "b" names);
+    let rendered = Format.asprintf "%a" Bellman.pp_witness w in
+    Alcotest.(check bool)
+      (what ^ ": rendering mentions the cycle") true
+      (let has needle =
+         let rec scan i =
+           i + String.length needle <= String.length rendered
+           && (String.sub rendered i (String.length needle) = needle
+              || scan (i + 1))
+         in
+         scan 0
+       in
+       has "positive constraint cycle" && has "a -> b" && has "b -> a")
+  in
+  (match Bellman.solve g with
+  | _ -> Alcotest.fail "expected Infeasible"
+  | exception Bellman.Infeasible w -> check_witness "worklist" w);
+  match Bellman.solve_fixed g with
+  | _ -> Alcotest.fail "expected Infeasible"
+  | exception Bellman.Infeasible w -> check_witness "fixed" w
 
 let test_bellman_unbounded () =
   let g = Cgraph.create () in
@@ -228,6 +267,55 @@ let test_slack_distribution_repairs_jog () =
     < Compactor.jog_metric packed.Compactor.items);
   Alcotest.(check (list (of_pp Fmt.nop))) "still legal" []
     (Scanline.check Rules.default eased.Compactor.items)
+
+let test_jog_golden () =
+  (* golden numbers for the Figure 6.8 example: leftmost packing
+     reaches width 10 at 2 jogs; slack distribution keeps the width
+     and repairs one of them *)
+  let packed = Compactor.compact Rules.default (jog_items ()) in
+  let eased =
+    Compactor.compact ~distribute_slack:true Rules.default (jog_items ())
+  in
+  Alcotest.(check int) "leftmost width" 10 packed.Compactor.width_after;
+  Alcotest.(check int) "leftmost jogs" 2
+    (Compactor.jog_metric packed.Compactor.items);
+  Alcotest.(check int) "eased width" 10 eased.Compactor.width_after;
+  Alcotest.(check int) "eased jogs" 1
+    (Compactor.jog_metric eased.Compactor.items)
+
+(* slack distribution is a repair pass inside the achieved width: on
+   any layout it may never widen the result and must keep it legal.
+   (A universal "never worsens the jog metric" is NOT a theorem:
+   centring a box that happens to be vertically adjacent to an aligned
+   run introduces a counted misalignment — the jog repair claim is the
+   deterministic Figure 6.8 tests' job.) *)
+let prop_slack_never_worse =
+  let gen_items =
+    QCheck.make
+      QCheck.Gen.(
+        let gen_item =
+          let* l = oneofl [ Layer.Metal; Layer.Poly; Layer.Diffusion ] in
+          let* x = int_range 0 60 and* y = int_range 0 40 in
+          let* w = int_range 2 10 and* h = int_range 2 10 in
+          return (item l (box x y (x + w) (y + h)))
+        in
+        let* n = int_range 2 12 in
+        let* l = list_size (return n) gen_item in
+        return (Array.of_list l))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100
+       ~name:"slack distribution never widens and stays legal" gen_items
+       (fun items ->
+         match
+           ( Compactor.compact Rules.default items,
+             Compactor.compact ~distribute_slack:true Rules.default items )
+         with
+         | packed, eased ->
+           eased.Compactor.width_after <= packed.Compactor.width_after
+           && ((not (Scanline.check Rules.default items = []))
+              || Scanline.check Rules.default eased.Compactor.items = [])
+         | exception Bellman.Infeasible _ -> true))
 
 let test_rightmost_bounds () =
   let items = jog_items () in
@@ -576,7 +664,7 @@ let prop_compaction_legal_random =
               legitimately widen while being legalised *)
            && ((not legal_in)
               || r.Compactor.width_after <= r.Compactor.width_before)
-         | exception Bellman.Infeasible ->
+         | exception Bellman.Infeasible _ ->
            (* contradictory device-freeze + connectivity systems from
               pathological overlaps; rejecting is fine *)
            true))
@@ -586,6 +674,8 @@ let () =
     [ ("bellman",
        [ Alcotest.test_case "chain" `Quick test_bellman_chain;
          Alcotest.test_case "infeasible" `Quick test_bellman_infeasible;
+         Alcotest.test_case "infeasible witness" `Quick
+           test_infeasible_witness;
          Alcotest.test_case "unbounded" `Quick test_bellman_unbounded;
          Alcotest.test_case "negative weights" `Quick
            test_bellman_negative_weights;
@@ -606,6 +696,8 @@ let () =
            test_leftmost_worsens_jog;
          Alcotest.test_case "distribution repairs jogs" `Quick
            test_slack_distribution_repairs_jog;
+         Alcotest.test_case "fig 6.8 golden jogs" `Quick test_jog_golden;
+         prop_slack_never_worse;
          Alcotest.test_case "rightmost bounds" `Quick test_rightmost_bounds ]);
       ("simplex",
        [ Alcotest.test_case "basic" `Quick test_simplex_basic;

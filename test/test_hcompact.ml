@@ -1,0 +1,176 @@
+(* Tests for whole-structure hierarchical compaction (lib/compact
+   Hcompact): per-prototype condensation, artifact round-trips, the
+   cached warm path, stitch determinism across domain counts, DRC
+   preservation, and the identity on fully abutted structures. *)
+
+open Rsg_geom
+open Rsg_layout
+module H = Rsg_compact.Hcompact
+module Rules = Rsg_compact.Rules
+module Cgraph = Rsg_compact.Cgraph
+module Bellman = Rsg_compact.Bellman
+module Drc = Rsg_drc.Drc
+
+let rules = Rules.default
+
+(* A loose floorplan: two PLA blocks side by side with a huge gap and
+   a y misalignment — the kind of input the stitch is for. *)
+let pla_cell () =
+  (Rsg_pla.Gen.generate
+     (Rsg_pla.Truth_table.of_strings [ ("10-", "10"); ("0-1", "01") ]))
+    .Rsg_pla.Gen.cell
+
+let chip_of ?(gap = 2000) cell =
+  let protos = Flatten.prototypes cell in
+  let bb =
+    match Flatten.cell_bbox protos cell with
+    | Some b -> b
+    | None -> Alcotest.fail "empty cell"
+  in
+  let chip = Cell.create "chip" in
+  ignore (Cell.add_instance chip ~at:(Vec.make 0 0) cell);
+  ignore (Cell.add_instance chip ~at:(Vec.make (Box.width bb + gap) 17) cell);
+  chip
+
+let fingerprint cell =
+  let protos = Flatten.prototypes cell in
+  let f = Flatten.proto_flat protos (Flatten.protos_root protos) in
+  Digest.to_hex
+    (Digest.string
+       (String.concat ";"
+          (Array.to_list
+             (Array.map
+                (fun (l, b) ->
+                  Printf.sprintf "%s:%d,%d,%d,%d" (Layer.name l) b.Box.xmin
+                    b.Box.ymin b.Box.xmax b.Box.ymax)
+                f.Flatten.flat_boxes))))
+
+let test_identity_on_abutted () =
+  (* a fully abutted builtin has no slack at any seam: hier compaction
+     must be the identity on area and keep the structure DRC-clean *)
+  let cell = pla_cell () in
+  let r = H.hier ~domains:2 rules cell in
+  Alcotest.(check int) "area unchanged" r.H.hr_stats.H.hs_area_before
+    r.H.hr_stats.H.hs_area_after;
+  Alcotest.(check int) "drc clean" 0
+    (List.length (Drc.check_cell ~domains:1 r.H.hr_cell).Drc.r_violations)
+
+let test_shrinks_loose_floorplan () =
+  let chip = chip_of (pla_cell ()) in
+  let before = fingerprint chip in
+  let r = H.hier ~domains:2 rules chip in
+  let s = r.H.hr_stats in
+  Alcotest.(check bool) "area strictly shrinks" true
+    (s.H.hs_area_after < s.H.hs_area_before);
+  Alcotest.(check int) "output drc clean" 0
+    (List.length (Drc.check_cell ~domains:1 r.H.hr_cell).Drc.r_violations);
+  Alcotest.(check string) "input cell untouched" before (fingerprint chip);
+  Alcotest.(check bool) "stitch emitted constraints" true
+    (s.H.hs_stitch_constraints > 0)
+
+let test_deterministic_across_domains () =
+  let fp d = fingerprint (H.hier ~domains:d rules (chip_of (pla_cell ()))).H.hr_cell in
+  let f1 = fp 1 in
+  Alcotest.(check string) "domains 2 = domains 1" f1 (fp 2);
+  Alcotest.(check string) "domains 4 = domains 1" f1 (fp 4)
+
+let test_cached_replay () =
+  (* the warm path must reuse every artifact and reproduce the cold
+     output byte for byte *)
+  let chip () = chip_of (pla_cell ()) in
+  let cold = H.hier ~domains:2 rules (chip ()) in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (hex, p, _) -> Hashtbl.replace tbl hex p)
+    cold.H.hr_artifacts;
+  let warm = H.hier ~domains:2 ~cached:(Hashtbl.find_opt tbl) rules (chip ()) in
+  Alcotest.(check int) "all prototypes reused" warm.H.hr_stats.H.hs_protos
+    warm.H.hr_stats.H.hs_reused;
+  Alcotest.(check int) "cold run reused none" 0 cold.H.hr_stats.H.hs_reused;
+  Alcotest.(check string) "identical output" (fingerprint cold.H.hr_cell)
+    (fingerprint warm.H.hr_cell);
+  (* artifacts returned by the warm run carry the reused flag *)
+  Alcotest.(check bool) "artifacts flagged reused" true
+    (List.for_all (fun (_, _, reused) -> reused) warm.H.hr_artifacts)
+
+let test_partial_cache_is_partial_reuse () =
+  (* hand back only some artifacts: the run reuses exactly those and
+     recondenses the rest, with identical output *)
+  let chip () = chip_of (pla_cell ()) in
+  let cold = H.hier ~domains:2 rules (chip ()) in
+  let keep = ref true in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (hex, p, _) ->
+      if !keep then Hashtbl.replace tbl hex p;
+      keep := not !keep)
+    cold.H.hr_artifacts;
+  let warm = H.hier ~domains:2 ~cached:(Hashtbl.find_opt tbl) rules (chip ()) in
+  Alcotest.(check int) "reused exactly the cached half"
+    (Hashtbl.length tbl) warm.H.hr_stats.H.hs_reused;
+  Alcotest.(check string) "identical output" (fingerprint cold.H.hr_cell)
+    (fingerprint warm.H.hr_cell)
+
+let test_cgraph_roundtrip () =
+  (* the serialised constraint system solves to the same least
+     solution as the live graph it came from *)
+  let cell = pla_cell () in
+  let r = H.hier ~domains:1 rules cell in
+  Alcotest.(check bool) "has artifacts" true (r.H.hr_artifacts <> []);
+  List.iter
+    (fun (_, pa, _) ->
+      List.iter
+        (fun (cg : H.cgraph) ->
+          let g = H.graph_of_cgraph cg in
+          Alcotest.(check int) "variable count" cg.H.cg_nv (Cgraph.n_vars g);
+          Alcotest.(check int) "constraint count"
+            (Array.length cg.H.cg_cons)
+            (Cgraph.n_constraints g);
+          Array.iteri
+            (fun v init ->
+              Alcotest.(check int) "initial abscissa" init
+                (Cgraph.init_value g v))
+            cg.H.cg_inits;
+          (* re-serialise: the round-trip is exact *)
+          let cg2 =
+            { H.cg_nv = Cgraph.n_vars g;
+              cg_inits =
+                Array.init (Cgraph.n_vars g) (Cgraph.init_value g);
+              cg_cons = Array.of_list (Cgraph.constraints g) }
+          in
+          Alcotest.(check bool) "exact round-trip" true (cg = cg2);
+          ignore (Bellman.solve g))
+        [ pa.H.pa_cx; pa.H.pa_cy ])
+    r.H.hr_artifacts
+
+let test_pitch_bounds_solve () =
+  (* wmin/hmin are the packed extents of the serialised systems *)
+  let cell = pla_cell () in
+  let r = H.hier ~domains:1 rules cell in
+  List.iter
+    (fun (_, pa, _) ->
+      Alcotest.(check bool) "wmin positive" true (pa.H.pa_wmin >= 0);
+      Alcotest.(check bool) "hmin positive" true (pa.H.pa_hmin >= 0);
+      Alcotest.(check bool) "constraint count matches" true
+        (H.pabs_constraints pa
+        = Array.length pa.H.pa_cx.H.cg_cons
+          + Array.length pa.H.pa_cy.H.cg_cons))
+    r.H.hr_artifacts
+
+let () =
+  Alcotest.run "rsg_hcompact"
+    [ ("hier",
+       [ Alcotest.test_case "identity on abutted" `Quick
+           test_identity_on_abutted;
+         Alcotest.test_case "shrinks loose floorplan" `Quick
+           test_shrinks_loose_floorplan;
+         Alcotest.test_case "deterministic across domains" `Quick
+           test_deterministic_across_domains ]);
+      ("cache",
+       [ Alcotest.test_case "warm replay" `Quick test_cached_replay;
+         Alcotest.test_case "partial cache" `Quick
+           test_partial_cache_is_partial_reuse ]);
+      ("artifacts",
+       [ Alcotest.test_case "cgraph round-trip" `Quick test_cgraph_roundtrip;
+         Alcotest.test_case "pitch bounds" `Quick test_pitch_bounds_solve ])
+    ]

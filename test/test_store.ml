@@ -375,6 +375,108 @@ let test_proto_roundtrip () =
   Alcotest.(check bool)
     "replayed verdict agrees" (Drc.hier_clean hier) (Drc.hier_clean replay)
 
+let test_compacts_roundtrip () =
+  (* v3: condensed compaction artifacts ride in the prototype table,
+     keyed by rule-deck digest, and survive the codec byte-exactly *)
+  let module H = Rsg_compact.Hcompact in
+  let cell = (Rsg_pla.Gen.generate (pla_tt ())).Rsg_pla.Gen.cell in
+  let r = H.hier ~domains:1 Rsg_compact.Rules.default cell in
+  Alcotest.(check bool) "hier produced artifacts" true (r.H.hr_artifacts <> []);
+  let deck = Rsg_compact.Rules.digest Rsg_compact.Rules.default in
+  let compacts hex =
+    match
+      List.find_opt (fun (h, _, _) -> h = hex) r.H.hr_artifacts
+    with
+    | Some (_, pa, _) -> [ (deck, pa) ]
+    | None -> []
+  in
+  let protos = Flatten.prototypes cell in
+  let table = Codec.proto_table protos ~compacts in
+  Alcotest.(check bool) "some record carries artifacts" true
+    (Array.exists (fun (p : Codec.proto) -> p.Codec.p_compacts <> []) table);
+  let data = Codec.encode ~protos:table ~label:"pla" cell in
+  let entry = Codec.decode data in
+  Array.iter2
+    (fun (a : Codec.proto) (b : Codec.proto) ->
+      Alcotest.(check int) "compacts count survives"
+        (List.length a.Codec.p_compacts)
+        (List.length b.Codec.p_compacts);
+      List.iter2
+        (fun (da, pa) (db, pb) ->
+          Alcotest.(check string) "deck digest survives" (Digest.to_hex da)
+            (Digest.to_hex db);
+          Alcotest.(check int) "wmin survives" pa.H.pa_wmin pb.H.pa_wmin;
+          Alcotest.(check int) "hmin survives" pa.H.pa_hmin pb.H.pa_hmin;
+          Alcotest.(check bool) "graphs survive exactly" true
+            (pa.H.pa_cx = pb.H.pa_cx && pa.H.pa_cy = pb.H.pa_cy))
+        a.Codec.p_compacts b.Codec.p_compacts)
+    table entry.Codec.e_protos;
+  (* decode_protos sees the same artifacts without touching the flat *)
+  let _, table' = Codec.decode_protos data in
+  Array.iter2
+    (fun (a : Codec.proto) (b : Codec.proto) ->
+      Alcotest.(check int) "decode_protos compacts"
+        (List.length a.Codec.p_compacts)
+        (List.length b.Codec.p_compacts))
+    table table'
+
+let test_sections_accounting () =
+  (* the per-section breakdown accounts for the payload and lands in
+     Store.stats so `rsg cache stats` can report it *)
+  let module H = Rsg_compact.Hcompact in
+  let cell = (Rsg_pla.Gen.generate (pla_tt ())).Rsg_pla.Gen.cell in
+  let r = H.hier ~domains:1 Rsg_compact.Rules.default cell in
+  let deck = Rsg_compact.Rules.digest Rsg_compact.Rules.default in
+  let compacts hex =
+    match List.find_opt (fun (h, _, _) -> h = hex) r.H.hr_artifacts with
+    | Some (_, pa, _) -> [ (deck, pa) ]
+    | None -> []
+  in
+  let protos = Flatten.prototypes cell in
+  let table = Codec.proto_table protos ~compacts in
+  let flat = Flatten.protos_flat protos in
+  let data = Codec.encode ~flat ~protos:table ~label:"pla" cell in
+  let secs = Codec.sections data in
+  let sec name =
+    match List.find_opt (fun (s : Codec.section) -> s.Codec.s_name = name) secs with
+    | Some s -> s
+    | None -> Alcotest.failf "missing section %s" name
+  in
+  (* every byte of the entry is accounted to exactly one section *)
+  Alcotest.(check int) "bytes partition the entry" (String.length data)
+    (List.fold_left (fun a (s : Codec.section) -> a + s.Codec.s_bytes) 0 secs);
+  Alcotest.(check int) "one graph record per table record"
+    (Array.length table) (sec "constraint graphs").Codec.s_entries;
+  Alcotest.(check int) "proto geometry entries"
+    (Array.length table) (sec "proto geometry").Codec.s_entries;
+  Alcotest.(check int) "flat boxes"
+    (Array.length flat.Flatten.flat_boxes)
+    (sec "flat").Codec.s_entries;
+  Alcotest.(check bool) "graph section is non-trivial" true
+    ((sec "constraint graphs").Codec.s_bytes > 0);
+  (* store-level aggregation: one entry's sections, verbatim *)
+  let store = Store.open_ (temp_dir ()) in
+  let key = Store.key ~design:"sections-test" ~params:"p" () in
+  Store.save store key ~label:"pla" ~flat ~protos:table cell;
+  let st = Store.stats store in
+  List.iter
+    (fun (s : Codec.section) ->
+      let agg =
+        match
+          List.find_opt
+            (fun (t : Codec.section) -> t.Codec.s_name = s.Codec.s_name)
+            st.Store.st_sections
+        with
+        | Some t -> t
+        | None -> Alcotest.failf "stats missing section %s" s.Codec.s_name
+      in
+      Alcotest.(check int) (s.Codec.s_name ^ " bytes aggregate")
+        s.Codec.s_bytes agg.Codec.s_bytes;
+      Alcotest.(check int) (s.Codec.s_name ^ " entries aggregate")
+        s.Codec.s_entries agg.Codec.s_entries)
+    secs;
+  ignore (Store.clear store)
+
 (* Cold, fully-cached and partially-cached (one edited row) checks must
    agree on the verdict at every domain count. *)
 let test_incremental_agreement () =
@@ -454,10 +556,11 @@ let test_v1_stale_miss () =
   let data = In_channel.with_open_bin path In_channel.input_all in
   let b = Bytes.of_string data in
   (* the version field is the u32 after the 4-byte magic: find the
-     byte holding the 2 and patch it to 1, whatever the endianness *)
+     byte holding the current version and patch it to 1, whatever the
+     endianness *)
   let patched = ref false in
   for i = 4 to 7 do
-    if Bytes.get b i = '\002' then begin
+    if Bytes.get b i = Char.chr Codec.format_version then begin
       Bytes.set b i '\001';
       patched := true
     end
@@ -844,6 +947,10 @@ let () =
         [
           Alcotest.test_case "table roundtrip and replay" `Quick
             test_proto_roundtrip;
+          Alcotest.test_case "compaction artifacts roundtrip" `Quick
+            test_compacts_roundtrip;
+          Alcotest.test_case "sections accounting" `Quick
+            test_sections_accounting;
           Alcotest.test_case "incremental agreement" `Quick
             test_incremental_agreement;
           Alcotest.test_case "seeded recomposition" `Quick
