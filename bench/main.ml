@@ -1697,13 +1697,115 @@ let e29 () =
   note "path replays every cached artifact (reused = protos) and skips";
   note "constraint generation entirely"
 
+(* E30 (lib/erc): static electrical rule checking.  One verdict per   *)
+(* distinct prototype, content-addressed by subtree hash; the warm    *)
+(* path replays every verdict (including the root adjudication)       *)
+(* without touching any geometry, and the per-net classification fan  *)
+(* is bit-identical at every domain count.                            *)
+
+let e30 () =
+  section "E30"
+    "static ERC: per-prototype verdicts, cached replay, domain-pool fan";
+  let module Erc = Rsg_erc.Erc in
+  let mk_pla () =
+    (Rsg_pla.Gen.generate
+       (Rsg_pla.Truth_table.of_strings [ ("10-", "10"); ("0-1", "01") ]))
+      .Rsg_pla.Gen.cell
+  in
+  let mk_mult () =
+    (Rsg_mult.Layout_gen.generate ~xsize:8 ~ysize:8 ())
+      .Rsg_mult.Layout_gen.whole
+  in
+  let chip_of name cell =
+    (* the E29 chip shape: two copies at a wide gap, so the root flat
+       is the dominant electrical context *)
+    let protos = Flatten.prototypes cell in
+    let bb =
+      match Flatten.cell_bbox protos cell with
+      | Some b -> b
+      | None -> assert false
+    in
+    let chip = Cell.create (name ^ "-chip") in
+    ignore (Cell.add_instance chip ~at:(Vec.make 0 0) cell);
+    ignore
+      (Cell.add_instance chip ~at:(Vec.make (Box.width bb + 2000) 17) cell);
+    chip
+  in
+  let workloads =
+    [ ("pla", mk_pla ());
+      ("decoder", (Rsg_pla.Gen.generate_decoder 3).Rsg_pla.Gen.cell);
+      ("ram",
+       (Rsg_ram.Ram_gen.generate ~words:8 ~bits:4 ()).Rsg_ram.Ram_gen.cell);
+      ("multiplier", mk_mult ());
+      ("mult-chip", chip_of "mult" (mk_mult ())) ]
+  in
+  let warm_of (r : Erc.report) =
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun (l : Erc.level) ->
+        Hashtbl.replace tbl l.Erc.l_hash l.Erc.l_verdict)
+      r.Erc.r_levels;
+    Hashtbl.find_opt tbl
+  in
+  let domain_counts = [ 1; 2; 4 ] in
+  row "%-12s %6s %6s %5s %6s | %8s %8s %6s | %6s %5s" "layout" "levels"
+    "nets" "devs" "diags" "cold-s" "warm-s" "x" "replay" "same";
+  List.iter
+    (fun (name, cell) ->
+      let r = Erc.check_cell ~domains:4 cell in
+      let levels = List.length r.Erc.r_levels in
+      let diags =
+        List.length (Erc.to_diags r).Rsg_lint.Diag.r_diags
+      in
+      let cold_s =
+        seconds (fun () -> ignore (Erc.check_cell ~domains:4 cell))
+      in
+      let warm_s =
+        seconds (fun () ->
+            ignore (Erc.check_cell ~domains:4 ~cached:(warm_of r) cell))
+      in
+      let rw = Erc.check_cell ~domains:4 ~cached:(warm_of r) cell in
+      (* cross-domain: full report JSON bit-identical; warm: the
+         replayed diagnostics bit-identical to the cold adjudication *)
+      let per_domain =
+        List.map
+          (fun d -> Erc.report_to_json (Erc.check_cell ~domains:d cell))
+          domain_counts
+      in
+      let same =
+        (match per_domain with
+        | [] -> true
+        | f :: rest -> List.for_all (String.equal f) rest)
+        && Rsg_lint.Diag.report_to_json (Erc.to_diags rw)
+           = Rsg_lint.Diag.report_to_json (Erc.to_diags r)
+      in
+      let speedup = cold_s /. Float.max warm_s 1e-9 in
+      row "%-12s %6d %6d %5d %6d | %8.4f %8.4f %5.0fx | %3d/%-3d %5b" name
+        levels r.Erc.r_nets r.Erc.r_devices diags cold_s warm_s speedup
+        rw.Erc.r_cached levels same;
+      json_int (name ^ ".erc_levels") levels;
+      json_int (name ^ ".erc_nets") r.Erc.r_nets;
+      json_int (name ^ ".erc_devices") r.Erc.r_devices;
+      json_int (name ^ ".erc_diags") diags;
+      json_num (name ^ ".erc_cold_s") cold_s;
+      json_num (name ^ ".erc_warm_s") warm_s;
+      json_num (name ^ ".erc_speedup") speedup;
+      json_int (name ^ ".erc_replayed") rw.Erc.r_cached;
+      json_bool (name ^ ".erc_identical") same)
+    workloads;
+  note "electrical judgement is global (a gate's driver may sit in a";
+  note "personalisation mask deep inside a parent), so non-root levels";
+  note "carry censuses and the root carries the adjudication; a warm";
+  note "run replays every verdict (replay = levels) without extracting";
+  note "a single box"
+
 let sections =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
     ("E22", e22); ("E23", e23); ("E24", e24); ("E25", e25); ("E26", e26);
-    ("E27", e27); ("E28", e28); ("E29", e29) ]
+    ("E27", e27); ("E28", e28); ("E29", e29); ("E30", e30) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -9,12 +9,14 @@
      rsg stats layout.cif
      rsg compact layout.cif -o smaller.cif --slack
      rsg drc layout.cif               # design-rule check (or: pla|ram|...)
+     rsg erc layout.cif               # electrical rule check (same targets)
      rsg lint design.def -p file.par  # static analysis (or: mult|pla)
      rsg doctor                       # expansion diagnostics demo
 
    Generator commands accept --obs / --obs-json to record per-phase
    timers and counters (lib/obs) and dump them to stderr on exit,
    --drc to gate the run on a clean design-rule check of the result,
+   --erc to gate on a clean electrical check of its extracted netlist,
    and (design-file-driven generators) --lint to gate on a clean
    static analysis of the design file before anything runs.
 *)
@@ -132,6 +134,44 @@ let drc_gate_flat ?domains enabled flat =
 let drc_gate ?domains enabled cell =
   if enabled then
     drc_gate_flat ?domains enabled (Flatten.protos_flat (Flatten.prototypes cell))
+
+(* ---- electrical rule gating ---------------------------------------- *)
+
+module Erc = Rsg_erc.Erc
+
+let erc_flag =
+  Arg.(
+    value & flag
+    & info [ "erc" ]
+        ~doc:
+          "Electrically check the generated layout (supply shorts, floating \
+           gates, undriven nets, dangling devices, fanout, rail \
+           reachability) with the default configuration; fail (exit 1) on \
+           ERC errors.  With --cache, per-prototype verdicts are stored and \
+           replayed like DRC levels.")
+
+(* ERC twin of [drc_gate_protos]: one verdict per distinct prototype,
+   [cached] replaying verdicts stored by an earlier run.  Clean (no
+   error-severity findings) passes with a one-line note; errors dump
+   the report and abort. *)
+let erc_gate_protos ?domains ~cached protos =
+  let r = Erc.check_protos ?domains ~cached protos in
+  if Erc.clean r then begin
+    Format.printf
+      "erc: clean (%d prototypes, %d replayed, %d nets, %d devices, %d \
+       warnings)@."
+      (List.length r.Erc.r_levels)
+      r.Erc.r_cached r.Erc.r_nets r.Erc.r_devices
+      (List.length (Rsg_lint.Diag.warnings (Erc.to_diags r)));
+    r
+  end
+  else begin
+    Format.eprintf "%a" Erc.pp_report r;
+    exit 1
+  end
+
+let erc_config_digest =
+  lazy (Erc.config_digest Erc.default_config Rsg_compact.Rules.default)
 
 (* ---- static lint gating -------------------------------------------- *)
 
@@ -284,12 +324,18 @@ let proto_index table =
    it. *)
 let run_cached ?domains ?(post = fun (c : Cell.t) -> c)
     ~store:(cache, save_db, scale) ~stem ~design ~params ~label
-    ~stats:want_stats ~drc ~out gen =
+    ~stats:want_stats ~drc ~erc ~out gen =
   if scale < 1 then begin
     Format.eprintf "--scale must be >= 1@.";
     exit 1
   end;
-  let deck = if drc then Rsg_drc.Deck.to_string Rsg_drc.Deck.default else "" in
+  let erc_digest = Lazy.force erc_config_digest in
+  let deck =
+    (if drc then Rsg_drc.Deck.to_string Rsg_drc.Deck.default else "")
+    (* --erc changes what the entry must carry (verdicts) and what a
+       hit must replay, so it keys separately, like the DRC deck *)
+    ^ (if erc then "\x00erc:" ^ Digest.to_hex erc_digest else "")
+  in
   let deck_digest = Rsg_drc.Deck.digest Rsg_drc.Deck.default in
   let key =
     Store.key ~deck ~scale:(string_of_int scale) ~design ~params ()
@@ -319,6 +365,16 @@ let run_cached ?domains ?(post = fun (c : Cell.t) -> c)
               List.assoc_opt deck_digest p.Codec.p_reports)
         in
         Some (drc_gate_protos ?domains ~cached protos)
+      end
+      else None
+    in
+    let ehier =
+      if erc then begin
+        let cached hex =
+          Option.bind (old_proto hex) (fun (p : Codec.proto) ->
+              List.assoc_opt erc_digest p.Codec.p_ercs)
+        in
+        Some (erc_gate_protos ?domains ~cached protos)
       end
       else None
     in
@@ -355,7 +411,21 @@ let run_cached ?domains ?(post = fun (c : Cell.t) -> c)
             | None -> [])
         | _ -> fun _ -> []
       in
-      let table = Codec.proto_table protos ~reused ~reports in
+      let ercs =
+        match ehier with
+        | Some r when scale = 1 ->
+          let by_hex =
+            List.map
+              (fun (l : Erc.level) -> (l.Erc.l_hash, l.Erc.l_verdict))
+              r.Erc.r_levels
+          in
+          fun hex ->
+            (match List.assoc_opt hex by_hex with
+            | Some v -> [ (erc_digest, v) ]
+            | None -> [])
+        | _ -> fun _ -> []
+      in
+      let table = Codec.proto_table protos ~reused ~reports ~ercs in
       let n_reused =
         Array.fold_left
           (fun a (p : Codec.proto) -> if p.Codec.p_reused then a + 1 else a)
@@ -395,6 +465,14 @@ let run_cached ?domains ?(post = fun (c : Cell.t) -> c)
           in
           ignore (drc_gate_protos ?domains ~cached (Lazy.force protos))
         end;
+        if erc then begin
+          let h = proto_index e.Codec.e_protos in
+          let cached hex =
+            Option.bind (Hashtbl.find_opt h hex) (fun (p : Codec.proto) ->
+                List.assoc_opt erc_digest p.Codec.p_ercs)
+          in
+          ignore (erc_gate_protos ?domains ~cached (Lazy.force protos))
+        end;
         (e.Codec.e_cell, flat)
       | Store.Miss ->
         Format.printf "cache: miss %s@." (Store.short key);
@@ -417,7 +495,7 @@ let run_cached ?domains ?(post = fun (c : Cell.t) -> c)
 
 (* ---- generate ------------------------------------------------------ *)
 
-let generate design params sample_path out stats lint drc domains store
+let generate design params sample_path out stats lint drc erc domains store
     compact obs =
   with_obs obs @@ fun () ->
   let design_text = read_file design in
@@ -470,7 +548,7 @@ let generate design params sample_path out stats lint drc domains store
     ~design:(design_text ^ "\x00sample\x00" ^ sample_text)
     ~params:params_text
     ~label:("generate " ^ Filename.basename design)
-    ~stats ~drc ~out gen
+    ~stats ~drc ~erc ~out gen
 
 let design_arg =
   Arg.(
@@ -511,12 +589,12 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a layout from design/parameter/sample files")
     Term.(
       const generate $ design_arg $ params_arg $ sample_arg $ out_arg "out.cif"
-      $ stats_flag $ lint_flag $ drc_flag $ domains_term $ store_term
-      $ generate_compact_flag $ obs_term)
+      $ stats_flag $ lint_flag $ drc_flag $ erc_flag $ domains_term
+      $ store_term $ generate_compact_flag $ obs_term)
 
 (* ---- multiplier ---------------------------------------------------- *)
 
-let multiplier size out stats lint drc domains store obs =
+let multiplier size out stats lint drc erc domains store obs =
   with_obs obs @@ fun () ->
   let gen () =
     lint_gate lint ~source:"mult.def(builtin)" (mult_lint_config ~size ())
@@ -528,7 +606,7 @@ let multiplier size out stats lint drc domains store obs =
     ~design:("builtin:multiplier\n" ^ Rsg_mult.Design_file.text)
     ~params:(Rsg_mult.Sample_lib.param_file ~xsize:size ~ysize:size)
     ~label:(Printf.sprintf "multiplier %dx%d" size size)
-    ~stats ~drc ~out gen
+    ~stats ~drc ~erc ~out gen
 
 let size_arg =
   Arg.(value & opt int 8 & info [ "size" ] ~docv:"N" ~doc:"Multiplier bits.")
@@ -538,11 +616,11 @@ let multiplier_cmd =
     (Cmd.info "multiplier" ~doc:"Generate a pipelined array multiplier")
     Term.(
       const multiplier $ size_arg $ out_arg "mult.cif" $ stats_flag $ lint_flag
-      $ drc_flag $ domains_term $ store_term $ obs_term)
+      $ drc_flag $ erc_flag $ domains_term $ store_term $ obs_term)
 
 (* ---- pla ----------------------------------------------------------- *)
 
-let pla table out stats fold lint drc domains store obs =
+let pla table out stats fold lint drc erc domains store obs =
   with_obs obs @@ fun () ->
   let table_text = read_file table in
   let rows =
@@ -592,7 +670,7 @@ let pla table out stats fold lint drc domains store obs =
         (Printf.sprintf "pla %dx%d%s" tt.Rsg_pla.Truth_table.n_inputs
            tt.Rsg_pla.Truth_table.n_outputs
            (if fold then " folded" else ""))
-      ~stats ~drc ~out gen
+      ~stats ~drc ~erc ~out gen
 
 let table_arg =
   Arg.(
@@ -609,11 +687,11 @@ let pla_cmd =
     (Cmd.info "pla" ~doc:"Generate a PLA from a truth table")
     Term.(
       const pla $ table_arg $ out_arg "pla.cif" $ stats_flag $ fold_flag
-      $ lint_flag $ drc_flag $ domains_term $ store_term $ obs_term)
+      $ lint_flag $ drc_flag $ erc_flag $ domains_term $ store_term $ obs_term)
 
 (* ---- rom ----------------------------------------------------------- *)
 
-let rom data_path word_bits out stats drc domains store obs =
+let rom data_path word_bits out stats drc erc domains store obs =
   with_obs obs @@ fun () ->
   let data_text = read_file data_path in
   let words =
@@ -644,7 +722,7 @@ let rom data_path word_bits out stats drc domains store obs =
   run_cached ?domains ~store ~stem:("rom:" ^ data_path) ~design:"builtin:rom"
     ~params:(Printf.sprintf "word_bits=%d\n%s" word_bits data_text)
     ~label:(Printf.sprintf "rom %d words x %d bits" (Array.length words) word_bits)
-    ~stats ~drc ~out gen
+    ~stats ~drc ~erc ~out gen
 
 let rom_cmd =
   Cmd.v
@@ -657,18 +735,18 @@ let rom_cmd =
           & info [ "data" ] ~docv:"FILE"
               ~doc:"One integer word per line; power-of-two count.")
       $ Arg.(value & opt int 8 & info [ "word-bits" ] ~docv:"N" ~doc:"Word width.")
-      $ out_arg "rom.cif" $ stats_flag $ drc_flag $ domains_term $ store_term
-      $ obs_term)
+      $ out_arg "rom.cif" $ stats_flag $ drc_flag $ erc_flag $ domains_term
+      $ store_term $ obs_term)
 
 (* ---- decoder ------------------------------------------------------- *)
 
-let decoder n out stats drc domains store obs =
+let decoder n out stats drc erc domains store obs =
   with_obs obs @@ fun () ->
   let gen () = (Rsg_pla.Gen.generate_decoder n).Rsg_pla.Gen.cell in
   run_cached ?domains ~store ~stem:"decoder" ~design:"builtin:decoder"
     ~params:(Printf.sprintf "n=%d" n)
     ~label:(Printf.sprintf "decoder %d" n)
-    ~stats ~drc ~out gen
+    ~stats ~drc ~erc ~out gen
 
 let n_arg =
   Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Decoder input bits.")
@@ -678,7 +756,7 @@ let decoder_cmd =
     (Cmd.info "decoder" ~doc:"Generate an n-to-2^n decoder")
     Term.(
       const decoder $ n_arg $ out_arg "decoder.cif" $ stats_flag $ drc_flag
-      $ domains_term $ store_term $ obs_term)
+      $ erc_flag $ domains_term $ store_term $ obs_term)
 
 (* ---- sim ----------------------------------------------------------- *)
 
@@ -1040,6 +1118,167 @@ let drc_cmd =
           & info [ "compacted" ] ~doc:"Check the layout after x compaction.")
       $ domains_term $ obs_term)
 
+(* ---- erc ----------------------------------------------------------- *)
+
+(* Static electrical check of a layout, with the same target handling
+   as drc.  --cache persists per-prototype verdicts keyed by subtree
+   hash + config digest and replays them: a warm run re-adjudicates
+   nothing, and an edited design still harvests the unchanged
+   prototypes of its previous entry through the stem pointer. *)
+let erc target from_db cache json self_check vdd gnd max_fanout strict domains
+    obs =
+  with_obs obs @@ fun () ->
+  let cfg =
+    { Erc.default_config with
+      Erc.vdd_names =
+        (match vdd with [] -> Erc.default_config.Erc.vdd_names | v -> v);
+      gnd_names =
+        (match gnd with [] -> Erc.default_config.Erc.gnd_names | g -> g);
+      max_fanout;
+      strict
+    }
+  in
+  let cfg_digest = Erc.config_digest cfg Rsg_compact.Rules.default in
+  let cell, design_id, name =
+    match (target, from_db) with
+    | Some t, None ->
+      let id = if Sys.file_exists t then read_file t else "builtin:" ^ t in
+      (drc_target t, id, t)
+    | None, Some db -> ((load_db db).Codec.e_cell, read_file db, db)
+    | Some _, Some _ ->
+      Format.eprintf "erc: give either a target or --from-db, not both@.";
+      exit 1
+    | None, None ->
+      Format.eprintf "erc: need a target or --from-db@.";
+      exit 1
+  in
+  if self_check then
+    match Erc.self_check_cell ~cfg ?domains cell with
+    | Ok (b, d) ->
+      Format.printf
+        "self-check ok: probe strip (%d,%d)-(%d,%d) yields exactly %s: %s@."
+        b.Box.xmin b.Box.ymin b.Box.xmax b.Box.ymax d.Rsg_lint.Diag.code
+        d.Rsg_lint.Diag.message
+    | Error msg ->
+      Format.eprintf "self-check failed: %s@." msg;
+      exit 1
+  else begin
+    let r =
+      match cache with
+      | None -> Erc.check_cell ~cfg ?domains cell
+      | Some dir ->
+        let st = Store.open_ dir in
+        let stem = "erc:" ^ name in
+        let key =
+          Store.key
+            ~deck:("erc\x00" ^ Digest.to_hex cfg_digest)
+            ~scale:"1" ~design:design_id ~params:"" ()
+        in
+        let protos = Flatten.prototypes cell in
+        let cached_of table =
+          let h = proto_index table in
+          fun hex ->
+            Option.bind (Hashtbl.find_opt h hex) (fun (p : Codec.proto) ->
+                List.assoc_opt cfg_digest p.Codec.p_ercs)
+        in
+        (match Store.find st key with
+        | Store.Hit e ->
+          Format.eprintf "cache: hit %s@." (Store.short key);
+          Erc.check_protos ~cfg ?domains
+            ~cached:(cached_of e.Codec.e_protos)
+            protos
+        | other ->
+          (match other with
+          | Store.Corrupt err ->
+            Format.eprintf "cache: corrupt entry (%a), rechecking@."
+              Codec.pp_error err
+          | _ -> Format.eprintf "cache: miss %s@." (Store.short key));
+          let cached =
+            match Store.harvest st ~stem with
+            | Some (k, table) when Array.length table > 0 ->
+              Format.eprintf "cache: harvesting %s (%d prototypes)@."
+                (Store.short k) (Array.length table);
+              cached_of table
+            | _ -> fun _ -> None
+          in
+          let r = Erc.check_protos ~cfg ?domains ~cached protos in
+          let by_hex =
+            List.map
+              (fun (l : Erc.level) -> (l.Erc.l_hash, l.Erc.l_verdict))
+              r.Erc.r_levels
+          in
+          let ercs hex =
+            match List.assoc_opt hex by_hex with
+            | Some v -> [ (cfg_digest, v) ]
+            | None -> []
+          in
+          let table = Codec.proto_table protos ~ercs in
+          Store.save st key ~stem ~label:("erc " ^ name) ~protos:table cell;
+          Format.eprintf "cache: saved %s (%d prototypes)@." (Store.short key)
+            (Array.length table);
+          r)
+    in
+    if json then print_endline (Erc.report_to_json r)
+    else Format.printf "%a" Erc.pp_report r;
+    if not (Erc.clean r) then exit 1
+  end
+
+let erc_cmd =
+  Cmd.v
+    (Cmd.info "erc"
+       ~doc:
+         "Electrical rule check a layout: supply shorts, floating gates, \
+          undriven nets, dangling devices, fanout limits, supply-rail \
+          reachability — over the split-diffusion extracted netlist.  The \
+          target is a CIF file or a builtin generator (pla, ram, \
+          multiplier, decoder).  Exits 1 on ERC errors (warnings pass; see \
+          $(b,--strict)).")
+    Term.(
+      const erc
+      $ Arg.(
+          value
+          & pos 0 (some string) None
+          & info [] ~docv:"FILE|BUILTIN"
+              ~doc:"CIF layout, or builtin: pla, ram, multiplier, decoder.")
+      $ from_db_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "cache" ] ~docv:"DIR"
+              ~doc:
+                "Persist per-prototype verdicts keyed by subtree hash + \
+                 config digest; a warm run replays every unchanged \
+                 prototype's verdict without re-extracting it.")
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+      $ Arg.(
+          value & flag
+          & info [ "self-check" ]
+              ~doc:
+                "Mutation self-check: inject one floating-gate transistor \
+                 (a poly strip crossing a diffusion, clear of everything \
+                 else) and verify the checker reports exactly that defect.")
+      $ Arg.(
+          value & opt_all string []
+          & info [ "vdd" ] ~docv:"NAME"
+              ~doc:
+                "Terminal name treated as a power rail (repeatable; default \
+                 vdd, vcc, vdd!, pwr).")
+      $ Arg.(
+          value & opt_all string []
+          & info [ "gnd" ] ~docv:"NAME"
+              ~doc:
+                "Terminal name treated as a ground rail (repeatable; \
+                 default gnd, vss, gnd!, ground).")
+      $ Arg.(
+          value & opt int Erc.default_config.Erc.max_fanout
+          & info [ "max-fanout" ] ~docv:"N"
+              ~doc:"Gates one net may drive before E304 fires.")
+      $ Arg.(
+          value & flag
+          & info [ "strict" ]
+              ~doc:"Escalate E301-E305 from warnings to errors.")
+      $ domains_term $ obs_term)
+
 (* ---- lint ---------------------------------------------------------- *)
 
 (* The target is a design file or a builtin design (mult, pla), so the
@@ -1398,8 +1637,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the resident generation service: accept generate/drc/extract/\
-          lint/batch jobs as newline-delimited JSON over a Unix-domain \
+         "Run the resident generation service: accept generate/drc/erc/\
+          extract/lint/batch jobs as newline-delimited JSON over a Unix-domain \
           socket, multiplexed onto a bounded worker pool with per-job \
           deadlines, coalescing of identical in-flight generations, and a \
           hot in-memory cache over the layout store.  SIGTERM drains \
@@ -1458,7 +1697,7 @@ let client socket op arg drc cif out deadline attempts =
         @ match out with Some p -> [ ("out", Sjson.String p) ] | None -> []
       in
       [ `Json (Sjson.Obj (fields ~spec flags)) ]
-    | ("drc" | "extract" | "lint"), Some spec ->
+    | ("drc" | "erc" | "extract" | "lint"), Some spec ->
       [ `Json (Sjson.Obj (fields ~spec [])) ]
     | "batch", Some path ->
       [ `Json (Sjson.Obj (fields ~spec:(read_file path) [])) ]
@@ -1480,8 +1719,8 @@ let client socket op arg drc cif out deadline attempts =
     | other, _ ->
       usage
         (other
-       ^ ": unknown op (generate, drc, extract, lint, batch, sleep, stats, \
-          health, shutdown, raw)")
+       ^ ": unknown op (generate, drc, erc, extract, lint, batch, sleep, \
+          stats, health, shutdown, raw)")
   in
   if reqs = [] then usage "no requests";
   match Sclient.connect ~attempts socket with
@@ -1527,7 +1766,7 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:
          "Talk to a running $(b,rsg serve) daemon.  OP is generate, drc, \
-          extract, lint, batch, sleep, stats, health, shutdown, or raw \
+          erc, extract, lint, batch, sleep, stats, health, shutdown, or raw \
           (pipeline JSON request lines from stdin).  Responses are printed \
           one JSON line each; exits 0 iff every response is ok.")
     Term.(
@@ -1542,8 +1781,8 @@ let client_cmd =
           & info [] ~docv:"ARG"
               ~doc:
                 "Op argument: a manifest line (generate), a builtin or CIF \
-                 path (drc, extract), a builtin or design file (lint), a \
-                 manifest file (batch), milliseconds (sleep).")
+                 path (drc, erc, extract), a builtin or design file (lint), \
+                 a manifest file (batch), milliseconds (sleep).")
       $ Arg.(
           value & flag
           & info [ "drc" ] ~doc:"generate: also design-rule check the result.")
@@ -1641,5 +1880,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; multiplier_cmd; pla_cmd; rom_cmd; decoder_cmd;
-            sim_cmd; stats_cmd; compact_cmd; masks_cmd; drc_cmd; lint_cmd;
-            batch_cmd; cache_cmd; serve_cmd; client_cmd; doctor_cmd ]))
+            sim_cmd; stats_cmd; compact_cmd; masks_cmd; drc_cmd; erc_cmd;
+            lint_cmd; batch_cmd; cache_cmd; serve_cmd; client_cmd;
+            doctor_cmd ]))

@@ -17,6 +17,11 @@
 open Rsg_geom
 open Rsg_layout
 
+exception Unknown_terminal of string
+(** A terminal name that resolves to no net — raised by {!connected}
+    with the offending label, so callers can say which of the two
+    names was missing. *)
+
 type device = {
   gate : Box.t;        (** the poly-diffusion overlap region *)
   poly_item : int;
@@ -51,5 +56,54 @@ val n_devices : netlist -> int
 val net_of_terminal : netlist -> string -> int option
 
 val connected : netlist -> string -> string -> bool
-(** Do two named terminals share a net?  Raises [Not_found] if either
-    label is missing. *)
+(** Do two named terminals share a net?  Raises {!Unknown_terminal}
+    naming the first label (left argument checked first) that resolves
+    to no net. *)
+
+(** {1 MOS netlists}
+
+    The richer extraction the ERC runs on: each diffusion box is split
+    into the fragments left over around its gate regions
+    ({!Rsg_geom.Box.subtract}), nets are recomputed over the split
+    geometry — so the channel no longer shorts source to drain — and
+    every merged transistor becomes a (gate, source, drain) net
+    triple. *)
+
+type mos = {
+  m_gate : Box.t;      (** union of the merged gate regions *)
+  m_gate_net : int;    (** net of the poly gate, in [mn_nets] space *)
+  m_source : int option;
+      (** net of the diffusion fragments on the left/below side of the
+          gate; [None] when the gate runs to the diffusion edge *)
+  m_drain : int option;  (** right/above side, same convention *)
+}
+
+type mos_netlist = {
+  mn_items : Rsg_compact.Scanline.item array;
+      (** the input items with each diffusion box replaced by its
+          gate-free fragments (deterministic order) *)
+  mn_nets : int array;   (** per split item, representative index *)
+  mn_n_nets : int;       (** distinct conductor nets after the split *)
+  mn_mos : mos array;
+  mn_terminals : (string * int) list;
+  mn_unresolved : string list;
+      (** labels over no conductor (e.g. over a gate channel), in
+          input order — [of_items] silently drops these *)
+}
+
+val mos_of_items :
+  ?rules:Rsg_compact.Rules.t ->
+  ?domains:int ->
+  Rsg_compact.Scanline.item array -> (string * Vec.t) list -> mos_netlist
+(** Split-diffusion extraction.  Device census and merging agree with
+    {!of_items} ([n_mos] equals [n_devices] on the same geometry);
+    results are identical for every pool size.  Instrumented with the
+    [extract.mos] Obs span and counter. *)
+
+val mos_of_flat :
+  ?rules:Rsg_compact.Rules.t -> ?domains:int -> Flatten.flat -> mos_netlist
+
+val mos_of_cell :
+  ?rules:Rsg_compact.Rules.t -> ?domains:int -> Cell.t -> mos_netlist
+
+val n_mos : mos_netlist -> int

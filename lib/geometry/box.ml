@@ -60,6 +60,31 @@ let distance a b =
   let dy = max 0 (max (b.ymin - a.ymax) (a.ymin - b.ymax)) in
   max dx dy
 
+(* Guillotine decomposition: full-height side strips first, then the
+   top/bottom pieces clipped to the cut's x-range, so the pieces are
+   disjoint and their order depends only on the inputs. *)
+let subtract a b =
+  match intersect a b with
+  | None -> [ a ]
+  | Some c when c.xmin = c.xmax || c.ymin = c.ymax ->
+    [ a ] (* edge or corner touch removes no interior *)
+  | Some c ->
+    if c.xmin <= a.xmin && a.xmax <= c.xmax && c.ymin <= a.ymin
+       && a.ymax <= c.ymax
+    then []
+    else begin
+      let out = ref [] in
+      let add xmin ymin xmax ymax =
+        if xmin < xmax && ymin < ymax then
+          out := { xmin; ymin; xmax; ymax } :: !out
+      in
+      add a.xmin a.ymin c.xmin a.ymax;
+      add c.xmax a.ymin a.xmax a.ymax;
+      add c.xmin a.ymin c.xmax c.ymin;
+      add c.xmin c.ymax c.xmax a.ymax;
+      List.rev !out
+    end
+
 let equal a b =
   a.xmin = b.xmin && a.ymin = b.ymin && a.xmax = b.xmax && a.ymax = b.ymax
 

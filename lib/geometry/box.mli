@@ -43,6 +43,15 @@ val intersect : t -> t -> t option
 val union : t -> t -> t
 (** Smallest box containing both. *)
 
+val subtract : t -> t -> t list
+(** [subtract a b] decomposes the closed region of [a] not properly
+    covered by [b] into at most four disjoint boxes (full-height side
+    strips, then top/bottom pieces clipped to the cut), in a fixed
+    deterministic order.  A [b] that only touches [a]'s edge or corner
+    removes no interior and returns [[a]] unchanged.  This is how the
+    extractor splits a diffusion region into source/drain fragments
+    around a gate. *)
+
 val inflate : int -> t -> t
 (** Grow (or shrink, for negative amounts) by the same margin on all
     four sides.  Raises [Invalid_argument] if shrinking would invert

@@ -4,11 +4,14 @@ open Rsg_lang
 
 type severity = Error | Warning | Info
 
+type span = { s_line : int; s_col : int; s_end_line : int; s_end_col : int }
+
 type t = {
   code : string;
   severity : severity;
   file : string option;
   line : int option;
+  span : span option;
   message : string;
   section : string;
 }
@@ -39,7 +42,15 @@ let all_codes =
     ("L204", Error, "undeclared-interface", "section 2.4");
     ("L205", Error, "overconstrained-cycle", "section 3.4");
     ("L206", Warning, "duplicate-edge", "section 3.1");
-    ("L207", Error, "conflicting-declaration", "section 2.4") ]
+    ("L207", Error, "conflicting-declaration", "section 2.4");
+    ("L208", Warning, "dead-interface", "section 2.4");
+    ("E300", Error, "supply-short", "EXCL flow");
+    ("E301", Warning, "floating-gate", "EXCL flow");
+    ("E302", Warning, "undriven-net", "EXCL flow");
+    ("E303", Warning, "dangling-device", "EXCL flow");
+    ("E304", Warning, "fanout-limit", "EXCL flow");
+    ("E305", Warning, "no-rail-path", "EXCL flow");
+    ("E306", Info, "rails-absent", "EXCL flow") ]
 
 let lookup code =
   List.find_opt (fun (c, _, _, _) -> String.equal c code) all_codes
@@ -53,7 +64,7 @@ let section_of_code code =
 let title_of_code code =
   match lookup code with Some (_, _, t, _) -> t | None -> "unknown"
 
-let make ?severity ?file ?line code fmt =
+let make ?severity ?file ?line ?span code fmt =
   Format.kasprintf
     (fun message ->
       { code;
@@ -62,7 +73,11 @@ let make ?severity ?file ?line code fmt =
           | Some s -> s
           | None -> severity_of_code code);
         file;
-        line;
+        line = (match (line, span) with
+          | Some l, _ -> Some l
+          | None, Some s -> Some s.s_line
+          | None, None -> None);
+        span;
         message;
         section = section_of_code code })
     fmt
@@ -80,6 +95,64 @@ let of_exn ?file = function
       (make ?file "L207"
          "conflicting declaration for interface (%s, %s, %d)" from into index)
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Source excerpts                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Both lint (file:line diagnostics over design text) and the ERC
+   report printer render cited positions through this one helper, so
+   the edge cases — zero-width spans, positions past the end of the
+   text, spans crossing lines — are handled (and tested) in one
+   place. *)
+let excerpt ~text (s : span) =
+  let lines =
+    (* keep trailing empty line out: "a\n" is one line *)
+    String.split_on_char '\n' text
+  in
+  let lines =
+    match List.rev lines with "" :: tl -> List.rev tl | _ -> lines
+  in
+  let n_lines = List.length lines in
+  let buf = Buffer.create 128 in
+  if n_lines = 0 || s.s_line > n_lines then
+    Buffer.add_string buf
+      (Printf.sprintf "%4d | <past end of input (%d line%s)>" s.s_line n_lines
+         (if n_lines = 1 then "" else "s"))
+  else begin
+    (* normalise: clamp the end to the text, order the endpoints *)
+    let e_line, e_col =
+      if s.s_end_line < s.s_line
+         || (s.s_end_line = s.s_line && s.s_end_col < s.s_col)
+      then (s.s_line, s.s_col)
+      else (min s.s_end_line n_lines, s.s_end_col)
+    in
+    let nth l = List.nth lines (l - 1) in
+    let render l =
+      let src = nth l in
+      let len = String.length src in
+      let from = if l = s.s_line then min s.s_col len else 0 in
+      let to_ = if l = e_line then min e_col len else len in
+      let from = min from to_ in
+      Buffer.add_string buf (Printf.sprintf "%4d | %s\n" l src);
+      Buffer.add_string buf "     | ";
+      Buffer.add_string buf (String.make from ' ');
+      if to_ = from then
+        (* zero-width span: a single caret at the position *)
+        Buffer.add_char buf '^'
+      else Buffer.add_string buf (String.make (to_ - from) '^')
+    in
+    let last = min e_line (s.s_line + 3) in
+    for l = s.s_line to last do
+      if l > s.s_line then Buffer.add_char buf '\n';
+      render l
+    done;
+    if e_line > last then
+      Buffer.add_string buf
+        (Printf.sprintf "\n     | ... %d more line%s" (e_line - last)
+           (if e_line - last = 1 then "" else "s"))
+  end;
+  Buffer.contents buf
 
 let compare_diag a b =
   let line d = match d.line with Some l -> l | None -> max_int in
@@ -121,11 +194,13 @@ let severity_name = function
 let pp_severity ppf s = Format.pp_print_string ppf (severity_name s)
 
 let pp ppf d =
-  (match (d.file, d.line) with
-  | Some f, Some l -> Format.fprintf ppf "%s:%d: " f l
-  | Some f, None -> Format.fprintf ppf "%s: " f
-  | None, Some l -> Format.fprintf ppf "line %d: " l
-  | None, None -> ());
+  (match (d.file, d.line, d.span) with
+  | Some f, _, Some s -> Format.fprintf ppf "%s:%d.%d: " f s.s_line s.s_col
+  | Some f, Some l, None -> Format.fprintf ppf "%s:%d: " f l
+  | Some f, None, None -> Format.fprintf ppf "%s: " f
+  | None, _, Some s -> Format.fprintf ppf "line %d.%d: " s.s_line s.s_col
+  | None, Some l, None -> Format.fprintf ppf "line %d: " l
+  | None, None, None -> ());
   Format.fprintf ppf "%a %s [%s] %s (%s)" pp_severity d.severity d.code
     (title_of_code d.code) d.message d.section
 
@@ -160,12 +235,17 @@ let report_to_json r =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"code\":\"%s\",\"severity\":\"%s\",\"file\":%s,\"line\":%s,\"message\":\"%s\",\"section\":\"%s\"}"
+           "{\"code\":\"%s\",\"severity\":\"%s\",\"file\":%s,\"line\":%s,\"span\":%s,\"message\":\"%s\",\"section\":\"%s\"}"
            d.code (severity_name d.severity)
            (match d.file with
            | Some f -> Printf.sprintf "\"%s\"" (json_escape f)
            | None -> "null")
            (match d.line with Some l -> string_of_int l | None -> "null")
+           (match d.span with
+           | Some s ->
+             Printf.sprintf "[%d,%d,%d,%d]" s.s_line s.s_col s.s_end_line
+               s.s_end_col
+           | None -> "null")
            (json_escape d.message) (json_escape d.section)))
     r.r_diags;
   Buffer.add_string buf "]}";

@@ -151,6 +151,45 @@ let check ?root ?(source = "graph") tbl (nodes : Graph.node list) =
             end)
           (Graph.edges n))
       component;
+    (* Dead interfaces: declared in the table but referenced by no
+       edge of the graph (in either direction — declarations are
+       bilateral, so each unordered pair is judged once, on its
+       canonical key).  A dead declaration is not wrong, but it is
+       exactly the "example without a use" a reviewer should see:
+       either the sample drew an interface the connectivity never
+       exercises, or an edge meant to use it names another index. *)
+    let referenced = Hashtbl.create 64 in
+    List.iter
+      (fun (n : Graph.node) ->
+        List.iter
+          (fun (e : Graph.edge) ->
+            if e.Graph.dir = Graph.Emanating then begin
+              let a = cellname n and b = cellname e.Graph.peer in
+              let key =
+                if String.compare a b <= 0 then (a, b, e.Graph.index)
+                else (b, a, e.Graph.index)
+              in
+              Hashtbl.replace referenced key ()
+            end)
+          (Graph.edges n))
+      nodes;
+    let dead =
+      Interface_table.fold
+        (fun ~from ~into ~index _iface acc ->
+          if String.compare from into <= 0
+             && not (Hashtbl.mem referenced (from, into, index))
+          then (from, into, index) :: acc
+          else acc)
+        tbl []
+    in
+    List.iter
+      (fun (from, into, index) ->
+        add
+          (Diag.make "L208"
+             "interface %d between %s and %s is declared but never used by \
+              any edge"
+             index from into))
+      (List.sort compare dead);
     Obs.count ~n:!edges_walked "lint.graph.edges";
     Diag.report ~source ~checked:!edges_walked !diags
 

@@ -24,7 +24,12 @@
       [(I°aa)^-1] place differently (Figures 3.5-3.7) — a note, since
       any pitched regular structure contains them; the directed edge
       resolves the ambiguity, the note records that the direction
-      matters. *)
+      matters;
+    - [L208] interfaces declared in the table but referenced by no
+      edge in either direction (dead interfaces) — the sample drew an
+      interface the connectivity never exercises, or an edge meant to
+      use it names another index.  Bilateral declarations are judged
+      once, on the canonical (lexicographically ordered) cell pair. *)
 
 open Rsg_core
 

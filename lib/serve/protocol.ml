@@ -26,6 +26,7 @@ let error_message = function
 type op =
   | Generate of { spec : string; drc : bool; cif : bool; out : string option }
   | Drc of { spec : string }
+  | Erc of { spec : string }
   | Compact of { spec : string }
   | Extract of { spec : string }
   | Lint of { spec : string }
@@ -38,7 +39,8 @@ type op =
 type request = { rq_id : Json.t; rq_op : op; rq_deadline_ms : int option }
 
 let queueable = function
-  | Generate _ | Drc _ | Compact _ | Extract _ | Lint _ | Batch _ | Sleep _ ->
+  | Generate _ | Drc _ | Erc _ | Compact _ | Extract _ | Lint _ | Batch _
+  | Sleep _ ->
     true
   | Stats | Health | Shutdown -> false
 
@@ -63,6 +65,7 @@ let op_of v =
           })
       (spec_of v)
   | Some "drc" -> Result.map (fun spec -> Drc { spec }) (spec_of v)
+  | Some "erc" -> Result.map (fun spec -> Erc { spec }) (spec_of v)
   | Some "compact" -> Result.map (fun spec -> Compact { spec }) (spec_of v)
   | Some "extract" -> Result.map (fun spec -> Extract { spec }) (spec_of v)
   | Some "lint" -> Result.map (fun spec -> Lint { spec }) (spec_of v)

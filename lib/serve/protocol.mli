@@ -12,12 +12,13 @@
       {"id": "r1", "op": "generate", "spec": "m8 multiplier size=8",
        "deadline_ms": 2000, "drc": false, "cif": false, "out": "m8.cif"}
     v}
-    - [op] — one of [generate], [drc], [compact], [extract], [lint], [batch]
-      (queued jobs); [sleep] (queued; load-bench plumbing); [stats],
-      [health], [shutdown] (answered inline, never queued).
+    - [op] — one of [generate], [drc], [erc], [compact], [extract],
+      [lint], [batch] (queued jobs); [sleep] (queued; load-bench
+      plumbing); [stats], [health], [shutdown] (answered inline,
+      never queued).
     - [spec] — op-dependent: a batch-manifest line for [generate]
       ([NAME KIND key=value ...], see {!Jobspec}); a builtin name or
-      CIF path for [drc]/[extract]; a builtin design ([mult]/[pla]) or
+      CIF path for [drc]/[erc]/[extract]; a builtin design ([mult]/[pla]) or
       design-file path for [lint]; a whole manifest (embedded
       newlines) for [batch]; milliseconds for [sleep].
     - [deadline_ms] — optional admission deadline: the job must
@@ -60,6 +61,7 @@ val error_message : error -> string
 type op =
   | Generate of { spec : string; drc : bool; cif : bool; out : string option }
   | Drc of { spec : string }
+  | Erc of { spec : string }
   | Compact of { spec : string }
   | Extract of { spec : string }
   | Lint of { spec : string }
@@ -85,5 +87,5 @@ val ok_response : id:Json.t -> Json.t -> string
 val error_response : id:Json.t -> error -> string
 
 val queueable : op -> bool
-(** True for ops that go through admission (generate/drc/compact/
+(** True for ops that go through admission (generate/drc/erc/compact/
     extract/lint/batch/sleep); false for the inline control ops. *)

@@ -364,6 +364,28 @@ let drc_work srv spec () =
   | Ok cell ->
     Ok (drc_json (Drc.check_flat ~domains:srv.cfg.job_domains (flat_of_cell cell)))
 
+(* static electrical check of a builtin or CIF target: hierarchical
+   verdicts, summarised like drc_work (clean + censuses + the
+   per-code diagnostic counts, not the full diagnostic list) *)
+let erc_work srv spec () =
+  match Jobspec.target_cell spec with
+  | Error msg -> Error (Protocol.Bad_request msg)
+  | Ok cell ->
+    let module Erc = Rsg_erc.Erc in
+    let r = Erc.check_cell ~domains:srv.cfg.job_domains cell in
+    let d = Erc.to_diags r in
+    Ok
+      (Json.Obj
+         [
+           ("clean", Json.Bool (Erc.clean r));
+           ("nets", Json.Int r.Erc.r_nets);
+           ("devices", Json.Int r.Erc.r_devices);
+           ("rails", Json.Int r.Erc.r_rails);
+           ("levels", Json.Int (List.length r.Erc.r_levels));
+           ("cached", Json.Int r.Erc.r_cached);
+           ("diagnostics", Json.Int (List.length d.Rsg_lint.Diag.r_diags));
+         ])
+
 (* hierarchical compaction of a builtin or batch-spec target; the
    witness of an infeasible system is the job error, not a crash *)
 let compact_work srv spec () =
@@ -581,6 +603,7 @@ let dispatch srv conn (req : Protocol.request) =
             { w with w_drc = drc; w_cif = cif; w_out = out }
             spec
         | Protocol.Drc { spec } -> dispatch_direct srv w (drc_work srv spec)
+        | Protocol.Erc { spec } -> dispatch_direct srv w (erc_work srv spec)
         | Protocol.Compact { spec } ->
           dispatch_direct srv w (compact_work srv spec)
         | Protocol.Extract { spec } ->

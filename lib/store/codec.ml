@@ -3,8 +3,10 @@ open Rsg_layout
 module Drc = Rsg_drc.Drc
 module Hcompact = Rsg_compact.Hcompact
 module Cgraph = Rsg_compact.Cgraph
+module Diag = Rsg_lint.Diag
+module Erc = Rsg_erc.Erc
 
-let format_version = 3
+let format_version = 4
 
 let magic = "RSGL"
 
@@ -33,6 +35,7 @@ type proto = {
   p_reused : bool;
   p_reports : (string * Drc.cached_level) list;
   p_compacts : (string * Hcompact.pabs) list;
+  p_ercs : (string * Erc.cached_verdict) list;
 }
 
 type entry = {
@@ -340,6 +343,48 @@ let put_pabs buf (p : Hcompact.pabs) =
   put_cgraph buf p.Hcompact.pa_cx;
   put_cgraph buf p.Hcompact.pa_cy
 
+(* ---- cached ERC verdicts (version 4) ----------------------------- *)
+(*
+   Per-prototype electrical verdicts, keyed by the ERC config digest
+   (name lists, fanout limit, strictness and rule deck): the censuses
+   every level stores plus, for the root, the full diagnostic list.
+   Severities are stored explicitly — [strict] bakes escalation into
+   the record — while the thesis-section cross-reference is
+   recomputed from the code table on read.
+*)
+
+let put_opt buf f = function
+  | None -> put_uint buf 0
+  | Some v ->
+    put_uint buf 1;
+    f v
+
+let put_diag buf (d : Diag.t) =
+  put_str buf d.Diag.code;
+  put_uint buf
+    (match d.Diag.severity with
+    | Diag.Error -> 0
+    | Diag.Warning -> 1
+    | Diag.Info -> 2);
+  put_opt buf (put_str buf) d.Diag.file;
+  put_opt buf (put_int buf) d.Diag.line;
+  put_opt buf
+    (fun (s : Diag.span) ->
+      put_int buf s.Diag.s_line;
+      put_int buf s.Diag.s_col;
+      put_int buf s.Diag.s_end_line;
+      put_int buf s.Diag.s_end_col)
+    d.Diag.span;
+  put_str buf d.Diag.message
+
+let put_verdict buf (v : Erc.cached_verdict) =
+  put_uint buf v.Erc.cv_nets;
+  put_uint buf v.Erc.cv_devices;
+  put_uint buf v.Erc.cv_open;
+  put_uint buf v.Erc.cv_rails;
+  put_uint buf (List.length v.Erc.cv_diags);
+  List.iter (put_diag buf) v.Erc.cv_diags
+
 let put_proto buf index_of (p : proto) =
   put_raw16 buf p.p_hash;
   put_uint buf (if p.p_reused then 1 else 0);
@@ -355,7 +400,13 @@ let put_proto buf index_of (p : proto) =
     (fun (rules, pa) ->
       put_raw16 buf rules;
       put_pabs buf pa)
-    p.p_compacts
+    p.p_compacts;
+  put_uint buf (List.length p.p_ercs);
+  List.iter
+    (fun (cfg, v) ->
+      put_raw16 buf cfg;
+      put_verdict buf v)
+    p.p_ercs
 
 let put_protos buf protos =
   put_uint buf (Array.length protos);
@@ -367,7 +418,7 @@ let put_protos buf protos =
   Array.iter (put_proto buf index_of) protos
 
 let proto_table ?(reused = fun _ -> false) ?(reports = fun _ -> [])
-    ?(compacts = fun _ -> []) (protos : Flatten.protos) =
+    ?(compacts = fun _ -> []) ?(ercs = fun _ -> []) (protos : Flatten.protos) =
   let tbl : (string, Cell.t) Hashtbl.t = Hashtbl.create 32 in
   let out = ref [] in
   List.iter
@@ -393,7 +444,8 @@ let proto_table ?(reused = fun _ -> false) ?(reports = fun _ -> [])
         Hashtbl.add tbl h copy;
         out :=
           { p_hash = h; p_cell = copy; p_reused = reused hex;
-            p_reports = reports hex; p_compacts = compacts hex }
+            p_reports = reports hex; p_compacts = compacts hex;
+            p_ercs = ercs hex }
           :: !out
       end)
     (Flatten.protos_order protos);
@@ -560,6 +612,44 @@ let get_pabs r =
   let pa_cy = get_cgraph r in
   { Hcompact.pa_wmin; pa_hmin; pa_cx; pa_cy }
 
+let get_opt r what f =
+  match get_uint r what with
+  | 0 -> None
+  | 1 -> Some (f ())
+  | v -> raise (Error (Malformed (Printf.sprintf "%s: option flag %d" what v)))
+
+let get_diag r =
+  let code = get_str r "diag code" in
+  let severity =
+    match get_uint r "diag severity" with
+    | 0 -> Diag.Error
+    | 1 -> Diag.Warning
+    | 2 -> Diag.Info
+    | s -> raise (Error (Malformed (Printf.sprintf "diag severity %d" s)))
+  in
+  let file = get_opt r "diag file" (fun () -> get_str r "diag file") in
+  let line = get_opt r "diag line" (fun () -> get_int r "diag line") in
+  let span =
+    get_opt r "diag span" (fun () ->
+        let s_line = get_int r "diag span" in
+        let s_col = get_int r "diag span" in
+        let s_end_line = get_int r "diag span" in
+        let s_end_col = get_int r "diag span" in
+        { Diag.s_line; s_col; s_end_line; s_end_col })
+  in
+  let message = get_str r "diag message" in
+  { Diag.code; severity; file; line; span; message;
+    section = Diag.section_of_code code }
+
+let get_verdict r =
+  let cv_nets = get_uint r "verdict nets" in
+  let cv_devices = get_uint r "verdict devices" in
+  let cv_open = get_uint r "verdict open" in
+  let cv_rails = get_uint r "verdict rails" in
+  let n = get_uint r "verdict diag count" in
+  let cv_diags = read_list n (fun () -> get_diag r) in
+  { Erc.cv_nets; cv_devices; cv_open; cv_rails; cv_diags }
+
 (* [on_record] feeds the section accounting of {!sections}: byte spans
    of each record's geometry / DRC-report / constraint-graph parts,
    measured from the reader position. *)
@@ -589,15 +679,22 @@ let get_protos ?on_record r =
           (rules, get_pabs r))
     in
     let p3 = r.pos in
+    let n_ercs = get_uint r "proto erc count" in
+    let ercs =
+      read_list n_ercs (fun () ->
+          let cfg = get_raw16 r "erc config digest" in
+          (cfg, get_verdict r))
+    in
+    let p4 = r.pos in
     (match on_record with
     | Some f ->
       f ~geometry:(p1 - p0) ~reports:(p2 - p1, n_reports)
-        ~compacts:(p3 - p2, n_compacts)
+        ~compacts:(p3 - p2, n_compacts) ~ercs:(p4 - p3, n_ercs)
     | None -> ());
     out.(i) <-
       Some
         { p_hash = hash; p_cell = c; p_reused = reused; p_reports = reports;
-          p_compacts = compacts }
+          p_compacts = compacts; p_ercs = ercs }
   done;
   Array.map Option.get out
 
@@ -763,21 +860,24 @@ let sections s =
   let p0 = r.pos in
   ignore (get_str r "label");
   let label_bytes = r.pos - p0 in
-  let geo = ref 0 and rep = ref 0 and comp = ref 0 in
-  let n_rep = ref 0 and n_comp = ref 0 in
+  let geo = ref 0 and rep = ref 0 and comp = ref 0 and erc = ref 0 in
+  let n_rep = ref 0 and n_comp = ref 0 and n_erc = ref 0 in
   let p1 = r.pos in
   let protos =
     get_protos
-      ~on_record:(fun ~geometry ~reports:(rb, rn) ~compacts:(cb, cn) ->
+      ~on_record:(fun ~geometry ~reports:(rb, rn) ~compacts:(cb, cn)
+                      ~ercs:(eb, en) ->
         geo := !geo + geometry;
         rep := !rep + rb;
         n_rep := !n_rep + rn;
         comp := !comp + cb;
-        n_comp := !n_comp + cn)
+        n_comp := !n_comp + cn;
+        erc := !erc + eb;
+        n_erc := !n_erc + en)
       r
   in
   (* the proto-count varint itself *)
-  let table_overhead = r.pos - p1 - !geo - !rep - !comp in
+  let table_overhead = r.pos - p1 - !geo - !rep - !comp - !erc in
   let p2 = r.pos in
   let n_cells = get_uint r "cell count" in
   let cells = Array.make (max n_cells 1) (Cell.create "") in
@@ -807,6 +907,7 @@ let sections s =
       s_entries = Array.length protos };
     { s_name = "drc reports"; s_bytes = !rep; s_entries = !n_rep };
     { s_name = "constraint graphs"; s_bytes = !comp; s_entries = !n_comp };
+    { s_name = "erc verdicts"; s_bytes = !erc; s_entries = !n_erc };
     { s_name = "cell table"; s_bytes = cell_bytes; s_entries = n_cells };
     { s_name = "flat"; s_bytes = flat_bytes; s_entries = flat_boxes } ]
 

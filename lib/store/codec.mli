@@ -47,7 +47,16 @@
     x/y difference-constraint systems and solved pitch bounds, keyed
     by rule-deck digest ({!Rsg_compact.Rules.digest}).  A warm
     [rsg compact --hier --cache] run harvests them and skips
-    constraint generation for every unchanged prototype. *)
+    constraint generation for every unchanged prototype.
+
+    Version 4 extends each prototype record with its {e cached ERC
+    verdicts} ({!Rsg_erc.Erc.cached_verdict}): per-level electrical
+    censuses plus the root's diagnostic list, keyed by the ERC
+    configuration digest ({!Rsg_erc.Erc.config_digest}).  A warm
+    [rsg erc --cache] run replays every unchanged prototype's verdict
+    without touching its geometry.  Version-3 files fail decoding
+    with [Bad_version] and the store treats them as stale clean
+    misses. *)
 
 open Rsg_layout
 
@@ -87,6 +96,9 @@ type proto = {
       (** condensed compaction artifacts — internal constraint graphs
           and pitch bounds — keyed by raw 16-byte compaction rule-deck
           digest ({!Rsg_compact.Rules.digest}) *)
+  p_ercs : (string * Rsg_erc.Erc.cached_verdict) list;
+      (** cached electrical verdicts, keyed by raw 16-byte ERC
+          configuration digest ({!Rsg_erc.Erc.config_digest}) *)
 }
 
 type entry = {
@@ -107,13 +119,14 @@ val proto_table :
   ?reused:(string -> bool) ->
   ?reports:(string -> (string * Rsg_drc.Drc.cached_level) list) ->
   ?compacts:(string -> (string * Rsg_compact.Hcompact.pabs) list) ->
+  ?ercs:(string -> (string * Rsg_erc.Erc.cached_verdict) list) ->
   Flatten.protos ->
   proto array
 (** Build the prototype table of a flattening cache: one record per
     distinct subtree digest in postorder (congruent celltypes
-    collapse into one record).  [reused], [reports] and [compacts] are
-    consulted with each hex digest to fill the record's metadata; all
-    default to nothing. *)
+    collapse into one record).  [reused], [reports], [compacts] and
+    [ercs] are consulted with each hex digest to fill the record's
+    metadata; all default to nothing. *)
 
 val encode : ?flat:Flatten.flat -> ?protos:proto array -> label:string -> Cell.t -> string
 (** Serialise [cell] (and, when given, its flattened view and
@@ -140,9 +153,10 @@ type section = { s_name : string; s_bytes : int; s_entries : int }
 val sections : string -> section list
 (** Per-section breakdown of an encoded entry — container framing,
     label, prototype geometry, cached DRC reports, cached constraint
-    graphs, cell table, flat geometry — in payload order.  Entries
-    are records / reports / graphs / cells / flattened boxes as
-    appropriate to the section.  Raises {!Error} like {!decode}. *)
+    graphs, cached ERC verdicts, cell table, flat geometry — in
+    payload order.  Entries are records / reports / graphs / verdicts
+    / cells / flattened boxes as appropriate to the section.  Raises
+    {!Error} like {!decode}. *)
 
 val write_file : string -> string -> unit
 (** [write_file path data] writes atomically and durably: a fresh

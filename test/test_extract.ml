@@ -236,6 +236,99 @@ let test_domains_identical () =
       ("ram8x4",
        (Rsg_ram.Ram_gen.generate ~words:8 ~bits:4 ()).Rsg_ram.Ram_gen.cell) ]
 
+(* ------------------------------------------------------------------ *)
+(* Typed terminal errors                                               *)
+
+let test_unknown_terminal_each_side () =
+  let items = [| item Layer.Metal (box 0 0 10 3) |] in
+  let nl = of_items items [ ("a", Vec.make 1 1); ("off", Vec.make 50 50) ] in
+  let expect_unknown label f =
+    match f () with
+    | (_ : bool) ->
+        Alcotest.fail (Printf.sprintf "expected Unknown_terminal %s" label)
+    | exception Unknown_terminal l ->
+        Alcotest.(check string) "offending label" label l
+  in
+  (* left argument missing *)
+  expect_unknown "ghost" (fun () -> connected nl "ghost" "a");
+  (* right argument missing *)
+  expect_unknown "ghost" (fun () -> connected nl "a" "ghost");
+  (* a label placed over no conductor is just as unknown *)
+  expect_unknown "off" (fun () -> connected nl "a" "off");
+  (* both missing: the left argument is named first *)
+  expect_unknown "gone" (fun () -> connected nl "gone" "ghost")
+
+(* ------------------------------------------------------------------ *)
+(* MOS triples (split-diffusion extraction)                            *)
+
+let test_mos_triple_basic () =
+  (* poly crosses the diffusion fully: source and drain resolve to two
+     distinct diffusion nets, and the gate to the poly net *)
+  let items =
+    [| item Layer.Poly (box 0 4 20 8); item Layer.Diffusion (box 8 0 12 12) |]
+  in
+  let mn =
+    mos_of_items items [ ("g", Vec.make 1 6); ("s", Vec.make 9 1);
+                         ("d", Vec.make 9 11) ]
+  in
+  Alcotest.(check int) "one mos" 1 (n_mos mn);
+  let m = mn.mn_mos.(0) in
+  Alcotest.(check bool) "gate region" true (Box.equal m.m_gate (box 8 4 12 8));
+  Alcotest.(check (option int)) "gate is the poly net"
+    (List.assoc_opt "g" mn.mn_terminals) (Some m.m_gate_net);
+  (match (m.m_source, m.m_drain) with
+  | Some s, Some d ->
+      Alcotest.(check bool) "source <> drain" true (s <> d);
+      Alcotest.(check (option int)) "source label"
+        (List.assoc_opt "s" mn.mn_terminals) (Some s);
+      Alcotest.(check (option int)) "drain label"
+        (List.assoc_opt "d" mn.mn_terminals) (Some d)
+  | _ -> Alcotest.fail "expected both source and drain resolved");
+  Alcotest.(check int) "channel splits off two diffusion nets: p+s+d" 3
+    mn.mn_n_nets
+
+let test_mos_dangling_side () =
+  (* the gate runs to the bottom edge of the diffusion: no source
+     fragment survives below it *)
+  let items =
+    [| item Layer.Poly (box 0 0 20 4); item Layer.Diffusion (box 8 0 12 12) |]
+  in
+  let mn = mos_of_items items [] in
+  Alcotest.(check int) "one mos" 1 (n_mos mn);
+  let m = mn.mn_mos.(0) in
+  Alcotest.(check bool) "below side dangles" true (m.m_source = None);
+  Alcotest.(check bool) "above side resolves" true (m.m_drain <> None)
+
+let test_mos_census_matches_devices () =
+  List.iter
+    (fun (name, cell) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: n_mos = n_devices" name)
+        (n_devices (of_cell cell))
+        (n_mos (mos_of_cell cell)))
+    [ ("mult4",
+       (Rsg_mult.Layout_gen.generate ~xsize:4 ~ysize:4 ())
+         .Rsg_mult.Layout_gen.whole);
+      ("pla",
+       (Rsg_pla.Gen.generate
+          (Rsg_pla.Truth_table.of_strings [ ("10-", "10"); ("0-1", "01") ]))
+         .Rsg_pla.Gen.cell);
+      ("decoder", (Rsg_pla.Gen.generate_decoder 3).Rsg_pla.Gen.cell) ]
+
+let test_mos_domains_identical () =
+  let cell =
+    (Rsg_mult.Layout_gen.generate ~xsize:4 ~ysize:4 ())
+      .Rsg_mult.Layout_gen.whole
+  in
+  let seq = mos_of_cell ~domains:1 cell in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mos netlist identical at %d domains" d)
+        true
+        (mos_of_cell ~domains:d cell = seq))
+    [ 2; 4 ]
+
 let () =
   Alcotest.run "rsg_extract"
     [ ("nets",
@@ -265,5 +358,15 @@ let () =
          Alcotest.test_case "down + inexact" `Quick test_scale_down_and_inexact;
          Alcotest.test_case "shrunk multiplier netlist" `Quick
            test_scaled_multiplier_extracts_identically ]);
+      ("errors",
+       [ Alcotest.test_case "unknown terminal, each side" `Quick
+           test_unknown_terminal_each_side ]);
+      ("mos",
+       [ Alcotest.test_case "triple basic" `Quick test_mos_triple_basic;
+         Alcotest.test_case "dangling side" `Quick test_mos_dangling_side;
+         Alcotest.test_case "census matches devices" `Quick
+           test_mos_census_matches_devices;
+         Alcotest.test_case "identical across domains" `Quick
+           test_mos_domains_identical ]);
       ("domains",
        [ Alcotest.test_case "netlist identical" `Quick test_domains_identical ]) ]

@@ -181,6 +181,48 @@ let suite_box =
     prop "distance zero iff touching" (QCheck.pair gen_box gen_box)
       (fun (a, b) ->
         (Box.distance a b = 0) = Box.overlaps (Box.inflate 0 a) b);
+    prop "subtract conserves area" (QCheck.pair gen_box gen_box)
+      (fun (a, b) ->
+        let removed =
+          match Box.intersect a b with
+          | Some c when Box.width c > 0 && Box.height c > 0 -> Box.area c
+          | _ -> 0
+        in
+        List.fold_left (fun s p -> s + Box.area p) 0 (Box.subtract a b)
+        = Box.area a - removed);
+    prop "subtract pieces are disjoint and inside" (QCheck.pair gen_box gen_box)
+      (fun (a, b) ->
+        let pieces = Box.subtract a b in
+        let proper p q =
+          match Box.intersect p q with
+          | Some c -> Box.width c > 0 && Box.height c > 0
+          | None -> false
+        in
+        List.for_all
+          (fun p -> Box.equal (Box.union a p) a && not (proper p b))
+          pieces
+        && List.for_all
+             (fun p ->
+               List.for_all (fun q -> p == q || not (proper p q)) pieces)
+             pieces);
+    prop "subtract covers every surviving point"
+      (QCheck.triple gen_box gen_box gen_vec) (fun (a, b, v) ->
+        QCheck.assume (Box.contains a v);
+        let inside p =
+          (* strictly interior, so box seams never double-count *)
+          p.Box.xmin < v.Vec.x && v.Vec.x < p.Box.xmax && p.Box.ymin < v.Vec.y
+          && v.Vec.y < p.Box.ymax
+        in
+        QCheck.assume (inside a);
+        let n = List.length (List.filter inside (Box.subtract a b)) in
+        if inside b then n = 0 else n = 1);
+    prop "edge touch removes nothing" (QCheck.pair gen_box gen_box)
+      (fun (a, b) ->
+        QCheck.assume
+          (match Box.intersect a b with
+          | Some c -> Box.width c = 0 || Box.height c = 0
+          | None -> true);
+        Box.subtract a b = [ a ]);
     prop "distance k iff inflate k overlaps"
       (QCheck.triple gen_box gen_box (QCheck.int_range 0 20))
       (fun (a, b, k) ->

@@ -261,6 +261,73 @@ let test_graph_does_not_place () =
         (n.Graph.placement = None))
     [ a; b; c ]
 
+let test_graph_dead_interface () =
+  let tbl, _, a, b, c = distinct_chain () in
+  (* baseline: every declared interface is referenced by an edge *)
+  check_codes "all interfaces referenced" [] (lint_graph tbl [ a; b; c ]);
+  (* mutation self-check: declare one more, reference it nowhere ->
+     exactly one L208, as a warning naming the dead declaration *)
+  Interface_table.declare tbl ~from:"A" ~into:"C" ~index:7
+    (Interface.make (Vec.make 3 3) Orient.north);
+  let r = lint_graph tbl [ a; b; c ] in
+  check_codes "seeded dead interface" [ "L208" ] r;
+  match r.Diag.r_diags with
+  | [ d ] ->
+      Alcotest.(check bool) "names the pair and index" true
+        (Str.string_match
+           (Str.regexp ".*interface 7 between A and C.*")
+           d.Diag.message 0);
+      Alcotest.(check bool) "a warning, not an error" true
+        (d.Diag.severity = Diag.Warning)
+  | _ -> Alcotest.fail "expected exactly one diagnostic"
+
+(* ------------------------------------------------------------------ *)
+(* Position excerpts                                                   *)
+
+(* Six lines, varied lengths, trailing newline (which must not count
+   as a seventh line). *)
+let excerpt_text = "alpha\nbravo\ncharlie\ndelta\necho\nfoxtrot\n"
+
+let span s_line s_col s_end_line s_end_col =
+  { Diag.s_line; s_col; s_end_line; s_end_col }
+
+let check_excerpt what expected s =
+  Alcotest.(check string) what expected (Diag.excerpt ~text:excerpt_text s)
+
+let test_excerpt_zero_width () =
+  check_excerpt "zero-width span renders one caret"
+    "   1 | alpha\n     |   ^"
+    (span 1 2 1 2)
+
+let test_excerpt_past_eof () =
+  check_excerpt "position past the end is reported, not raised"
+    "   9 | <past end of input (6 lines)>"
+    (span 9 0 9 4);
+  Alcotest.(check string) "empty text counts zero lines"
+    "   1 | <past end of input (0 lines)>"
+    (Diag.excerpt ~text:"" (span 1 0 1 0))
+
+let test_excerpt_multi_line () =
+  check_excerpt "long spans cap at four lines with a tail count"
+    ("   1 | alpha\n     | ^^^^^\n\
+     \   2 | bravo\n     | ^^^^^\n\
+     \   3 | charlie\n     | ^^^^^^^\n\
+     \   4 | delta\n     | ^^^^^\n\
+     \     | ... 2 more lines")
+    (span 1 0 6 3)
+
+let test_excerpt_column_clamp () =
+  (* columns beyond the line collapse to a caret at its end *)
+  check_excerpt "columns clamp to the line length"
+    "   5 | echo\n     |     ^"
+    (span 5 10 5 12)
+
+let test_excerpt_inverted () =
+  (* an end before the start collapses to the start position *)
+  check_excerpt "inverted spans collapse to the start"
+    "   3 | charlie\n     |   ^"
+    (span 3 2 2 0)
+
 (* ------------------------------------------------------------------ *)
 (* Lint vs Expand agreement                                            *)
 
@@ -381,6 +448,14 @@ let () =
          Alcotest.test_case "duplicate edge (L206)" `Quick
            test_graph_duplicate_edge;
          Alcotest.test_case "lint never places" `Quick
-           test_graph_does_not_place ]);
+           test_graph_does_not_place;
+         Alcotest.test_case "dead interface (L208)" `Quick
+           test_graph_dead_interface ]);
+      ("excerpt",
+       [ Alcotest.test_case "zero width" `Quick test_excerpt_zero_width;
+         Alcotest.test_case "past eof" `Quick test_excerpt_past_eof;
+         Alcotest.test_case "multi-line cap" `Quick test_excerpt_multi_line;
+         Alcotest.test_case "column clamp" `Quick test_excerpt_column_clamp;
+         Alcotest.test_case "inverted span" `Quick test_excerpt_inverted ]);
       ("agreement", [ prop_lint_expand_agreement ]);
       ("exceptions", [ Alcotest.test_case "of_exn" `Quick test_of_exn ]) ]

@@ -543,6 +543,75 @@ let test_seed_recompose () =
     "seeded flat identical to fresh" true
     (flat_equal fresh (Flatten.protos_flat seeded_protos))
 
+let test_ercs_roundtrip () =
+  (* v4: cached ERC verdicts ride in the prototype table, keyed by the
+     ERC config digest, and survive the codec exactly — censuses,
+     diag severities and spans included *)
+  let module Erc = Rsg_erc.Erc in
+  let module Diag = Rsg_lint.Diag in
+  let cell = (Rsg_pla.Gen.generate (pla_tt ())).Rsg_pla.Gen.cell in
+  let r = Erc.check_cell ~domains:1 cell in
+  let cfg = Erc.config_digest Erc.default_config Rsg_compact.Rules.default in
+  let by_hash = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Erc.level) ->
+      Hashtbl.replace by_hash l.Erc.l_hash [ (cfg, l.Erc.l_verdict) ])
+    r.Erc.r_levels;
+  let protos = Flatten.prototypes cell in
+  let ercs hex = Option.value ~default:[] (Hashtbl.find_opt by_hash hex) in
+  let table = Codec.proto_table protos ~ercs in
+  Alcotest.(check bool) "every record carries a verdict" true
+    (Array.for_all (fun (p : Codec.proto) -> p.Codec.p_ercs <> []) table);
+  let data = Codec.encode ~protos:table ~label:"pla" cell in
+  (* a root verdict with diagnostics exercises the diag codec; E306
+     at least is always present on this unlabeled design *)
+  Alcotest.(check bool) "root verdict has diagnostics" true
+    (Array.exists
+       (fun (p : Codec.proto) ->
+         List.exists (fun (_, v) -> v.Erc.cv_diags <> []) p.Codec.p_ercs)
+       table);
+  let check_table (table' : Codec.proto array) =
+    Array.iter2
+      (fun (a : Codec.proto) (b : Codec.proto) ->
+        List.iter2
+          (fun (da, va) (db, vb) ->
+            Alcotest.(check string) "config digest survives"
+              (Digest.to_hex da) (Digest.to_hex db);
+            Alcotest.(check int) "nets" va.Erc.cv_nets vb.Erc.cv_nets;
+            Alcotest.(check int) "devices" va.Erc.cv_devices vb.Erc.cv_devices;
+            Alcotest.(check int) "open" va.Erc.cv_open vb.Erc.cv_open;
+            Alcotest.(check int) "rails" va.Erc.cv_rails vb.Erc.cv_rails;
+            Alcotest.(check bool) "diags survive exactly" true
+              (va.Erc.cv_diags = vb.Erc.cv_diags))
+          a.Codec.p_ercs b.Codec.p_ercs)
+      table table'
+  in
+  check_table (Codec.decode data).Codec.e_protos;
+  check_table (snd (Codec.decode_protos data));
+  (* the replayed verdicts reproduce the fresh report bit-exactly *)
+  let tbl : (string, Erc.cached_verdict) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (p : Codec.proto) ->
+      List.iter
+        (fun (d, v) -> if d = cfg then Hashtbl.replace tbl (Digest.to_hex p.Codec.p_hash) v)
+        p.Codec.p_ercs)
+    (snd (Codec.decode_protos data));
+  let r2 = Erc.check_cell ~domains:1 ~cached:(Hashtbl.find_opt tbl) cell in
+  Alcotest.(check int) "all levels replay" (List.length r2.Erc.r_levels)
+    r2.Erc.r_cached;
+  Alcotest.(check string) "replayed diagnostics identical"
+    (Diag.report_to_json (Erc.to_diags r))
+    (Diag.report_to_json (Erc.to_diags r2));
+  (* the sections table accounts the new payload section *)
+  let row =
+    List.find
+      (fun (s : Codec.section) -> s.Codec.s_name = "erc verdicts")
+      (Codec.sections data)
+  in
+  Alcotest.(check int) "one verdict per record" (Array.length table)
+    row.Codec.s_entries;
+  Alcotest.(check bool) "verdict bytes accounted" true (row.Codec.s_bytes > 0)
+
 (* ---- store maintenance and incremental lookup ------------------------ *)
 
 (* A v1-era entry must be a clean miss — deleted, never mis-decoded —
@@ -573,6 +642,43 @@ let test_v1_stale_miss () =
   | Store.Corrupt _ -> Alcotest.fail "v1 entry reported corrupt, not stale");
   Alcotest.(check bool) "stale entry deleted" false (Sys.file_exists path);
   Store.save st k ~label:"decoder 3" cell;
+  (match Store.find st k with
+  | Store.Hit _ -> ()
+  | _ -> Alcotest.fail "re-save did not re-warm");
+  ignore (Store.clear st)
+
+(* The v3->v4 bump (cached ERC verdicts in the prototype table) makes
+   last generation's entries stale: reading one must be a clean miss
+   — [Bad_version], deleted, counted stale, never [Corrupt] — and the
+   slot must re-warm. *)
+let test_v3_stale_miss () =
+  let st = Store.open_ (temp_dir ()) in
+  let cell = (Rsg_pla.Gen.generate (pla_tt ())).Rsg_pla.Gen.cell in
+  let k = Store.key ~design:"pla" ~params:"tt" () in
+  Store.save st k ~label:"pla" cell;
+  let path = Store.path_of st k in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string data in
+  let patched = ref false in
+  for i = 4 to 7 do
+    if Bytes.get b i = Char.chr Codec.format_version then begin
+      Bytes.set b i '\003';
+      patched := true
+    end
+  done;
+  Alcotest.(check bool) "version byte found" true !patched;
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+  (match Codec.decode (Bytes.to_string b) with
+  | exception Codec.Error (Codec.Bad_version { found; expected }) ->
+    Alcotest.(check int) "found v3" 3 found;
+    Alcotest.(check int) "expects v4" 4 expected
+  | _ -> Alcotest.fail "v3 entry decoded under a v4 reader");
+  (match Store.find st k with
+  | Store.Miss -> ()
+  | Store.Hit _ -> Alcotest.fail "v3 entry mis-decoded as hit"
+  | Store.Corrupt _ -> Alcotest.fail "v3 entry reported corrupt, not stale");
+  Alcotest.(check bool) "stale entry deleted" false (Sys.file_exists path);
+  Store.save st k ~label:"pla" cell;
   (match Store.find st k with
   | Store.Hit _ -> ()
   | _ -> Alcotest.fail "re-save did not re-warm");
@@ -935,6 +1041,8 @@ let () =
           Alcotest.test_case "stats and gc" `Quick test_store_stats_gc;
           Alcotest.test_case "stale v1 is a clean miss" `Quick
             test_v1_stale_miss;
+          Alcotest.test_case "stale v3 is a clean miss" `Quick
+            test_v3_stale_miss;
           Alcotest.test_case "orphaned temp sweep" `Quick test_tmp_sweep;
           Alcotest.test_case "removal races" `Quick test_removal_races;
           Alcotest.test_case "latest pointer and harvest" `Quick
@@ -949,6 +1057,8 @@ let () =
             test_proto_roundtrip;
           Alcotest.test_case "compaction artifacts roundtrip" `Quick
             test_compacts_roundtrip;
+          Alcotest.test_case "erc verdicts roundtrip" `Quick
+            test_ercs_roundtrip;
           Alcotest.test_case "sections accounting" `Quick
             test_sections_accounting;
           Alcotest.test_case "incremental agreement" `Quick
