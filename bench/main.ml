@@ -1799,13 +1799,136 @@ let e30 () =
   note "run replays every verdict (replay = levels) without extracting";
   note "a single box"
 
+(* E31 (lib/search): parallel search-based placement & PLA folding.   *)
+(* Cost is hierarchically compacted area; independent chains fan      *)
+(* across the domain pool and merge best-of-N in chain order, so a    *)
+(* fixed seed is bit-identical at every domain count; candidate       *)
+(* evaluations are content-addressed and a warm re-run replays them   *)
+(* without re-solving a single constraint graph.                      *)
+
+type e31_runner =
+  ?cached:(string -> int option) ->
+  domains:int ->
+  unit ->
+  int * string * int * (string * int) list * Rsg_search.Anneal.stats
+
+let e31 () =
+  section "E31"
+    "annealed placement & folding: chain fan-out, cached candidate evals";
+  let module A = Rsg_search.Anneal in
+  let module F = Rsg_search.Fold_opt in
+  let module P = Rsg_search.Place_opt in
+  let rules = Rsg_compact.Rules.default in
+  (* greedy folds (0,1) first, and the induced row precedence makes
+     (2,3) cyclic — one pair.  (0,2)+(3,1) folds every column. *)
+  let tt_sub =
+    Rsg_pla.Truth_table.of_strings [ ("1--1", "10"); ("-11-", "01") ]
+  in
+  let tt_simple =
+    Rsg_pla.Truth_table.of_strings [ ("10-", "10"); ("0-1", "01") ]
+  in
+  let block () =
+    (Rsg_pla.Gen.generate tt_simple).Rsg_pla.Gen.cell
+  in
+  let summary (r : _ A.result) =
+    (r.A.r_cost, Digest.to_hex r.A.r_digest, r.A.r_initial_cost, r.A.r_evals,
+     r.A.r_stats)
+  in
+  (* each runner rebuilds its start state, so repeated timings never
+     share mutable internals or sample databases *)
+  let fold_runner tt ?cached ~domains () =
+    summary
+      (A.run ~domains ?cached ~chains:2 ~iters:30 ~seed:3 F.problem
+         (F.make ~rules tt))
+  in
+  let place_runner ?cached ~domains () =
+    summary
+      (A.run ~domains ?cached ~chains:2 ~iters:40 ~seed:7 P.problem
+         (P.make ~rules (List.init 4 (fun _ -> block ()))))
+  in
+  let workloads : (string * [ `Pla | `Chip ] * e31_runner) list =
+    [ ("pla-sub", `Pla, fold_runner tt_sub);
+      ("pla-simple", `Pla, fold_runner tt_simple);
+      ("pla-chip", `Chip, place_runner) ]
+  in
+  let never_worse = ref true in
+  let strict_pla = ref false in
+  let strict_chip = ref false in
+  let replay_10x = ref true in
+  row "%-10s %8s %8s %6s | %8s %8s %7s %5s | %5s" "workload" "greedy"
+    "anneal" "impr" "cold-s" "warm-s" "x" "warm#" "same";
+  List.iter
+    (fun (name, kind, (run : e31_runner)) ->
+      let cold_s, (cost, digest, greedy, evals, _) =
+        time_once (fun () -> run ~domains:4 ())
+      in
+      let tbl = Hashtbl.create 64 in
+      List.iter (fun (d, c) -> Hashtbl.replace tbl d c) evals;
+      let cached d = Hashtbl.find_opt tbl d in
+      let warm_s, (wcost, wdigest, _, _, wst) =
+        time_once (fun () -> run ~cached ~domains:4 ())
+      in
+      (* candidates/sec at 1, 2 and 4 domains, identical best layout *)
+      let per_domain =
+        List.map
+          (fun d ->
+            let s, (c, dg, _, _, st) = time_once (fun () -> run ~domains:d ()) in
+            (d, c, dg, float_of_int st.A.st_computed /. Float.max s 1e-9))
+          [ 1; 2; 4 ]
+      in
+      let same =
+        List.for_all (fun (_, c, dg, _) -> c = cost && dg = digest) per_domain
+        && wcost = cost && wdigest = digest
+      in
+      let speedup = cold_s /. Float.max warm_s 1e-9 in
+      never_worse := !never_worse && cost <= greedy && same;
+      if cost < greedy then begin
+        match kind with
+        | `Pla -> strict_pla := true
+        | `Chip -> strict_chip := true
+      end;
+      replay_10x :=
+        !replay_10x && wst.A.st_computed = 0 && speedup >= 10.0;
+      row "%-10s %8d %8d %6b | %8.3f %8.3f %6.0fx %5d | %5b" name greedy cost
+        (cost < greedy) cold_s warm_s speedup wst.A.st_computed same;
+      List.iter
+        (fun (d, _, _, cps) -> row "%-10s   domains=%d  %7.1f candidates/sec" ""
+            d cps)
+        per_domain;
+      json_int (name ^ ".greedy_area") greedy;
+      json_int (name ^ ".anneal_area") cost;
+      json_bool (name ^ ".improved") (cost < greedy);
+      json_num (name ^ ".cold_s") cold_s;
+      json_num (name ^ ".warm_s") warm_s;
+      json_num (name ^ ".warm_speedup") speedup;
+      json_int (name ^ ".warm_computed") wst.A.st_computed;
+      json_int (name ^ ".warm_cached") wst.A.st_cached;
+      json_bool (name ^ ".identical") same;
+      List.iter
+        (fun (d, _, _, cps) ->
+          json_num (Printf.sprintf "%s.candidates_per_s_d%d" name d) cps)
+        per_domain)
+    workloads;
+  json_bool "anneal_never_worse" !never_worse;
+  json_bool "strictly_smaller_pla" !strict_pla;
+  json_bool "strictly_smaller_chip" !strict_chip;
+  json_bool "warm_replay_10x" !replay_10x;
+  note "the greedy column is the zero-iteration baseline (the fixed";
+  note "fold heuristic / one-row floorplan); anneal can only match or";
+  note "beat it, and the warm pass replays every candidate from the";
+  note "evaluation cache (warm# = evaluations actually computed).";
+  note "chains are pure functions of (seed, index), so the best layout";
+  note "is bit-identical at every domain count; at these toy deck";
+  note "sizes a single candidate solve is allocation-bound, so the";
+  note "chain fan-out is GC-contention-limited rather than linear"
+
 let sections =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
     ("E22", e22); ("E23", e23); ("E24", e24); ("E25", e25); ("E26", e26);
-    ("E27", e27); ("E28", e28); ("E29", e29); ("E30", e30) ]
+    ("E27", e27); ("E28", e28); ("E29", e29); ("E30", e30); ("E31", e31) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

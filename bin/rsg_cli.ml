@@ -618,9 +618,118 @@ let multiplier_cmd =
       const multiplier $ size_arg $ out_arg "mult.cif" $ stats_flag $ lint_flag
       $ drc_flag $ erc_flag $ domains_term $ store_term $ obs_term)
 
+(* ---- search (annealed placement / folding) ------------------------- *)
+
+module Anneal = Rsg_search.Anneal
+
+(* Candidate-evaluation store wiring shared by `rsg place` and
+   `pla --fold-opt`: previously scored candidates are harvested from
+   the entry's root prototype record (codec v5 [p_places], keyed
+   candidate digest x rule-deck digest), fed to the annealer as its
+   warm path, then merged with the run's fresh evaluations and
+   re-saved.  The key deliberately excludes seed/iters/chains, so a
+   re-run with a different budget still replays every revisited
+   state.  Chatter goes to stderr to keep --json stdout pure. *)
+let run_search ?domains ~cache ~stem ~label ~design ~rules ~seed ~iters
+    ~chains ~strategy problem init base_cell =
+  let rules_digest = Rsg_compact.Rules.digest rules in
+  let iters, chains =
+    match strategy with `Greedy -> (0, 1) | `Anneal -> (iters, chains)
+  in
+  let st = Option.map Store.open_ cache in
+  let key =
+    Store.key ~deck:(Digest.to_hex rules_digest) ~design ~params:"place-evals"
+      ()
+  in
+  let prior = Hashtbl.create 256 in
+  (match st with
+  | Some s -> (
+    match Store.find s key with
+    | Store.Hit e ->
+      Array.iter
+        (fun (p : Codec.proto) ->
+          List.iter (fun (k, a) -> Hashtbl.replace prior k a) p.Codec.p_places)
+        e.Codec.e_protos;
+      Format.eprintf "cache: %d candidate evaluations harvested@."
+        (Hashtbl.length prior)
+    | Store.Miss | Store.Corrupt _ -> ())
+  | None -> ());
+  let cached d = Hashtbl.find_opt prior (Digest.string (d ^ rules_digest)) in
+  let r = Anneal.run ?domains ~cached ~chains ~iters ~seed problem init in
+  let s = r.Anneal.r_stats in
+  Format.eprintf
+    "search: %s seed=%d chains=%d iters=%d area %d -> %d (computed %d, \
+     cached %d)@."
+    (match strategy with `Greedy -> "greedy" | `Anneal -> "anneal")
+    seed s.Anneal.st_chains s.Anneal.st_iters r.Anneal.r_initial_cost
+    r.Anneal.r_cost s.Anneal.st_computed s.Anneal.st_cached;
+  (match st with
+  | Some store ->
+    List.iter
+      (fun (d, c) ->
+        Hashtbl.replace prior (Digest.string (d ^ rules_digest)) c)
+      r.Anneal.r_evals;
+    let protos = Flatten.prototypes base_cell in
+    let root_hex = Flatten.subtree_hex protos (Flatten.protos_root protos) in
+    let evals =
+      List.sort compare (Hashtbl.fold (fun k a acc -> (k, a) :: acc) prior [])
+    in
+    let table =
+      Codec.proto_table protos ~places:(fun hex ->
+          if hex = root_hex then evals else [])
+    in
+    Store.save store key ~stem ~label ~protos:table base_cell;
+    Format.eprintf "cache: saved %s (%d candidate evaluations)@."
+      (Store.short key) (List.length evals)
+  | None -> ());
+  r
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Annealing PRNG seed.  A fixed seed gives a bit-identical \
+           result at any --domains value.")
+
+let iters_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "iters" ] ~docv:"N" ~doc:"Annealing iterations per chain.")
+
+let chains_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "chains" ] ~docv:"N"
+        ~doc:
+          "Independent annealing chains, fanned across the domain pool \
+           and merged best-of-N in chain order.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt (enum [ ("greedy", `Greedy); ("anneal", `Anneal) ]) `Anneal
+    & info [ "strategy" ] ~docv:"greedy|anneal"
+        ~doc:
+          "greedy: the fixed heuristic baseline (zero search \
+           iterations).  anneal: simulated annealing scored by \
+           compacted area.")
+
+let search_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Content-address candidate evaluations in the layout store \
+           (codec v5 place evals, keyed candidate digest x rule deck): \
+           revisited states and warm re-runs replay instead of \
+           re-solving.")
+
 (* ---- pla ----------------------------------------------------------- *)
 
-let pla table out stats fold lint drc erc domains store obs =
+let pla table out stats fold fold_opt seed iters chains strategy lint drc erc
+    domains store obs =
   with_obs obs @@ fun () ->
   let table_text = read_file table in
   let rows =
@@ -642,7 +751,31 @@ let pla table out stats fold lint drc erc domains store obs =
            ~nterms:(List.length tt.Rsg_pla.Truth_table.terms)
            ())
         Rsg_pla.Pla_design_file.text;
-      if fold then begin
+      if fold_opt then begin
+        let rules = Rsg_compact.Rules.default in
+        let st0 = Rsg_search.Fold_opt.make ~rules tt in
+        let base = Rsg_pla.Folding.generate tt in
+        let r =
+          run_search ?domains
+            ~cache:(let c, _, _ = store in c)
+            ~stem:("place-evals:pla:" ^ table)
+            ~label:("fold-opt evals " ^ Filename.basename table)
+            ~design:("fold-opt:" ^ Digest.to_hex (Digest.string table_text))
+            ~rules ~seed ~iters ~chains ~strategy Rsg_search.Fold_opt.problem
+            st0 base.Rsg_pla.Folding.cell
+        in
+        let g = Rsg_search.Fold_opt.generate r.Anneal.r_best in
+        if not (Rsg_pla.Folding.verify g) then begin
+          Format.eprintf "internal error: folded extraction mismatch@.";
+          exit 1
+        end;
+        Format.printf "fold-opt: %d inputs into %d slots, area %d -> %d@."
+          tt.Rsg_pla.Truth_table.n_inputs
+          (Rsg_pla.Folding.n_slots g.Rsg_pla.Folding.fold)
+          r.Anneal.r_initial_cost r.Anneal.r_cost;
+        g.Rsg_pla.Folding.cell
+      end
+      else if fold then begin
         let g = Rsg_pla.Folding.generate tt in
         if not (Rsg_pla.Folding.verify g) then begin
           Format.eprintf "internal error: folded extraction mismatch@.";
@@ -662,14 +795,22 @@ let pla table out stats fold lint drc erc domains store obs =
         g.Rsg_pla.Gen.cell
       end
     in
+    let variant =
+      if fold_opt then
+        Printf.sprintf "+fold-opt:%s:%d:%d:%d"
+          (match strategy with `Greedy -> "greedy" | `Anneal -> "anneal")
+          seed iters chains
+      else if fold then "+fold"
+      else ""
+    in
     run_cached ?domains ~store
-      ~stem:(Printf.sprintf "pla:%s%s" table (if fold then "+fold" else ""))
+      ~stem:(Printf.sprintf "pla:%s%s" table variant)
       ~design:("builtin:pla\n" ^ Rsg_pla.Pla_design_file.text)
-      ~params:(Printf.sprintf "fold=%b\n%s" fold table_text)
+      ~params:(Printf.sprintf "fold=%b%s\n%s" fold variant table_text)
       ~label:
         (Printf.sprintf "pla %dx%d%s" tt.Rsg_pla.Truth_table.n_inputs
            tt.Rsg_pla.Truth_table.n_outputs
-           (if fold then " folded" else ""))
+           (if fold_opt then " fold-opt" else if fold then " folded" else ""))
       ~stats ~drc ~erc ~out gen
 
 let table_arg =
@@ -682,11 +823,21 @@ let table_arg =
 let fold_flag =
   Arg.(value & flag & info [ "fold" ] ~doc:"Fold disjoint input columns.")
 
+let fold_opt_flag =
+  Arg.(
+    value & flag
+    & info [ "fold-opt" ]
+        ~doc:
+          "Search for a better column folding by simulated annealing \
+           (implies folding; see $(b,--strategy), $(b,--seed), \
+           $(b,--iters), $(b,--chains)).")
+
 let pla_cmd =
   Cmd.v
     (Cmd.info "pla" ~doc:"Generate a PLA from a truth table")
     Term.(
       const pla $ table_arg $ out_arg "pla.cif" $ stats_flag $ fold_flag
+      $ fold_opt_flag $ seed_arg $ iters_arg $ chains_arg $ strategy_arg
       $ lint_flag $ drc_flag $ erc_flag $ domains_term $ store_term $ obs_term)
 
 (* ---- rom ----------------------------------------------------------- *)
@@ -1116,6 +1267,88 @@ let drc_cmd =
       $ Arg.(
           value & flag
           & info [ "compacted" ] ~doc:"Check the layout after x compaction.")
+      $ domains_term $ obs_term)
+
+(* ---- place --------------------------------------------------------- *)
+
+(* Annealed macro arrangement: N copies of the target block on the
+   interface grid, scored by whole-structure compacted area.  The
+   greedy baseline (zero iterations) is the fixed one-row floorplan
+   every chip generator uses today, so --strategy greedy reproduces
+   the status quo and anneal can only match or beat it. *)
+let place target blocks out stats seed iters chains strategy cache json domains
+    obs =
+  with_obs obs @@ fun () ->
+  if blocks < 1 then begin
+    Format.eprintf "place: --blocks must be >= 1@.";
+    exit 1
+  end;
+  let block = drc_target target in
+  let rules = Rsg_compact.Rules.default in
+  let st0 =
+    Rsg_search.Place_opt.make ~rules (List.init blocks (fun _ -> block))
+  in
+  let base_cell = Rsg_search.Place_opt.cell st0 in
+  let bprotos = Flatten.prototypes block in
+  let block_hex = Flatten.subtree_hex bprotos (Flatten.protos_root bprotos) in
+  let r =
+    run_search ?domains ~cache
+      ~stem:(Printf.sprintf "place-evals:%s:%d" (Filename.basename target) blocks)
+      ~label:(Printf.sprintf "place evals %s x%d" (Filename.basename target) blocks)
+      ~design:(Printf.sprintf "place:%s:%d" block_hex blocks)
+      ~rules ~seed ~iters ~chains ~strategy Rsg_search.Place_opt.problem st0
+      base_cell
+  in
+  let best = Rsg_search.Place_opt.cell r.Anneal.r_best in
+  match Hcompact.hier ?domains rules best with
+  | exception Rsg_compact.Bellman.Infeasible cycle ->
+    Format.eprintf "compaction infeasible: %a@." Rsg_compact.Bellman.pp_witness
+      cycle;
+    exit 1
+  | hr ->
+    let s = r.Anneal.r_stats in
+    if json then
+      Format.printf
+        "{\"target\": \"%s\", \"blocks\": %d, \"strategy\": \"%s\", \
+         \"seed\": %d, \"iters\": %d, \"chains\": %d, \
+         \"initial_area\": %d, \"best_area\": %d, \"best\": \"%s\", \
+         \"computed\": %d, \"cached\": %d}@."
+        (String.escaped target) blocks
+        (match strategy with `Greedy -> "greedy" | `Anneal -> "anneal")
+        seed s.Anneal.st_iters s.Anneal.st_chains r.Anneal.r_initial_cost
+        r.Anneal.r_cost
+        (Digest.to_hex r.Anneal.r_digest)
+        s.Anneal.st_computed s.Anneal.st_cached
+    else
+      Format.printf "place: %d x %s, area %d -> %d@." blocks target
+        r.Anneal.r_initial_cost r.Anneal.r_cost;
+    if stats then print_stats hr.Hcompact.hr_cell;
+    write_layout out hr.Hcompact.hr_cell
+
+let place_cmd =
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:
+         "Search-based macro placement: arrange N copies of a block on the \
+          interface grid by simulated annealing, scored by hierarchically \
+          compacted area.  The target is a CIF file or a builtin generator \
+          (pla, ram, multiplier, decoder).")
+    Term.(
+      const place
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"FILE|BUILTIN"
+              ~doc:"CIF layout, or builtin: pla, ram, multiplier, decoder.")
+      $ Arg.(
+          value & opt int 4
+          & info [ "blocks" ] ~docv:"N" ~doc:"Copies of the block to arrange.")
+      $ out_arg "place.cif" $ stats_flag $ seed_arg $ iters_arg $ chains_arg
+      $ strategy_arg $ search_cache_arg
+      $ Arg.(
+          value & flag
+          & info [ "json" ]
+              ~doc:"Emit the search summary as JSON on stdout.")
       $ domains_term $ obs_term)
 
 (* ---- erc ----------------------------------------------------------- *)
@@ -1880,6 +2113,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; multiplier_cmd; pla_cmd; rom_cmd; decoder_cmd;
+            place_cmd;
             sim_cmd; stats_cmd; compact_cmd; masks_cmd; drc_cmd; erc_cmd;
             lint_cmd; batch_cmd; cache_cmd; serve_cmd; client_cmd;
             doctor_cmd ]))

@@ -16,20 +16,35 @@ type t = {
   sample : Sample.t;
 }
 
-let rows_of (tt : Truth_table.t) i =
-  List.filteri (fun _ _ -> true) tt.Truth_table.terms
-  |> List.mapi (fun r term -> (r, term.Truth_table.lits.(i)))
-  |> List.filter_map (fun (r, lit) ->
-         if lit = Truth_table.X then None else Some r)
+(* rows.(i) lists the product-term rows where input column [i] carries
+   a non-X literal.  Computed once per table — successors/acyclic/topo
+   walk these lists on every edge, so recomputing them per call made
+   planning quadratic in the accepted pairs. *)
+let rows_table (tt : Truth_table.t) =
+  let rows = Array.make tt.Truth_table.n_inputs [] in
+  List.iteri
+    (fun r term ->
+      Array.iteri
+        (fun i lit ->
+          if lit <> Truth_table.X then rows.(i) <- r :: rows.(i))
+        term.Truth_table.lits)
+    tt.Truth_table.terms;
+  Array.map List.rev rows
+
+let rows_of (tt : Truth_table.t) i = (rows_table tt).(i)
+
+let disjoint tt i j =
+  let rows = rows_table tt in
+  List.for_all (fun r -> not (List.mem r rows.(j))) rows.(i)
 
 (* precedence: accepted pair (i, j) demands every row of i before
    every row of j.  Edges derived on demand from the accepted list. *)
-let successors tt accepted r =
+let successors rows accepted r =
   List.concat_map
-    (fun (i, j) -> if List.mem r (rows_of tt i) then rows_of tt j else [])
+    (fun (i, j) -> if List.mem r rows.(i) then rows.(j) else [])
     accepted
 
-let acyclic tt accepted p =
+let acyclic_rows rows accepted p =
   (* DFS cycle check over the derived precedence graph *)
   let color = Array.make p 0 in
   let rec visit r =
@@ -37,7 +52,7 @@ let acyclic tt accepted p =
     else if color.(r) = 2 then true
     else begin
       color.(r) <- 1;
-      let ok = List.for_all visit (successors tt accepted r) in
+      let ok = List.for_all visit (successors rows accepted r) in
       color.(r) <- 2;
       ok
     end
@@ -45,7 +60,10 @@ let acyclic tt accepted p =
   let rec go r = r >= p || (visit r && go (r + 1)) in
   go 0
 
-let topo_order tt accepted p =
+let acyclic (tt : Truth_table.t) accepted =
+  acyclic_rows (rows_table tt) accepted (List.length tt.Truth_table.terms)
+
+let topo_order rows accepted p =
   (* Kahn with smallest-index selection for a stable order *)
   let indeg = Array.make p 0 in
   let edges = Hashtbl.create 64 in
@@ -56,7 +74,7 @@ let topo_order tt accepted p =
           Hashtbl.add edges (r, r') ();
           indeg.(r') <- indeg.(r') + 1
         end)
-      (successors tt accepted r)
+      (successors rows accepted r)
   done;
   let out = Array.make p 0 in
   let placed = Array.make p false in
@@ -74,25 +92,64 @@ let topo_order tt accepted p =
           Hashtbl.remove edges (!next, r');
           indeg.(r') <- indeg.(r') - 1
         end)
-      (successors tt accepted !next)
+      (successors rows accepted !next)
   done;
   out
+
+(* Build the full fold record from an accepted pair list.  Shared by
+   the greedy planner and the search optimizer: validates column
+   bounds, pairwise disjointness and precedence acyclicity, then
+   derives singles, the topological row order and the split points. *)
+let fold_of_pairs (tt : Truth_table.t) pairs =
+  let n = tt.Truth_table.n_inputs in
+  let p = List.length tt.Truth_table.terms in
+  let rows = rows_table tt in
+  let paired = Array.make n false in
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= n || j < 0 || j >= n || i = j then
+        invalid_arg "Folding.fold_of_pairs: column out of range";
+      if paired.(i) || paired.(j) then
+        invalid_arg "Folding.fold_of_pairs: column folded twice";
+      if not (List.for_all (fun r -> not (List.mem r rows.(j))) rows.(i))
+      then invalid_arg "Folding.fold_of_pairs: columns share a row";
+      paired.(i) <- true;
+      paired.(j) <- true)
+    pairs;
+  if not (acyclic_rows rows pairs p) then
+    invalid_arg "Folding.fold_of_pairs: precedence cycle";
+  let singles = List.filter (fun i -> not paired.(i)) (List.init n Fun.id) in
+  let row_order = topo_order rows pairs p in
+  let pos = Array.make p 0 in
+  Array.iteri (fun k r -> pos.(r) <- k) row_order;
+  let split =
+    Array.of_list
+      (List.map
+         (fun (_, j) ->
+           match rows.(j) with
+           | [] -> p
+           | js -> List.fold_left (fun acc r -> min acc pos.(r)) p js)
+         pairs
+      @ List.map (fun _ -> p) singles)
+  in
+  { pairs; singles; row_order; split }
 
 let plan (tt : Truth_table.t) =
   let n = tt.Truth_table.n_inputs in
   let p = List.length tt.Truth_table.terms in
+  let rows = rows_table tt in
   let paired = Array.make n false in
   let accepted = ref [] in
   for i = 0 to n - 1 do
     if not paired.(i) then begin
-      let ri = rows_of tt i in
+      let ri = rows.(i) in
       let j = ref (i + 1) in
       let found = ref false in
       while (not !found) && !j < n do
         if not paired.(!j) then begin
-          let rj = rows_of tt !j in
+          let rj = rows.(!j) in
           let disjoint = List.for_all (fun r -> not (List.mem r rj)) ri in
-          if disjoint && acyclic tt ((i, !j) :: !accepted) p then begin
+          if disjoint && acyclic_rows rows ((i, !j) :: !accepted) p then begin
             accepted := (i, !j) :: !accepted;
             paired.(i) <- true;
             paired.(!j) <- true;
@@ -103,24 +160,7 @@ let plan (tt : Truth_table.t) =
       done
     end
   done;
-  let pairs = List.rev !accepted in
-  let singles =
-    List.filter (fun i -> not paired.(i)) (List.init n Fun.id)
-  in
-  let row_order = topo_order tt pairs p in
-  let pos = Array.make p 0 in
-  Array.iteri (fun k r -> pos.(r) <- k) row_order;
-  let split =
-    Array.of_list
-      (List.map
-         (fun (_, j) ->
-           match rows_of tt j with
-           | [] -> p
-           | rows -> List.fold_left (fun acc r -> min acc pos.(r)) p rows)
-         pairs
-      @ List.map (fun _ -> p) singles)
-  in
-  { pairs; singles; row_order; split }
+  fold_of_pairs tt (List.rev !accepted)
 
 let n_slots f = List.length f.pairs + List.length f.singles
 
@@ -133,11 +173,10 @@ let cell_of sample name =
   | Some c -> c
   | None -> failwith ("Folding: sample lacks cell " ^ name)
 
-let generate ?sample ?(name = "folded-pla") tt =
+let generate_fold ?sample ?(name = "folded-pla") tt f =
   let sample =
     match sample with Some s -> s | None -> fst (Pla_cells.build ())
   in
-  let f = plan tt in
   let asq = cell_of sample Pla_cells.and_sq in
   let osq = cell_of sample Pla_cells.or_sq in
   let cao = cell_of sample Pla_cells.connect_ao in
@@ -232,6 +271,8 @@ let generate ?sample ?(name = "folded-pla") tt =
   in
   { cell; table = tt; fold = f; sample }
 
+let generate ?sample ?name tt = generate_fold ?sample ?name tt (plan tt)
+
 (* ------------------------------------------------------------------ *)
 
 let positions cell name =
@@ -252,6 +293,7 @@ let read_back t =
     if x mod sq <> 0 || y mod sq <> 0 then failwith "read_back: off grid";
     (x / sq, y / sq)
   in
+  let rows = rows_table tt in
   let lits = Array.make_matrix p n Truth_table.X in
   List.iter
     (fun v ->
@@ -264,8 +306,8 @@ let read_back t =
       (* undo the fold: the crosspoint belongs to whichever input of
          the slot participates in this term *)
       let owner =
-        if List.mem r (rows_of tt i) then i
-        else if j >= 0 && List.mem r (rows_of tt j) then j
+        if List.mem r rows.(i) then i
+        else if j >= 0 && List.mem r rows.(j) then j
         else failwith "read_back: crosspoint in a foreign row"
       in
       lits.(r).(owner) <-

@@ -33,6 +33,26 @@ type fold = {
 val plan : Truth_table.t -> fold
 (** Greedy folding plan.  [pairs] is maximal under the greedy order. *)
 
+val rows_of : Truth_table.t -> int -> int list
+(** Product-term rows where input column [i] carries a non-X literal,
+    ascending. *)
+
+val disjoint : Truth_table.t -> int -> int -> bool
+(** Two input columns never participate in the same product term —
+    the static precondition for folding them into one slot. *)
+
+val acyclic : Truth_table.t -> (int * int) list -> bool
+(** The row-precedence relation induced by an accepted pair list has a
+    topological order, i.e. the fold is realisable. *)
+
+val fold_of_pairs : Truth_table.t -> (int * int) list -> fold
+(** Complete fold record for an explicit accepted pair list: derives
+    singles, row order and split points.  Raises [Invalid_argument]
+    if a column appears twice, two paired columns share a row, or the
+    precedence relation is cyclic — i.e. iff the pair list would fail
+    [disjoint]/[acyclic].  [fold_of_pairs tt (plan tt).pairs] equals
+    [plan tt]. *)
+
 val n_slots : fold -> int
 (** Physical input slots = pairs + singles. *)
 
@@ -47,7 +67,13 @@ type t = {
 }
 
 val generate : ?sample:Sample.t -> ?name:string -> Truth_table.t -> t
-(** The folded PLA layout. *)
+(** The folded PLA layout under the greedy [plan]. *)
+
+val generate_fold :
+  ?sample:Sample.t -> ?name:string -> Truth_table.t -> fold -> t
+(** The folded PLA layout under an explicit fold (see
+    [fold_of_pairs]) — the evaluation kernel for search-based folding
+    optimisation. *)
 
 val read_back : t -> Truth_table.t
 (** Personality recovered from the folded geometry, row order and

@@ -1,0 +1,213 @@
+(* Seeded, deterministic simulated annealing over pluggable problems.
+   Chains are independent given (seed, chain index), fan out across
+   the lib/par pool, and merge best-of-N in chain order, so the result
+   is bit-identical at any RSG_DOMAINS for a fixed seed. *)
+
+module Rng = struct
+  (* SplitMix64: tiny, splittable, identical on every platform.  The
+     low 62 bits feed [int]; [float] uses the top 53. *)
+  type t = { mutable s : int64 }
+
+  let gamma = 0x9E3779B97F4A7C15L
+
+  let mix z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let make seed = { s = mix (Int64.of_int seed) }
+
+  let next t =
+    t.s <- Int64.add t.s gamma;
+    mix t.s
+
+  let split t = { s = next t }
+
+  let int t n =
+    if n <= 0 then invalid_arg "Rng.int";
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 2)
+                    (Int64.of_int n))
+
+  let float t =
+    Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+end
+
+type ('s, 'm) problem = {
+  copy : 's -> 's;
+      (* deep enough that two copies never share mutable internals *)
+  digest : 's -> string;  (* canonical 16-byte state fingerprint *)
+  evaluate : 's -> int;   (* cost; [max_int] marks infeasible *)
+  propose : Rng.t -> 's -> 'm option;
+  apply : 's -> 'm -> unit;
+  undo : 's -> 'm -> unit;
+}
+
+type stats = {
+  st_chains : int;
+  st_iters : int;     (* proposals over all chains *)
+  st_accepted : int;
+  st_computed : int;  (* evaluate calls actually run *)
+  st_cached : int;    (* served by [cached] (store warm path) *)
+}
+
+type 's result = {
+  r_best : 's;
+  r_cost : int;
+  r_digest : string;
+  r_initial_cost : int;
+  r_evals : (string * int) list;
+      (* freshly computed (digest, cost), deduped, chain order —
+         hand these to the store for the warm path *)
+  r_stats : stats;
+}
+
+type 's chain_out = {
+  c_best : 's;
+  c_cost : int;
+  c_digest : string;
+  c_evals : (string * int) list;
+  c_accepted : int;
+  c_computed : int;
+  c_cached : int;
+}
+
+let run_chain problem ~cached ~iters ~t0 ~cooling ~seeded rng state =
+  let memo : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let d_seed, c_seed = seeded in
+  Hashtbl.replace memo d_seed c_seed;
+  let computed = ref [] and n_computed = ref 0 and n_cached = ref 0 in
+  let eval s =
+    let d = problem.digest s in
+    match Hashtbl.find_opt memo d with
+    | Some c -> (d, c)
+    | None ->
+      let c =
+        match cached d with
+        | Some c ->
+          incr n_cached;
+          c
+        | None ->
+          let c = problem.evaluate s in
+          incr n_computed;
+          computed := (d, c) :: !computed;
+          c
+      in
+      Hashtbl.replace memo d c;
+      (d, c)
+  in
+  let d0, c0 = eval state in
+  let best = ref (problem.copy state) in
+  let best_cost = ref c0 and best_digest = ref d0 in
+  let cur_cost = ref c0 in
+  let temp = ref t0 in
+  let n_accepted = ref 0 in
+  for _k = 1 to iters do
+    (match problem.propose rng state with
+    | None -> ()
+    | Some m ->
+      problem.apply state m;
+      let d, c = eval state in
+      let accept =
+        if c = max_int then false
+        else if c <= !cur_cost then true
+        else
+          (* both finite: Metropolis on the area delta *)
+          let delta = float_of_int (c - !cur_cost) in
+          Rng.float rng < exp (-.delta /. !temp)
+      in
+      if accept then begin
+        incr n_accepted;
+        cur_cost := c;
+        if c < !best_cost then begin
+          best := problem.copy state;
+          best_cost := c;
+          best_digest := d
+        end
+      end
+      else problem.undo state m);
+    temp := !temp *. cooling
+  done;
+  {
+    c_best = !best;
+    c_cost = !best_cost;
+    c_digest = !best_digest;
+    c_evals = List.rev !computed;
+    c_accepted = !n_accepted;
+    c_computed = !n_computed;
+    c_cached = !n_cached;
+  }
+
+let run ?domains ?(cached = fun _ -> None) ?(chains = 1) ?(iters = 64) ?t0
+    ?cooling ~seed problem init =
+  if chains < 1 then invalid_arg "Anneal.run: chains";
+  if iters < 0 then invalid_arg "Anneal.run: iters";
+  (* initial cost once on the caller; every chain's memo is seeded
+     with it so N chains do not re-solve the same start state *)
+  let d_init = problem.digest init in
+  let init_cached, c_init =
+    match cached d_init with
+    | Some c -> (true, c)
+    | None -> (false, problem.evaluate init)
+  in
+  let t0 =
+    match t0 with
+    | Some t -> t
+    | None ->
+      let base = if c_init = max_int then 1e6 else float_of_int c_init in
+      Float.max 1.0 (0.05 *. base)
+  in
+  let cooling =
+    match cooling with
+    | Some c -> c
+    | None -> if iters = 0 then 1.0 else Float.pow 1e-3 (1.0 /. float_of_int iters)
+  in
+  let master = Rng.make seed in
+  let rngs = Array.init chains (fun _ -> Rng.split master) in
+  let states = Array.init chains (fun _ -> problem.copy init) in
+  let outs =
+    Rsg_par.Par.map ?domains
+      (fun c ->
+        run_chain problem ~cached ~iters ~t0 ~cooling
+          ~seeded:(d_init, c_init) rngs.(c) states.(c))
+      (Array.init chains Fun.id)
+  in
+  (* best-of-N, strict improvement, chain order: ties resolve to the
+     lowest chain index, independently of the domain count *)
+  let win = ref 0 in
+  Array.iteri (fun c o -> if o.c_cost < outs.(!win).c_cost then win := c) outs;
+  let w = outs.(!win) in
+  let seen = Hashtbl.create 256 in
+  let evals =
+    let base = if init_cached then [] else [ (d_init, c_init) ] in
+    List.iter (fun (d, _) -> Hashtbl.replace seen d ()) base;
+    base
+    @ List.concat_map
+        (fun o ->
+          List.filter
+            (fun (d, _) ->
+              if Hashtbl.mem seen d then false
+              else begin
+                Hashtbl.replace seen d ();
+                true
+              end)
+            o.c_evals)
+        (Array.to_list outs)
+  in
+  let sum f = Array.fold_left (fun acc o -> acc + f o) 0 outs in
+  {
+    r_best = w.c_best;
+    r_cost = w.c_cost;
+    r_digest = w.c_digest;
+    r_initial_cost = c_init;
+    r_evals = evals;
+    r_stats =
+      {
+        st_chains = chains;
+        st_iters = chains * iters;
+        st_accepted = sum (fun o -> o.c_accepted);
+        st_computed = sum (fun o -> o.c_computed);
+        st_cached = (sum (fun o -> o.c_cached)) + (if init_cached then 1 else 0);
+      };
+  }

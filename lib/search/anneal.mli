@@ -1,0 +1,86 @@
+(** Seeded, deterministic simulated annealing over pluggable problems.
+
+    The engine explores a mutable state via a problem's move kernels:
+    [propose] draws a move from the chain's own PRNG, [apply]/[undo]
+    perturb and restore the state in place, and [evaluate] scores a
+    candidate (for layout problems, compacted area via
+    {!Rsg_compact.Hcompact.hier}).  Acceptance is Metropolis on the
+    cost delta under a geometric temperature schedule.
+
+    Every evaluation is memoized per chain by the state's canonical
+    [digest], and an optional [cached] lookup (backed by the store's
+    [p_places] section) is consulted first, so revisited states and
+    warm re-runs replay instead of re-solving.
+
+    [chains] independent chains — each a pure function of the seed and
+    its chain index — fan out across the {!Rsg_par.Par} pool and merge
+    best-of-N with strict improvement in chain order, so for a fixed
+    seed the result is bit-identical at any [RSG_DOMAINS].  Zero
+    iterations returns the start state untouched: the greedy baseline.
+*)
+
+(** Splittable SplitMix64 PRNG: platform-independent, cheap, and
+    [split] gives each chain an independent stream. *)
+module Rng : sig
+  type t
+
+  val make : int -> t
+  val split : t -> t
+
+  val int : t -> int -> int
+  (** Uniform in [0, n); raises [Invalid_argument] on [n <= 0]. *)
+
+  val float : t -> float
+  (** Uniform in [0, 1). *)
+end
+
+type ('s, 'm) problem = {
+  copy : 's -> 's;
+      (** deep enough that two copies never share mutable internals —
+          chains run concurrently on pool domains *)
+  digest : 's -> string;
+      (** canonical 16-byte fingerprint; equal states must collide *)
+  evaluate : 's -> int;  (** cost to minimise; [max_int] = infeasible *)
+  propose : Rng.t -> 's -> 'm option;
+      (** draw a candidate move, [None] when no move exists *)
+  apply : 's -> 'm -> unit;
+  undo : 's -> 'm -> unit;  (** exact inverse of [apply] *)
+}
+
+type stats = {
+  st_chains : int;
+  st_iters : int;     (** proposals over all chains *)
+  st_accepted : int;
+  st_computed : int;  (** [evaluate] calls actually run *)
+  st_cached : int;    (** evaluations served by [cached] *)
+}
+
+type 's result = {
+  r_best : 's;
+  r_cost : int;
+  r_digest : string;
+  r_initial_cost : int;
+  r_evals : (string * int) list;
+      (** freshly computed (digest, cost) pairs, deduplicated, in
+          chain order — persist these for the warm path *)
+  r_stats : stats;
+}
+
+val run :
+  ?domains:int ->
+  ?cached:(string -> int option) ->
+  ?chains:int ->
+  ?iters:int ->
+  ?t0:float ->
+  ?cooling:float ->
+  seed:int ->
+  ('s, 'm) problem ->
+  's ->
+  's result
+(** [run ~seed problem init] anneals from [init].  [chains] (default
+    1) independent chains of [iters] (default 64) proposals each;
+    [t0] defaults to 5% of the initial cost and [cooling] to the
+    geometric factor reaching [t0/1000] at the last iteration.
+    [domains] sizes the chain fan-out pool (default
+    {!Rsg_par.Par.default_domains}); the result is independent of it.
+    [cached] maps a candidate digest to a previously computed cost. *)

@@ -28,6 +28,8 @@ type op =
   | Drc of { spec : string }
   | Erc of { spec : string }
   | Compact of { spec : string }
+  | Place of { spec : string; blocks : int; seed : int; iters : int;
+               chains : int }
   | Extract of { spec : string }
   | Lint of { spec : string }
   | Batch of { spec : string }
@@ -39,8 +41,8 @@ type op =
 type request = { rq_id : Json.t; rq_op : op; rq_deadline_ms : int option }
 
 let queueable = function
-  | Generate _ | Drc _ | Erc _ | Compact _ | Extract _ | Lint _ | Batch _
-  | Sleep _ ->
+  | Generate _ | Drc _ | Erc _ | Compact _ | Place _ | Extract _ | Lint _
+  | Batch _ | Sleep _ ->
     true
   | Stats | Health | Shutdown -> false
 
@@ -67,6 +69,18 @@ let op_of v =
   | Some "drc" -> Result.map (fun spec -> Drc { spec }) (spec_of v)
   | Some "erc" -> Result.map (fun spec -> Erc { spec }) (spec_of v)
   | Some "compact" -> Result.map (fun spec -> Compact { spec }) (spec_of v)
+  | Some "place" ->
+    let field name default =
+      Option.value ~default (Json.mem_int name v)
+    in
+    Result.bind (spec_of v) (fun spec ->
+        let blocks = field "blocks" 3
+        and seed = field "seed" 1
+        and iters = field "iters" 32
+        and chains = field "chains" 2 in
+        if blocks < 1 || iters < 0 || chains < 1 then
+          Error "place needs blocks >= 1, iters >= 0, chains >= 1"
+        else Ok (Place { spec; blocks; seed; iters; chains }))
   | Some "extract" -> Result.map (fun spec -> Extract { spec }) (spec_of v)
   | Some "lint" -> Result.map (fun spec -> Lint { spec }) (spec_of v)
   | Some "batch" -> Result.map (fun spec -> Batch { spec }) (spec_of v)

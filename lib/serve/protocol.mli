@@ -12,13 +12,13 @@
       {"id": "r1", "op": "generate", "spec": "m8 multiplier size=8",
        "deadline_ms": 2000, "drc": false, "cif": false, "out": "m8.cif"}
     v}
-    - [op] — one of [generate], [drc], [erc], [compact], [extract],
-      [lint], [batch] (queued jobs); [sleep] (queued; load-bench
-      plumbing); [stats], [health], [shutdown] (answered inline,
-      never queued).
+    - [op] — one of [generate], [drc], [erc], [compact], [place],
+      [extract], [lint], [batch] (queued jobs); [sleep] (queued;
+      load-bench plumbing); [stats], [health], [shutdown] (answered
+      inline, never queued).
     - [spec] — op-dependent: a batch-manifest line for [generate]
       ([NAME KIND key=value ...], see {!Jobspec}); a builtin name or
-      CIF path for [drc]/[erc]/[extract]; a builtin design ([mult]/[pla]) or
+      CIF path for [drc]/[erc]/[extract]/[place]; a builtin design ([mult]/[pla]) or
       design-file path for [lint]; a whole manifest (embedded
       newlines) for [batch]; milliseconds for [sleep].
     - [deadline_ms] — optional admission deadline: the job must
@@ -63,6 +63,10 @@ type op =
   | Drc of { spec : string }
   | Erc of { spec : string }
   | Compact of { spec : string }
+  | Place of { spec : string; blocks : int; seed : int; iters : int;
+               chains : int }
+      (** annealed macro arrangement of [blocks] copies of the
+          target; [iters]/[chains]/[seed] default to 32/2/1 *)
   | Extract of { spec : string }
   | Lint of { spec : string }
   | Batch of { spec : string }
@@ -88,4 +92,5 @@ val error_response : id:Json.t -> error -> string
 
 val queueable : op -> bool
 (** True for ops that go through admission (generate/drc/erc/compact/
-    extract/lint/batch/sleep); false for the inline control ops. *)
+    place/extract/lint/batch/sleep); false for the inline control
+    ops. *)

@@ -418,6 +418,32 @@ let compact_work srv spec () =
            (Format.asprintf "compaction infeasible: %a"
               Rsg_compact.Bellman.pp_witness cycle)))
 
+let place_work srv spec ~blocks ~seed ~iters ~chains () =
+  match Jobspec.target_cell spec with
+  | Error msg -> Error (Protocol.Bad_request msg)
+  | Ok cell -> (
+    let module Anneal = Rsg_search.Anneal in
+    let module Place_opt = Rsg_search.Place_opt in
+    match
+      Anneal.run ~domains:srv.cfg.job_domains ~chains ~iters ~seed
+        Place_opt.problem
+        (Place_opt.make (List.init blocks (fun _ -> cell)))
+    with
+    | r ->
+      Ok
+        (Json.Obj
+           [
+             ("blocks", Json.Int blocks);
+             ("initial_area", Json.Int r.Anneal.r_initial_cost);
+             ("best_area", Json.Int r.Anneal.r_cost);
+             ("best", Json.String (Digest.to_hex r.Anneal.r_digest));
+             ("chains", Json.Int r.Anneal.r_stats.Anneal.st_chains);
+             ("iters", Json.Int r.Anneal.r_stats.Anneal.st_iters);
+             ("computed", Json.Int r.Anneal.r_stats.Anneal.st_computed);
+             ("cached", Json.Int r.Anneal.r_stats.Anneal.st_cached);
+           ])
+    | exception Invalid_argument msg -> Error (Protocol.Bad_request msg))
+
 let extract_work srv spec () =
   match Jobspec.target_cell spec with
   | Error msg -> Error (Protocol.Bad_request msg)
@@ -606,6 +632,9 @@ let dispatch srv conn (req : Protocol.request) =
         | Protocol.Erc { spec } -> dispatch_direct srv w (erc_work srv spec)
         | Protocol.Compact { spec } ->
           dispatch_direct srv w (compact_work srv spec)
+        | Protocol.Place { spec; blocks; seed; iters; chains } ->
+          dispatch_direct srv w
+            (place_work srv spec ~blocks ~seed ~iters ~chains)
         | Protocol.Extract { spec } ->
           dispatch_direct srv w (extract_work srv spec)
         | Protocol.Lint { spec } -> dispatch_direct srv w (lint_work spec)

@@ -6,7 +6,7 @@ module Cgraph = Rsg_compact.Cgraph
 module Diag = Rsg_lint.Diag
 module Erc = Rsg_erc.Erc
 
-let format_version = 4
+let format_version = 5
 
 let magic = "RSGL"
 
@@ -36,6 +36,7 @@ type proto = {
   p_reports : (string * Drc.cached_level) list;
   p_compacts : (string * Hcompact.pabs) list;
   p_ercs : (string * Erc.cached_verdict) list;
+  p_places : (string * int) list;
 }
 
 type entry = {
@@ -406,7 +407,13 @@ let put_proto buf index_of (p : proto) =
     (fun (cfg, v) ->
       put_raw16 buf cfg;
       put_verdict buf v)
-    p.p_ercs
+    p.p_ercs;
+  put_uint buf (List.length p.p_places);
+  List.iter
+    (fun (key, area) ->
+      put_raw16 buf key;
+      put_uint buf area)
+    p.p_places
 
 let put_protos buf protos =
   put_uint buf (Array.length protos);
@@ -418,7 +425,8 @@ let put_protos buf protos =
   Array.iter (put_proto buf index_of) protos
 
 let proto_table ?(reused = fun _ -> false) ?(reports = fun _ -> [])
-    ?(compacts = fun _ -> []) ?(ercs = fun _ -> []) (protos : Flatten.protos) =
+    ?(compacts = fun _ -> []) ?(ercs = fun _ -> []) ?(places = fun _ -> [])
+    (protos : Flatten.protos) =
   let tbl : (string, Cell.t) Hashtbl.t = Hashtbl.create 32 in
   let out = ref [] in
   List.iter
@@ -445,7 +453,7 @@ let proto_table ?(reused = fun _ -> false) ?(reports = fun _ -> [])
         out :=
           { p_hash = h; p_cell = copy; p_reused = reused hex;
             p_reports = reports hex; p_compacts = compacts hex;
-            p_ercs = ercs hex }
+            p_ercs = ercs hex; p_places = places hex }
           :: !out
       end)
     (Flatten.protos_order protos);
@@ -686,15 +694,23 @@ let get_protos ?on_record r =
           (cfg, get_verdict r))
     in
     let p4 = r.pos in
+    let n_places = get_uint r "proto place count" in
+    let places =
+      read_list n_places (fun () ->
+          let key = get_raw16 r "place eval key" in
+          (key, get_uint r "place eval area"))
+    in
+    let p5 = r.pos in
     (match on_record with
     | Some f ->
       f ~geometry:(p1 - p0) ~reports:(p2 - p1, n_reports)
         ~compacts:(p3 - p2, n_compacts) ~ercs:(p4 - p3, n_ercs)
+        ~places:(p5 - p4, n_places)
     | None -> ());
     out.(i) <-
       Some
         { p_hash = hash; p_cell = c; p_reused = reused; p_reports = reports;
-          p_compacts = compacts; p_ercs = ercs }
+          p_compacts = compacts; p_ercs = ercs; p_places = places }
   done;
   Array.map Option.get out
 
@@ -861,23 +877,26 @@ let sections s =
   ignore (get_str r "label");
   let label_bytes = r.pos - p0 in
   let geo = ref 0 and rep = ref 0 and comp = ref 0 and erc = ref 0 in
-  let n_rep = ref 0 and n_comp = ref 0 and n_erc = ref 0 in
+  let plc = ref 0 in
+  let n_rep = ref 0 and n_comp = ref 0 and n_erc = ref 0 and n_plc = ref 0 in
   let p1 = r.pos in
   let protos =
     get_protos
       ~on_record:(fun ~geometry ~reports:(rb, rn) ~compacts:(cb, cn)
-                      ~ercs:(eb, en) ->
+                      ~ercs:(eb, en) ~places:(pb, pn) ->
         geo := !geo + geometry;
         rep := !rep + rb;
         n_rep := !n_rep + rn;
         comp := !comp + cb;
         n_comp := !n_comp + cn;
         erc := !erc + eb;
-        n_erc := !n_erc + en)
+        n_erc := !n_erc + en;
+        plc := !plc + pb;
+        n_plc := !n_plc + pn)
       r
   in
   (* the proto-count varint itself *)
-  let table_overhead = r.pos - p1 - !geo - !rep - !comp - !erc in
+  let table_overhead = r.pos - p1 - !geo - !rep - !comp - !erc - !plc in
   let p2 = r.pos in
   let n_cells = get_uint r "cell count" in
   let cells = Array.make (max n_cells 1) (Cell.create "") in
@@ -908,6 +927,7 @@ let sections s =
     { s_name = "drc reports"; s_bytes = !rep; s_entries = !n_rep };
     { s_name = "constraint graphs"; s_bytes = !comp; s_entries = !n_comp };
     { s_name = "erc verdicts"; s_bytes = !erc; s_entries = !n_erc };
+    { s_name = "place evals"; s_bytes = !plc; s_entries = !n_plc };
     { s_name = "cell table"; s_bytes = cell_bytes; s_entries = n_cells };
     { s_name = "flat"; s_bytes = flat_bytes; s_entries = flat_boxes } ]
 

@@ -56,7 +56,16 @@
     [rsg erc --cache] run replays every unchanged prototype's verdict
     without touching its geometry.  Version-3 files fail decoding
     with [Bad_version] and the store treats them as stale clean
-    misses. *)
+    misses.
+
+    Version 5 extends each prototype record with its {e cached
+    placement-search evaluations}: compacted areas of annealing
+    candidates, keyed by the raw 16-byte MD5 of (candidate digest ^
+    rule-deck digest).  A warm [rsg place --cache] or
+    [pla --fold-opt --cache] run replays every previously scored
+    candidate instead of re-running the compactor.  Version-4 files
+    fail decoding with [Bad_version] and the store treats them as
+    stale clean misses. *)
 
 open Rsg_layout
 
@@ -99,6 +108,10 @@ type proto = {
   p_ercs : (string * Rsg_erc.Erc.cached_verdict) list;
       (** cached electrical verdicts, keyed by raw 16-byte ERC
           configuration digest ({!Rsg_erc.Erc.config_digest}) *)
+  p_places : (string * int) list;
+      (** cached placement-search evaluations: compacted area keyed by
+          raw 16-byte MD5 of (candidate digest ^ rule-deck digest) —
+          only the root prototype's record carries them *)
 }
 
 type entry = {
@@ -120,13 +133,14 @@ val proto_table :
   ?reports:(string -> (string * Rsg_drc.Drc.cached_level) list) ->
   ?compacts:(string -> (string * Rsg_compact.Hcompact.pabs) list) ->
   ?ercs:(string -> (string * Rsg_erc.Erc.cached_verdict) list) ->
+  ?places:(string -> (string * int) list) ->
   Flatten.protos ->
   proto array
 (** Build the prototype table of a flattening cache: one record per
     distinct subtree digest in postorder (congruent celltypes
-    collapse into one record).  [reused], [reports], [compacts] and
-    [ercs] are consulted with each hex digest to fill the record's
-    metadata; all default to nothing. *)
+    collapse into one record).  [reused], [reports], [compacts],
+    [ercs] and [places] are consulted with each hex digest to fill
+    the record's metadata; all default to nothing. *)
 
 val encode : ?flat:Flatten.flat -> ?protos:proto array -> label:string -> Cell.t -> string
 (** Serialise [cell] (and, when given, its flattened view and
@@ -153,8 +167,8 @@ type section = { s_name : string; s_bytes : int; s_entries : int }
 val sections : string -> section list
 (** Per-section breakdown of an encoded entry — container framing,
     label, prototype geometry, cached DRC reports, cached constraint
-    graphs, cached ERC verdicts, cell table, flat geometry — in
-    payload order.  Entries are records / reports / graphs / verdicts
+    graphs, cached ERC verdicts, cached place evals, cell table, flat
+    geometry — in payload order.  Entries are records / reports / graphs / verdicts
     / cells / flattened boxes as appropriate to the section.  Raises
     {!Error} like {!decode}. *)
 

@@ -612,6 +612,49 @@ let test_ercs_roundtrip () =
     row.Codec.s_entries;
   Alcotest.(check bool) "verdict bytes accounted" true (row.Codec.s_bytes > 0)
 
+let test_places_roundtrip () =
+  (* v5: cached placement-search evaluations ride on the root record,
+     keyed by MD5(candidate digest ^ rule-deck digest), and survive
+     the codec exactly *)
+  let cell = (Rsg_pla.Gen.generate (pla_tt ())).Rsg_pla.Gen.cell in
+  let protos = Flatten.prototypes cell in
+  let root_hex = Digest.to_hex (Flatten.subtree_digest protos cell) in
+  let deck = Rsg_compact.Rules.digest Rsg_compact.Rules.default in
+  let evals =
+    List.map
+      (fun (cand, area) -> (Digest.string (Digest.string cand ^ deck), area))
+      [ ("cand-a", 1234); ("cand-b", 987654); ("cand-c", 7) ]
+  in
+  let places hex = if hex = root_hex then evals else [] in
+  let table = Codec.proto_table protos ~places in
+  Alcotest.(check bool) "root record carries the evals" true
+    (Array.exists (fun (p : Codec.proto) -> p.Codec.p_places = evals) table);
+  let data = Codec.encode ~protos:table ~label:"pla" cell in
+  let check_table (table' : Codec.proto array) =
+    Array.iter2
+      (fun (a : Codec.proto) (b : Codec.proto) ->
+        Alcotest.(check int) "eval count survives"
+          (List.length a.Codec.p_places)
+          (List.length b.Codec.p_places);
+        List.iter2
+          (fun (ka, aa) (kb, ab) ->
+            Alcotest.(check string) "eval key survives" (Digest.to_hex ka)
+              (Digest.to_hex kb);
+            Alcotest.(check int) "eval area survives" aa ab)
+          a.Codec.p_places b.Codec.p_places)
+      table table'
+  in
+  check_table (Codec.decode data).Codec.e_protos;
+  check_table (snd (Codec.decode_protos data));
+  (* the sections table accounts the new payload section *)
+  let row =
+    List.find
+      (fun (s : Codec.section) -> s.Codec.s_name = "place evals")
+      (Codec.sections data)
+  in
+  Alcotest.(check int) "three evals accounted" 3 row.Codec.s_entries;
+  Alcotest.(check bool) "eval bytes accounted" true (row.Codec.s_bytes > 0)
+
 (* ---- store maintenance and incremental lookup ------------------------ *)
 
 (* A v1-era entry must be a clean miss — deleted, never mis-decoded —
@@ -671,12 +714,47 @@ let test_v3_stale_miss () =
   (match Codec.decode (Bytes.to_string b) with
   | exception Codec.Error (Codec.Bad_version { found; expected }) ->
     Alcotest.(check int) "found v3" 3 found;
-    Alcotest.(check int) "expects v4" 4 expected
-  | _ -> Alcotest.fail "v3 entry decoded under a v4 reader");
+    Alcotest.(check int) "expects v5" 5 expected
+  | _ -> Alcotest.fail "v3 entry decoded under a v5 reader");
   (match Store.find st k with
   | Store.Miss -> ()
   | Store.Hit _ -> Alcotest.fail "v3 entry mis-decoded as hit"
   | Store.Corrupt _ -> Alcotest.fail "v3 entry reported corrupt, not stale");
+  Alcotest.(check bool) "stale entry deleted" false (Sys.file_exists path);
+  Store.save st k ~label:"pla" cell;
+  (match Store.find st k with
+  | Store.Hit _ -> ()
+  | _ -> Alcotest.fail "re-save did not re-warm");
+  ignore (Store.clear st)
+
+(* The v4->v5 bump (cached place evaluations in the prototype table)
+   makes last generation's entries stale: same contract as v3->v4. *)
+let test_v4_stale_miss () =
+  let st = Store.open_ (temp_dir ()) in
+  let cell = (Rsg_pla.Gen.generate (pla_tt ())).Rsg_pla.Gen.cell in
+  let k = Store.key ~design:"pla" ~params:"tt" () in
+  Store.save st k ~label:"pla" cell;
+  let path = Store.path_of st k in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string data in
+  let patched = ref false in
+  for i = 4 to 7 do
+    if Bytes.get b i = Char.chr Codec.format_version then begin
+      Bytes.set b i '\004';
+      patched := true
+    end
+  done;
+  Alcotest.(check bool) "version byte found" true !patched;
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+  (match Codec.decode (Bytes.to_string b) with
+  | exception Codec.Error (Codec.Bad_version { found; expected }) ->
+    Alcotest.(check int) "found v4" 4 found;
+    Alcotest.(check int) "expects v5" 5 expected
+  | _ -> Alcotest.fail "v4 entry decoded under a v5 reader");
+  (match Store.find st k with
+  | Store.Miss -> ()
+  | Store.Hit _ -> Alcotest.fail "v4 entry mis-decoded as hit"
+  | Store.Corrupt _ -> Alcotest.fail "v4 entry reported corrupt, not stale");
   Alcotest.(check bool) "stale entry deleted" false (Sys.file_exists path);
   Store.save st k ~label:"pla" cell;
   (match Store.find st k with
@@ -1043,6 +1121,8 @@ let () =
             test_v1_stale_miss;
           Alcotest.test_case "stale v3 is a clean miss" `Quick
             test_v3_stale_miss;
+          Alcotest.test_case "stale v4 is a clean miss" `Quick
+            test_v4_stale_miss;
           Alcotest.test_case "orphaned temp sweep" `Quick test_tmp_sweep;
           Alcotest.test_case "removal races" `Quick test_removal_races;
           Alcotest.test_case "latest pointer and harvest" `Quick
@@ -1059,6 +1139,8 @@ let () =
             test_compacts_roundtrip;
           Alcotest.test_case "erc verdicts roundtrip" `Quick
             test_ercs_roundtrip;
+          Alcotest.test_case "place evals roundtrip" `Quick
+            test_places_roundtrip;
           Alcotest.test_case "sections accounting" `Quick
             test_sections_accounting;
           Alcotest.test_case "incremental agreement" `Quick
